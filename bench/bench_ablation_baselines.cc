@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Ablation A4: context for the paper's choice of gshare as the
+ * reference single-bank scheme — the wider baseline field at
+ * comparable storage (32 Kbit of counters).
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace bpred;
+    using namespace bpred::bench;
+
+    banner("Ablation: baseline field",
+           "Baselines at ~32Kbit storage: static, bimodal, "
+           "gselect, gshare, PAg, hybrid, gskewed, e-gskew.");
+
+    const std::vector<std::string> specs = {
+        "static:taken",     "bimodal:14",
+        "gselect:14:10",    "gshare:14:10",
+        "pag:12:10",        "hybrid:13:10",
+        "gskewed:3:12:10",  "egskew:12:10",
+    };
+
+    TextTable table([&] {
+        std::vector<std::string> headers = {"predictor"};
+        for (const Trace &trace : suite()) {
+            headers.push_back(trace.name());
+        }
+        headers.push_back("mean");
+        return headers;
+    }());
+
+    for (const std::string &spec : specs) {
+        table.row().cell(spec);
+        double sum = 0.0;
+        for (const Trace &trace : suite()) {
+            const double pct = mispredictPercent(spec, trace);
+            table.percentCell(pct);
+            sum += pct;
+        }
+        table.percentCell(sum /
+                          static_cast<double>(suite().size()));
+    }
+    table.print(std::cout);
+
+    expectation(
+        "gshare < gselect (McFarling), both < bimodal < static; "
+        "the skewed organizations sit at the top of the field at "
+        "equal or lower storage.");
+    return 0;
+}

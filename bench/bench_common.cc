@@ -1,0 +1,44 @@
+#include "bench_common.hh"
+
+#include "sim/factory.hh"
+#include "workloads/presets.hh"
+
+namespace bpred::bench
+{
+
+const std::vector<Trace> &
+suite()
+{
+    static const std::vector<Trace> traces = [] {
+        const double scale = effectiveTraceScale(defaultScale);
+        std::cout << "[suite] generating 6 IBS-like traces at scale "
+                  << scale << " (set BPRED_TRACE_SCALE to change, "
+                  << "BPRED_TRACE_CACHE to cache)\n";
+        return ibsSuite(defaultScale);
+    }();
+    return traces;
+}
+
+void
+banner(const std::string &artifact, const std::string &claim)
+{
+    std::cout << "====================================================\n"
+              << "Reproducing " << artifact << "\n"
+              << claim << "\n"
+              << "====================================================\n";
+}
+
+void
+expectation(const std::string &text)
+{
+    std::cout << "\n[paper shape] " << text << "\n";
+}
+
+double
+mispredictPercent(const std::string &spec, const Trace &trace)
+{
+    auto predictor = makePredictor(spec);
+    return simulate(*predictor, trace).mispredictPercent();
+}
+
+} // namespace bpred::bench

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Shared plumbing for the experiment benches.
+ *
+ * Every bench binary reproduces one table or figure of the paper:
+ * it loads the standard six-benchmark suite (honouring
+ * BPRED_TRACE_SCALE / BPRED_TRACE_CACHE), prints our measured rows
+ * through TextTable, and — where the paper gives concrete numbers —
+ * prints the paper's reference values alongside for eyeball
+ * comparison. Absolute values are not expected to match (our traces
+ * are synthetic stand-ins for IBS-Ultrix); shapes and orderings are.
+ */
+
+#ifndef BPRED_BENCH_BENCH_COMMON_HH
+#define BPRED_BENCH_BENCH_COMMON_HH
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/driver.hh"
+#include "support/table.hh"
+#include "trace/trace.hh"
+
+namespace bpred::bench
+{
+
+/** Default trace scale for experiments (1.0 = 2M branches each). */
+constexpr double defaultScale = 1.0;
+
+/**
+ * Load the six-benchmark suite once per binary.
+ * Prints a short provenance banner to stdout.
+ */
+const std::vector<Trace> &suite();
+
+/** Standard experiment banner: what the bench reproduces. */
+void banner(const std::string &artifact, const std::string &claim);
+
+/**
+ * Print a closing note restating the shape the paper reports, so
+ * the output is self-judging.
+ */
+void expectation(const std::string &text);
+
+/** Misprediction percentage of spec-built predictor over trace. */
+double mispredictPercent(const std::string &spec, const Trace &trace);
+
+} // namespace bpred::bench
+
+#endif // BPRED_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Extension: last-use-distance profiles — the single trace
+ * statistic that drives the whole §5.2 model, measured directly.
+ *
+ * For each benchmark: the distance distribution of (address,
+ * history) pairs at h=4 and h=12, the fraction of references below
+ * the gskewed win threshold (~N/10 for an N-entry one-bank
+ * competitor), and the model's expected per-bank aliasing
+ * probability at representative sizes. This table explains every
+ * crossover in Figures 5-7 from first principles.
+ */
+
+#include "bench_common.hh"
+
+#include "model/distance_profile.hh"
+
+int
+main()
+{
+    using namespace bpred;
+    using namespace bpred::bench;
+
+    banner("Extension: last-use distance profiles",
+           "Distance distribution of (address, history) pairs and "
+           "the model's per-bank aliasing probabilities.");
+
+    for (const unsigned history : {4u, 12u}) {
+        std::cout << "\n--- " << history << "-bit history ---\n";
+        TextTable table({"benchmark", "median D", "90% D",
+                         "D<=1.6K (16K/10)", "compulsory",
+                         "E[p] 4K bank", "E[p] 16K bank"});
+        for (const Trace &trace : suite()) {
+            const DistanceProfile profile =
+                profileDistances(trace, history);
+            table.row()
+                .cell(trace.name())
+                .cell(profile.distances.percentile(0.5))
+                .cell(profile.distances.percentile(0.9))
+                .percentCell(profile.fractionWithin(1638) * 100.0)
+                .percentCell(
+                    100.0 * static_cast<double>(profile.compulsory) /
+                    static_cast<double>(profile.dynamicBranches))
+                .cell(profile.expectedAliasingProbability(4096), 4)
+                .cell(profile.expectedAliasingProbability(16384), 4);
+        }
+        table.print(std::cout);
+    }
+
+    expectation(
+        "Median distances sit well under the bank sizes that win "
+        "in Figures 5-6; the h12 distributions are several times "
+        "heavier than h4 (the capacity pressure behind Figure 7's "
+        "long-history behaviour). E[p] falls with table size "
+        "exactly as formula (1) dictates.");
+    return 0;
+}

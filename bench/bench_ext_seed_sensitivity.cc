@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Extension: statistical robustness of the headline result.
+ *
+ * The synthetic workloads are seeded random programs, so every
+ * comparative claim should survive a change of seed. This bench
+ * regenerates one benchmark with five independent seeds and
+ * reports the gshare-vs-gskewed-vs-e-gskew comparison per seed,
+ * plus mean and spread: the orderings the reproduction relies on
+ * must hold for every seed, not just the preset one.
+ */
+
+#include "bench_common.hh"
+
+#include "core/skewed_predictor.hh"
+#include "predictors/gshare.hh"
+#include "support/stats.hh"
+#include "workloads/presets.hh"
+#include "workloads/process_mix.hh"
+
+int
+main()
+{
+    using namespace bpred;
+    using namespace bpred::bench;
+
+    banner("Extension: seed sensitivity",
+           "groff-like workload regenerated with 5 seeds: "
+           "gshare-16K vs gskewed-3x4K vs e-gskew-3x4K at h=10.");
+
+    RunningStat share_stat;
+    RunningStat skew_stat;
+    RunningStat egskew_stat;
+    TextTable table({"seed", "gshare-16K", "gskewed-3x4K",
+                     "e-gskew-3x4K", "e-gskew wins"});
+
+    const double scale = effectiveTraceScale(defaultScale);
+    for (u64 seed_index = 0; seed_index < 5; ++seed_index) {
+        WorkloadParams params = ibsPreset("groff", scale);
+        params.seed = params.seed * 31 + seed_index * 7919 + 1;
+        const Trace trace = generateWorkload(params);
+
+        GSharePredictor gshare(14, 10);
+        SkewedPredictor gskewed(3, 12, 10, UpdatePolicy::Partial);
+        SkewedPredictor egskew(makeEnhancedConfig(12, 10));
+
+        const double share_pct =
+            simulate(gshare, trace).mispredictPercent();
+        const double skew_pct =
+            simulate(gskewed, trace).mispredictPercent();
+        const double egskew_pct =
+            simulate(egskew, trace).mispredictPercent();
+        share_stat.sample(share_pct);
+        skew_stat.sample(skew_pct);
+        egskew_stat.sample(egskew_pct);
+
+        table.row()
+            .cell(seed_index)
+            .percentCell(share_pct)
+            .percentCell(skew_pct)
+            .percentCell(egskew_pct)
+            .cell(std::string(egskew_pct <= share_pct ? "yes"
+                                                      : "no"));
+    }
+    table.row()
+        .cell(std::string("mean +/- sd"))
+        .cell(formatDouble(share_stat.mean()) + " +/- " +
+              formatDouble(share_stat.stddev()))
+        .cell(formatDouble(skew_stat.mean()) + " +/- " +
+              formatDouble(skew_stat.stddev()))
+        .cell(formatDouble(egskew_stat.mean()) + " +/- " +
+              formatDouble(egskew_stat.stddev()))
+        .cell(std::string(""));
+    table.print(std::cout);
+
+    expectation(
+        "Seed-to-seed spread is small relative to the "
+        "between-design gaps; e-gskew-3x4K beats the 16K gshare "
+        "(at 25% less storage) for every seed.");
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Extension: the skewed-associative *tagged* yardstick.
+ *
+ * Figures 1-2 bracket direct-mapped aliasing with a
+ * fully-associative LRU table. The skewing functions came from
+ * skewed-associative caches, so the natural intermediate question
+ * is: how much of the DM-to-FA gap does skewed associativity alone
+ * close, before the tag-less majority-vote trick? This bench adds
+ * a 3-way skewed tagged table between the Figure 1 curves.
+ */
+
+#include "bench_common.hh"
+
+#include "aliasing/skewed_tagged_table.hh"
+#include "aliasing/three_c.hh"
+#include "predictors/history.hh"
+#include "predictors/info_vector.hh"
+
+int
+main()
+{
+    using namespace bpred;
+    using namespace bpred::bench;
+
+    banner("Extension: skewed-associative tagged yardstick",
+           "Tagged-table miss % at h=4: direct-mapped gshare vs "
+           "3-way skewed vs fully-associative LRU, equal total "
+           "entries.");
+
+    constexpr unsigned historyBits = 4;
+
+    for (const Trace &trace : suite()) {
+        std::cout << "\n[" << trace.name() << "]\n";
+        TextTable table({"total entries", "gshare DM",
+                         "3-way skewed", "FA-LRU",
+                         "gap closed"});
+        for (unsigned bits = 11; bits <= 15; bits += 2) {
+            // Equal totals: DM 2^bits vs skewed 3 x 2^(bits)/4...
+            // power-of-two constraint: compare DM 2^bits against
+            // skewed 3 x 2^(bits-2) (0.75x) and FA 2^bits.
+            const std::vector<IndexFunction> functions = {
+                {IndexKind::GShare, bits, historyBits},
+            };
+            const auto dm_results =
+                measureThreeCsMulti(trace, functions);
+
+            SkewedTaggedTable skewed(3, bits - 2);
+            GlobalHistory history;
+            for (const BranchRecord &record : trace) {
+                if (!record.conditional) {
+                    history.shiftIn(true);
+                    continue;
+                }
+                skewed.access(packInfoVector(record.pc,
+                                             history.raw(),
+                                             historyBits));
+                history.shiftIn(record.taken);
+            }
+
+            const double dm = dm_results[0].totalAliasing;
+            const double fa = dm_results[0].faMissRatio;
+            const double sk = skewed.missStat().ratio();
+            const double closed = dm - fa < 1e-12
+                ? 1.0
+                : (dm - sk) / (dm - fa);
+            table.row()
+                .cell(formatEntries(u64(1) << bits))
+                .percentCell(dm * 100.0)
+                .percentCell(sk * 100.0)
+                .percentCell(fa * 100.0)
+                .percentCell(closed * 100.0);
+        }
+        table.print(std::cout);
+    }
+
+    expectation(
+        "With 25% fewer entries than the DM table, the 3-way "
+        "skewed tagged table closes most of the DM-to-FA gap — "
+        "the cache-side property the tag-less skewed predictor "
+        "inherits through its majority vote.");
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 11: extrapolated (analytical model driven by measured
+ * last-use distances) vs simulated misprediction, 4-bit history,
+ * 1-bit counters, total update — for a 3x1K gskewed.
+ *
+ * The paper's model should track simulation and *overestimate* it
+ * slightly (constructive aliasing is unmodeled).
+ */
+
+#include "bench_common.hh"
+
+#include "core/skewed_predictor.hh"
+#include "model/extrapolation.hh"
+#include "predictors/gshare.hh"
+
+int
+main()
+{
+    using namespace bpred;
+    using namespace bpred::bench;
+
+    banner("Figure 11",
+           "Analytical extrapolation vs measured simulation "
+           "(1-bit counters, total update, h=4): gskewed-3x1K and "
+           "gshare-4K.");
+
+    constexpr unsigned historyBits = 4;
+    constexpr unsigned bankBits = 10;   // 3x1K gskewed
+    constexpr unsigned dmBits = 12;     // 4K gshare
+
+    TextTable table({"benchmark", "b (bias)", "unaliased 1-bit",
+                     "gskewed model", "gskewed measured",
+                     "gshare model", "gshare measured"});
+
+    for (const Trace &trace : suite()) {
+        const TraceModelInputs inputs =
+            measureModelInputs(trace, historyBits);
+        const ExtrapolationResult model = extrapolateMispredictions(
+            trace, historyBits, u64(1) << bankBits,
+            u64(1) << dmBits, inputs);
+
+        SkewedPredictor gskewed(3, bankBits, historyBits,
+                                UpdatePolicy::Total, 1);
+        GSharePredictor gshare(dmBits, historyBits, 1);
+        const double skew_measured =
+            simulate(gskewed, trace).mispredictPercent();
+        const double share_measured =
+            simulate(gshare, trace).mispredictPercent();
+
+        table.row()
+            .cell(trace.name())
+            .cell(inputs.biasTaken, 3)
+            .percentCell(inputs.unaliasedMispredict * 100.0)
+            .percentCell(model.skewedExtrapolated * 100.0)
+            .percentCell(skew_measured)
+            .percentCell(model.directMappedExtrapolated * 100.0)
+            .percentCell(share_measured);
+    }
+    table.print(std::cout);
+
+    expectation(
+        "Model tracks measurement benchmark-by-benchmark and "
+        "consistently overestimates slightly — constructive "
+        "aliasing, absent from the model, recovers a little "
+        "accuracy in reality.");
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 1: miss percentages in tables tagged with (address,
+ * history) pairs — 4-bit history.
+ *
+ * For each benchmark and each table size, three curves: a
+ * direct-mapped table indexed gshare-style, one indexed
+ * gselect-style, and a fully-associative LRU table of equal
+ * capacity. FA = compulsory + capacity; DM - FA = conflict.
+ */
+
+#include "bench_common.hh"
+
+#include "aliasing/three_c.hh"
+
+int
+main()
+{
+    using namespace bpred;
+    using namespace bpred::bench;
+
+    banner("Figure 1",
+           "Aliasing (tagged-table miss %) vs table size, 4-bit "
+           "history: gshare-DM vs gselect-DM vs fully-associative "
+           "LRU.");
+
+    constexpr unsigned historyBits = 4;
+
+    for (const Trace &trace : suite()) {
+        std::cout << "\n[" << trace.name() << "]\n";
+        TextTable table({"entries", "gshare DM", "gselect DM",
+                         "FA-LRU", "conflict(gshare)",
+                         "capacity", "compulsory"});
+        for (unsigned bits = 10; bits <= 16; ++bits) {
+            const std::vector<IndexFunction> functions = {
+                {IndexKind::GShare, bits, historyBits},
+                {IndexKind::GSelect, bits, historyBits},
+            };
+            const auto results =
+                measureThreeCsMulti(trace, functions);
+            const ThreeCsResult &gshare = results[0];
+            const ThreeCsResult &gselect = results[1];
+            table.row()
+                .cell(formatEntries(u64(1) << bits))
+                .percentCell(gshare.totalAliasing * 100.0)
+                .percentCell(gselect.totalAliasing * 100.0)
+                .percentCell(gshare.faMissRatio * 100.0)
+                .percentCell(gshare.conflict() * 100.0)
+                .percentCell(gshare.capacity() * 100.0)
+                .percentCell(gshare.compulsory * 100.0);
+        }
+        table.print(std::cout);
+    }
+
+    expectation(
+        "gselect aliases more than gshare at every size; the FA "
+        "curve collapses to the compulsory floor by ~4K entries, "
+        "leaving conflicts as the overwhelming cause of aliasing "
+        "in larger tables.");
+    return 0;
+}

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Figure 3: conflicts depend on the mapping function.
+ *
+ * The paper's 16-entry illustration: a set of (address, history)
+ * pairs that conflict under gshare do not conflict under gselect,
+ * and vice versa — the observation that motivates skewing. This
+ * bench quantifies it: over each benchmark trace, how often do two
+ * pairs that collide under one index function also collide under
+ * another?
+ */
+
+#include "bench_common.hh"
+
+#include "aliasing/index_function.hh"
+#include "predictors/history.hh"
+#include "predictors/info_vector.hh"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace
+{
+
+using namespace bpred;
+
+/**
+ * Sample distinct (address, history) pairs from the trace, then
+ * count pairwise collisions under each function and joint
+ * collisions under function pairs.
+ */
+struct CollisionStats
+{
+    u64 gshare = 0;
+    u64 gselect = 0;
+    u64 skew0 = 0;
+    u64 both_gshare_gselect = 0;
+    u64 both_skew_banks = 0;
+    u64 pairs = 0;
+};
+
+CollisionStats
+measure(const Trace &trace, unsigned index_bits,
+        unsigned history_bits, std::size_t max_vectors)
+{
+    // Collect distinct info vectors.
+    std::unordered_set<u64> seen;
+    std::vector<std::pair<Addr, History>> vectors;
+    GlobalHistory history;
+    for (const BranchRecord &record : trace) {
+        if (!record.conditional) {
+            history.shiftIn(true);
+            continue;
+        }
+        const u64 key =
+            packInfoVector(record.pc, history.raw(), history_bits);
+        if (seen.insert(key).second &&
+            vectors.size() < max_vectors) {
+            vectors.emplace_back(record.pc, history.raw());
+        }
+        history.shiftIn(record.taken);
+        if (vectors.size() >= max_vectors) {
+            break;
+        }
+    }
+
+    const IndexFunction gshare{IndexKind::GShare, index_bits,
+                               history_bits};
+    const IndexFunction gselect{IndexKind::GSelect, index_bits,
+                                history_bits};
+    const IndexFunction skew0{IndexKind::Skew0, index_bits,
+                              history_bits};
+    const IndexFunction skew1{IndexKind::Skew1, index_bits,
+                              history_bits};
+
+    // Bucket by index per function; collisions counted pairwise
+    // via bucket sizes.
+    CollisionStats stats;
+    std::unordered_map<u64, std::vector<std::size_t>> by_gshare;
+    for (std::size_t i = 0; i < vectors.size(); ++i) {
+        by_gshare[gshare(vectors[i].first, vectors[i].second)]
+            .push_back(i);
+    }
+    for (const auto &[index, members] : by_gshare) {
+        (void)index;
+        const u64 k = members.size();
+        stats.gshare += k * (k - 1) / 2;
+        // Of the pairs colliding in gshare, how many also collide
+        // in gselect?
+        for (std::size_t a = 0; a < members.size(); ++a) {
+            for (std::size_t b = a + 1; b < members.size(); ++b) {
+                const auto &[pa, ha] = vectors[members[a]];
+                const auto &[pb, hb] = vectors[members[b]];
+                if (gselect(pa, ha) == gselect(pb, hb)) {
+                    ++stats.both_gshare_gselect;
+                }
+            }
+        }
+    }
+
+    std::unordered_map<u64, std::vector<std::size_t>> by_skew0;
+    std::unordered_map<u64, u64> bucket;
+    for (const auto &[pc, h] : vectors) {
+        ++bucket[gselect(pc, h)];
+    }
+    for (const auto &[index, k] : bucket) {
+        (void)index;
+        stats.gselect += k * (k - 1) / 2;
+    }
+
+    for (std::size_t i = 0; i < vectors.size(); ++i) {
+        by_skew0[skew0(vectors[i].first, vectors[i].second)]
+            .push_back(i);
+    }
+    for (const auto &[index, members] : by_skew0) {
+        (void)index;
+        const u64 k = members.size();
+        stats.skew0 += k * (k - 1) / 2;
+        for (std::size_t a = 0; a < members.size(); ++a) {
+            for (std::size_t b = a + 1; b < members.size(); ++b) {
+                const auto &[pa, ha] = vectors[members[a]];
+                const auto &[pb, hb] = vectors[members[b]];
+                if (skew1(pa, ha) == skew1(pb, hb)) {
+                    ++stats.both_skew_banks;
+                }
+            }
+        }
+    }
+
+    stats.pairs = static_cast<u64>(vectors.size());
+    return stats;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace bpred::bench;
+
+    banner("Figure 3",
+           "Conflicts depend on the mapping function: pairs that "
+           "collide under one index rarely collide under another "
+           "— and almost never under two skew banks.");
+
+    TextTable table({"benchmark", "vectors", "gshare coll",
+                     "gselect coll", "skew-f0 coll",
+                     "gshare&gselect", "f0&f1"});
+    for (const Trace &trace : suite()) {
+        const CollisionStats stats = measure(trace, 10, 8, 4000);
+        table.row()
+            .cell(trace.name())
+            .cell(stats.pairs)
+            .cell(stats.gshare)
+            .cell(stats.gselect)
+            .cell(stats.skew0)
+            .cell(stats.both_gshare_gselect)
+            .cell(stats.both_skew_banks);
+    }
+    table.print(std::cout);
+
+    expectation(
+        "Each function alone has thousands of colliding pairs "
+        "(4000 vectors into 1K entries), but the joint-collision "
+        "columns are dramatically smaller — and the skew-bank "
+        "pair (f0&f1) column is the smallest, by design of the "
+        "function family.");
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 8: 3N-entry gskewed (partial and total update) vs an
+ * N-entry fully-associative LRU predictor, 4-bit history, 2-bit
+ * counters. FA misses fall back to static always-taken.
+ *
+ * This is the paper's direct test that skewing really removes
+ * conflict aliasing: the FA table has none by construction.
+ */
+
+#include "bench_common.hh"
+
+#include "aliasing/falru_predictor.hh"
+#include "core/skewed_predictor.hh"
+
+int
+main()
+{
+    using namespace bpred;
+    using namespace bpred::bench;
+
+    banner("Figure 8",
+           "gskewed-3xN (partial & total) vs N-entry FA-LRU "
+           "predictor, 4-bit history.");
+
+    constexpr unsigned historyBits = 4;
+
+    for (const Trace &trace : suite()) {
+        std::cout << "\n[" << trace.name() << "]\n";
+        TextTable table({"N", "FA-LRU N", "gskewed 3xN partial",
+                         "gskewed 3xN total"});
+        for (unsigned bits = 9; bits <= 13; ++bits) {
+            const u64 n = u64(1) << bits;
+            FaLruPredictor fa_lru(n, historyBits);
+            SkewedPredictor partial(3, bits, historyBits,
+                                    UpdatePolicy::Partial);
+            SkewedPredictor total(3, bits, historyBits,
+                                  UpdatePolicy::Total);
+            table.row()
+                .cell(formatEntries(n))
+                .percentCell(
+                    simulate(fa_lru, trace).mispredictPercent())
+                .percentCell(
+                    simulate(partial, trace).mispredictPercent())
+                .percentCell(
+                    simulate(total, trace).mispredictPercent());
+        }
+        table.print(std::cout);
+    }
+
+    expectation(
+        "gskewed-3xN with partial update tracks (slightly beats) "
+        "the N-entry fully-associative LRU yardstick; with total "
+        "update it is slightly worse. Partial update effectively "
+        "buys back the capacity the redundancy spends.");
+    return 0;
+}

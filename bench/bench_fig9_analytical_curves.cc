@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figures 9 and 10: the analytical destructive-aliasing curves
+ * Pdm(p) = p/2 and Psk(p) = (3/4)p^2(1-p) + (1/2)p^3 at the
+ * worst-case bias b = 0.5, over the full range (Fig. 9) and the
+ * small-p zoom (Fig. 10), plus the N/10 crossover observation.
+ */
+
+#include "bench_common.hh"
+
+#include "model/formulas.hh"
+
+int
+main()
+{
+    using namespace bpred;
+    using namespace bpred::bench;
+
+    banner("Figures 9-10",
+           "Analytical destructive-aliasing probability: 1-bank "
+           "linear vs 3-bank cubic (b = 0.5).");
+
+    std::cout << "\nFull range (Figure 9):\n";
+    TextTable full({"p", "Pdm = p/2", "Psk (3-bank)",
+                    "Psk (5-bank)"});
+    for (int i = 0; i <= 10; ++i) {
+        const double p = i / 10.0;
+        full.row()
+            .cell(p, 2)
+            .cell(destructiveProbabilityDirectMapped(p, 0.5), 4)
+            .cell(destructiveProbabilitySkewed3(p, 0.5), 4)
+            .cell(destructiveProbabilitySkewed(5, p, 0.5), 4);
+    }
+    full.print(std::cout);
+
+    std::cout << "\nSmall-p zoom (Figure 10):\n";
+    TextTable zoom({"p", "Pdm", "Psk (3-bank)", "Psk/Pdm"});
+    for (const double p :
+         {0.005, 0.01, 0.02, 0.05, 0.1, 0.15, 0.2}) {
+        const double dm = destructiveProbabilityDirectMapped(p, 0.5);
+        const double sk = destructiveProbabilitySkewed3(p, 0.5);
+        zoom.row().cell(p, 3).cell(dm, 6).cell(sk, 6).cell(
+            sk / dm, 4);
+    }
+    zoom.print(std::cout);
+
+    std::cout << "\nCrossover distance D* where Psk(3x(N/3)) = "
+                 "Pdm(N) (paper: D* ~ N/10):\n";
+    TextTable crossover({"N (DM entries)", "D*", "N / D*"});
+    for (unsigned bits = 10; bits <= 18; bits += 2) {
+        const u64 n = 3 * ((u64(1) << bits) / 3);
+        const u64 d_star = skewedCrossoverDistance(n);
+        crossover.row().cell(formatEntries(u64(1) << bits))
+            .cell(d_star)
+            .cell(static_cast<double>(n) /
+                      static_cast<double>(d_star),
+                  1);
+    }
+    crossover.print(std::cout);
+
+    expectation(
+        "Psk << Pdm for small p (cubic vs linear), crossing above "
+        "Pdm as p -> 1; the equal-storage crossover lands near "
+        "D = N/10, the paper's rule of thumb.");
+    return 0;
+}

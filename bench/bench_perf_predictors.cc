@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Microbenchmark: predictor lookup+update throughput
+ * (google-benchmark). Not a paper artifact — a library quality
+ * gauge: the simulation loops above run millions of events per
+ * configuration, so per-event cost matters.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "sim/factory.hh"
+#include "support/rng.hh"
+#include "trace/trace.hh"
+
+namespace
+{
+
+using namespace bpred;
+
+Trace
+makePerfTrace()
+{
+    Trace trace("perf");
+    Rng rng(1);
+    for (int i = 0; i < 1 << 16; ++i) {
+        const Addr pc = 0x1000 + 4 * rng.uniformInt(4096);
+        if (rng.chance(0.25)) {
+            trace.appendUnconditional(pc);
+        } else {
+            trace.appendConditional(pc, rng.chance(0.7));
+        }
+    }
+    return trace;
+}
+
+void
+runPredictor(benchmark::State &state, const std::string &spec)
+{
+    static const Trace trace = makePerfTrace();
+    auto predictor = makePredictor(spec);
+    for (auto _ : state) {
+        for (const BranchRecord &record : trace) {
+            if (!record.conditional) {
+                predictor->notifyUnconditional(record.pc);
+                continue;
+            }
+            benchmark::DoNotOptimize(
+                predictor->predict(record.pc));
+            predictor->update(record.pc, record.taken);
+        }
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(trace.size()));
+}
+
+void BM_Bimodal(benchmark::State &state)
+{
+    runPredictor(state, "bimodal:14");
+}
+void BM_GShare(benchmark::State &state)
+{
+    runPredictor(state, "gshare:14:10");
+}
+void BM_GSelect(benchmark::State &state)
+{
+    runPredictor(state, "gselect:14:10");
+}
+void BM_Pag(benchmark::State &state)
+{
+    runPredictor(state, "pag:12:10");
+}
+void BM_Hybrid(benchmark::State &state)
+{
+    runPredictor(state, "hybrid:13:10");
+}
+void BM_Gskewed3(benchmark::State &state)
+{
+    runPredictor(state, "gskewed:3:12:10");
+}
+void BM_Gskewed5(benchmark::State &state)
+{
+    runPredictor(state, "gskewed:5:12:10");
+}
+void BM_EGskew(benchmark::State &state)
+{
+    runPredictor(state, "egskew:12:10");
+}
+void BM_FaLru(benchmark::State &state)
+{
+    runPredictor(state, "falru:4096:10");
+}
+
+BENCHMARK(BM_Bimodal);
+BENCHMARK(BM_GShare);
+BENCHMARK(BM_GSelect);
+BENCHMARK(BM_Pag);
+BENCHMARK(BM_Hybrid);
+BENCHMARK(BM_Gskewed3);
+BENCHMARK(BM_Gskewed5);
+BENCHMARK(BM_EGskew);
+BENCHMARK(BM_FaLru);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Table 2: the unaliased (infinite-table) predictor.
+ *
+ * For history lengths of 4 and 12 bits: substream ratio,
+ * compulsory-aliasing percentage, and misprediction ratios for
+ * 1-bit and 2-bit counters with first encounters excluded.
+ */
+
+#include "bench_common.hh"
+
+#include "predictors/unaliased.hh"
+
+namespace
+{
+
+struct PaperRow
+{
+    const char *name;
+    double substream;
+    double compulsory;
+    double one_bit;
+    double two_bit;
+};
+
+constexpr PaperRow paperH4[] = {
+    {"groff", 1.82, 0.09, 5.47, 3.77},
+    {"gs", 1.91, 0.15, 7.03, 5.28},
+    {"mpeg_play", 1.83, 0.11, 9.08, 7.24},
+    {"nroff", 1.79, 0.04, 4.99, 3.72},
+    {"real_gcc", 2.36, 0.28, 9.38, 7.16},
+    {"verilog", 1.96, 0.13, 6.48, 4.57},
+};
+
+constexpr PaperRow paperH12[] = {
+    {"groff", 7.14, 0.35, 3.63, 2.56},
+    {"gs", 7.95, 0.61, 3.71, 2.77},
+    {"mpeg_play", 6.27, 0.37, 5.85, 4.52},
+    {"nroff", 5.71, 0.12, 3.04, 2.20},
+    {"real_gcc", 12.90, 1.55, 4.90, 3.93},
+    {"verilog", 9.24, 0.64, 3.74, 2.66},
+};
+
+void
+runHistoryLength(unsigned history_bits, const PaperRow *paper)
+{
+    using namespace bpred;
+    using namespace bpred::bench;
+
+    std::cout << "\n--- " << history_bits << "-bit history ---\n";
+    TextTable table({"benchmark", "substream", "compulsory",
+                     "mispred 1-bit", "mispred 2-bit",
+                     "paper substr", "paper comp", "paper 1-bit",
+                     "paper 2-bit"});
+
+    std::size_t row = 0;
+    for (const Trace &trace : suite()) {
+        UnaliasedPredictor one_bit(history_bits, 1);
+        UnaliasedPredictor two_bit(history_bits, 2);
+        simulate(one_bit, trace);
+        simulate(two_bit, trace);
+
+        table.row()
+            .cell(trace.name())
+            .cell(two_bit.substreamRatio(), 2)
+            .percentCell(two_bit.compulsoryAliasingRatio() * 100.0)
+            .percentCell(one_bit.mispredictionRatio() * 100.0)
+            .percentCell(two_bit.mispredictionRatio() * 100.0)
+            .cell(paper[row].substream, 2)
+            .percentCell(paper[row].compulsory)
+            .percentCell(paper[row].one_bit)
+            .percentCell(paper[row].two_bit);
+        ++row;
+    }
+    table.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace bpred::bench;
+
+    banner("Table 2",
+           "Unaliased predictor: substream ratio, compulsory "
+           "aliasing, and 1-/2-bit misprediction (first encounters "
+           "not charged).");
+
+    runHistoryLength(4, paperH4);
+    runHistoryLength(12, paperH12);
+
+    expectation(
+        "2-bit beats 1-bit everywhere; longer history lowers "
+        "misprediction but multiplies substreams (h12 substream "
+        "ratio ~3-6x the h4 ratio, real_gcc highest) and raises "
+        "compulsory aliasing; compulsory stays ~small relative to "
+        "dynamic count.");
+    return 0;
+}

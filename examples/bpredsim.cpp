@@ -1,0 +1,156 @@
+/**
+ * @file
+ * bpredsim: a command-line trace-driven branch-predictor simulator
+ * over the full library.
+ *
+ * Usage:
+ *   bpredsim [options] <predictor-spec> [<predictor-spec> ...]
+ *
+ * Options:
+ *   --benchmark <name>   IBS-like preset (default: groff). Accepts
+ *                        all eight names, incl. sdet / video_play.
+ *   --trace <file.bpt>   simulate a binary trace file instead
+ *   --scale <x>          preset trace scale (default 0.25)
+ *   --window <n>         also print an n-branch timeline
+ *   --cpi                translate results through the pipeline model
+ *   --csv                emit CSV instead of an aligned table
+ *
+ * Examples:
+ *   bpredsim gshare:14:12 egskew:12:11
+ *   bpredsim --benchmark real_gcc --cpi gskewed:3:12:10:partial
+ *   bpredsim --trace mytrace.bpt --window 50000 bimode:13:10:12
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/driver.hh"
+#include "sim/factory.hh"
+#include "sim/pipeline_model.hh"
+#include "sim/timeline.hh"
+#include "support/table.hh"
+#include "trace/trace_io.hh"
+#include "workloads/presets.hh"
+
+namespace
+{
+
+int
+usage()
+{
+    std::cerr
+        << "usage: bpredsim [options] <spec> [<spec> ...]\n"
+        << "  --benchmark <name> | --trace <file.bpt>\n"
+        << "  --scale <x>  --window <n>  --cpi  --csv\n\n"
+        << bpred::predictorSpecHelp() << "\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace bpred;
+
+    std::string benchmark = "groff";
+    std::string trace_path;
+    double scale = 0.25;
+    u64 window = 0;
+    bool with_cpi = false;
+    bool csv = false;
+    std::vector<std::string> specs;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << "missing value for " << arg << "\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--benchmark") {
+            benchmark = next();
+        } else if (arg == "--trace") {
+            trace_path = next();
+        } else if (arg == "--scale") {
+            scale = std::atof(next());
+        } else if (arg == "--window") {
+            window = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--cpi") {
+            with_cpi = true;
+        } else if (arg == "--csv") {
+            csv = true;
+        } else if (arg == "--help" || arg == "-h") {
+            return usage();
+        } else {
+            specs.push_back(arg);
+        }
+    }
+    if (specs.empty()) {
+        return usage();
+    }
+
+    try {
+        const Trace trace = trace_path.empty()
+            ? makeIbsTrace(benchmark, scale)
+            : loadBinaryTrace(trace_path);
+        const TraceStats stats = computeTraceStats(trace);
+        std::cout << "trace '" << trace.name() << "': "
+                  << formatCount(stats.dynamicConditional)
+                  << " conditional branches, "
+                  << formatCount(stats.staticConditional)
+                  << " static sites\n";
+
+        std::vector<std::string> headers = {"predictor", "Kbit",
+                                            "mispredict"};
+        if (with_cpi) {
+            headers.push_back("CPI @12cy");
+            headers.push_back("stall %");
+        }
+        TextTable table(headers);
+
+        for (const std::string &spec : specs) {
+            auto predictor = makePredictor(spec);
+            const SimResult result = simulate(*predictor, trace);
+            table.row()
+                .cell(result.predictorName)
+                .cell(result.storageBits / 1024)
+                .percentCell(result.mispredictPercent());
+            if (with_cpi) {
+                const PipelineEstimate estimate =
+                    estimatePipeline(result);
+                table.cell(estimate.cpi, 4).percentCell(
+                    estimate.stallFraction * 100.0);
+            }
+        }
+        if (csv) {
+            table.printCsv(std::cout);
+        } else {
+            table.print(std::cout);
+        }
+
+        if (window > 0) {
+            for (const std::string &spec : specs) {
+                auto predictor = makePredictor(spec);
+                const TimelineResult timeline =
+                    runTimeline(*predictor, trace, window);
+                std::cout << "\ntimeline " << predictor->name()
+                          << " (windows of " << formatCount(window)
+                          << "):\n ";
+                for (const double ratio : timeline.windows) {
+                    std::cout << " "
+                              << formatDouble(ratio * 100.0, 1);
+                }
+                std::cout << "\n";
+            }
+        }
+        return 0;
+    } catch (const std::exception &error) {
+        std::cerr << "error: " << error.what() << "\n";
+        return 1;
+    }
+}

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Design-space explorer: sweep skewed-predictor configurations on
+ * one benchmark and print a Pareto view of storage vs accuracy.
+ *
+ * This is the chip-designer scenario from the paper's conclusion:
+ * "die-area constraints may not permit increasing a 1-bank table
+ * from 16K to 32K, but a skewed organization offers a middle
+ * point". The explorer enumerates bank counts, bank sizes, history
+ * lengths and update policies, and flags the configurations on the
+ * storage/accuracy Pareto frontier.
+ *
+ * Usage: design_explorer [benchmark] [scale]
+ */
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "core/skewed_predictor.hh"
+#include "predictors/gshare.hh"
+#include "sim/driver.hh"
+#include "support/table.hh"
+#include "workloads/presets.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace bpred;
+
+    const std::string benchmark = argc > 1 ? argv[1] : "gs";
+    const double scale = argc > 2 ? std::atof(argv[2]) : 0.1;
+
+    try {
+        const Trace trace = makeIbsTrace(benchmark, scale);
+
+        struct Point
+        {
+            std::string name;
+            u64 storage_bits;
+            double mispredict;
+            bool pareto = false;
+        };
+        std::vector<Point> points;
+
+        // gshare reference line.
+        for (unsigned bits : {11u, 12u, 13u, 14u, 15u}) {
+            GSharePredictor predictor(bits, 10);
+            const SimResult result = simulate(predictor, trace);
+            points.push_back({result.predictorName,
+                              result.storageBits,
+                              result.mispredictRatio()});
+        }
+
+        // Skewed design space.
+        for (unsigned banks : {3u, 5u}) {
+            for (unsigned bank_bits : {9u, 10u, 11u, 12u}) {
+                for (UpdatePolicy policy :
+                     {UpdatePolicy::Partial, UpdatePolicy::Total}) {
+                    SkewedPredictor predictor(banks, bank_bits, 10,
+                                              policy);
+                    const SimResult result =
+                        simulate(predictor, trace);
+                    points.push_back({result.predictorName,
+                                      result.storageBits,
+                                      result.mispredictRatio()});
+                }
+            }
+        }
+
+        // e-gskew.
+        for (unsigned bank_bits : {10u, 11u, 12u}) {
+            SkewedPredictor predictor(
+                makeEnhancedConfig(bank_bits, 10));
+            const SimResult result = simulate(predictor, trace);
+            points.push_back({result.predictorName,
+                              result.storageBits,
+                              result.mispredictRatio()});
+        }
+
+        // Mark the Pareto frontier (min storage, min mispredict).
+        for (Point &candidate : points) {
+            candidate.pareto = std::none_of(
+                points.begin(), points.end(),
+                [&](const Point &other) {
+                    return (other.storage_bits <=
+                                candidate.storage_bits &&
+                            other.mispredict <
+                                candidate.mispredict) ||
+                        (other.storage_bits <
+                             candidate.storage_bits &&
+                         other.mispredict <=
+                             candidate.mispredict);
+                });
+        }
+
+        std::sort(points.begin(), points.end(),
+                  [](const Point &a, const Point &b) {
+                      return a.storage_bits < b.storage_bits;
+                  });
+
+        TextTable table(
+            {"config", "Kbit", "mispredict", "pareto"});
+        for (const Point &point : points) {
+            table.row()
+                .cell(point.name)
+                .cell(point.storage_bits / 1024)
+                .percentCell(point.mispredict * 100.0)
+                .cell(std::string(point.pareto ? "*" : ""));
+        }
+        std::cout << "Design space on '" << benchmark
+                  << "' (scale " << scale << ")\n";
+        table.print(std::cout);
+        std::cout << "\n'*' marks storage/accuracy Pareto-optimal "
+                     "designs.\n";
+        return 0;
+    } catch (const std::exception &error) {
+        std::cerr << "error: " << error.what() << "\n";
+        return 1;
+    }
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * OS interference study: how kernel/multiprocess activity degrades
+ * a global-history predictor, and how much of the damage skewing
+ * repairs.
+ *
+ * The paper's motivation leans on Gloy et al. and Uhlig et al.: OS
+ * and multiprogrammed workloads blow up the (address, history)
+ * working set and aliasing. This example rebuilds one benchmark
+ * with a sweep of kernel shares and reports misprediction and
+ * conflict-aliasing figures side by side for gshare vs gskewed.
+ *
+ * Usage: os_interference [scale]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "aliasing/three_c.hh"
+#include "core/skewed_predictor.hh"
+#include "predictors/gshare.hh"
+#include "sim/driver.hh"
+#include "support/table.hh"
+#include "workloads/presets.hh"
+#include "workloads/process_mix.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace bpred;
+
+    const double scale = argc > 1 ? std::atof(argv[1]) : 0.1;
+
+    try {
+        TextTable table({"kernel share", "conflict alias",
+                         "capacity alias", "gshare-4K",
+                         "gskewed-3x1K"});
+
+        for (const double share : {0.0, 0.1, 0.2, 0.35, 0.5}) {
+            WorkloadParams params = ibsPreset("verilog", scale);
+            params.kernelShare = share;
+            const Trace trace = generateWorkload(params);
+
+            IndexFunction function{IndexKind::GShare, 12, 8};
+            const ThreeCsResult aliasing =
+                measureThreeCs(trace, function);
+
+            GSharePredictor gshare(12, 8);
+            SkewedPredictor gskewed(3, 10, 8,
+                                    UpdatePolicy::Partial);
+            const SimResult share_result =
+                simulate(gshare, trace);
+            const SimResult skew_result =
+                simulate(gskewed, trace);
+
+            table.row()
+                .percentCell(share * 100.0, 0)
+                .percentCell(aliasing.conflict() * 100.0)
+                .percentCell(aliasing.capacity() * 100.0)
+                .percentCell(share_result.mispredictPercent())
+                .percentCell(skew_result.mispredictPercent());
+        }
+
+        std::cout << "verilog-like workload, varying kernel share "
+                     "(scale "
+                  << scale << ")\n";
+        table.print(std::cout);
+        std::cout << "\nMore OS activity -> more aliasing; the "
+                     "skewed organization absorbs the conflict "
+                     "component.\n";
+        return 0;
+    } catch (const std::exception &error) {
+        std::cerr << "error: " << error.what() << "\n";
+        return 1;
+    }
+}

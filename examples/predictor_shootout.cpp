@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Shoot-out: run any set of predictor specs over the benchmark
+ * suite and rank them.
+ *
+ * Usage: predictor_shootout [scale] [spec ...]
+ *
+ * With no specs, a representative field competes: bimodal, gshare,
+ * gselect, PAg, hybrid, gskewed and e-gskew at comparable storage.
+ *
+ * Example:
+ *   predictor_shootout 0.1 gshare:14:12 gskewed:3:12:12:partial
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "sim/driver.hh"
+#include "sim/factory.hh"
+#include "support/table.hh"
+#include "workloads/presets.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace bpred;
+
+    double scale = 0.1;
+    std::vector<std::string> specs;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (i == 1 && arg.find(':') == std::string::npos) {
+            scale = std::atof(argv[i]);
+            continue;
+        }
+        specs.push_back(arg);
+    }
+    if (specs.empty()) {
+        specs = {"bimodal:14",          "gshare:14:10",
+                 "gselect:14:10",       "pag:12:10",
+                 "hybrid:13:10",        "agree:14:10:12",
+                 "bimode:13:10:12",     "gskewed:3:12:10:partial",
+                 "egskew:12:10",        "egskewsh:12:10"};
+    }
+
+    try {
+        std::cout << "Benchmark suite at scale " << scale << "\n";
+        const std::vector<Trace> suite = ibsSuite(scale);
+
+        TextTable table([&] {
+            std::vector<std::string> headers = {"predictor",
+                                                "Kbit"};
+            for (const Trace &trace : suite) {
+                headers.push_back(trace.name());
+            }
+            headers.push_back("mean");
+            return headers;
+        }());
+
+        std::multimap<double, std::string> ranking;
+        for (const std::string &spec : specs) {
+            table.row();
+            auto probe = makePredictor(spec);
+            table.cell(probe->name()).cell(probe->storageBits() /
+                                           1024);
+            double sum = 0.0;
+            for (const Trace &trace : suite) {
+                auto predictor = makePredictor(spec);
+                const SimResult result =
+                    simulate(*predictor, trace);
+                table.percentCell(result.mispredictPercent());
+                sum += result.mispredictPercent();
+            }
+            const double mean =
+                sum / static_cast<double>(suite.size());
+            table.percentCell(mean);
+            ranking.emplace(mean, probe->name());
+        }
+        table.print(std::cout);
+
+        std::cout << "\nRanking (mean mispredict, best first):\n";
+        int place = 1;
+        for (const auto &[mean, name] : ranking) {
+            std::cout << "  " << place++ << ". " << name << "  ("
+                      << formatDouble(mean) << " %)\n";
+        }
+        return 0;
+    } catch (const std::exception &error) {
+        std::cerr << "error: " << error.what() << "\n"
+                  << predictorSpecHelp() << "\n";
+        return 1;
+    }
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Quickstart: build a skewed branch predictor, run it on a
+ * synthetic workload, and compare it against gshare.
+ *
+ * This is the 60-second tour of the library's public API:
+ *
+ *   1. generate a trace (workloads),
+ *   2. construct predictors (core / predictors / sim factory),
+ *   3. simulate (sim),
+ *   4. read the numbers (support).
+ *
+ * Usage: quickstart [benchmark] [scale]
+ *   benchmark: one of groff gs mpeg_play nroff real_gcc verilog
+ *              (default groff)
+ *   scale:     trace-length multiplier (default 0.1 = 200k branches)
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/skewed_predictor.hh"
+#include "predictors/gshare.hh"
+#include "sim/driver.hh"
+#include "support/table.hh"
+#include "workloads/presets.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace bpred;
+
+    const std::string benchmark = argc > 1 ? argv[1] : "groff";
+    const double scale = argc > 2 ? std::atof(argv[2]) : 0.1;
+
+    try {
+        std::cout << "Generating IBS-like trace '" << benchmark
+                  << "' (scale " << scale << ")...\n";
+        const Trace trace = makeIbsTrace(benchmark, scale);
+        const TraceStats stats = computeTraceStats(trace);
+        std::cout << "  " << formatCount(stats.dynamicConditional)
+                  << " conditional branches over "
+                  << formatCount(stats.staticConditional)
+                  << " static sites\n";
+
+        // A 16K-entry gshare vs a 3x4K gskewed: the paper's
+        // headline comparison — gskewed with 25% less storage.
+        GSharePredictor gshare(14, 10);
+        SkewedPredictor gskewed(3, 12, 10, UpdatePolicy::Partial);
+        SkewedPredictor egskew(makeEnhancedConfig(12, 10));
+
+        TextTable table({"predictor", "storage (Kbit)",
+                         "mispredict"});
+        for (Predictor *predictor :
+             {static_cast<Predictor *>(&gshare),
+              static_cast<Predictor *>(&gskewed),
+              static_cast<Predictor *>(&egskew)}) {
+            const SimResult result = simulate(*predictor, trace);
+            table.row()
+                .cell(result.predictorName)
+                .cell(result.storageBits / 1024)
+                .percentCell(result.mispredictPercent());
+        }
+        table.print(std::cout);
+
+        std::cout << "\ngskewed matches or beats the bigger gshare "
+                     "table by removing conflict aliasing.\n";
+        return 0;
+    } catch (const std::exception &error) {
+        std::cerr << "error: " << error.what() << "\n";
+        return 1;
+    }
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Trace utility: generate, convert and inspect branch traces.
+ *
+ * Subcommands:
+ *   gen <benchmark> <scale> <out.bpt>   generate a preset trace
+ *   info <trace.bpt>                    print summary statistics
+ *   totext <trace.bpt>                  dump as text to stdout
+ *   fromtext <name> <out.bpt>           read text from stdin
+ *
+ * The binary format is the compact "BPT1" delta encoding; the text
+ * format is the human-editable one used in tests ("C <hexpc> T").
+ */
+
+#include <iostream>
+#include <string>
+
+#include "support/table.hh"
+#include "trace/trace_io.hh"
+#include "workloads/presets.hh"
+
+namespace
+{
+
+int
+usage()
+{
+    std::cerr
+        << "usage:\n"
+        << "  trace_tool gen <benchmark> <scale> <out.bpt>\n"
+        << "  trace_tool info <trace.bpt>\n"
+        << "  trace_tool totext <trace.bpt>\n"
+        << "  trace_tool fromtext <name> <out.bpt>   (text on stdin)\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace bpred;
+
+    if (argc < 2) {
+        return usage();
+    }
+    const std::string command = argv[1];
+
+    try {
+        if (command == "gen" && argc == 5) {
+            const Trace trace =
+                makeIbsTrace(argv[2], std::atof(argv[3]));
+            saveBinaryTrace(argv[4], trace);
+            std::cout << "wrote " << formatCount(trace.size())
+                      << " records to " << argv[4] << "\n";
+            return 0;
+        }
+        if (command == "info" && argc == 3) {
+            const Trace trace = loadBinaryTrace(argv[2]);
+            const TraceStats stats = computeTraceStats(trace);
+            TextTable table({"metric", "value"});
+            table.row().cell(std::string("name")).cell(trace.name());
+            table.row()
+                .cell(std::string("records"))
+                .cell(formatCount(trace.size()));
+            table.row()
+                .cell(std::string("dynamic conditional"))
+                .cell(formatCount(stats.dynamicConditional));
+            table.row()
+                .cell(std::string("static conditional"))
+                .cell(formatCount(stats.staticConditional));
+            table.row()
+                .cell(std::string("dynamic unconditional"))
+                .cell(formatCount(stats.dynamicUnconditional));
+            table.row()
+                .cell(std::string("taken ratio"))
+                .percentCell(stats.takenRatio() * 100.0);
+            table.row()
+                .cell(std::string("dynamic/static"))
+                .cell(stats.dynamicPerStatic(), 1);
+            table.print(std::cout);
+            return 0;
+        }
+        if (command == "totext" && argc == 3) {
+            writeTextTrace(std::cout, loadBinaryTrace(argv[2]));
+            return 0;
+        }
+        if (command == "fromtext" && argc == 4) {
+            Trace trace = readTextTrace(std::cin, argv[2]);
+            saveBinaryTrace(argv[3], trace);
+            std::cout << "wrote " << formatCount(trace.size())
+                      << " records to " << argv[3] << "\n";
+            return 0;
+        }
+        return usage();
+    } catch (const std::exception &error) {
+        std::cerr << "error: " << error.what() << "\n";
+        return 1;
+    }
+}

@@ -1,0 +1,57 @@
+#include "aliasing/fa_lru_table.hh"
+
+namespace bpred
+{
+
+FullyAssociativeLruTable::FullyAssociativeLruTable(u64 capacity)
+    : capacity_(capacity)
+{
+    assert(capacity > 0);
+    entries.reserve(capacity);
+}
+
+const u8 *
+FullyAssociativeLruTable::peek(u64 key) const
+{
+    const auto it = entries.find(key);
+    return it == entries.end() ? nullptr : &it->second->payload;
+}
+
+u8 *
+FullyAssociativeLruTable::access(u64 key, u8 initial)
+{
+    const auto it = entries.find(key);
+    if (it != entries.end()) {
+        misses.sample(false);
+        // Move to MRU.
+        lruList.splice(lruList.begin(), lruList, it->second);
+        return &it->second->payload;
+    }
+
+    misses.sample(true);
+    if (entries.size() >= capacity_) {
+        entries.erase(lruList.back().key);
+        lruList.pop_back();
+    }
+    lruList.push_front({key, initial});
+    entries.emplace(key, lruList.begin());
+    return nullptr;
+}
+
+void
+FullyAssociativeLruTable::setPayload(u64 key, u8 payload)
+{
+    const auto it = entries.find(key);
+    assert(it != entries.end());
+    it->second->payload = payload;
+}
+
+void
+FullyAssociativeLruTable::reset()
+{
+    lruList.clear();
+    entries.clear();
+    misses.reset();
+}
+
+} // namespace bpred

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * A fully-associative table with LRU replacement.
+ *
+ * Probing it with (address, history) identities measures
+ * compulsory + capacity aliasing (§3.2): a fully-associative table
+ * has no conflicts by construction, and LRU is the reference
+ * hardware-realizable replacement policy the paper uses.
+ */
+
+#ifndef BPRED_ALIASING_FA_LRU_TABLE_HH
+#define BPRED_ALIASING_FA_LRU_TABLE_HH
+
+#include <cassert>
+#include <list>
+#include <unordered_map>
+
+#include "support/stats.hh"
+#include "support/types.hh"
+
+namespace bpred
+{
+
+/**
+ * Fully-associative LRU table mapping 64-bit identities to a small
+ * payload (a saturating-counter value when used as a predictor, or
+ * nothing meaningful when used purely as an aliasing meter).
+ */
+class FullyAssociativeLruTable
+{
+  public:
+    /** @param capacity Maximum number of resident entries (> 0). */
+    explicit FullyAssociativeLruTable(u64 capacity);
+
+    /**
+     * Look up @p key without changing table state.
+     *
+     * @return Pointer to the payload, or nullptr on miss.
+     */
+    const u8 *peek(u64 key) const;
+
+    /**
+     * Reference @p key: on a hit, move it to MRU position and return
+     * a pointer to its payload. On a miss, insert it (evicting the
+     * LRU entry if the table is full) with payload @p initial and
+     * return nullptr. The miss/hit is recorded in missStat().
+     */
+    u8 *access(u64 key, u8 initial = 0);
+
+    /** Update the payload of a resident key (asserts residency). */
+    void setPayload(u64 key, u8 payload);
+
+    /** Maximum entries. */
+    u64 capacity() const { return capacity_; }
+
+    /** Current resident entries. */
+    u64 size() const { return entries.size(); }
+
+    /** Miss ratio statistics over all access() calls. */
+    const RatioStat &missStat() const { return misses; }
+
+    /** Drop all entries and statistics. */
+    void reset();
+
+  private:
+    struct Entry
+    {
+        u64 key;
+        u8 payload;
+    };
+
+    /** MRU at front, LRU at back. */
+    std::list<Entry> lruList;
+    std::unordered_map<u64, std::list<Entry>::iterator> entries;
+    RatioStat misses;
+    u64 capacity_;
+};
+
+} // namespace bpred
+
+#endif // BPRED_ALIASING_FA_LRU_TABLE_HH

@@ -1,0 +1,80 @@
+#include "aliasing/falru_predictor.hh"
+
+#include "predictors/info_vector.hh"
+
+namespace bpred
+{
+
+FaLruPredictor::FaLruPredictor(u64 capacity, unsigned history_bits,
+                               unsigned counter_bits)
+    : table(capacity),
+      prototype(counter_bits),
+      historyBits(history_bits),
+      counterBits(counter_bits)
+{
+}
+
+u64
+FaLruPredictor::keyOf(Addr pc) const
+{
+    return packInfoVector(pc, history.raw(), historyBits);
+}
+
+bool
+FaLruPredictor::predict(Addr pc)
+{
+    const u8 *payload = table.peek(keyOf(pc));
+    if (payload == nullptr) {
+        return true; // static always-taken fallback
+    }
+    SatCounter counter(counterBits, *payload);
+    return counter.predictTaken();
+}
+
+void
+FaLruPredictor::update(Addr pc, bool taken)
+{
+    const u64 key = keyOf(pc);
+    u8 *payload = table.access(key);
+    if (payload == nullptr) {
+        // Fresh entry: initialize strongly toward the outcome.
+        SatCounter counter(counterBits);
+        counter.setStrong(taken);
+        table.setPayload(key, counter.value());
+    } else {
+        SatCounter counter(counterBits, *payload);
+        counter.update(taken);
+        *payload = counter.value();
+    }
+    history.shiftIn(taken);
+}
+
+void
+FaLruPredictor::notifyUnconditional(Addr)
+{
+    history.shiftIn(true);
+}
+
+std::string
+FaLruPredictor::name() const
+{
+    return "fa-lru-" + std::to_string(table.capacity()) + "-h" +
+        std::to_string(historyBits);
+}
+
+u64
+FaLruPredictor::storageBits() const
+{
+    // Identity tag: address bits (conservatively 30) + history bits.
+    const u64 tag_bits = 30 + historyBits;
+    return table.capacity() * (counterBits + tag_bits);
+}
+
+void
+FaLruPredictor::reset()
+{
+    table.reset();
+    history.reset();
+}
+
+} // namespace bpred

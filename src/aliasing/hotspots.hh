@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Conflict hotspot analysis: which predictor-table entries are
+ * fought over, and by whom.
+ *
+ * A production diagnosis tool layered on the tagged-table
+ * machinery: for a given index function, find the entries with the
+ * most conflict aliasing and the pair of branch substreams doing
+ * most of the fighting at each — the concrete picture behind the
+ * aggregate conflict percentages of Figures 1-2.
+ */
+
+#ifndef BPRED_ALIASING_HOTSPOTS_HH
+#define BPRED_ALIASING_HOTSPOTS_HH
+
+#include <vector>
+
+#include "aliasing/index_function.hh"
+#include "trace/trace.hh"
+
+namespace bpred
+{
+
+/** One contended predictor-table entry. */
+struct ConflictHotspot
+{
+    /** Table index of the entry. */
+    u64 index = 0;
+
+    /** Conflict occurrences at this entry. */
+    u64 conflicts = 0;
+
+    /** Distinct (address, history) identities that used it. */
+    u64 distinctUsers = 0;
+
+    /** The two most frequent identities (packed info vectors). */
+    u64 topUser = 0;
+    u64 secondUser = 0;
+
+    /** References by the top two users. */
+    u64 topUserCount = 0;
+    u64 secondUserCount = 0;
+};
+
+/**
+ * Analyze @p trace under @p function and return the @p top_k
+ * entries with the most conflict aliasing, most-contended first.
+ *
+ * Memory note: keeps per-entry user maps only for entries that
+ * conflict at least once; traces at the library's default scale
+ * fit comfortably.
+ */
+std::vector<ConflictHotspot>
+findConflictHotspots(const Trace &trace, const IndexFunction &function,
+                     std::size_t top_k);
+
+} // namespace bpred
+
+#endif // BPRED_ALIASING_HOTSPOTS_HH

@@ -1,0 +1,71 @@
+#include "aliasing/skewed_tagged_table.hh"
+
+#include "core/skew.hh"
+#include "support/logging.hh"
+
+namespace bpred
+{
+
+SkewedTaggedTable::SkewedTaggedTable(unsigned num_ways,
+                                     unsigned way_index_bits)
+    : wayIndexBits(way_index_bits)
+{
+    if (num_ways == 0 || num_ways > maxSkewBanks) {
+        fatal("SkewedTaggedTable: way count outside the skewing "
+              "family");
+    }
+    if (way_index_bits < 1 || way_index_bits > 28) {
+        fatal("SkewedTaggedTable: unreasonable way index width");
+    }
+    ways.assign(num_ways,
+                std::vector<Entry>(u64(1) << way_index_bits));
+}
+
+u64
+SkewedTaggedTable::totalEntries() const
+{
+    return ways.size() * (u64(1) << wayIndexBits);
+}
+
+bool
+SkewedTaggedTable::access(u64 key)
+{
+    ++clock;
+
+    Entry *victim = nullptr;
+    for (unsigned way = 0; way < ways.size(); ++way) {
+        Entry &entry =
+            ways[way][skewIndex(way, key, wayIndexBits)];
+        if (entry.valid && entry.key == key) {
+            entry.stamp = clock;
+            misses.sample(false);
+            return false;
+        }
+        // Prefer an invalid slot; among valid ones, the oldest.
+        const bool better = victim == nullptr ||
+            (!entry.valid && victim->valid) ||
+            (entry.valid && victim->valid &&
+             entry.stamp < victim->stamp);
+        if (better) {
+            victim = &entry;
+        }
+    }
+
+    victim->key = key;
+    victim->stamp = clock;
+    victim->valid = true;
+    misses.sample(true);
+    return true;
+}
+
+void
+SkewedTaggedTable::reset()
+{
+    for (auto &way : ways) {
+        std::fill(way.begin(), way.end(), Entry{});
+    }
+    misses.reset();
+    clock = 0;
+}
+
+} // namespace bpred

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * A skewed-associative tagged table — the cache-side ancestor
+ * (Seznec & Bodin) of the skewed branch predictor, as a *yardstick*.
+ *
+ * Figures 1-2 bracket a direct-mapped table's aliasing between
+ * itself and a fully-associative LRU table. A skewed-associative
+ * tagged table sits between the two: W ways, each indexed by a
+ * different skewing function, a hit in any way counts, and misses
+ * fill one way. Measuring it shows how much of the
+ * conflict-aliasing gap skewed *associativity* alone closes — the
+ * property the tag-less majority-vote predictor inherits.
+ */
+
+#ifndef BPRED_ALIASING_SKEWED_TAGGED_TABLE_HH
+#define BPRED_ALIASING_SKEWED_TAGGED_TABLE_HH
+
+#include <vector>
+
+#include "support/stats.hh"
+#include "support/types.hh"
+
+namespace bpred
+{
+
+/**
+ * W-way skewed-associative tagged table over packed
+ * (address, history) identity keys. Way w of size 2^n is indexed
+ * by skewIndex(w, key, n); replacement selects the way whose
+ * resident entry was least-recently *written* among the candidate
+ * slots (a cheap LRU approximation used by skewed caches).
+ */
+class SkewedTaggedTable
+{
+  public:
+    /**
+     * @param ways Number of ways/banks (1..maxSkewBanks).
+     * @param way_index_bits log2 of each way's entry count.
+     */
+    SkewedTaggedTable(unsigned ways, unsigned way_index_bits);
+
+    /**
+     * Reference identity @p key: hit if any way holds it (refreshes
+     * its timestamp); on a miss, install into the candidate slot
+     * with the oldest timestamp.
+     *
+     * @return true on a miss (aliasing occurrence).
+     */
+    bool access(u64 key);
+
+    /** Total entries across ways. */
+    u64 totalEntries() const;
+
+    /** Miss statistics over all accesses. */
+    const RatioStat &missStat() const { return misses; }
+
+    /** Clear entries and statistics. */
+    void reset();
+
+  private:
+    struct Entry
+    {
+        u64 key = 0;
+        u64 stamp = 0;
+        bool valid = false;
+    };
+
+    std::vector<std::vector<Entry>> ways;
+    RatioStat misses;
+    unsigned wayIndexBits;
+    u64 clock = 0;
+};
+
+} // namespace bpred
+
+#endif // BPRED_ALIASING_SKEWED_TAGGED_TABLE_HH

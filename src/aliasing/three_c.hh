@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The three-Cs aliasing decomposition (§2-§3 of the paper).
+ */
+
+#ifndef BPRED_ALIASING_THREE_C_HH
+#define BPRED_ALIASING_THREE_C_HH
+
+#include <string>
+#include <vector>
+
+#include "aliasing/index_function.hh"
+#include "trace/trace.hh"
+
+namespace bpred
+{
+
+/**
+ * Aliasing measured for one index function over one trace, broken
+ * into the paper's three components. All figures are ratios of
+ * dynamic conditional branches.
+ */
+struct ThreeCsResult
+{
+    /** The index function measured. */
+    IndexFunction function;
+
+    /** Dynamic conditional branches observed. */
+    u64 dynamicBranches = 0;
+
+    /** Total aliasing ratio of the direct-mapped tagged table. */
+    double totalAliasing = 0.0;
+
+    /**
+     * Miss ratio of the equal-capacity fully-associative LRU table
+     * = compulsory + capacity aliasing.
+     */
+    double faMissRatio = 0.0;
+
+    /** First-time-reference ratio (compulsory aliasing). */
+    double compulsory = 0.0;
+
+    /** faMissRatio - compulsory. */
+    double capacity() const { return faMissRatio - compulsory; }
+
+    /**
+     * totalAliasing - faMissRatio: the component removable by
+     * associativity. Can be marginally negative when LRU makes an
+     * unlucky replacement the direct-mapped table avoided.
+     */
+    double conflict() const { return totalAliasing - faMissRatio; }
+};
+
+/**
+ * Measure the three-Cs decomposition of @p function over @p trace.
+ *
+ * Walks the trace once, maintaining the global history (shifting in
+ * unconditional branches as taken), and probes both a direct-mapped
+ * tagged table indexed by @p function and a fully-associative LRU
+ * tagged table of the same entry count with the full
+ * (address, history) identity.
+ */
+ThreeCsResult measureThreeCs(const Trace &trace,
+                             const IndexFunction &function);
+
+/**
+ * Measure several index functions in one pass over @p trace (the
+ * Figure 1 / Figure 2 inner loop). All functions must share the
+ * same historyBits; the FA table is sized to 2^indexBits of the
+ * first function unless @p fa_entries overrides it.
+ */
+std::vector<ThreeCsResult>
+measureThreeCsMulti(const Trace &trace,
+                    const std::vector<IndexFunction> &functions,
+                    u64 fa_entries = 0);
+
+} // namespace bpred
+
+#endif // BPRED_ALIASING_THREE_C_HH

@@ -1,0 +1,60 @@
+#include "core/skew.hh"
+
+#include <cassert>
+
+#include "support/bitops.hh"
+#include "support/logging.hh"
+
+namespace bpred
+{
+
+u64
+skewH(u64 y, unsigned n)
+{
+    assert(n >= 1 && n < 64);
+    y &= mask(n);
+    if (n == 1) {
+        return y;
+    }
+    const u64 top = bit(y, n - 1) ^ bit(y, 0);
+    return (y >> 1) | (top << (n - 1));
+}
+
+u64
+skewHInverse(u64 y, unsigned n)
+{
+    assert(n >= 1 && n < 64);
+    y &= mask(n);
+    if (n == 1) {
+        return y;
+    }
+    // From x = H(y): bits x_{n-1..1} are y_{n..2} and
+    // x_n = y_n XOR y_1, so y_1 = x_n XOR x_{n-1}.
+    const u64 low = bit(y, n - 1) ^ bit(y, n - 2);
+    return ((y << 1) & mask(n)) | low;
+}
+
+u64
+skewIndex(unsigned bank, u64 v, unsigned n)
+{
+    assert(n >= 1 && n < 32);
+    const u64 v1 = v & mask(n);
+    const u64 v2 = (v >> n) & mask(n);
+
+    switch (bank) {
+      case 0:
+        return skewH(v1, n) ^ skewHInverse(v2, n) ^ v2;
+      case 1:
+        return skewH(v1, n) ^ skewHInverse(v2, n) ^ v1;
+      case 2:
+        return skewHInverse(v1, n) ^ skewH(v2, n) ^ v2;
+      case 3:
+        return skewHInverse(v1, n) ^ skewH(v2, n) ^ v1;
+      case 4:
+        return skewH(v1, n) ^ skewH(v2, n) ^ v2;
+      default:
+        panic("skewIndex: bank out of range");
+    }
+}
+
+} // namespace bpred

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The inter-bank skewing function family (Seznec & Bodin).
+ *
+ * These are the exact functions of section 4.2 of the paper. For an
+ * n-bit bank index, decompose the information vector V into bit
+ * substrings (V3, V2, V1) with V1 and V2 the two low-order n-bit
+ * strings. With the bit-mixing permutation
+ *
+ *   H(y_n, ..., y_1) = (y_n XOR y_1, y_n, y_{n-1}, ..., y_3, y_2)
+ *
+ * the three bank-index functions are
+ *
+ *   f0(V) = H(V1)    XOR H^-1(V2) XOR V2
+ *   f1(V) = H(V1)    XOR H^-1(V2) XOR V1
+ *   f2(V) = H^-1(V1) XOR H(V2)    XOR V2
+ *
+ * Their key property: if two distinct vectors collide in one bank,
+ * they collide in another bank only when their (V2, V1) substrings
+ * are identical — so cross-bank conflicts require equality on 2n
+ * bits rather than n.
+ *
+ * Banks 3 and 4 (for the 5-bank configurations the paper evaluates
+ * but does not detail) extend the family with the same structure:
+ *
+ *   f3(V) = H^-1(V1) XOR H(V2)    XOR V1
+ *   f4(V) = H(V1)    XOR H(V2)    XOR V2
+ */
+
+#ifndef BPRED_CORE_SKEW_HH
+#define BPRED_CORE_SKEW_HH
+
+#include "support/types.hh"
+
+namespace bpred
+{
+
+/** Largest bank count the skewing family supports. */
+constexpr unsigned maxSkewBanks = 5;
+
+/**
+ * The mixing permutation H on the low @p n bits of @p y.
+ *
+ * @param y Input value; bits above n are ignored.
+ * @param n Width in bits (1 <= n <= 63).
+ */
+u64 skewH(u64 y, unsigned n);
+
+/** The inverse permutation H^-1 (skewH(skewHInverse(y)) == y). */
+u64 skewHInverse(u64 y, unsigned n);
+
+/**
+ * Bank-index function f_bank applied to information vector @p v.
+ *
+ * @param bank Which function of the family (0 .. maxSkewBanks-1).
+ * @param v The packed (address, history) information vector.
+ * @param n Bank index width in bits; each bank has 2^n entries.
+ */
+u64 skewIndex(unsigned bank, u64 v, unsigned n);
+
+} // namespace bpred
+
+#endif // BPRED_CORE_SKEW_HH

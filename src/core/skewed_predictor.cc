@@ -1,0 +1,193 @@
+#include "core/skewed_predictor.hh"
+
+#include <cassert>
+
+#include "core/skew.hh"
+#include "predictors/info_vector.hh"
+#include "support/logging.hh"
+#include "support/table.hh"
+
+namespace bpred
+{
+
+SkewedPredictor::SkewedPredictor(const Config &cfg) : config(cfg)
+{
+    if (config.numBanks % 2 == 0 || config.numBanks == 0 ||
+        config.numBanks > maxSkewBanks) {
+        fatal("gskewed: bank count must be odd and within the "
+              "skewing family (got " +
+              std::to_string(config.numBanks) + ")");
+    }
+    if (config.bankIndexBits < 1 || config.bankIndexBits > 28) {
+        fatal("gskewed: unreasonable bank index width");
+    }
+    if (config.counterBits < 1 || config.counterBits > 8) {
+        fatal("gskewed: bad counter width");
+    }
+    banks.reserve(config.numBanks);
+    for (unsigned bank = 0; bank < config.numBanks; ++bank) {
+        banks.emplace_back(u64(1) << config.bankIndexBits,
+                           config.counterBits);
+    }
+}
+
+SkewedPredictor::SkewedPredictor(unsigned num_banks,
+                                 unsigned bank_index_bits,
+                                 unsigned history_bits,
+                                 UpdatePolicy policy,
+                                 unsigned counter_bits)
+    : SkewedPredictor(Config{num_banks, bank_index_bits, history_bits,
+                             counter_bits, policy,
+                             BankIndexing::Skewed, false})
+{
+}
+
+u64
+SkewedPredictor::bankIndexOf(unsigned bank, Addr pc) const
+{
+    if (config.indexing == BankIndexing::IdenticalGshare) {
+        return gshareIndex(pc, history.raw(), config.historyBits,
+                           config.bankIndexBits);
+    }
+    if (config.enhanced && bank == 0) {
+        // e-gskew: bank 0 sees the address alone (bit truncation).
+        return addressIndex(pc, config.bankIndexBits);
+    }
+    const u64 v = packInfoVector(pc, history.raw(), config.historyBits);
+    return skewIndex(bank, v, config.bankIndexBits);
+}
+
+std::vector<u64>
+SkewedPredictor::bankIndices(Addr pc) const
+{
+    std::vector<u64> indices(config.numBanks);
+    for (unsigned bank = 0; bank < config.numBanks; ++bank) {
+        indices[bank] = bankIndexOf(bank, pc);
+    }
+    return indices;
+}
+
+bool
+SkewedPredictor::predict(Addr pc)
+{
+    unsigned votes_taken = 0;
+    for (unsigned bank = 0; bank < config.numBanks; ++bank) {
+        if (banks[bank].predictTaken(bankIndexOf(bank, pc))) {
+            ++votes_taken;
+        }
+    }
+    return votes_taken * 2 > config.numBanks;
+}
+
+void
+SkewedPredictor::update(Addr pc, bool taken)
+{
+    // Recompute per-bank indices and predictions with the pre-branch
+    // history (update() contract), then apply the update policy.
+    unsigned votes_taken = 0;
+    u64 indices[maxSkewBanks];
+    bool bank_predictions[maxSkewBanks];
+    for (unsigned bank = 0; bank < config.numBanks; ++bank) {
+        indices[bank] = bankIndexOf(bank, pc);
+        bank_predictions[bank] = banks[bank].predictTaken(indices[bank]);
+        if (bank_predictions[bank]) {
+            ++votes_taken;
+        }
+    }
+    const bool overall = votes_taken * 2 > config.numBanks;
+    const bool overall_correct = overall == taken;
+
+    const bool partial =
+        config.updatePolicy == UpdatePolicy::Partial ||
+        config.updatePolicy == UpdatePolicy::PartialLazy;
+    for (unsigned bank = 0; bank < config.numBanks; ++bank) {
+        const bool bank_correct = bank_predictions[bank] == taken;
+        if (partial && overall_correct && !bank_correct) {
+            // The bank disagreed but the vote was right: its entry
+            // likely serves another substream, so leave it alone.
+            continue;
+        }
+        if (config.updatePolicy == UpdatePolicy::PartialLazy &&
+            bank_correct) {
+            // Skip the write when the counter is already saturated
+            // toward the outcome; its value would not change.
+            const u8 value = banks[bank].value(indices[bank]);
+            const u8 saturated = taken
+                ? static_cast<u8>(mask(config.counterBits))
+                : u8(0);
+            if (value == saturated) {
+                continue;
+            }
+        }
+        banks[bank].update(indices[bank], taken);
+        ++bankWriteCount;
+    }
+    history.shiftIn(taken);
+}
+
+void
+SkewedPredictor::notifyUnconditional(Addr)
+{
+    history.shiftIn(true);
+}
+
+std::string
+SkewedPredictor::name() const
+{
+    std::string label = config.enhanced ? "e-gskew" : "gskewed";
+    label += "-" + std::to_string(config.numBanks) + "x" +
+        formatEntries(entriesPerBank());
+    label += "-h" + std::to_string(config.historyBits);
+    switch (config.updatePolicy) {
+      case UpdatePolicy::Total:
+        label += "-total";
+        break;
+      case UpdatePolicy::Partial:
+        label += "-partial";
+        break;
+      case UpdatePolicy::PartialLazy:
+        label += "-partial-lazy";
+        break;
+    }
+    if (config.indexing == BankIndexing::IdenticalGshare) {
+        label += "-identical";
+    }
+    return label;
+}
+
+u64
+SkewedPredictor::storageBits() const
+{
+    u64 total = 0;
+    for (const auto &bank : banks) {
+        total += bank.storageBits();
+    }
+    return total;
+}
+
+void
+SkewedPredictor::reset()
+{
+    for (auto &bank : banks) {
+        bank.reset();
+    }
+    history.reset();
+    bankWriteCount = 0;
+}
+
+SkewedPredictor::Config
+makeEnhancedConfig(unsigned bank_index_bits, unsigned history_bits,
+                   unsigned counter_bits)
+{
+    SkewedPredictor::Config config;
+    config.numBanks = 3;
+    config.bankIndexBits = bank_index_bits;
+    config.historyBits = history_bits;
+    config.counterBits = counter_bits;
+    config.updatePolicy = UpdatePolicy::Partial;
+    config.indexing = BankIndexing::Skewed;
+    config.enhanced = true;
+    return config;
+}
+
+} // namespace bpred

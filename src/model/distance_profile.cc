@@ -1,0 +1,68 @@
+#include "model/distance_profile.hh"
+
+#include "aliasing/stack_distance.hh"
+#include "model/formulas.hh"
+#include "predictors/history.hh"
+#include "predictors/info_vector.hh"
+
+namespace bpred
+{
+
+double
+DistanceProfile::fractionWithin(u64 bound) const
+{
+    if (dynamicBranches == 0) {
+        return 0.0;
+    }
+    u64 within = 0;
+    for (const auto &[distance, count] : distances.sorted()) {
+        if (distance > bound) {
+            break;
+        }
+        within += count;
+    }
+    return static_cast<double>(within) /
+        static_cast<double>(dynamicBranches);
+}
+
+double
+DistanceProfile::expectedAliasingProbability(u64 entries) const
+{
+    if (dynamicBranches == 0) {
+        return 0.0;
+    }
+    double expectation = static_cast<double>(compulsory);
+    for (const auto &[distance, count] : distances.sorted()) {
+        expectation += aliasingProbability(entries, distance) *
+            static_cast<double>(count);
+    }
+    return expectation / static_cast<double>(dynamicBranches);
+}
+
+DistanceProfile
+profileDistances(const Trace &trace, unsigned history_bits)
+{
+    DistanceProfile profile;
+    StackDistanceTracker tracker;
+    GlobalHistory history;
+
+    for (const BranchRecord &record : trace) {
+        if (!record.conditional) {
+            history.shiftIn(true);
+            continue;
+        }
+        ++profile.dynamicBranches;
+        const u64 key =
+            packInfoVector(record.pc, history.raw(), history_bits);
+        const u64 distance = tracker.reference(key);
+        if (distance == StackDistanceTracker::infiniteDistance) {
+            ++profile.compulsory;
+        } else {
+            profile.distances.sample(distance);
+        }
+        history.shiftIn(record.taken);
+    }
+    return profile;
+}
+
+} // namespace bpred

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Last-use-distance profiling: the bridge between a concrete trace
+ * and the analytical model of §5.2.
+ *
+ * The model's only trace-dependent input is the distribution of D,
+ * the LRU stack distance of (address, history) pairs. Profiling D
+ * directly explains *why* a given table size behaves as it does:
+ * the mass below ~N/10 is where gskewed wins; the mass above N is
+ * capacity aliasing no associativity can remove.
+ */
+
+#ifndef BPRED_MODEL_DISTANCE_PROFILE_HH
+#define BPRED_MODEL_DISTANCE_PROFILE_HH
+
+#include "support/stats.hh"
+#include "trace/trace.hh"
+
+namespace bpred
+{
+
+/** The distance profile of one trace at one history length. */
+struct DistanceProfile
+{
+    /** Histogram of finite last-use distances. */
+    Histogram distances;
+
+    /** First-time references (infinite distance). */
+    u64 compulsory = 0;
+
+    /** Dynamic conditional branches profiled. */
+    u64 dynamicBranches = 0;
+
+    /** Fraction of references with finite D <= @p bound. */
+    double fractionWithin(u64 bound) const;
+
+    /**
+     * The model's expected per-bank aliasing probability for an
+     * @p entries-entry bank: E[1 - (1 - 1/N)^D], with compulsory
+     * references contributing probability 1.
+     */
+    double expectedAliasingProbability(u64 entries) const;
+};
+
+/**
+ * Profile the last-use distances of (address, history) pairs over
+ * @p trace at @p history_bits of global history.
+ */
+DistanceProfile profileDistances(const Trace &trace,
+                                 unsigned history_bits);
+
+} // namespace bpred
+
+#endif // BPRED_MODEL_DISTANCE_PROFILE_HH

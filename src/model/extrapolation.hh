@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Trace-driven extrapolation of the analytical model (Figure 11).
+ */
+
+#ifndef BPRED_MODEL_EXTRAPOLATION_HH
+#define BPRED_MODEL_EXTRAPOLATION_HH
+
+#include "trace/trace.hh"
+
+namespace bpred
+{
+
+/**
+ * Trace-wide inputs the model needs: the taken-bias density b and
+ * the unaliased misprediction rate that the aliasing overhead is
+ * added onto.
+ */
+struct TraceModelInputs
+{
+    /**
+     * Density of static (address, history) pairs whose majority
+     * direction is taken — the paper's measurement of b.
+     */
+    double biasTaken = 0.5;
+
+    /**
+     * Unaliased 1-bit misprediction ratio (first encounters
+     * excluded), as in Table 2.
+     */
+    double unaliasedMispredict = 0.0;
+
+    /** Distinct (address, history) pairs in the trace. */
+    u64 numSubstreams = 0;
+
+    /** Dynamic conditional branches. */
+    u64 dynamicBranches = 0;
+};
+
+/**
+ * Measure the model inputs for @p trace at @p history_bits, exactly
+ * as the paper does: b from the density of static pairs biased
+ * taken over the whole trace; the unaliased rate from a 1-bit
+ * infinite predictor.
+ */
+TraceModelInputs measureModelInputs(const Trace &trace,
+                                    unsigned history_bits);
+
+/** The extrapolated misprediction rates of Figure 11. */
+struct ExtrapolationResult
+{
+    /** Model-predicted misprediction ratio for 3-bank gskewed. */
+    double skewedExtrapolated = 0.0;
+
+    /** Model-predicted misprediction ratio for 1-bank gshare. */
+    double directMappedExtrapolated = 0.0;
+
+    /** Mean per-bank aliasing probability over the trace (gskewed). */
+    double meanBankAliasingProbability = 0.0;
+
+    /** The inputs the extrapolation used. */
+    TraceModelInputs inputs;
+};
+
+/**
+ * Apply formulas (1), (3) and (4) reference-by-reference over
+ * @p trace: for each dynamic conditional branch, measure the
+ * last-use distance D of its (address, history) pair, convert to a
+ * per-bank aliasing probability, and accumulate the expected
+ * destructive-aliasing overhead. First encounters use p = 1. The
+ * unaliased misprediction rate is added at the end, per the paper.
+ *
+ * @param trace The branch trace.
+ * @param history_bits Global-history length k.
+ * @param bank_entries Entries per gskewed bank (N for 3 banks).
+ * @param dm_entries Entries of the 1-bank comparison table.
+ * @param inputs Pre-measured model inputs (from
+ *        measureModelInputs, or synthetic values in tests).
+ */
+ExtrapolationResult
+extrapolateMispredictions(const Trace &trace, unsigned history_bits,
+                          u64 bank_entries, u64 dm_entries,
+                          const TraceModelInputs &inputs);
+
+} // namespace bpred
+
+#endif // BPRED_MODEL_EXTRAPOLATION_HH

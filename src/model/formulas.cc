@@ -1,0 +1,149 @@
+#include "model/formulas.hh"
+
+#include <cassert>
+#include <cmath>
+
+#include "aliasing/stack_distance.hh"
+#include "support/logging.hh"
+
+namespace bpred
+{
+
+double
+aliasingProbability(u64 num_entries, u64 distance)
+{
+    assert(num_entries > 0);
+    if (distance == StackDistanceTracker::infiniteDistance) {
+        return 1.0;
+    }
+    if (num_entries == 1) {
+        return distance == 0 ? 0.0 : 1.0;
+    }
+    const double keep = 1.0 - 1.0 / static_cast<double>(num_entries);
+    return 1.0 - std::pow(keep, static_cast<double>(distance));
+}
+
+double
+aliasingProbabilityApprox(u64 num_entries, u64 distance)
+{
+    assert(num_entries > 0);
+    if (distance == StackDistanceTracker::infiniteDistance) {
+        return 1.0;
+    }
+    return 1.0 - std::exp(-static_cast<double>(distance) /
+                          static_cast<double>(num_entries));
+}
+
+double
+destructiveProbabilityDirectMapped(double p, double b)
+{
+    assert(p >= 0.0 && p <= 1.0 && b >= 0.0 && b <= 1.0);
+    return 2.0 * b * (1.0 - b) * p;
+}
+
+double
+destructiveProbabilitySkewed3(double p, double b)
+{
+    assert(p >= 0.0 && p <= 1.0 && b >= 0.0 && b <= 1.0);
+    const double q = 1.0 - b;
+    // Case 3: aliased in exactly two banks; both differ.
+    const double two_banks = 3.0 * p * p * (1.0 - p) * b * q;
+    // Case 4: aliased in all three banks; at least two differ.
+    const double three_banks =
+        p * p * p *
+        (b * (3.0 * b * q * q + q * q * q) +
+         q * (3.0 * q * b * b + b * b * b));
+    return two_banks + three_banks;
+}
+
+namespace
+{
+
+/** C(n, k) for tiny n. */
+double
+binomial(unsigned n, unsigned k)
+{
+    double result = 1.0;
+    for (unsigned i = 0; i < k; ++i) {
+        result *= static_cast<double>(n - i) /
+            static_cast<double>(i + 1);
+    }
+    return result;
+}
+
+} // namespace
+
+double
+destructiveProbabilitySkewed(unsigned num_banks, double p, double b)
+{
+    if (num_banks == 0 || num_banks % 2 == 0) {
+        fatal("destructiveProbabilitySkewed: bank count must be odd");
+    }
+    assert(p >= 0.0 && p <= 1.0 && b >= 0.0 && b <= 1.0);
+
+    const unsigned m = num_banks;
+    const unsigned need = m / 2 + 1; // votes needed for the majority
+    double total = 0.0;
+
+    // Condition on the unaliased direction: taken w.p. b. Given the
+    // direction, each aliased bank agrees with it w.p. `agree`
+    // (an independent substream votes taken w.p. b).
+    for (int direction = 0; direction < 2; ++direction) {
+        const double dir_prob = direction == 0 ? b : 1.0 - b;
+        const double agree = direction == 0 ? b : 1.0 - b;
+
+        for (unsigned aliased = 0; aliased <= m; ++aliased) {
+            const double aliased_prob = binomial(m, aliased) *
+                std::pow(p, aliased) *
+                std::pow(1.0 - p, m - aliased);
+            const unsigned loyal = m - aliased; // vote the direction
+
+            // Majority differs iff votes for the direction < need.
+            // Votes for the direction = loyal + (aliased agreeing).
+            double differ = 0.0;
+            for (unsigned agreeing = 0; agreeing <= aliased;
+                 ++agreeing) {
+                if (loyal + agreeing >= need) {
+                    continue;
+                }
+                differ += binomial(aliased, agreeing) *
+                    std::pow(agree, agreeing) *
+                    std::pow(1.0 - agree, aliased - agreeing);
+            }
+            total += dir_prob * aliased_prob * differ;
+        }
+    }
+    return total;
+}
+
+u64
+skewedCrossoverDistance(u64 dm_entries, double b)
+{
+    assert(dm_entries >= 3);
+    const u64 bank_entries = dm_entries / 3;
+
+    auto difference = [&](u64 d) {
+        const double p_bank = aliasingProbability(bank_entries, d);
+        const double p_dm = aliasingProbability(dm_entries, d);
+        return destructiveProbabilitySkewed3(p_bank, b) -
+            destructiveProbabilityDirectMapped(p_dm, b);
+    };
+
+    // Psk < Pdm for small D; find the first D where Psk >= Pdm.
+    u64 lo = 1;
+    u64 hi = dm_entries * 4;
+    if (difference(hi) < 0.0) {
+        return hi; // no crossover in range (degenerate small tables)
+    }
+    while (lo + 1 < hi) {
+        const u64 mid = lo + (hi - lo) / 2;
+        if (difference(mid) < 0.0) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    return hi;
+}
+
+} // namespace bpred

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Closed-form expressions of the paper's analytical model (§5.2).
+ */
+
+#ifndef BPRED_MODEL_FORMULAS_HH
+#define BPRED_MODEL_FORMULAS_HH
+
+#include "support/types.hh"
+
+namespace bpred
+{
+
+/**
+ * Formula (1): the probability that a reference with last-use
+ * distance @p distance finds its entry aliased in an
+ * @p num_entries-entry table under a well-distributing hash:
+ * p = 1 - (1 - 1/N)^D.
+ *
+ * A first-time reference (infinite distance, represented by
+ * StackDistanceTracker::infiniteDistance) yields probability 1.
+ */
+double aliasingProbability(u64 num_entries, u64 distance);
+
+/** Formula (2): the large-N approximation p = 1 - exp(-D/N). */
+double aliasingProbabilityApprox(u64 num_entries, u64 distance);
+
+/**
+ * Formula (4): probability that a direct-mapped 1-bank, 1-bit
+ * predictor's prediction differs from the unaliased prediction,
+ * given per-bank aliasing probability @p p and taken-bias density
+ * @p b: Pdm = 2 b (1-b) p.
+ */
+double destructiveProbabilityDirectMapped(double p, double b);
+
+/**
+ * Formula (3): probability that the 3-bank skewed predictor's
+ * majority vote differs from the unaliased prediction (1-bit
+ * counters, total update), given per-bank aliasing probability
+ * @p p and taken-bias density @p b.
+ */
+double destructiveProbabilitySkewed3(double p, double b);
+
+/**
+ * Generalization of formula (3) to an arbitrary odd @p num_banks
+ * under the same assumptions: each aliased bank holds an
+ * independent substream's prediction (taken with probability
+ * @p b); un-aliased banks vote with the unaliased prediction; the
+ * result is the probability the majority differs from the
+ * unaliased prediction. Matches destructiveProbabilitySkewed3 for
+ * num_banks == 3 and destructiveProbabilityDirectMapped for
+ * num_banks == 1.
+ */
+double destructiveProbabilitySkewed(unsigned num_banks, double p,
+                                    double b);
+
+/**
+ * The paper's D-threshold observation: for a 3 x (N/3)-entry
+ * gskewed against an N-entry direct-mapped table, Psk < Pdm roughly
+ * when D < N/10. This helper returns the crossover distance D* at
+ * which the two destructive probabilities are equal, found by
+ * bisection (b = 0.5 worst case by default).
+ */
+u64 skewedCrossoverDistance(u64 dm_entries, double b = 0.5);
+
+} // namespace bpred
+
+#endif // BPRED_MODEL_FORMULAS_HH

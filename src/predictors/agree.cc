@@ -1,0 +1,91 @@
+#include "predictors/agree.hh"
+
+#include "predictors/info_vector.hh"
+#include "support/table.hh"
+
+namespace bpred
+{
+
+namespace
+{
+constexpr u8 biasUnset = 2;
+} // namespace
+
+AgreePredictor::AgreePredictor(unsigned index_bits,
+                               unsigned history_bits,
+                               unsigned bias_index_bits,
+                               unsigned counter_bits)
+    : agreeTable(u64(1) << index_bits, counter_bits,
+                 // Initialize weakly "agree": cold branches follow
+                 // their bias, the design's whole premise.
+                 static_cast<u8>(u8(1) << (counter_bits - 1))),
+      biasTable(u64(1) << bias_index_bits, biasUnset),
+      indexBits(index_bits),
+      historyBits(history_bits),
+      biasIndexBits(bias_index_bits)
+{
+}
+
+bool
+AgreePredictor::biasOf(Addr pc) const
+{
+    const u8 bias = biasTable[addressIndex(pc, biasIndexBits)];
+    // Unset bias defaults to taken (static heuristic).
+    return bias == biasUnset ? true : bias != 0;
+}
+
+bool
+AgreePredictor::predict(Addr pc)
+{
+    const u64 index =
+        gshareIndex(pc, history.raw(), historyBits, indexBits);
+    const bool agree = agreeTable.predictTaken(index);
+    const bool bias = biasOf(pc);
+    return agree ? bias : !bias;
+}
+
+void
+AgreePredictor::update(Addr pc, bool taken)
+{
+    u8 &bias_entry = biasTable[addressIndex(pc, biasIndexBits)];
+    if (bias_entry == biasUnset) {
+        // First encounter: the observed outcome becomes the bias.
+        bias_entry = taken ? 1 : 0;
+    }
+    const bool bias = bias_entry != 0;
+    const u64 index =
+        gshareIndex(pc, history.raw(), historyBits, indexBits);
+    agreeTable.update(index, taken == bias);
+    history.shiftIn(taken);
+}
+
+void
+AgreePredictor::notifyUnconditional(Addr)
+{
+    history.shiftIn(true);
+}
+
+std::string
+AgreePredictor::name() const
+{
+    return "agree-" + formatEntries(agreeTable.size()) + "-h" +
+        std::to_string(historyBits);
+}
+
+u64
+AgreePredictor::storageBits() const
+{
+    // Counter bits plus one bias bit per bias entry.
+    return agreeTable.storageBits() + biasTable.size();
+}
+
+void
+AgreePredictor::reset()
+{
+    agreeTable.reset(
+        static_cast<u8>(u8(1) << (agreeTable.width() - 1)));
+    std::fill(biasTable.begin(), biasTable.end(), biasUnset);
+    history.reset();
+}
+
+} // namespace bpred

@@ -1,0 +1,46 @@
+#include "predictors/bimodal.hh"
+
+#include "predictors/info_vector.hh"
+#include "support/table.hh"
+
+namespace bpred
+{
+
+BimodalPredictor::BimodalPredictor(unsigned index_bits,
+                                   unsigned counter_bits)
+    : table(u64(1) << index_bits, counter_bits),
+      indexBits(index_bits)
+{
+}
+
+u64
+BimodalPredictor::indexOf(Addr pc) const
+{
+    return addressIndex(pc, indexBits);
+}
+
+bool
+BimodalPredictor::predict(Addr pc)
+{
+    return table.predictTaken(indexOf(pc));
+}
+
+void
+BimodalPredictor::update(Addr pc, bool taken)
+{
+    table.update(indexOf(pc), taken);
+}
+
+std::string
+BimodalPredictor::name() const
+{
+    return "bimodal-" + formatEntries(table.size());
+}
+
+void
+BimodalPredictor::reset()
+{
+    table.reset();
+}
+
+} // namespace bpred

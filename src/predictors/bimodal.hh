@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Bimodal (Smith) predictor: a PC-indexed table of saturating
+ * counters.
+ */
+
+#ifndef BPRED_PREDICTORS_BIMODAL_HH
+#define BPRED_PREDICTORS_BIMODAL_HH
+
+#include "predictors/predictor.hh"
+#include "support/sat_counter.hh"
+
+namespace bpred
+{
+
+/**
+ * The classic Smith predictor [Smith '81]: 2^n saturating counters
+ * indexed by low-order branch-address bits. It uses no history, so
+ * it anchors the baseline comparisons and serves as the bimodal
+ * component of the McFarling hybrid.
+ */
+class BimodalPredictor : public Predictor
+{
+  public:
+    /**
+     * @param index_bits log2 of the table size.
+     * @param counter_bits Counter width (1 or 2 in the paper).
+     */
+    BimodalPredictor(unsigned index_bits, unsigned counter_bits = 2);
+
+    bool predict(Addr pc) override;
+    void update(Addr pc, bool taken) override;
+    std::string name() const override;
+    u64 storageBits() const override { return table.storageBits(); }
+    void reset() override;
+
+  private:
+    u64 indexOf(Addr pc) const;
+
+    SatCounterArray table;
+    unsigned indexBits;
+};
+
+} // namespace bpred
+
+#endif // BPRED_PREDICTORS_BIMODAL_HH

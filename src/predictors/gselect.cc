@@ -1,0 +1,57 @@
+#include "predictors/gselect.hh"
+
+#include "predictors/info_vector.hh"
+#include "support/table.hh"
+
+namespace bpred
+{
+
+GSelectPredictor::GSelectPredictor(unsigned index_bits,
+                                   unsigned history_bits,
+                                   unsigned counter_bits)
+    : table(u64(1) << index_bits, counter_bits),
+      indexBits(index_bits),
+      historyBits_(history_bits)
+{
+}
+
+u64
+GSelectPredictor::indexOf(Addr pc) const
+{
+    return gselectIndex(pc, history.raw(), historyBits_, indexBits);
+}
+
+bool
+GSelectPredictor::predict(Addr pc)
+{
+    return table.predictTaken(indexOf(pc));
+}
+
+void
+GSelectPredictor::update(Addr pc, bool taken)
+{
+    table.update(indexOf(pc), taken);
+    history.shiftIn(taken);
+}
+
+void
+GSelectPredictor::notifyUnconditional(Addr)
+{
+    history.shiftIn(true);
+}
+
+std::string
+GSelectPredictor::name() const
+{
+    return "gselect-" + formatEntries(table.size()) + "-h" +
+        std::to_string(historyBits_);
+}
+
+void
+GSelectPredictor::reset()
+{
+    table.reset();
+    history.reset();
+}
+
+} // namespace bpred

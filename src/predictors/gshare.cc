@@ -1,0 +1,57 @@
+#include "predictors/gshare.hh"
+
+#include "predictors/info_vector.hh"
+#include "support/table.hh"
+
+namespace bpred
+{
+
+GSharePredictor::GSharePredictor(unsigned index_bits,
+                                 unsigned history_bits,
+                                 unsigned counter_bits)
+    : table(u64(1) << index_bits, counter_bits),
+      indexBits(index_bits),
+      historyBits_(history_bits)
+{
+}
+
+u64
+GSharePredictor::indexOf(Addr pc) const
+{
+    return gshareIndex(pc, history.raw(), historyBits_, indexBits);
+}
+
+bool
+GSharePredictor::predict(Addr pc)
+{
+    return table.predictTaken(indexOf(pc));
+}
+
+void
+GSharePredictor::update(Addr pc, bool taken)
+{
+    table.update(indexOf(pc), taken);
+    history.shiftIn(taken);
+}
+
+void
+GSharePredictor::notifyUnconditional(Addr)
+{
+    history.shiftIn(true);
+}
+
+std::string
+GSharePredictor::name() const
+{
+    return "gshare-" + formatEntries(table.size()) + "-h" +
+        std::to_string(historyBits_);
+}
+
+void
+GSharePredictor::reset()
+{
+    table.reset();
+    history.reset();
+}
+
+} // namespace bpred

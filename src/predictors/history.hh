@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Global branch-history register.
+ */
+
+#ifndef BPRED_PREDICTORS_HISTORY_HH
+#define BPRED_PREDICTORS_HISTORY_HH
+
+#include "support/bitops.hh"
+#include "support/types.hh"
+
+namespace bpred
+{
+
+/**
+ * A global-history shift register of up to 64 outcomes.
+ *
+ * Bit 0 holds the most recent outcome (1 = taken). Following the
+ * paper, unconditional branches are shifted in as taken — callers
+ * shift on *every* branch, conditional or not.
+ */
+class GlobalHistory
+{
+  public:
+    /** Shift in one outcome (true = taken). */
+    void
+    shiftIn(bool taken)
+    {
+        register_ = (register_ << 1) | (taken ? 1 : 0);
+    }
+
+    /** The youngest @p num_bits outcomes, youngest in bit 0. */
+    History
+    value(unsigned num_bits) const
+    {
+        return register_ & mask(num_bits);
+    }
+
+    /** Full 64-outcome register. */
+    History raw() const { return register_; }
+
+    /** Overwrite the register (for checkpoint/restore in tests). */
+    void set(History value) { register_ = value; }
+
+    /** Clear all history. */
+    void reset() { register_ = 0; }
+
+  private:
+    History register_ = 0;
+};
+
+} // namespace bpred
+
+#endif // BPRED_PREDICTORS_HISTORY_HH

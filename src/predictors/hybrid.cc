@@ -1,0 +1,86 @@
+#include "predictors/hybrid.hh"
+
+#include <cassert>
+
+#include "predictors/info_vector.hh"
+#include "support/logging.hh"
+#include "support/table.hh"
+
+namespace bpred
+{
+
+HybridPredictor::HybridPredictor(std::unique_ptr<Predictor> first,
+                                 std::unique_ptr<Predictor> second,
+                                 unsigned chooser_index_bits)
+    : firstComponent(std::move(first)),
+      secondComponent(std::move(second)),
+      chooser(u64(1) << chooser_index_bits, 2,
+              2 /* weakly prefer first */),
+      chooserIndexBits(chooser_index_bits)
+{
+    assert(firstComponent && secondComponent);
+}
+
+bool
+HybridPredictor::predict(Addr pc)
+{
+    firstPrediction = firstComponent->predict(pc);
+    secondPrediction = secondComponent->predict(pc);
+    predictedPc = pc;
+    havePrediction = true;
+    const bool use_first =
+        chooser.predictTaken(addressIndex(pc, chooserIndexBits));
+    return use_first ? firstPrediction : secondPrediction;
+}
+
+void
+HybridPredictor::update(Addr pc, bool taken)
+{
+    if (!havePrediction || predictedPc != pc) {
+        // Tolerate a missing predict() (e.g. warm-up replay): obtain
+        // component predictions now so the chooser can still train.
+        firstPrediction = firstComponent->predict(pc);
+        secondPrediction = secondComponent->predict(pc);
+    }
+    havePrediction = false;
+
+    if (firstPrediction != secondPrediction) {
+        // Strengthen toward the component that was right.
+        chooser.update(addressIndex(pc, chooserIndexBits),
+                       firstPrediction == taken);
+    }
+    firstComponent->update(pc, taken);
+    secondComponent->update(pc, taken);
+}
+
+void
+HybridPredictor::notifyUnconditional(Addr pc)
+{
+    firstComponent->notifyUnconditional(pc);
+    secondComponent->notifyUnconditional(pc);
+}
+
+std::string
+HybridPredictor::name() const
+{
+    return "hybrid(" + firstComponent->name() + "," +
+        secondComponent->name() + ")";
+}
+
+u64
+HybridPredictor::storageBits() const
+{
+    return firstComponent->storageBits() +
+        secondComponent->storageBits() + chooser.storageBits();
+}
+
+void
+HybridPredictor::reset()
+{
+    firstComponent->reset();
+    secondComponent->reset();
+    chooser.reset(2);
+    havePrediction = false;
+}
+
+} // namespace bpred

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * McFarling combining (hybrid) predictor.
+ */
+
+#ifndef BPRED_PREDICTORS_HYBRID_HH
+#define BPRED_PREDICTORS_HYBRID_HH
+
+#include <memory>
+
+#include "predictors/predictor.hh"
+#include "support/sat_counter.hh"
+
+namespace bpred
+{
+
+/**
+ * McFarling's combining predictor: two component predictors plus a
+ * PC-indexed chooser table of 2-bit counters that learns, per
+ * branch, which component to trust. The chooser trains only when
+ * the components disagree.
+ *
+ * Listed by the paper as one of the hybrid schemes its skewing
+ * technique composes with; used here as a baseline.
+ */
+class HybridPredictor : public Predictor
+{
+  public:
+    /**
+     * @param first First component (chooser counter high = trust it).
+     * @param second Second component.
+     * @param chooser_index_bits log2 of the chooser-table size.
+     */
+    HybridPredictor(std::unique_ptr<Predictor> first,
+                    std::unique_ptr<Predictor> second,
+                    unsigned chooser_index_bits);
+
+    bool predict(Addr pc) override;
+    void update(Addr pc, bool taken) override;
+    void notifyUnconditional(Addr pc) override;
+    std::string name() const override;
+    u64 storageBits() const override;
+    void reset() override;
+
+  private:
+    std::unique_ptr<Predictor> firstComponent;
+    std::unique_ptr<Predictor> secondComponent;
+    SatCounterArray chooser;
+    unsigned chooserIndexBits;
+
+    // predict() caches component predictions for update().
+    bool firstPrediction = false;
+    bool secondPrediction = false;
+    Addr predictedPc = 0;
+    bool havePrediction = false;
+};
+
+} // namespace bpred
+
+#endif // BPRED_PREDICTORS_HYBRID_HH

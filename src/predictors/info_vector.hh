@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The (address, history) information vector V and the standard
+ * index functions computed from it.
+ *
+ * The paper defines V = (a_N, ..., a_2, h_k, ..., h_1): the branch
+ * address bits above bit 1 (instructions are 4-byte aligned on the
+ * traced MIPS machine, so a_1 a_0 carry no information),
+ * concatenated above the k global-history bits. All predictors,
+ * tagged shadow tables, and the skewing functions operate on this
+ * vector, so its packing lives here, in one place.
+ */
+
+#ifndef BPRED_PREDICTORS_INFO_VECTOR_HH
+#define BPRED_PREDICTORS_INFO_VECTOR_HH
+
+#include <cassert>
+
+#include "support/bitops.hh"
+#include "support/types.hh"
+
+namespace bpred
+{
+
+/**
+ * Pack an (address, history) pair into the information vector
+ * V = (a_N...a_2, h_k...h_1).
+ *
+ * The result doubles as the unique identity of a branch substream,
+ * so it is also the key used by tagged tables and the unaliased
+ * predictor. With @p history_bits up to 20 and word-aligned PCs
+ * below 2^44 this is collision-free in 64 bits.
+ *
+ * @param pc Branch address (word-aligned; bits 1..0 are dropped).
+ * @param history Global history register contents.
+ * @param history_bits Number of history bits k to include.
+ */
+inline u64
+packInfoVector(Addr pc, History history, unsigned history_bits)
+{
+    assert(history_bits <= 44);
+    return ((pc >> 2) << history_bits) | (history & mask(history_bits));
+}
+
+/**
+ * gshare index function (McFarling).
+ *
+ * XORs the global history into the low-order address bits. Per
+ * McFarling's report (and footnote 1 of the paper), when the history
+ * is *shorter* than the index the history bits are aligned with the
+ * high-order end of the index. When the history is *longer* than the
+ * index, the history is XOR-folded down to the index width first —
+ * the natural generalization used by later predictors.
+ *
+ * @param pc Branch address (bits 1..0 dropped as alignment).
+ * @param history Global history register contents.
+ * @param history_bits Number of history bits in use.
+ * @param index_bits log2 of the table size.
+ */
+inline u64
+gshareIndex(Addr pc, History history, unsigned history_bits,
+            unsigned index_bits)
+{
+    assert(index_bits >= 1 && index_bits < 64);
+    const u64 addr_part = (pc >> 2) & mask(index_bits);
+    u64 hist_part = history & mask(history_bits);
+    if (history_bits <= index_bits) {
+        hist_part <<= (index_bits - history_bits);
+    } else {
+        hist_part = xorFold(hist_part, index_bits);
+    }
+    return addr_part ^ hist_part;
+}
+
+/**
+ * gselect index function (GAs).
+ *
+ * Concatenates history bits above address bits. With a history at
+ * least as long as the index, no address bits survive — exactly the
+ * degenerate case the paper highlights for 12-bit history and small
+ * tables.
+ */
+inline u64
+gselectIndex(Addr pc, History history, unsigned history_bits,
+             unsigned index_bits)
+{
+    assert(index_bits >= 1 && index_bits < 64);
+    if (history_bits >= index_bits) {
+        return history & mask(index_bits);
+    }
+    const unsigned addr_bits = index_bits - history_bits;
+    const u64 addr_part = (pc >> 2) & mask(addr_bits);
+    return ((history & mask(history_bits)) << addr_bits) | addr_part;
+}
+
+/** Address-only bit-truncation index: (pc >> 2) mod 2^index_bits. */
+inline u64
+addressIndex(Addr pc, unsigned index_bits)
+{
+    assert(index_bits >= 1 && index_bits < 64);
+    return (pc >> 2) & mask(index_bits);
+}
+
+} // namespace bpred
+
+#endif // BPRED_PREDICTORS_INFO_VECTOR_HH

@@ -1,0 +1,66 @@
+#include "predictors/local_two_level.hh"
+
+#include <cassert>
+
+#include "predictors/info_vector.hh"
+#include "support/table.hh"
+
+namespace bpred
+{
+
+LocalTwoLevelPredictor::LocalTwoLevelPredictor(unsigned bht_index_bits,
+                                               unsigned local_history_bits,
+                                               unsigned counter_bits)
+    : historyTable(u64(1) << bht_index_bits, 0),
+      patternTable(u64(1) << local_history_bits, counter_bits),
+      bhtIndexBits(bht_index_bits),
+      localHistoryBits(local_history_bits)
+{
+    assert(local_history_bits >= 1 && local_history_bits <= 16);
+}
+
+u64
+LocalTwoLevelPredictor::bhtIndexOf(Addr pc) const
+{
+    return addressIndex(pc, bhtIndexBits);
+}
+
+bool
+LocalTwoLevelPredictor::predict(Addr pc)
+{
+    const u16 local_history = historyTable[bhtIndexOf(pc)];
+    return patternTable.predictTaken(local_history);
+}
+
+void
+LocalTwoLevelPredictor::update(Addr pc, bool taken)
+{
+    u16 &local_history = historyTable[bhtIndexOf(pc)];
+    patternTable.update(local_history, taken);
+    local_history = static_cast<u16>(
+        ((local_history << 1) | (taken ? 1 : 0)) &
+        mask(localHistoryBits));
+}
+
+std::string
+LocalTwoLevelPredictor::name() const
+{
+    return "pag-" + formatEntries(historyTable.size()) + "x" +
+        std::to_string(localHistoryBits);
+}
+
+u64
+LocalTwoLevelPredictor::storageBits() const
+{
+    return historyTable.size() * localHistoryBits +
+        patternTable.storageBits();
+}
+
+void
+LocalTwoLevelPredictor::reset()
+{
+    std::fill(historyTable.begin(), historyTable.end(), 0);
+    patternTable.reset();
+}
+
+} // namespace bpred

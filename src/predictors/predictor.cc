@@ -1,0 +1,11 @@
+#include "predictors/predictor.hh"
+
+namespace bpred
+{
+
+void
+Predictor::notifyUnconditional(Addr)
+{
+}
+
+} // namespace bpred

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The abstract conditional-branch predictor interface.
+ */
+
+#ifndef BPRED_PREDICTORS_PREDICTOR_HH
+#define BPRED_PREDICTORS_PREDICTOR_HH
+
+#include <string>
+
+#include "support/types.hh"
+
+namespace bpred
+{
+
+/**
+ * Abstract conditional-branch direction predictor.
+ *
+ * Contract: the simulation driver calls predict(pc) followed by
+ * update(pc, taken) for every *conditional* branch, in trace order,
+ * and notifyUnconditional(pc) for every unconditional branch.
+ * update() must train with the machine state as it was at
+ * predict() time (i.e. the pre-branch global history) and only then
+ * advance that state. Predictors that keep global history shift
+ * unconditional branches in as taken, as the paper does.
+ */
+class Predictor
+{
+  public:
+    virtual ~Predictor() = default;
+
+    /** Predicted direction for the conditional branch at @p pc. */
+    virtual bool predict(Addr pc) = 0;
+
+    /**
+     * Resolve the conditional branch at @p pc with outcome @p taken:
+     * train the tables and advance any internal history.
+     */
+    virtual void update(Addr pc, bool taken) = 0;
+
+    /**
+     * Observe an unconditional branch at @p pc. Default: no effect.
+     * Global-history predictors shift in a taken outcome.
+     */
+    virtual void notifyUnconditional(Addr pc);
+
+    /** Short configuration name, e.g. "gshare-16K-h12". */
+    virtual std::string name() const = 0;
+
+    /**
+     * Total predictor storage in bits: the hardware cost metric the
+     * paper compares designs by. Tag-less tables count only counter
+     * bits; tagged structures include tags.
+     */
+    virtual u64 storageBits() const = 0;
+
+    /** Return to the power-on state. */
+    virtual void reset() = 0;
+};
+
+} // namespace bpred
+
+#endif // BPRED_PREDICTORS_PREDICTOR_HH

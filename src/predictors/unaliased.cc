@@ -1,0 +1,108 @@
+#include "predictors/unaliased.hh"
+
+#include "predictors/info_vector.hh"
+
+namespace bpred
+{
+
+UnaliasedPredictor::UnaliasedPredictor(unsigned history_bits,
+                                       unsigned counter_bits)
+    : historyBits(history_bits), counterBits(counter_bits)
+{
+}
+
+u64
+UnaliasedPredictor::keyOf(Addr pc) const
+{
+    return packInfoVector(pc, history.raw(), historyBits);
+}
+
+bool
+UnaliasedPredictor::predict(Addr pc)
+{
+    const auto it = counters.find(keyOf(pc));
+    lastWasCold = it == counters.end();
+    // Cold entries have no information; predict taken (the static
+    // fallback), but the miss will not be charged as a misprediction.
+    lastPrediction = lastWasCold ? true : it->second.predictTaken();
+    lastPredictionValid = true;
+    return lastPrediction;
+}
+
+void
+UnaliasedPredictor::update(Addr pc, bool taken)
+{
+    const u64 key = keyOf(pc);
+    if (!lastPredictionValid) {
+        // update() without a paired predict(): recompute.
+        const auto it = counters.find(key);
+        lastWasCold = it == counters.end();
+        lastPrediction = lastWasCold ? true : it->second.predictTaken();
+    }
+    lastPredictionValid = false;
+
+    ++dynamicCount;
+    staticBranches.insert(pc);
+
+    if (lastWasCold) {
+        ++compulsoryCount;
+        SatCounter counter(counterBits);
+        counter.setStrong(taken);
+        counters.emplace(key, counter);
+    } else {
+        warmMispredicts.sample(lastPrediction != taken);
+        counters.find(key)->second.update(taken);
+    }
+    history.shiftIn(taken);
+}
+
+void
+UnaliasedPredictor::notifyUnconditional(Addr)
+{
+    history.shiftIn(true);
+}
+
+std::string
+UnaliasedPredictor::name() const
+{
+    return "unaliased-h" + std::to_string(historyBits) + "-" +
+        std::to_string(counterBits) + "bit";
+}
+
+u64
+UnaliasedPredictor::storageBits() const
+{
+    return counters.size() * counterBits;
+}
+
+void
+UnaliasedPredictor::reset()
+{
+    counters.clear();
+    staticBranches.clear();
+    history.reset();
+    warmMispredicts.reset();
+    dynamicCount = 0;
+    compulsoryCount = 0;
+    lastPredictionValid = false;
+}
+
+double
+UnaliasedPredictor::substreamRatio() const
+{
+    return staticBranches.empty()
+        ? 0.0
+        : static_cast<double>(counters.size()) /
+            static_cast<double>(staticBranches.size());
+}
+
+double
+UnaliasedPredictor::compulsoryAliasingRatio() const
+{
+    return dynamicCount == 0
+        ? 0.0
+        : static_cast<double>(compulsoryCount) /
+            static_cast<double>(dynamicCount);
+}
+
+} // namespace bpred

@@ -1,0 +1,75 @@
+#include "sim/driver.hh"
+
+#include "support/logging.hh"
+
+namespace bpred
+{
+
+SimResult
+simulate(Predictor &predictor, const Trace &trace)
+{
+    return simulateWithWarmup(predictor, trace, 0);
+}
+
+SimResult
+simulateWithFlush(Predictor &predictor, const Trace &trace,
+                  u64 flush_interval)
+{
+    if (flush_interval == 0) {
+        fatal("simulateWithFlush: zero flush interval");
+    }
+    SimResult result;
+    result.predictorName = predictor.name();
+    result.traceName = trace.name();
+    result.storageBits = predictor.storageBits();
+
+    u64 since_flush = 0;
+    for (const BranchRecord &record : trace) {
+        if (!record.conditional) {
+            predictor.notifyUnconditional(record.pc);
+            continue;
+        }
+        const bool prediction = predictor.predict(record.pc);
+        predictor.update(record.pc, record.taken);
+        ++result.conditionals;
+        if (prediction != record.taken) {
+            ++result.mispredicts;
+        }
+        if (++since_flush == flush_interval) {
+            predictor.reset();
+            since_flush = 0;
+        }
+    }
+    return result;
+}
+
+SimResult
+simulateWithWarmup(Predictor &predictor, const Trace &trace,
+                   u64 warmup_branches)
+{
+    SimResult result;
+    result.predictorName = predictor.name();
+    result.traceName = trace.name();
+    result.storageBits = predictor.storageBits();
+
+    u64 seen = 0;
+    for (const BranchRecord &record : trace) {
+        if (!record.conditional) {
+            predictor.notifyUnconditional(record.pc);
+            continue;
+        }
+        const bool prediction = predictor.predict(record.pc);
+        predictor.update(record.pc, record.taken);
+        ++seen;
+        if (seen <= warmup_branches) {
+            continue;
+        }
+        ++result.conditionals;
+        if (prediction != record.taken) {
+            ++result.mispredicts;
+        }
+    }
+    return result;
+}
+
+} // namespace bpred

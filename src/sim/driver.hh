@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The trace-driven simulation loop.
+ */
+
+#ifndef BPRED_SIM_DRIVER_HH
+#define BPRED_SIM_DRIVER_HH
+
+#include <string>
+
+#include "predictors/predictor.hh"
+#include "trace/trace.hh"
+
+namespace bpred
+{
+
+/** Outcome of simulating one predictor over one trace. */
+struct SimResult
+{
+    std::string predictorName;
+    std::string traceName;
+
+    /** Dynamic conditional branches predicted. */
+    u64 conditionals = 0;
+
+    /** Mispredicted conditional branches. */
+    u64 mispredicts = 0;
+
+    /** Predictor hardware budget in bits. */
+    u64 storageBits = 0;
+
+    /** Misprediction ratio in [0, 1]. */
+    double
+    mispredictRatio() const
+    {
+        return conditionals == 0
+            ? 0.0
+            : static_cast<double>(mispredicts) /
+                static_cast<double>(conditionals);
+    }
+
+    /** Misprediction ratio as a percentage. */
+    double mispredictPercent() const { return mispredictRatio() * 100.0; }
+};
+
+/**
+ * Run @p predictor over @p trace from a cold start: predict and
+ * update on every conditional branch, notify on every unconditional
+ * branch, and count mispredictions.
+ *
+ * The predictor is NOT reset first; callers reusing a predictor
+ * across traces should call reset() themselves (warm-start studies
+ * rely on this).
+ */
+SimResult simulate(Predictor &predictor, const Trace &trace);
+
+/**
+ * As simulate(), but the first @p warmup_branches conditional
+ * branches train the predictor without being scored.
+ */
+SimResult simulateWithWarmup(Predictor &predictor, const Trace &trace,
+                             u64 warmup_branches);
+
+/**
+ * As simulate(), but the predictor is reset() after every
+ * @p flush_interval conditional branches — a crude model of
+ * predictor-state loss on heavyweight context switches (the
+ * motivation of Evers et al., cited in §1). All branches are
+ * scored, including the cold restarts.
+ */
+SimResult simulateWithFlush(Predictor &predictor, const Trace &trace,
+                            u64 flush_interval);
+
+} // namespace bpred
+
+#endif // BPRED_SIM_DRIVER_HH

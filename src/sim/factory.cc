@@ -1,0 +1,285 @@
+#include "sim/factory.hh"
+
+#include <sstream>
+#include <vector>
+
+#include "aliasing/falru_predictor.hh"
+#include "core/shared_hysteresis.hh"
+#include "core/skewed_local.hh"
+#include "core/skewed_predictor.hh"
+#include "predictors/agree.hh"
+#include "predictors/bimodal.hh"
+#include "predictors/bimode.hh"
+#include "predictors/gselect.hh"
+#include "predictors/gshare.hh"
+#include "predictors/hybrid.hh"
+#include "predictors/local_two_level.hh"
+#include "predictors/static_pred.hh"
+#include "predictors/unaliased.hh"
+#include "predictors/yags.hh"
+#include "support/logging.hh"
+
+namespace bpred
+{
+
+namespace
+{
+
+std::vector<std::string>
+splitSpec(const std::string &spec)
+{
+    std::vector<std::string> fields;
+    std::istringstream stream(spec);
+    std::string field;
+    while (std::getline(stream, field, ':')) {
+        fields.push_back(field);
+    }
+    return fields;
+}
+
+unsigned
+parseUnsigned(const std::string &text, const std::string &spec)
+{
+    try {
+        const unsigned long value = std::stoul(text);
+        if (value > 1'000'000'000UL) {
+            fatal("predictor spec '" + spec + "': field too large");
+        }
+        return static_cast<unsigned>(value);
+    } catch (const FatalError &) {
+        throw;
+    } catch (const std::exception &) {
+        fatal("predictor spec '" + spec + "': bad numeric field '" +
+              text + "'");
+    }
+}
+
+UpdatePolicy
+parsePolicy(const std::string &text, const std::string &spec)
+{
+    if (text == "partial") {
+        return UpdatePolicy::Partial;
+    }
+    if (text == "total") {
+        return UpdatePolicy::Total;
+    }
+    if (text == "partial-lazy") {
+        return UpdatePolicy::PartialLazy;
+    }
+    fatal("predictor spec '" + spec +
+          "': update policy must be 'partial', 'partial-lazy' or "
+          "'total'");
+}
+
+void
+requireFields(const std::vector<std::string> &fields, std::size_t lo,
+              std::size_t hi, const std::string &spec)
+{
+    if (fields.size() < lo || fields.size() > hi) {
+        fatal("predictor spec '" + spec +
+              "': wrong number of fields (see predictorSpecHelp())");
+    }
+}
+
+} // namespace
+
+std::unique_ptr<Predictor>
+makePredictor(const std::string &spec)
+{
+    const std::vector<std::string> fields = splitSpec(spec);
+    if (fields.empty()) {
+        fatal("empty predictor spec");
+    }
+    const std::string &scheme = fields[0];
+
+    if (scheme == "static") {
+        requireFields(fields, 2, 2, spec);
+        if (fields[1] == "taken") {
+            return std::make_unique<StaticPredictor>(true);
+        }
+        if (fields[1] == "nottaken") {
+            return std::make_unique<StaticPredictor>(false);
+        }
+        fatal("predictor spec '" + spec +
+              "': expected 'taken' or 'nottaken'");
+    }
+    if (scheme == "bimodal") {
+        requireFields(fields, 2, 3, spec);
+        const unsigned index_bits = parseUnsigned(fields[1], spec);
+        const unsigned counter_bits =
+            fields.size() > 2 ? parseUnsigned(fields[2], spec) : 2;
+        return std::make_unique<BimodalPredictor>(index_bits,
+                                                  counter_bits);
+    }
+    if (scheme == "gshare" || scheme == "gselect") {
+        requireFields(fields, 3, 4, spec);
+        const unsigned index_bits = parseUnsigned(fields[1], spec);
+        const unsigned history_bits = parseUnsigned(fields[2], spec);
+        const unsigned counter_bits =
+            fields.size() > 3 ? parseUnsigned(fields[3], spec) : 2;
+        if (scheme == "gshare") {
+            return std::make_unique<GSharePredictor>(
+                index_bits, history_bits, counter_bits);
+        }
+        return std::make_unique<GSelectPredictor>(
+            index_bits, history_bits, counter_bits);
+    }
+    if (scheme == "agree") {
+        requireFields(fields, 4, 5, spec);
+        const unsigned index_bits = parseUnsigned(fields[1], spec);
+        const unsigned history_bits = parseUnsigned(fields[2], spec);
+        const unsigned bias_bits = parseUnsigned(fields[3], spec);
+        const unsigned counter_bits =
+            fields.size() > 4 ? parseUnsigned(fields[4], spec) : 2;
+        return std::make_unique<AgreePredictor>(
+            index_bits, history_bits, bias_bits, counter_bits);
+    }
+    if (scheme == "bimode") {
+        requireFields(fields, 4, 5, spec);
+        const unsigned dir_bits = parseUnsigned(fields[1], spec);
+        const unsigned history_bits = parseUnsigned(fields[2], spec);
+        const unsigned choice_bits = parseUnsigned(fields[3], spec);
+        const unsigned counter_bits =
+            fields.size() > 4 ? parseUnsigned(fields[4], spec) : 2;
+        return std::make_unique<BiModePredictor>(
+            dir_bits, history_bits, choice_bits, counter_bits);
+    }
+    if (scheme == "yags") {
+        requireFields(fields, 4, 6, spec);
+        const unsigned cache_bits = parseUnsigned(fields[1], spec);
+        const unsigned history_bits = parseUnsigned(fields[2], spec);
+        const unsigned choice_bits = parseUnsigned(fields[3], spec);
+        const unsigned tag_bits =
+            fields.size() > 4 ? parseUnsigned(fields[4], spec) : 6;
+        return std::make_unique<YagsPredictor>(
+            cache_bits, history_bits, choice_bits, tag_bits);
+    }
+    if (scheme == "pag") {
+        requireFields(fields, 3, 4, spec);
+        const unsigned bht_bits = parseUnsigned(fields[1], spec);
+        const unsigned local_bits = parseUnsigned(fields[2], spec);
+        const unsigned counter_bits =
+            fields.size() > 3 ? parseUnsigned(fields[3], spec) : 2;
+        return std::make_unique<LocalTwoLevelPredictor>(
+            bht_bits, local_bits, counter_bits);
+    }
+    if (scheme == "hybrid") {
+        requireFields(fields, 3, 3, spec);
+        const unsigned index_bits = parseUnsigned(fields[1], spec);
+        const unsigned history_bits = parseUnsigned(fields[2], spec);
+        return std::make_unique<HybridPredictor>(
+            std::make_unique<GSharePredictor>(index_bits, history_bits),
+            std::make_unique<BimodalPredictor>(index_bits),
+            index_bits);
+    }
+    if (scheme == "gskewed") {
+        requireFields(fields, 4, 5, spec);
+        SkewedPredictor::Config config;
+        config.numBanks = parseUnsigned(fields[1], spec);
+        config.bankIndexBits = parseUnsigned(fields[2], spec);
+        config.historyBits = parseUnsigned(fields[3], spec);
+        config.updatePolicy = fields.size() > 4
+            ? parsePolicy(fields[4], spec)
+            : UpdatePolicy::Partial;
+        return std::make_unique<SkewedPredictor>(config);
+    }
+    if (scheme == "egskew") {
+        requireFields(fields, 3, 4, spec);
+        SkewedPredictor::Config config = makeEnhancedConfig(
+            parseUnsigned(fields[1], spec),
+            parseUnsigned(fields[2], spec));
+        if (fields.size() > 3) {
+            config.updatePolicy = parsePolicy(fields[3], spec);
+        }
+        return std::make_unique<SkewedPredictor>(config);
+    }
+    if (scheme == "gskewedsh" || scheme == "egskewsh") {
+        // Shared-hysteresis encodings of gskewed / e-gskew.
+        SkewedPredictor::Config config;
+        if (scheme == "gskewedsh") {
+            requireFields(fields, 4, 5, spec);
+            config.numBanks = parseUnsigned(fields[1], spec);
+            config.bankIndexBits = parseUnsigned(fields[2], spec);
+            config.historyBits = parseUnsigned(fields[3], spec);
+            if (fields.size() > 4) {
+                config.updatePolicy = parsePolicy(fields[4], spec);
+            }
+        } else {
+            requireFields(fields, 3, 4, spec);
+            config = makeEnhancedConfig(
+                parseUnsigned(fields[1], spec),
+                parseUnsigned(fields[2], spec));
+            if (fields.size() > 3) {
+                config.updatePolicy = parsePolicy(fields[3], spec);
+            }
+        }
+        return std::make_unique<SharedHysteresisSkewedPredictor>(
+            config);
+    }
+    if (scheme == "pskew") {
+        requireFields(fields, 5, 6, spec);
+        const unsigned bht_bits = parseUnsigned(fields[1], spec);
+        const unsigned local_bits = parseUnsigned(fields[2], spec);
+        const unsigned num_banks = parseUnsigned(fields[3], spec);
+        const unsigned bank_bits = parseUnsigned(fields[4], spec);
+        const UpdatePolicy policy = fields.size() > 5
+            ? parsePolicy(fields[5], spec)
+            : UpdatePolicy::Partial;
+        return std::make_unique<SkewedLocalPredictor>(
+            bht_bits, local_bits, num_banks, bank_bits, policy);
+    }
+    if (scheme == "falru") {
+        requireFields(fields, 3, 4, spec);
+        const u64 entries = parseUnsigned(fields[1], spec);
+        const unsigned history_bits = parseUnsigned(fields[2], spec);
+        const unsigned counter_bits =
+            fields.size() > 3 ? parseUnsigned(fields[3], spec) : 2;
+        if (entries == 0) {
+            fatal("predictor spec '" + spec + "': zero entries");
+        }
+        return std::make_unique<FaLruPredictor>(entries, history_bits,
+                                                counter_bits);
+    }
+    if (scheme == "unaliased") {
+        requireFields(fields, 2, 3, spec);
+        const unsigned history_bits = parseUnsigned(fields[1], spec);
+        const unsigned counter_bits =
+            fields.size() > 2 ? parseUnsigned(fields[2], spec) : 2;
+        return std::make_unique<UnaliasedPredictor>(history_bits,
+                                                    counter_bits);
+    }
+
+    fatal("predictor spec '" + spec + "': unknown scheme '" + scheme +
+          "'");
+}
+
+std::string
+predictorSpecHelp()
+{
+    return "predictor specs:\n"
+           "  static:taken|nottaken\n"
+           "  bimodal:<index_bits>[:<counter_bits>]\n"
+           "  gshare:<index_bits>:<history_bits>[:<counter_bits>]\n"
+           "  gselect:<index_bits>:<history_bits>[:<counter_bits>]\n"
+           "  pag:<bht_bits>:<local_history_bits>[:<counter_bits>]\n"
+           "  agree:<index_bits>:<history_bits>:<bias_index_bits>"
+           "[:<counter_bits>]\n"
+           "  bimode:<dir_index_bits>:<history_bits>"
+           ":<choice_index_bits>[:<counter_bits>]\n"
+           "  yags:<cache_index_bits>:<history_bits>"
+           ":<choice_index_bits>[:<tag_bits>]\n"
+           "  hybrid:<index_bits>:<history_bits>\n"
+           "  gskewed:<banks>:<bank_index_bits>:<history_bits>"
+           "[:partial|partial-lazy|total]\n"
+           "  egskew:<bank_index_bits>:<history_bits>"
+           "[:partial|partial-lazy|total]\n"
+           "  gskewedsh:<banks>:<bank_index_bits>:<history_bits>"
+           "[:policy]\n"
+           "  egskewsh:<bank_index_bits>:<history_bits>[:policy]\n"
+           "  pskew:<bht_bits>:<local_history_bits>:<banks>"
+           ":<bank_index_bits>[:policy]\n"
+           "  falru:<entries>:<history_bits>[:<counter_bits>]\n"
+           "  unaliased:<history_bits>[:<counter_bits>]";
+}
+
+} // namespace bpred

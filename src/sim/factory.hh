@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Building predictors from textual specifications.
+ *
+ * Spec grammar (fields separated by ':'):
+ *
+ *   static:taken | static:nottaken
+ *   bimodal:<index_bits>[:<counter_bits>]
+ *   gshare:<index_bits>:<history_bits>[:<counter_bits>]
+ *   gselect:<index_bits>:<history_bits>[:<counter_bits>]
+ *   pag:<bht_index_bits>:<local_history_bits>[:<counter_bits>]
+ *   hybrid:<index_bits>:<history_bits>     (gshare + bimodal + chooser)
+ *   gskewed:<banks>:<bank_index_bits>:<history_bits>[:partial|total]
+ *   egskew:<bank_index_bits>:<history_bits>[:partial|total]
+ *   falru:<entries>:<history_bits>[:<counter_bits>]
+ *   unaliased:<history_bits>[:<counter_bits>]
+ *
+ * Examples: "gshare:14:12", "gskewed:3:12:8:partial", "egskew:12:11".
+ */
+
+#ifndef BPRED_SIM_FACTORY_HH
+#define BPRED_SIM_FACTORY_HH
+
+#include <memory>
+#include <string>
+
+#include "predictors/predictor.hh"
+
+namespace bpred
+{
+
+/**
+ * Construct a predictor from @p spec.
+ *
+ * @throws FatalError on an unknown scheme or malformed parameters.
+ */
+std::unique_ptr<Predictor> makePredictor(const std::string &spec);
+
+/** One-line usage text listing the accepted spec forms. */
+std::string predictorSpecHelp();
+
+} // namespace bpred
+
+#endif // BPRED_SIM_FACTORY_HH

@@ -1,0 +1,54 @@
+#include "sim/pipeline_model.hh"
+
+#include <cassert>
+
+#include "support/logging.hh"
+
+namespace bpred
+{
+
+double
+PipelineEstimate::speedupOver(const PipelineEstimate &reference) const
+{
+    assert(cpi > 0.0);
+    return reference.cpi / cpi;
+}
+
+PipelineEstimate
+estimatePipeline(double mispredict_ratio, const PipelineParams &params)
+{
+    if (mispredict_ratio < 0.0 || mispredict_ratio > 1.0) {
+        fatal("estimatePipeline: misprediction ratio out of range");
+    }
+    if (params.baseCpi <= 0.0 || params.branchDensity < 0.0 ||
+        params.mispredictPenalty < 0.0) {
+        fatal("estimatePipeline: invalid machine parameters");
+    }
+    PipelineEstimate estimate;
+    const double stall_cpi = params.branchDensity *
+        mispredict_ratio * params.mispredictPenalty;
+    estimate.cpi = params.baseCpi + stall_cpi;
+    estimate.stallFraction = stall_cpi / estimate.cpi;
+    return estimate;
+}
+
+PipelineEstimate
+estimatePipeline(const SimResult &result, const PipelineParams &params)
+{
+    return estimatePipeline(result.mispredictRatio(), params);
+}
+
+double
+halfStallMispredictRatio(const PipelineParams &params)
+{
+    if (params.branchDensity <= 0.0 ||
+        params.mispredictPenalty <= 0.0) {
+        fatal("halfStallMispredictRatio: degenerate machine");
+    }
+    // stall == base  <=>  m = base / (density * penalty)
+    const double ratio = params.baseCpi /
+        (params.branchDensity * params.mispredictPenalty);
+    return ratio > 1.0 ? 1.0 : ratio;
+}
+
+} // namespace bpred

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * A first-order pipeline cost model: what a misprediction ratio
+ * means for CPI.
+ *
+ * The paper's motivation (§1) is that deep, wide pipelines make
+ * misprediction the ILP bottleneck. This analytic model converts
+ * the library's misprediction ratios into cycles per instruction
+ * so experiments can be read in end-performance terms:
+ *
+ *   CPI = CPI_base + f_branch * m * penalty
+ *
+ * with f_branch the conditional-branch density, m the
+ * misprediction ratio and penalty the refill depth in cycles.
+ */
+
+#ifndef BPRED_SIM_PIPELINE_MODEL_HH
+#define BPRED_SIM_PIPELINE_MODEL_HH
+
+#include "sim/driver.hh"
+
+namespace bpred
+{
+
+/** Machine parameters of the first-order model. */
+struct PipelineParams
+{
+    /** CPI with perfect branch prediction. */
+    double baseCpi = 0.5; // a 2-wide machine's ideal
+
+    /** Conditional branches per instruction. */
+    double branchDensity = 0.15;
+
+    /** Cycles lost per misprediction (front-end refill depth). */
+    double mispredictPenalty = 12.0;
+};
+
+/** Derived performance figures. */
+struct PipelineEstimate
+{
+    /** Cycles per instruction including misprediction stalls. */
+    double cpi = 0.0;
+
+    /** Fraction of all cycles spent in misprediction repair. */
+    double stallFraction = 0.0;
+
+    /** Speedup over a reference CPI (1.0 = equal). */
+    double speedupOver(const PipelineEstimate &reference) const;
+};
+
+/** Apply the model to a misprediction ratio in [0, 1]. */
+PipelineEstimate estimatePipeline(double mispredict_ratio,
+                                  const PipelineParams &params = {});
+
+/** Convenience overload for a simulation result. */
+PipelineEstimate estimatePipeline(const SimResult &result,
+                                  const PipelineParams &params = {});
+
+/**
+ * The misprediction ratio at which half of all cycles are stalls —
+ * a readable scale marker for a given machine.
+ */
+double halfStallMispredictRatio(const PipelineParams &params = {});
+
+} // namespace bpred
+
+#endif // BPRED_SIM_PIPELINE_MODEL_HH

@@ -1,0 +1,95 @@
+#include "sim/timeline.hh"
+
+#include <cassert>
+
+#include "support/logging.hh"
+
+namespace bpred
+{
+
+double
+TimelineResult::mean() const
+{
+    if (windows.empty()) {
+        return 0.0;
+    }
+    double sum = 0.0;
+    for (const double ratio : windows) {
+        sum += ratio;
+    }
+    return sum / static_cast<double>(windows.size());
+}
+
+double
+TimelineResult::worst() const
+{
+    double worst_ratio = 0.0;
+    for (const double ratio : windows) {
+        worst_ratio = std::max(worst_ratio, ratio);
+    }
+    return worst_ratio;
+}
+
+std::size_t
+TimelineResult::warmupWindows(double tolerance) const
+{
+    if (windows.size() < 4) {
+        return 0;
+    }
+    // Steady-state estimate: mean of the final quarter.
+    const std::size_t tail_start = windows.size() * 3 / 4;
+    double tail_sum = 0.0;
+    for (std::size_t i = tail_start; i < windows.size(); ++i) {
+        tail_sum += windows[i];
+    }
+    const double steady =
+        tail_sum / static_cast<double>(windows.size() - tail_start);
+
+    for (std::size_t i = 0; i < windows.size(); ++i) {
+        if (windows[i] <= steady + tolerance) {
+            return i;
+        }
+    }
+    return windows.size();
+}
+
+TimelineResult
+runTimeline(Predictor &predictor, const Trace &trace,
+            u64 window_size)
+{
+    if (window_size == 0) {
+        fatal("runTimeline: window size must be positive");
+    }
+    TimelineResult result;
+    result.windowSize = window_size;
+
+    u64 in_window = 0;
+    u64 wrong_in_window = 0;
+    for (const BranchRecord &record : trace) {
+        if (!record.conditional) {
+            predictor.notifyUnconditional(record.pc);
+            continue;
+        }
+        const bool prediction = predictor.predict(record.pc);
+        predictor.update(record.pc, record.taken);
+        ++in_window;
+        if (prediction != record.taken) {
+            ++wrong_in_window;
+        }
+        if (in_window == window_size) {
+            result.windows.push_back(
+                static_cast<double>(wrong_in_window) /
+                static_cast<double>(window_size));
+            in_window = 0;
+            wrong_in_window = 0;
+        }
+    }
+    if (in_window >= window_size / 10 && in_window > 0) {
+        result.windows.push_back(
+            static_cast<double>(wrong_in_window) /
+            static_cast<double>(in_window));
+    }
+    return result;
+}
+
+} // namespace bpred

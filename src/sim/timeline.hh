@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Windowed (time-sliced) misprediction measurement.
+ *
+ * The aggregate misprediction ratio hides transients: cold-start
+ * warm-up, phase changes, and the bursts of aliasing that follow
+ * context switches. A timeline splits the conditional-branch stream
+ * into fixed-size windows and reports the ratio per window.
+ */
+
+#ifndef BPRED_SIM_TIMELINE_HH
+#define BPRED_SIM_TIMELINE_HH
+
+#include <vector>
+
+#include "predictors/predictor.hh"
+#include "trace/trace.hh"
+
+namespace bpred
+{
+
+/** Misprediction ratios per window of conditional branches. */
+struct TimelineResult
+{
+    /** Conditional branches per window. */
+    u64 windowSize = 0;
+
+    /** Per-window misprediction ratios, in stream order. */
+    std::vector<double> windows;
+
+    /** Mean of the window ratios (0 when empty). */
+    double mean() const;
+
+    /** Highest window ratio (0 when empty). */
+    double worst() const;
+
+    /**
+     * Index of the first window whose ratio is within
+     * @p tolerance of the mean of the final quarter of windows —
+     * a simple warm-up-length estimate.
+     */
+    std::size_t warmupWindows(double tolerance = 0.01) const;
+};
+
+/**
+ * Run @p predictor over @p trace, recording the misprediction
+ * ratio of every window of @p window_size conditional branches.
+ * A final partial window is included when it covers at least a
+ * tenth of a window.
+ */
+TimelineResult runTimeline(Predictor &predictor, const Trace &trace,
+                           u64 window_size);
+
+} // namespace bpred
+
+#endif // BPRED_SIM_TIMELINE_HH

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Bit-manipulation helpers shared by indexing functions and predictors.
+ */
+
+#ifndef BPRED_SUPPORT_BITOPS_HH
+#define BPRED_SUPPORT_BITOPS_HH
+
+#include <bit>
+#include <cassert>
+
+#include "support/types.hh"
+
+namespace bpred
+{
+
+/**
+ * Return a mask with the low @p n bits set.
+ *
+ * @param n Number of low-order bits to set; must be <= 64.
+ */
+constexpr u64
+mask(unsigned n)
+{
+    assert(n <= 64);
+    return n >= 64 ? ~u64(0) : ((u64(1) << n) - 1);
+}
+
+/** Extract bits [lo, lo+len) of @p value, right-justified. */
+constexpr u64
+bits(u64 value, unsigned lo, unsigned len)
+{
+    assert(lo < 64);
+    return (value >> lo) & mask(len);
+}
+
+/** Extract single bit @p pos of @p value. */
+constexpr bool
+bit(u64 value, unsigned pos)
+{
+    assert(pos < 64);
+    return (value >> pos) & 1;
+}
+
+/** True iff @p value is a power of two (zero is not). */
+constexpr bool
+isPowerOfTwo(u64 value)
+{
+    return value != 0 && std::has_single_bit(value);
+}
+
+/**
+ * Floor of log2 for a non-zero value.
+ */
+constexpr unsigned
+floorLog2(u64 value)
+{
+    assert(value != 0);
+    return 63 - std::countl_zero(value);
+}
+
+/** Ceil of log2 for a non-zero value. */
+constexpr unsigned
+ceilLog2(u64 value)
+{
+    assert(value != 0);
+    return value == 1 ? 0 : floorLog2(value - 1) + 1;
+}
+
+/** Number of set bits. */
+constexpr unsigned
+popCount(u64 value)
+{
+    return static_cast<unsigned>(std::popcount(value));
+}
+
+/** XOR-fold @p value down to @p width bits. */
+constexpr u64
+xorFold(u64 value, unsigned width)
+{
+    assert(width > 0 && width <= 64);
+    u64 folded = 0;
+    while (value != 0) {
+        folded ^= value & mask(width);
+        value >>= width;
+    }
+    return folded;
+}
+
+/** Reverse the low @p n bits of @p value (bit 0 <-> bit n-1). */
+constexpr u64
+reverseBits(u64 value, unsigned n)
+{
+    assert(n >= 1 && n <= 64);
+    u64 reversed = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        reversed |= bits(value, i, 1) << (n - 1 - i);
+    }
+    return reversed;
+}
+
+/** Rotate the low @p n bits of @p value left by @p amount. */
+constexpr u64
+rotateLeft(u64 value, unsigned n, unsigned amount)
+{
+    assert(n >= 1 && n <= 64);
+    value &= mask(n);
+    amount %= n;
+    if (amount == 0) {
+        return value;
+    }
+    return ((value << amount) | (value >> (n - amount))) & mask(n);
+}
+
+} // namespace bpred
+
+#endif // BPRED_SUPPORT_BITOPS_HH

@@ -1,0 +1,49 @@
+#include "support/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bpred
+{
+
+namespace
+{
+bool quietMode = false;
+} // namespace
+
+void
+fatal(const std::string &message)
+{
+    throw FatalError(message);
+}
+
+void
+panic(const std::string &message)
+{
+    std::fprintf(stderr, "panic: %s\n", message.c_str());
+    std::abort();
+}
+
+void
+warn(const std::string &message)
+{
+    if (!quietMode) {
+        std::fprintf(stderr, "warn: %s\n", message.c_str());
+    }
+}
+
+void
+inform(const std::string &message)
+{
+    if (!quietMode) {
+        std::fprintf(stderr, "info: %s\n", message.c_str());
+    }
+}
+
+void
+setQuiet(bool quiet)
+{
+    quietMode = quiet;
+}
+
+} // namespace bpred

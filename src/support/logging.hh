@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Minimal gem5-flavoured status/error reporting.
+ *
+ * fatal() is for user errors (bad configuration, malformed trace
+ * files): it throws FatalError so library embedders can recover.
+ * panic() is for internal invariant violations and aborts.
+ */
+
+#ifndef BPRED_SUPPORT_LOGGING_HH
+#define BPRED_SUPPORT_LOGGING_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace bpred
+{
+
+/** Exception thrown by fatal(): a user-correctable error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &message)
+        : std::runtime_error(message)
+    {}
+};
+
+/** Report an unrecoverable user error by throwing FatalError. */
+[[noreturn]] void fatal(const std::string &message);
+
+/** Report an internal bug and abort. */
+[[noreturn]] void panic(const std::string &message);
+
+/** Print a warning to stderr (simulation continues). */
+void warn(const std::string &message);
+
+/** Print an informational message to stderr. */
+void inform(const std::string &message);
+
+/** Suppress / restore warn() and inform() output (for tests). */
+void setQuiet(bool quiet);
+
+} // namespace bpred
+
+#endif // BPRED_SUPPORT_LOGGING_HH

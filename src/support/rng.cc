@@ -1,0 +1,151 @@
+#include "support/rng.hh"
+
+#include <cmath>
+
+namespace bpred
+{
+
+namespace
+{
+
+constexpr u64
+rotl(u64 x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(u64 seed)
+{
+    SplitMix64 sm(seed);
+    for (auto &word : state) {
+        word = sm.next();
+    }
+    // Avoid the all-zero state, which xoshiro cannot leave.
+    if ((state[0] | state[1] | state[2] | state[3]) == 0) {
+        state[0] = 1;
+    }
+}
+
+u64
+Rng::next()
+{
+    const u64 result = rotl(state[1] * 5, 7) * 9;
+    const u64 t = state[1] << 17;
+
+    state[2] ^= state[0];
+    state[3] ^= state[1];
+    state[1] ^= state[2];
+    state[0] ^= state[3];
+    state[2] ^= t;
+    state[3] = rotl(state[3], 45);
+
+    return result;
+}
+
+u64
+Rng::uniformInt(u64 bound)
+{
+    assert(bound != 0);
+    // Rejection to remove modulo bias.
+    const u64 threshold = -bound % bound;
+    for (;;) {
+        const u64 raw = next();
+        if (raw >= threshold) {
+            return raw % bound;
+        }
+    }
+}
+
+u64
+Rng::uniformRange(u64 lo, u64 hi)
+{
+    assert(lo <= hi);
+    return lo + uniformInt(hi - lo + 1);
+}
+
+double
+Rng::uniformReal()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0) {
+        return false;
+    }
+    if (p >= 1.0) {
+        return true;
+    }
+    return uniformReal() < p;
+}
+
+u64
+Rng::geometric(double p)
+{
+    assert(p > 0.0 && p <= 1.0);
+    if (p >= 1.0) {
+        return 0;
+    }
+    const double u = uniformReal();
+    // Inverse-CDF; clamp the degenerate u == 0 case.
+    const double denom = std::log1p(-p);
+    const double value = std::log1p(-u) / denom;
+    return static_cast<u64>(value);
+}
+
+u64
+Rng::zipf(u64 n, double s)
+{
+    assert(n > 0);
+    if (n == 1) {
+        return 0;
+    }
+    if (s <= 0.0) {
+        return uniformInt(n);
+    }
+
+    // Hörmann rejection-inversion for Zipf on [1, n]; returns rank-1.
+    const double nd = static_cast<double>(n);
+    auto h = [s](double x) {
+        if (s == 1.0) {
+            return std::log(x);
+        }
+        return (std::pow(x, 1.0 - s) - 1.0) / (1.0 - s);
+    };
+    auto hInv = [s](double x) {
+        if (s == 1.0) {
+            return std::exp(x);
+        }
+        return std::pow(1.0 + x * (1.0 - s), 1.0 / (1.0 - s));
+    };
+
+    const double hx0 = h(0.5) - 1.0;
+    const double hn = h(nd + 0.5);
+
+    for (;;) {
+        const double u = hx0 + uniformReal() * (hn - hx0);
+        const double x = hInv(u);
+        const u64 k = static_cast<u64>(x + 0.5) < 1
+            ? 1
+            : static_cast<u64>(x + 0.5);
+        if (k > n) {
+            continue;
+        }
+        const double kd = static_cast<double>(k);
+        if (u >= h(kd + 0.5) - std::pow(kd, -s)) {
+            return k - 1;
+        }
+    }
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next() ^ 0x5851f42d4c957f2dULL);
+}
+
+} // namespace bpred

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic behaviour in the library (synthetic workload
+ * generation in particular) flows through these generators so that
+ * every experiment is exactly reproducible from a seed.
+ */
+
+#ifndef BPRED_SUPPORT_RNG_HH
+#define BPRED_SUPPORT_RNG_HH
+
+#include <cassert>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace bpred
+{
+
+/**
+ * SplitMix64 generator.
+ *
+ * Tiny, fast, and statistically solid for simulation purposes; also
+ * used to seed larger state from a single 64-bit seed.
+ */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(u64 seed) : state(seed) {}
+
+    /** Next raw 64-bit value. */
+    u64
+    next()
+    {
+        u64 z = (state += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+  private:
+    u64 state;
+};
+
+/**
+ * Xoshiro256** generator: the library's main RNG.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via SplitMix64). */
+    explicit Rng(u64 seed = 0x1997'0601'cafe'f00dULL);
+
+    /** Next raw 64-bit value. */
+    u64 next();
+
+    /** Uniform integer in [0, bound). @p bound must be non-zero. */
+    u64 uniformInt(u64 bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    u64 uniformRange(u64 lo, u64 hi);
+
+    /** Uniform double in [0, 1). */
+    double uniformReal();
+
+    /** Bernoulli trial with probability @p p of returning true. */
+    bool chance(double p);
+
+    /**
+     * Geometric variate: number of failures before the first success
+     * with success probability @p p (p in (0, 1]).
+     */
+    u64 geometric(double p);
+
+    /**
+     * Zipf-distributed variate in [0, n), exponent @p s.
+     *
+     * Used to model skewed branch-site popularity. Sampled by
+     * inversion over a precomputed CDF is too large for big n, so we
+     * use rejection-inversion (Hörmann).
+     */
+    u64 zipf(u64 n, double s);
+
+    /** Fisher-Yates shuffle of a vector. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &items)
+    {
+        if (items.empty()) {
+            return;
+        }
+        for (u64 i = items.size() - 1; i > 0; --i) {
+            u64 j = uniformInt(i + 1);
+            std::swap(items[i], items[j]);
+        }
+    }
+
+    /** Fork a new independent generator (for sub-streams). */
+    Rng fork();
+
+  private:
+    u64 state[4];
+};
+
+} // namespace bpred
+
+#endif // BPRED_SUPPORT_RNG_HH

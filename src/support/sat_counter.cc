@@ -1,0 +1,26 @@
+#include "support/sat_counter.hh"
+
+#include <vector>
+
+namespace bpred
+{
+
+SatCounterArray::SatCounterArray(u64 num_entries, unsigned width,
+                                 u8 initial)
+    : values(num_entries, initial),
+      width_(static_cast<u8>(width)),
+      maxCounterValue(static_cast<u8>(mask(width))),
+      thresholdValue(static_cast<u8>(u8(1) << (width - 1)))
+{
+    assert(width >= 1 && width <= 8);
+    assert(initial <= maxCounterValue);
+}
+
+void
+SatCounterArray::reset(u8 initial)
+{
+    assert(initial <= maxCounterValue);
+    std::fill(values.begin(), values.end(), initial);
+}
+
+} // namespace bpred

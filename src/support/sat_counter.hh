@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Saturating up/down counter automata used as branch predictors.
+ */
+
+#ifndef BPRED_SUPPORT_SAT_COUNTER_HH
+#define BPRED_SUPPORT_SAT_COUNTER_HH
+
+#include <cassert>
+#include <vector>
+
+#include "support/bitops.hh"
+#include "support/types.hh"
+
+namespace bpred
+{
+
+/**
+ * An n-bit saturating counter (1 <= n <= 8).
+ *
+ * Counts up on taken, down on not-taken, saturating at the ends.
+ * The predicted direction is the counter's top bit: a value in the
+ * upper half predicts taken. A 1-bit counter degenerates to the
+ * classic last-outcome predictor; the 2-bit counter is the standard
+ * Smith automaton used throughout the paper.
+ */
+class SatCounter
+{
+  public:
+    /**
+     * @param width Counter width in bits (1..8).
+     * @param initial Initial counter value; defaults to weakly
+     *        not-taken (just below the midpoint), the conventional
+     *        cold state.
+     */
+    explicit SatCounter(unsigned width = 2, u8 initial = 0)
+        : value_(initial), width_(static_cast<u8>(width))
+    {
+        assert(width >= 1 && width <= 8);
+        assert(initial <= maxValue());
+    }
+
+    /** Largest representable value. */
+    u8 maxValue() const { return static_cast<u8>(mask(width_)); }
+
+    /** Counter midpoint: values >= this predict taken. */
+    u8 threshold() const { return static_cast<u8>(u8(1) << (width_ - 1)); }
+
+    /** Current raw value. */
+    u8 value() const { return value_; }
+
+    /** Counter width in bits. */
+    unsigned width() const { return width_; }
+
+    /** Predicted direction. */
+    bool predictTaken() const { return value_ >= threshold(); }
+
+    /**
+     * True if the counter is in a saturated (strong) state for its
+     * current direction.
+     */
+    bool
+    isStrong() const
+    {
+        return value_ == 0 || value_ == maxValue();
+    }
+
+    /** Train toward @p taken. */
+    void
+    update(bool taken)
+    {
+        if (taken) {
+            if (value_ < maxValue()) {
+                ++value_;
+            }
+        } else {
+            if (value_ > 0) {
+                --value_;
+            }
+        }
+    }
+
+    /** Reset to an arbitrary value. */
+    void
+    set(u8 new_value)
+    {
+        assert(new_value <= maxValue());
+        value_ = new_value;
+    }
+
+    /** Initialize to weakly @p taken (closest value to the midpoint). */
+    void
+    setWeak(bool taken)
+    {
+        value_ = taken ? threshold() : static_cast<u8>(threshold() - 1);
+    }
+
+    /** Initialize to strongly @p taken (saturated). */
+    void
+    setStrong(bool taken)
+    {
+        value_ = taken ? maxValue() : 0;
+    }
+
+  private:
+    u8 value_;
+    u8 width_;
+};
+
+/**
+ * A flat, cache-friendly array of saturating counters sharing one
+ * width. This is the storage structure for all table-based
+ * predictors; it avoids per-entry object overhead.
+ */
+class SatCounterArray
+{
+  public:
+    /**
+     * @param num_entries Number of counters.
+     * @param width Bits per counter (1..8).
+     * @param initial Initial value for every counter.
+     */
+    SatCounterArray(u64 num_entries, unsigned width, u8 initial = 0);
+
+    /** Number of counters. */
+    u64 size() const { return values.size(); }
+
+    /** Bits per counter. */
+    unsigned width() const { return width_; }
+
+    /** Total storage cost in bits (the hardware budget metric). */
+    u64 storageBits() const { return size() * width_; }
+
+    /** Predicted direction of counter @p index. */
+    bool
+    predictTaken(u64 index) const
+    {
+        assert(index < values.size());
+        return values[index] >= thresholdValue;
+    }
+
+    /** Raw value of counter @p index. */
+    u8
+    value(u64 index) const
+    {
+        assert(index < values.size());
+        return values[index];
+    }
+
+    /** Train counter @p index toward @p taken. */
+    void
+    update(u64 index, bool taken)
+    {
+        assert(index < values.size());
+        u8 &v = values[index];
+        if (taken) {
+            if (v < maxCounterValue) {
+                ++v;
+            }
+        } else {
+            if (v > 0) {
+                --v;
+            }
+        }
+    }
+
+    /** Set counter @p index to an explicit value. */
+    void
+    set(u64 index, u8 new_value)
+    {
+        assert(index < values.size());
+        assert(new_value <= maxCounterValue);
+        values[index] = new_value;
+    }
+
+    /** Reset every counter to @p initial. */
+    void reset(u8 initial = 0);
+
+  private:
+    std::vector<u8> values;
+    u8 width_;
+    u8 maxCounterValue;
+    u8 thresholdValue;
+};
+
+} // namespace bpred
+
+#endif // BPRED_SUPPORT_SAT_COUNTER_HH

@@ -1,0 +1,137 @@
+#include "support/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/bitops.hh"
+
+namespace bpred
+{
+
+void
+RunningStat::sample(double value)
+{
+    ++count_;
+    sum_ += value;
+    if (count_ == 1) {
+        mean_ = value;
+        m2 = 0.0;
+        min_ = value;
+        max_ = value;
+        return;
+    }
+    const double delta = value - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2 += delta * (value - mean_);
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+}
+
+double
+RunningStat::variance() const
+{
+    if (count_ < 2) {
+        return 0.0;
+    }
+    return m2 / static_cast<double>(count_);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+RunningStat::reset()
+{
+    count_ = 0;
+    mean_ = 0.0;
+    m2 = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+    sum_ = 0.0;
+}
+
+u64
+Histogram::count(u64 key) const
+{
+    auto it = counts.find(key);
+    return it == counts.end() ? 0 : it->second;
+}
+
+double
+Histogram::mean() const
+{
+    if (total_ == 0) {
+        return 0.0;
+    }
+    double weighted = 0.0;
+    for (const auto &[key, count] : counts) {
+        weighted += static_cast<double>(key) * static_cast<double>(count);
+    }
+    return weighted / static_cast<double>(total_);
+}
+
+u64
+Histogram::percentile(double fraction) const
+{
+    assert(fraction > 0.0 && fraction <= 1.0);
+    if (total_ == 0) {
+        return 0;
+    }
+    const double target = fraction * static_cast<double>(total_);
+    u64 running = 0;
+    for (const auto &[key, count] : counts) {
+        running += count;
+        if (static_cast<double>(running) >= target) {
+            return key;
+        }
+    }
+    return counts.rbegin()->first;
+}
+
+double
+Histogram::cumulativeFraction(u64 key) const
+{
+    if (total_ == 0) {
+        return 0.0;
+    }
+    u64 running = 0;
+    for (const auto &[k, count] : counts) {
+        if (k > key) {
+            break;
+        }
+        running += count;
+    }
+    return static_cast<double>(running) / static_cast<double>(total_);
+}
+
+std::vector<std::pair<u64, u64>>
+Histogram::sorted() const
+{
+    return {counts.begin(), counts.end()};
+}
+
+std::vector<u64>
+Histogram::log2Buckets() const
+{
+    std::vector<u64> buckets;
+    for (const auto &[key, count] : counts) {
+        const unsigned bucket = key < 2 ? 0 : floorLog2(key);
+        if (buckets.size() <= bucket) {
+            buckets.resize(bucket + 1, 0);
+        }
+        buckets[bucket] += count;
+    }
+    return buckets;
+}
+
+void
+Histogram::reset()
+{
+    counts.clear();
+    total_ = 0;
+}
+
+} // namespace bpred

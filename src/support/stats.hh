@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Lightweight statistics primitives for simulation results.
+ */
+
+#ifndef BPRED_SUPPORT_STATS_HH
+#define BPRED_SUPPORT_STATS_HH
+
+#include <cassert>
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace bpred
+{
+
+/**
+ * A ratio counter: events out of opportunities.
+ *
+ * The workhorse for misprediction and aliasing ratios.
+ */
+class RatioStat
+{
+  public:
+    /** Record one opportunity; @p event says whether it counted. */
+    void
+    sample(bool event)
+    {
+        ++total_;
+        if (event) {
+            ++events_;
+        }
+    }
+
+    /** Number of positive events. */
+    u64 events() const { return events_; }
+
+    /** Number of opportunities. */
+    u64 total() const { return total_; }
+
+    /** events / total, or 0 when empty. */
+    double
+    ratio() const
+    {
+        return total_ == 0
+            ? 0.0
+            : static_cast<double>(events_) / static_cast<double>(total_);
+    }
+
+    /** ratio() as a percentage. */
+    double percent() const { return ratio() * 100.0; }
+
+    /** Merge another ratio stat into this one. */
+    void
+    merge(const RatioStat &other)
+    {
+        events_ += other.events_;
+        total_ += other.total_;
+    }
+
+    /** Clear to empty. */
+    void
+    reset()
+    {
+        events_ = 0;
+        total_ = 0;
+    }
+
+  private:
+    u64 events_ = 0;
+    u64 total_ = 0;
+};
+
+/**
+ * Running mean / variance / extrema over double samples
+ * (Welford's algorithm).
+ */
+class RunningStat
+{
+  public:
+    /** Add one sample. */
+    void sample(double value);
+
+    /** Number of samples seen. */
+    u64 count() const { return count_; }
+
+    /** Mean of the samples, 0 when empty. */
+    double mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+    /** Population variance, 0 with fewer than 2 samples. */
+    double variance() const;
+
+    /** Standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample (0 when empty). */
+    double min() const { return count_ == 0 ? 0.0 : min_; }
+
+    /** Largest sample (0 when empty). */
+    double max() const { return count_ == 0 ? 0.0 : max_; }
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+    /** Clear to empty. */
+    void reset();
+
+  private:
+    u64 count_ = 0;
+    double mean_ = 0.0;
+    double m2 = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/**
+ * Histogram over integer keys with exact per-key counts.
+ *
+ * Used for last-use-distance distributions, trip-count
+ * distributions, etc. Sparse (map-backed) because distance keys
+ * span many orders of magnitude.
+ */
+class Histogram
+{
+  public:
+    /** Record one occurrence of @p key. */
+    void
+    sample(u64 key)
+    {
+        ++counts[key];
+        ++total_;
+    }
+
+    /** Record @p weight occurrences of @p key. */
+    void
+    sampleN(u64 key, u64 weight)
+    {
+        counts[key] += weight;
+        total_ += weight;
+    }
+
+    /** Total number of samples. */
+    u64 total() const { return total_; }
+
+    /** Count recorded for @p key (0 if absent). */
+    u64 count(u64 key) const;
+
+    /** Number of distinct keys. */
+    std::size_t numKeys() const { return counts.size(); }
+
+    /** Mean key value weighted by count. */
+    double mean() const;
+
+    /**
+     * Smallest key k such that at least @p fraction of the samples
+     * have key <= k. @p fraction in (0, 1].
+     */
+    u64 percentile(double fraction) const;
+
+    /** Fraction of samples with key <= @p key. */
+    double cumulativeFraction(u64 key) const;
+
+    /** Sorted (key, count) pairs. */
+    std::vector<std::pair<u64, u64>> sorted() const;
+
+    /**
+     * Collapse into power-of-two buckets: result[i] counts samples
+     * with key in [2^i, 2^(i+1)), with result[0] counting key < 2.
+     */
+    std::vector<u64> log2Buckets() const;
+
+    /** Clear to empty. */
+    void reset();
+
+  private:
+    std::map<u64, u64> counts;
+    u64 total_ = 0;
+};
+
+} // namespace bpred
+
+#endif // BPRED_SUPPORT_STATS_HH

@@ -1,0 +1,153 @@
+#include "support/table.hh"
+
+#include <cassert>
+#include <cstdio>
+#include <iomanip>
+
+#include "support/bitops.hh"
+#include "support/logging.hh"
+
+namespace bpred
+{
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : header(std::move(headers))
+{
+    assert(!header.empty());
+}
+
+TextTable &
+TextTable::row()
+{
+    rows.emplace_back();
+    return *this;
+}
+
+TextTable &
+TextTable::cell(const std::string &text)
+{
+    if (rows.empty()) {
+        panic("TextTable::cell called before row()");
+    }
+    rows.back().push_back(text);
+    return *this;
+}
+
+TextTable &
+TextTable::cell(u64 value)
+{
+    return cell(std::to_string(value));
+}
+
+TextTable &
+TextTable::cell(i64 value)
+{
+    return cell(std::to_string(value));
+}
+
+TextTable &
+TextTable::cell(double value, int precision)
+{
+    return cell(formatDouble(value, precision));
+}
+
+TextTable &
+TextTable::percentCell(double percent_value, int precision)
+{
+    return cell(formatDouble(percent_value, precision) + " %");
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(header.size(), 0);
+    for (std::size_t c = 0; c < header.size(); ++c) {
+        widths[c] = header[c].size();
+    }
+    for (const auto &r : rows) {
+        for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c) {
+            widths[c] = std::max(widths[c], r[c].size());
+        }
+    }
+
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        os << "| ";
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string &text = c < cells.size() ? cells[c] : "";
+            os << std::setw(static_cast<int>(widths[c])) << text;
+            os << (c + 1 < widths.size() ? " | " : " |\n");
+        }
+    };
+
+    auto print_rule = [&]() {
+        os << "+";
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            os << std::string(widths[c] + 2, '-') << "+";
+        }
+        os << "\n";
+    };
+
+    print_rule();
+    print_row(header);
+    print_rule();
+    for (const auto &r : rows) {
+        print_row(r);
+    }
+    print_rule();
+}
+
+void
+TextTable::printCsv(std::ostream &os) const
+{
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << cells[c] << (c + 1 < cells.size() ? "," : "");
+        }
+        os << "\n";
+    };
+    print_row(header);
+    for (const auto &r : rows) {
+        print_row(r);
+    }
+}
+
+std::string
+formatDouble(double value, int precision)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+    return buffer;
+}
+
+std::string
+formatCount(u64 value)
+{
+    std::string digits = std::to_string(value);
+    std::string grouped;
+    grouped.reserve(digits.size() + digits.size() / 3);
+    const std::size_t n = digits.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (i > 0 && (n - i) % 3 == 0) {
+            grouped.push_back(',');
+        }
+        grouped.push_back(digits[i]);
+    }
+    return grouped;
+}
+
+std::string
+formatEntries(u64 entries)
+{
+    if (entries >= 1024 && entries % 1024 == 0) {
+        return std::to_string(entries / 1024) + "K";
+    }
+    return std::to_string(entries);
+}
+
+void
+printHeading(std::ostream &os, const std::string &title)
+{
+    os << "\n== " << title << " ==\n\n";
+}
+
+} // namespace bpred

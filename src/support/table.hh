@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Plain-text table formatting for experiment output.
+ *
+ * Every bench binary prints the paper's rows through this formatter
+ * so the reproduced tables line up and can be diffed run-to-run.
+ */
+
+#ifndef BPRED_SUPPORT_TABLE_HH
+#define BPRED_SUPPORT_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace bpred
+{
+
+/**
+ * A simple column-aligned text table.
+ *
+ * Cells are strings; numeric helpers format with fixed precision.
+ * The first row added is the header.
+ */
+class TextTable
+{
+  public:
+    /** Start a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Begin a new (empty) row. */
+    TextTable &row();
+
+    /** Append a string cell to the current row. */
+    TextTable &cell(const std::string &text);
+
+    /** Append an integer cell. */
+    TextTable &cell(u64 value);
+
+    /** Append a signed integer cell. */
+    TextTable &cell(i64 value);
+
+    /** Append a floating cell with @p precision decimals. */
+    TextTable &cell(double value, int precision = 2);
+
+    /** Append a percentage cell: "12.34 %". */
+    TextTable &percentCell(double percent_value, int precision = 2);
+
+    /** Number of data rows so far. */
+    std::size_t numRows() const { return rows.size(); }
+
+    /** Render with aligned columns to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Render as comma-separated values to @p os. */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** Format @p value as a fixed-precision string. */
+std::string formatDouble(double value, int precision = 2);
+
+/** Format a count with thousands separators ("14,288,742"). */
+std::string formatCount(u64 value);
+
+/**
+ * Format a power-of-two entry count the way the paper labels its
+ * x-axes: "1K", "16K", "256K", or plain digits below 1024.
+ */
+std::string formatEntries(u64 entries);
+
+/** Print a section heading ("== title ==") to @p os. */
+void printHeading(std::ostream &os, const std::string &title);
+
+} // namespace bpred
+
+#endif // BPRED_SUPPORT_TABLE_HH

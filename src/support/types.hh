@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Fixed-width integer aliases used throughout the library.
+ */
+
+#ifndef BPRED_SUPPORT_TYPES_HH
+#define BPRED_SUPPORT_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bpred
+{
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/** Branch (instruction) address. */
+using Addr = u64;
+
+/** Global-history register contents, youngest outcome in bit 0. */
+using History = u64;
+
+} // namespace bpred
+
+#endif // BPRED_SUPPORT_TYPES_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The unit of a branch trace.
+ */
+
+#ifndef BPRED_TRACE_BRANCH_RECORD_HH
+#define BPRED_TRACE_BRANCH_RECORD_HH
+
+#include "support/types.hh"
+
+namespace bpred
+{
+
+/**
+ * One dynamic branch instance.
+ *
+ * Mirrors what the paper's hardware-monitor traces provide: the
+ * branch address, its resolved direction, and whether it is
+ * conditional. Unconditional branches (jumps, calls, returns) are
+ * kept in the stream because the paper includes them in the global
+ * history ("we include unconditional branches as part of the
+ * global-history bits"), but they are never predicted.
+ */
+struct BranchRecord
+{
+    /** Instruction address of the branch. */
+    Addr pc = 0;
+
+    /** Resolved direction; always true for unconditional branches. */
+    bool taken = false;
+
+    /** True for conditional branches (the predicted population). */
+    bool conditional = true;
+
+    bool
+    operator==(const BranchRecord &other) const
+    {
+        return pc == other.pc && taken == other.taken &&
+            conditional == other.conditional;
+    }
+};
+
+} // namespace bpred
+
+#endif // BPRED_TRACE_BRANCH_RECORD_HH

@@ -1,0 +1,49 @@
+#include "trace/trace.hh"
+
+#include <unordered_set>
+
+namespace bpred
+{
+
+double
+TraceStats::takenRatio() const
+{
+    return dynamicConditional == 0
+        ? 0.0
+        : static_cast<double>(takenConditional) /
+            static_cast<double>(dynamicConditional);
+}
+
+double
+TraceStats::dynamicPerStatic() const
+{
+    return staticConditional == 0
+        ? 0.0
+        : static_cast<double>(dynamicConditional) /
+            static_cast<double>(staticConditional);
+}
+
+TraceStats
+computeTraceStats(const Trace &trace)
+{
+    TraceStats stats;
+    std::unordered_set<Addr> cond_sites;
+    std::unordered_set<Addr> uncond_sites;
+    for (const BranchRecord &record : trace) {
+        if (record.conditional) {
+            ++stats.dynamicConditional;
+            if (record.taken) {
+                ++stats.takenConditional;
+            }
+            cond_sites.insert(record.pc);
+        } else {
+            ++stats.dynamicUnconditional;
+            uncond_sites.insert(record.pc);
+        }
+    }
+    stats.staticConditional = cond_sites.size();
+    stats.staticUnconditional = uncond_sites.size();
+    return stats;
+}
+
+} // namespace bpred

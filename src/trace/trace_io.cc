@@ -1,0 +1,217 @@
+#include "trace/trace_io.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace bpred
+{
+
+namespace
+{
+
+constexpr char binaryMagic[4] = {'B', 'P', 'T', '1'};
+
+void
+writeVarint(std::ostream &os, u64 value)
+{
+    while (value >= 0x80) {
+        os.put(static_cast<char>((value & 0x7f) | 0x80));
+        value >>= 7;
+    }
+    os.put(static_cast<char>(value));
+}
+
+u64
+readVarint(std::istream &is)
+{
+    u64 value = 0;
+    unsigned shift = 0;
+    for (;;) {
+        const int byte = is.get();
+        if (byte == std::char_traits<char>::eof()) {
+            fatal("trace: truncated varint");
+        }
+        if (shift >= 64) {
+            fatal("trace: varint overflow");
+        }
+        value |= (static_cast<u64>(byte) & 0x7f) << shift;
+        if ((byte & 0x80) == 0) {
+            return value;
+        }
+        shift += 7;
+    }
+}
+
+/** ZigZag encoding maps signed deltas to small unsigned values. */
+u64
+zigZagEncode(i64 value)
+{
+    return (static_cast<u64>(value) << 1) ^
+        static_cast<u64>(value >> 63);
+}
+
+i64
+zigZagDecode(u64 value)
+{
+    return static_cast<i64>(value >> 1) ^ -static_cast<i64>(value & 1);
+}
+
+} // namespace
+
+void
+writeBinaryTrace(std::ostream &os, const Trace &trace)
+{
+    os.write(binaryMagic, sizeof(binaryMagic));
+    writeVarint(os, trace.name().size());
+    os.write(trace.name().data(),
+             static_cast<std::streamsize>(trace.name().size()));
+    writeVarint(os, trace.size());
+
+    Addr last_pc = 0;
+    for (const BranchRecord &record : trace) {
+        const i64 delta = static_cast<i64>(record.pc) -
+            static_cast<i64>(last_pc);
+        const u8 flags = static_cast<u8>((record.taken ? 1 : 0) |
+                                         (record.conditional ? 2 : 0));
+        os.put(static_cast<char>(flags));
+        writeVarint(os, zigZagEncode(delta));
+        last_pc = record.pc;
+    }
+    if (!os) {
+        fatal("trace: write failure");
+    }
+}
+
+Trace
+readBinaryTrace(std::istream &is)
+{
+    char magic[4] = {};
+    is.read(magic, sizeof(magic));
+    if (!is || !std::equal(magic, magic + 4, binaryMagic)) {
+        fatal("trace: bad magic (not a BPT1 trace)");
+    }
+
+    const u64 name_len = readVarint(is);
+    if (name_len > 4096) {
+        fatal("trace: unreasonable name length");
+    }
+    std::string name(name_len, '\0');
+    is.read(name.data(), static_cast<std::streamsize>(name_len));
+    if (!is) {
+        fatal("trace: truncated name");
+    }
+
+    const u64 count = readVarint(is);
+    Trace trace(name);
+    // A hostile or corrupt header can declare an absurd count;
+    // cap the up-front reservation and let the per-record reads
+    // hit the truncation check naturally.
+    trace.reserve(static_cast<std::size_t>(
+        std::min<u64>(count, u64(1) << 20)));
+
+    Addr last_pc = 0;
+    for (u64 i = 0; i < count; ++i) {
+        const int flags = is.get();
+        if (flags == std::char_traits<char>::eof()) {
+            fatal("trace: truncated record");
+        }
+        if ((flags & ~0x3) != 0) {
+            fatal("trace: bad record flags");
+        }
+        const i64 delta = zigZagDecode(readVarint(is));
+        last_pc = static_cast<Addr>(static_cast<i64>(last_pc) + delta);
+        trace.append({last_pc, (flags & 1) != 0, (flags & 2) != 0});
+    }
+    return trace;
+}
+
+void
+saveBinaryTrace(const std::string &path, const Trace &trace)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os) {
+        fatal("trace: cannot open '" + path + "' for writing");
+    }
+    writeBinaryTrace(os, trace);
+    if (!os) {
+        fatal("trace: error while writing '" + path + "'");
+    }
+}
+
+Trace
+loadBinaryTrace(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        fatal("trace: cannot open '" + path + "' for reading");
+    }
+    return readBinaryTrace(is);
+}
+
+void
+writeTextTrace(std::ostream &os, const Trace &trace)
+{
+    os << "# trace: " << trace.name() << "\n";
+    os << "# format: C|U <hex pc> T|N\n";
+    os << std::hex;
+    for (const BranchRecord &record : trace) {
+        os << (record.conditional ? 'C' : 'U') << ' '
+           << record.pc << ' '
+           << (record.taken ? 'T' : 'N') << '\n';
+    }
+    os << std::dec;
+}
+
+Trace
+readTextTrace(std::istream &is, const std::string &name)
+{
+    Trace trace(name);
+    std::string line;
+    u64 line_no = 0;
+    while (std::getline(is, line)) {
+        ++line_no;
+        // Strip comments and blank lines.
+        const auto hash = line.find('#');
+        if (hash != std::string::npos) {
+            line.erase(hash);
+        }
+        std::istringstream fields(line);
+        char kind = 0;
+        std::string pc_text;
+        char direction = 0;
+        if (!(fields >> kind)) {
+            continue; // blank line
+        }
+        if (!(fields >> pc_text >> direction)) {
+            fatal("trace: malformed line " + std::to_string(line_no));
+        }
+        if (kind != 'C' && kind != 'U') {
+            fatal("trace: bad branch kind on line " +
+                  std::to_string(line_no));
+        }
+        if (direction != 'T' && direction != 'N') {
+            fatal("trace: bad direction on line " +
+                  std::to_string(line_no));
+        }
+        Addr pc = 0;
+        try {
+            pc = std::stoull(pc_text, nullptr, 16);
+        } catch (const std::exception &) {
+            fatal("trace: bad pc on line " + std::to_string(line_no));
+        }
+        const bool taken = direction == 'T';
+        if (kind == 'U' && !taken) {
+            fatal("trace: unconditional branch marked not-taken on line " +
+                  std::to_string(line_no));
+        }
+        trace.append({pc, taken, kind == 'C'});
+    }
+    return trace;
+}
+
+} // namespace bpred

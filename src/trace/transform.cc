@@ -1,0 +1,92 @@
+#include "trace/transform.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace bpred
+{
+
+Trace
+sliceTrace(const Trace &trace, std::size_t begin, std::size_t count)
+{
+    Trace result(trace.name() + "[slice]");
+    if (begin >= trace.size()) {
+        return result;
+    }
+    const std::size_t end = std::min(trace.size(), begin + count);
+    result.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+        result.append(trace[i]);
+    }
+    return result;
+}
+
+Trace
+concatTraces(const std::vector<const Trace *> &traces)
+{
+    if (traces.empty()) {
+        fatal("concatTraces: no traces given");
+    }
+    Trace result(traces.front()->name() + "[concat]");
+    std::size_t total = 0;
+    for (const Trace *trace : traces) {
+        total += trace->size();
+    }
+    result.reserve(total);
+    for (const Trace *trace : traces) {
+        for (const BranchRecord &record : *trace) {
+            result.append(record);
+        }
+    }
+    return result;
+}
+
+Trace
+interleaveTraces(const std::vector<const Trace *> &traces,
+                 std::size_t quantum)
+{
+    if (traces.empty()) {
+        fatal("interleaveTraces: no traces given");
+    }
+    if (quantum == 0) {
+        fatal("interleaveTraces: zero quantum");
+    }
+    Trace result(traces.front()->name() + "[mix]");
+    std::size_t total = 0;
+    for (const Trace *trace : traces) {
+        total += trace->size();
+    }
+    result.reserve(total);
+
+    std::vector<std::size_t> cursors(traces.size(), 0);
+    bool any_left = true;
+    while (any_left) {
+        any_left = false;
+        for (std::size_t t = 0; t < traces.size(); ++t) {
+            const Trace &trace = *traces[t];
+            std::size_t &cursor = cursors[t];
+            const std::size_t end =
+                std::min(trace.size(), cursor + quantum);
+            for (; cursor < end; ++cursor) {
+                result.append(trace[cursor]);
+            }
+            any_left = any_left || cursor < trace.size();
+        }
+    }
+    return result;
+}
+
+Trace
+filterAddressRange(const Trace &trace, Addr lo, Addr hi)
+{
+    Trace result(trace.name() + "[filter]");
+    for (const BranchRecord &record : trace) {
+        if (record.pc >= lo && record.pc < hi) {
+            result.append(record);
+        }
+    }
+    return result;
+}
+
+} // namespace bpred

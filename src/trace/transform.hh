@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Trace transformation utilities.
+ *
+ * Experiment plumbing: slicing off warm-up, splicing workloads
+ * into multiprogrammed mixes, and isolating address ranges (e.g.
+ * kernel vs user) from a combined trace.
+ */
+
+#ifndef BPRED_TRACE_TRANSFORM_HH
+#define BPRED_TRACE_TRANSFORM_HH
+
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace bpred
+{
+
+/**
+ * A contiguous slice: records [@p begin, @p begin + @p count) of
+ * @p trace (clamped to the trace length).
+ */
+Trace sliceTrace(const Trace &trace, std::size_t begin,
+                 std::size_t count);
+
+/** Concatenate @p traces in order (named after the first). */
+Trace concatTraces(const std::vector<const Trace *> &traces);
+
+/**
+ * Deterministically interleave traces in round-robin quanta of
+ * @p quantum records each, until every input is exhausted. Models
+ * a simple multiprogrammed mix of independently-captured traces.
+ */
+Trace interleaveTraces(const std::vector<const Trace *> &traces,
+                       std::size_t quantum);
+
+/**
+ * Keep only records with pc in [@p lo, @p hi) — e.g. the kernel
+ * (or user) half of a combined trace.
+ */
+Trace filterAddressRange(const Trace &trace, Addr lo, Addr hi);
+
+} // namespace bpred
+
+#endif // BPRED_TRACE_TRANSFORM_HH

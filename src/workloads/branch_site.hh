@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Static branch-site behaviour models for synthetic workloads.
+ */
+
+#ifndef BPRED_WORKLOADS_BRANCH_SITE_HH
+#define BPRED_WORKLOADS_BRANCH_SITE_HH
+
+#include "support/types.hh"
+
+namespace bpred
+{
+
+/**
+ * The behaviour class of a synthetic branch site. The mix of these
+ * classes is what gives a synthetic trace the same predictability
+ * structure as the paper's IBS traces: strongly biased branches,
+ * loop-exit branches, branches correlated with recent global
+ * outcomes, and short repeating local patterns.
+ */
+enum class SiteKind : u8
+{
+    /** Bernoulli with a per-site (usually strong) taken bias. */
+    Biased,
+
+    /**
+     * Loop bottom-test: taken while iterations remain. Trip counts
+     * are drawn per activation (fixed or geometric around a mean).
+     */
+    Loop,
+
+    /**
+     * Direction is a (noisy) boolean function of selected recent
+     * global-history bits — the behaviour that makes long global
+     * histories intrinsically more predictive (Table 2).
+     */
+    Correlated,
+
+    /** Short repeating taken/not-taken pattern (period 2..16). */
+    Pattern,
+};
+
+/**
+ * A static conditional branch site: its address and the parameters
+ * of its behaviour model. Runtime state (pattern phase) lives in
+ * the interpreter so the Program stays immutable and shareable.
+ */
+struct BranchSite
+{
+    SiteKind kind = SiteKind::Biased;
+
+    /** Branch instruction address (word-aligned). */
+    Addr addr = 0;
+
+    /** Biased: probability of being taken. */
+    double takenProbability = 0.5;
+
+    /** Loop: mean trip count (>= 1). */
+    double meanTrips = 4.0;
+
+    /** Loop: when true the trip count is always exactly meanTrips. */
+    bool fixedTrips = false;
+
+    /**
+     * Loop: polarity. false = "taken means continue" (classic
+     * backward branch), true = "taken means exit" (forward exit
+     * test). Both occur in compiled code; mixing them keeps the
+     * substream bias density b near 1/2, where aliasing is most
+     * destructive.
+     */
+    bool exitTaken = false;
+
+    /** Correlated: which global-history bits feed the function. */
+    History historyMask = 0;
+
+    /** Correlated: invert the parity function. */
+    bool invert = false;
+
+    /** Correlated: probability the ideal outcome is flipped. */
+    double noise = 0.0;
+
+    /** Pattern: the repeating outcome bits (bit 0 first). */
+    u16 patternBits = 0;
+
+    /** Pattern: period in [2, 16]. */
+    u8 patternLength = 2;
+};
+
+} // namespace bpred
+
+#endif // BPRED_WORKLOADS_BRANCH_SITE_HH

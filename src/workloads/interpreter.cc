@@ -1,0 +1,189 @@
+#include "workloads/interpreter.hh"
+
+#include <cassert>
+#include <cmath>
+
+#include "support/bitops.hh"
+#include "support/logging.hh"
+
+namespace bpred
+{
+
+Interpreter::Interpreter(const Program &prog, u64 seed)
+    : program(prog),
+      rng(seed),
+      patternPhase(prog.sites.size(), 0)
+{
+    if (program.procedures.empty() || program.sites.empty()) {
+        fatal("Interpreter: empty program");
+    }
+}
+
+bool
+Interpreter::resolveSite(u32 site_index, const StreamContext &context)
+{
+    assert(site_index < program.sites.size());
+    const BranchSite &site = program.sites[site_index];
+
+    switch (site.kind) {
+      case SiteKind::Biased:
+        return rng.chance(site.takenProbability);
+
+      case SiteKind::Correlated: {
+        const History history = context.globalHistory().raw();
+        bool outcome =
+            (popCount(history & site.historyMask) & 1) != 0;
+        if (site.invert) {
+            outcome = !outcome;
+        }
+        if (rng.chance(site.noise)) {
+            outcome = !outcome;
+        }
+        return outcome;
+      }
+
+      case SiteKind::Pattern: {
+        u16 &phase = patternPhase[site_index];
+        const bool outcome = bit(site.patternBits, phase);
+        phase = static_cast<u16>((phase + 1) % site.patternLength);
+        return outcome;
+      }
+
+      case SiteKind::Loop:
+        // Loop sites are resolved by the trip-count machinery, not
+        // here.
+        panic("resolveSite called on a loop site");
+    }
+    panic("resolveSite: bad site kind");
+}
+
+u64
+Interpreter::drawTrips(const BranchSite &site)
+{
+    assert(site.kind == SiteKind::Loop);
+    if (site.fixedTrips) {
+        return std::max<u64>(
+            1, static_cast<u64>(std::llround(site.meanTrips)));
+    }
+    // 1 + Geometric(1/mean) has mean ~= meanTrips.
+    const double p = 1.0 / std::max(1.0, site.meanTrips);
+    return 1 + rng.geometric(p);
+}
+
+void
+Interpreter::pushBlock(const StmtBlock *block)
+{
+    Frame frame;
+    frame.kind = Frame::Kind::Block;
+    frame.block = block;
+    frame.next = 0;
+    stack.push_back(frame);
+}
+
+u64
+Interpreter::run(StreamContext &context, u64 quantum)
+{
+    u64 emitted = 0;
+    // Safety valve: a synthetic program must emit a conditional
+    // branch at least once per this many dispatch steps, or
+    // something is structurally wrong with it.
+    u64 steps_since_conditional = 0;
+    constexpr u64 maxBarrenSteps = 1u << 22;
+
+    while (emitted < quantum) {
+        if (++steps_since_conditional > maxBarrenSteps) {
+            panic("Interpreter: program emits no conditional "
+                  "branches");
+        }
+
+        if (stack.empty()) {
+            pushBlock(&program.procedures[0].body);
+            continue;
+        }
+
+        const std::size_t top = stack.size() - 1;
+        switch (stack[top].kind) {
+          case Frame::Kind::Block: {
+            if (stack[top].next >= stack[top].block->size()) {
+                stack.pop_back();
+                break;
+            }
+            const Statement &stmt =
+                (*stack[top].block)[stack[top].next++];
+
+            switch (stmt.kind) {
+              case StatementKind::If: {
+                const bool taken = resolveSite(stmt.site, context);
+                context.emitConditional(
+                    program.sites[stmt.site].addr, taken);
+                ++emitted;
+                steps_since_conditional = 0;
+                const StmtBlock &chosen =
+                    taken ? stmt.thenBlock : stmt.elseBlock;
+                if (!chosen.empty()) {
+                    pushBlock(&chosen);
+                }
+                break;
+              }
+              case StatementKind::Loop: {
+                Frame frame;
+                frame.kind = Frame::Kind::Loop;
+                frame.loopStmt = &stmt;
+                frame.remainingTrips =
+                    drawTrips(program.sites[stmt.site]);
+                stack.push_back(frame);
+                if (!stmt.body.empty()) {
+                    pushBlock(&stmt.body);
+                }
+                break;
+              }
+              case StatementKind::Call: {
+                context.emitUnconditional(stmt.branchAddr);
+                Frame frame;
+                frame.kind = Frame::Kind::Call;
+                frame.returnAddr = stmt.returnAddr;
+                stack.push_back(frame);
+                pushBlock(&program.procedures[stmt.callee].body);
+                break;
+              }
+              case StatementKind::Jump:
+                context.emitUnconditional(stmt.branchAddr);
+                break;
+            }
+            break;
+          }
+
+          case Frame::Kind::Loop: {
+            // One body iteration just finished (or the body was
+            // empty): emit the bottom-test branch.
+            assert(stack[top].remainingTrips >= 1);
+            --stack[top].remainingTrips;
+            const bool more = stack[top].remainingTrips > 0;
+            const Statement *loop_stmt = stack[top].loopStmt;
+            const BranchSite &loop_site =
+                program.sites[loop_stmt->site];
+            context.emitConditional(
+                loop_site.addr,
+                loop_site.exitTaken ? !more : more);
+            ++emitted;
+            steps_since_conditional = 0;
+            if (more) {
+                if (!loop_stmt->body.empty()) {
+                    pushBlock(&loop_stmt->body);
+                }
+            } else {
+                stack.pop_back();
+            }
+            break;
+          }
+
+          case Frame::Kind::Call:
+            context.emitUnconditional(stack[top].returnAddr);
+            stack.pop_back();
+            break;
+        }
+    }
+    return emitted;
+}
+
+} // namespace bpred

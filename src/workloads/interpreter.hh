@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Resumable execution of synthetic programs.
+ */
+
+#ifndef BPRED_WORKLOADS_INTERPRETER_HH
+#define BPRED_WORKLOADS_INTERPRETER_HH
+
+#include <vector>
+
+#include "predictors/history.hh"
+#include "support/rng.hh"
+#include "trace/trace.hh"
+#include "workloads/program.hh"
+
+namespace bpred
+{
+
+/**
+ * The shared stream the interleaved processes emit into: the trace
+ * under construction plus the machine-level global history that
+ * history-correlated branch sites read. The history is shared
+ * across processes on purpose — it models the single hardware
+ * history register that makes OS/multiprogramming interference
+ * visible to global-history predictors.
+ */
+class StreamContext
+{
+  public:
+    explicit StreamContext(Trace &sink) : trace(sink) {}
+
+    /** Append a conditional branch and advance the history. */
+    void
+    emitConditional(Addr pc, bool taken)
+    {
+        trace.appendConditional(pc, taken);
+        history.shiftIn(taken);
+        ++conditionalCount;
+    }
+
+    /** Append an unconditional branch (enters history as taken). */
+    void
+    emitUnconditional(Addr pc)
+    {
+        trace.appendUnconditional(pc);
+        history.shiftIn(true);
+    }
+
+    /** The machine global history as of the last emitted branch. */
+    const GlobalHistory &globalHistory() const { return history; }
+
+    /** Conditional branches emitted so far. */
+    u64 conditionals() const { return conditionalCount; }
+
+  private:
+    Trace &trace;
+    GlobalHistory history;
+    u64 conditionalCount = 0;
+};
+
+/**
+ * Executes a Program statement by statement, emitting its branches
+ * into a StreamContext. Execution state lives in an explicit frame
+ * stack so a run can be paused after any branch — the process-mix
+ * scheduler context-switches between interpreters mid-procedure,
+ * exactly like a preemptive OS.
+ *
+ * When main returns, it is restarted, so a program runs forever.
+ */
+class Interpreter
+{
+  public:
+    /**
+     * @param program The program to execute (not owned; must
+     *        outlive the interpreter).
+     * @param seed Seed for this process's private outcome RNG.
+     */
+    Interpreter(const Program &program, u64 seed);
+
+    /**
+     * Execute until @p quantum more conditional branches have been
+     * emitted, then pause (resumable).
+     *
+     * @return Conditional branches actually emitted (== quantum).
+     */
+    u64 run(StreamContext &context, u64 quantum);
+
+    /** Current call/loop/block nesting depth (for tests). */
+    std::size_t stackDepth() const { return stack.size(); }
+
+  private:
+    struct Frame
+    {
+        enum class Kind : u8 { Block, Loop, Call };
+
+        Kind kind;
+        const StmtBlock *block = nullptr; // Block
+        std::size_t next = 0;             // Block
+        const Statement *loopStmt = nullptr; // Loop
+        u64 remainingTrips = 0;           // Loop
+        Addr returnAddr = 0;              // Call
+    };
+
+    bool resolveSite(u32 site_index, const StreamContext &context);
+    u64 drawTrips(const BranchSite &site);
+    void pushBlock(const StmtBlock *block);
+
+    const Program &program;
+    Rng rng;
+    std::vector<Frame> stack;
+    std::vector<u16> patternPhase;
+};
+
+} // namespace bpred
+
+#endif // BPRED_WORKLOADS_INTERPRETER_HH

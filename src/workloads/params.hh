@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tunable parameters of the synthetic workload generator.
+ */
+
+#ifndef BPRED_WORKLOADS_PARAMS_HH
+#define BPRED_WORKLOADS_PARAMS_HH
+
+#include <string>
+
+#include "support/types.hh"
+
+namespace bpred
+{
+
+/**
+ * Generation parameters for one synthetic process (one "program").
+ *
+ * The defaults describe a generic user program; the per-benchmark
+ * presets in presets.hh override the knobs that differentiate the
+ * IBS workloads (static branch count, bias mix, loop structure).
+ */
+struct ProgramParams
+{
+    /** RNG seed; everything downstream is deterministic in it. */
+    u64 seed = 1;
+
+    /** Approximate number of static conditional branch sites. */
+    u32 staticBranchTarget = 5000;
+
+    /** Code base address of the program (processes get disjoint). */
+    Addr addressBase = 0x0040'0000;
+
+    /**
+     * Fractions of branch sites by behaviour; they are applied in
+     * the order loop, biased, correlated, with pattern taking the
+     * remainder. Values are clamped to a valid simplex.
+     */
+    double loopFraction = 0.18;
+    double biasedFraction = 0.55;
+    double correlatedFraction = 0.12;
+
+    /** Mean loop trip count (per-site means scatter around this). */
+    double meanLoopTrips = 8.0;
+
+    /** Fraction of loops with a deterministic trip count. */
+    double fixedLoopFraction = 0.95;
+
+    /**
+     * Mean probability of the dominant direction for biased sites
+     * (per-site biases scatter toward 1.0 from here).
+     */
+    double biasStrength = 0.985;
+
+    /** Flip probability for correlated sites' ideal outcome. */
+    double correlationNoise = 0.08;
+
+    /** Farthest global-history bit a correlated site may read. */
+    unsigned maxCorrelationSpan = 10;
+
+    /** Probability a generated statement is a procedure call. */
+    double callDensity = 0.05;
+
+    /** Probability a generated statement is an unconditional jump. */
+    double jumpDensity = 0.10;
+
+    /** Maximum If/Loop nesting depth inside a procedure. */
+    unsigned maxNestingDepth = 4;
+
+    /** Approximate branch sites per procedure. */
+    unsigned sitesPerProcedure = 28;
+};
+
+/**
+ * Parameters of a full workload: a user program plus an optional
+ * interleaved kernel process, and a dynamic-length target.
+ */
+struct WorkloadParams
+{
+    /** Benchmark name (becomes the trace name). */
+    std::string name = "synthetic";
+
+    /** Master seed (program seeds derive from it). */
+    u64 seed = 1;
+
+    /** Conditional branches to emit in total. */
+    u64 dynamicConditionalTarget = 2'000'000;
+
+    /** The user process. */
+    ProgramParams user;
+
+    /**
+     * Fraction of dynamic conditional branches contributed by the
+     * kernel process; 0 disables the kernel entirely.
+     */
+    double kernelShare = 0.20;
+
+    /** The kernel process (used when kernelShare > 0). */
+    ProgramParams kernel;
+
+    /** Mean conditional branches per user scheduling quantum. */
+    u64 userQuantumMean = 40'000;
+};
+
+} // namespace bpred
+
+#endif // BPRED_WORKLOADS_PARAMS_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * IBS-Ultrix-like benchmark presets.
+ *
+ * The paper's evaluation runs on six IBS-Ultrix traces captured
+ * with a hardware monitor (user + kernel activity of groff, gs,
+ * mpeg_play, nroff, real_gcc and verilog). Those traces are not
+ * redistributable, so each preset here configures the synthetic
+ * generator to match the trace-level characteristics the paper
+ * reports: the static conditional branch counts of Table 1, and a
+ * behaviour mix tuned so baseline misprediction rates and substream
+ * ratios land in the neighbourhood of Table 2. See DESIGN.md §2
+ * for the substitution argument.
+ */
+
+#ifndef BPRED_WORKLOADS_PRESETS_HH
+#define BPRED_WORKLOADS_PRESETS_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+#include "workloads/params.hh"
+
+namespace bpred
+{
+
+/** The six benchmark names, in the paper's order. */
+const std::vector<std::string> &ibsBenchmarkNames();
+
+/**
+ * All eight IBS workloads, including sdet and video_play, which
+ * the paper simulated but omitted from its tables and figures.
+ */
+const std::vector<std::string> &ibsAllBenchmarkNames();
+
+/**
+ * The workload parameters for IBS-like benchmark @p name.
+ *
+ * @param scale Multiplies the dynamic conditional-branch target
+ *        (1.0 = the library default of 2M branches).
+ * @throws FatalError for an unknown name.
+ */
+WorkloadParams ibsPreset(const std::string &name, double scale = 1.0);
+
+/** Generate the trace for IBS-like benchmark @p name. */
+Trace makeIbsTrace(const std::string &name, double scale = 1.0);
+
+/**
+ * Generate all six benchmark traces (the standard suite every
+ * bench binary iterates over).
+ *
+ * Honours two environment variables:
+ *  - BPRED_TRACE_SCALE: overrides @p scale when set (a float).
+ *  - BPRED_TRACE_CACHE: a directory; traces are loaded from it
+ *    when present and saved into it after generation, keyed by
+ *    name and scale.
+ */
+std::vector<Trace> ibsSuite(double scale = 1.0);
+
+/** The scale in effect after applying BPRED_TRACE_SCALE. */
+double effectiveTraceScale(double requested);
+
+} // namespace bpred
+
+#endif // BPRED_WORKLOADS_PRESETS_HH

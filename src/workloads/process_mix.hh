@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Multi-process trace composition: user program + kernel process
+ * interleaved by a preemptive scheduler.
+ */
+
+#ifndef BPRED_WORKLOADS_PROCESS_MIX_HH
+#define BPRED_WORKLOADS_PROCESS_MIX_HH
+
+#include "trace/trace.hh"
+#include "workloads/params.hh"
+#include "workloads/program.hh"
+
+namespace bpred
+{
+
+/**
+ * Generate a complete workload trace from @p params: build the user
+ * program (and the kernel program when kernelShare > 0), then
+ * interleave their execution with geometric scheduling quanta until
+ * the dynamic conditional-branch target is reached.
+ *
+ * The IBS traces this substitutes for were captured on a live
+ * machine including all kernel activity; interleaving a second
+ * address space through the same (shared) global history register
+ * reproduces the aliasing pressure and history pollution that made
+ * those traces demanding.
+ */
+Trace generateWorkload(const WorkloadParams &params);
+
+/**
+ * Generate a trace by running a single already-built @p program for
+ * @p conditional_target conditional branches (no kernel, no context
+ * switches). Used by tests that need precise control of the
+ * program.
+ */
+Trace runProgramToTrace(const Program &program, u64 seed,
+                        u64 conditional_target,
+                        const std::string &name = "single");
+
+} // namespace bpred
+
+#endif // BPRED_WORKLOADS_PROCESS_MIX_HH

@@ -1,0 +1,48 @@
+#include "workloads/program.hh"
+
+#include <algorithm>
+
+namespace bpred
+{
+
+namespace
+{
+
+void
+analyzeBlock(const StmtBlock &block, u64 depth, ProgramShape &shape)
+{
+    shape.maxDepth = std::max(shape.maxDepth, depth);
+    for (const Statement &stmt : block) {
+        switch (stmt.kind) {
+          case StatementKind::If:
+            ++shape.ifCount;
+            analyzeBlock(stmt.thenBlock, depth + 1, shape);
+            analyzeBlock(stmt.elseBlock, depth + 1, shape);
+            break;
+          case StatementKind::Loop:
+            ++shape.loopCount;
+            analyzeBlock(stmt.body, depth + 1, shape);
+            break;
+          case StatementKind::Call:
+            ++shape.callCount;
+            break;
+          case StatementKind::Jump:
+            ++shape.jumpCount;
+            break;
+        }
+    }
+}
+
+} // namespace
+
+ProgramShape
+analyzeProgram(const Program &program)
+{
+    ProgramShape shape;
+    for (const Procedure &procedure : program.procedures) {
+        analyzeBlock(procedure.body, 1, shape);
+    }
+    return shape;
+}
+
+} // namespace bpred

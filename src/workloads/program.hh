@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The synthetic program representation: a control-flow structure
+ * whose execution emits a branch trace.
+ */
+
+#ifndef BPRED_WORKLOADS_PROGRAM_HH
+#define BPRED_WORKLOADS_PROGRAM_HH
+
+#include <vector>
+
+#include "workloads/branch_site.hh"
+
+namespace bpred
+{
+
+struct Statement;
+
+/** A straight-line sequence of statements. */
+using StmtBlock = std::vector<Statement>;
+
+/** What a statement does when executed. */
+enum class StatementKind : u8
+{
+    /** Conditional branch: execute thenBlock or elseBlock. */
+    If,
+
+    /** Bottom-tested loop around body (trip count from the site). */
+    Loop,
+
+    /** Call a procedure (emits unconditional call + return). */
+    Call,
+
+    /** An unconditional jump (emits one unconditional record). */
+    Jump,
+};
+
+/**
+ * One statement of a synthetic program. A tagged struct rather
+ * than a variant keeps the interpreter's dispatch trivial.
+ */
+struct Statement
+{
+    StatementKind kind = StatementKind::Jump;
+
+    /** If/Loop: index into Program::sites. */
+    u32 site = 0;
+
+    /** Call: index of the callee procedure. */
+    u32 callee = 0;
+
+    /** Call/Jump: address of the unconditional branch instruction. */
+    Addr branchAddr = 0;
+
+    /** Call: address of the matching return branch. */
+    Addr returnAddr = 0;
+
+    StmtBlock thenBlock;
+    StmtBlock elseBlock;
+    StmtBlock body;
+};
+
+/** A procedure: an entry address and a body. */
+struct Procedure
+{
+    Addr entryAddr = 0;
+    StmtBlock body;
+};
+
+/**
+ * A complete synthetic program. Procedure 0 is "main"; the call
+ * graph is acyclic (a procedure only calls higher-numbered ones),
+ * so call depth is bounded by the procedure count.
+ */
+struct Program
+{
+    std::vector<Procedure> procedures;
+    std::vector<BranchSite> sites;
+
+    /** Number of static conditional branch sites. */
+    u64 numSites() const { return sites.size(); }
+};
+
+/** Count the statements of every kind in @p program (for tests). */
+struct ProgramShape
+{
+    u64 ifCount = 0;
+    u64 loopCount = 0;
+    u64 callCount = 0;
+    u64 jumpCount = 0;
+    u64 maxDepth = 0;
+};
+
+/** Walk @p program and summarize its static shape. */
+ProgramShape analyzeProgram(const Program &program);
+
+} // namespace bpred
+
+#endif // BPRED_WORKLOADS_PROGRAM_HH

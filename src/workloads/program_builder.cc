@@ -1,0 +1,346 @@
+#include "workloads/program_builder.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "support/bitops.hh"
+#include "support/logging.hh"
+
+namespace bpred
+{
+
+ProgramBuilder::ProgramBuilder(const ProgramParams &p)
+    : params(p),
+      rng(p.seed),
+      addrCursor(p.addressBase),
+      remainingSites(std::max<u32>(p.staticBranchTarget, 8)),
+      numProcedures(0)
+{
+    if (params.sitesPerProcedure == 0) {
+        fatal("ProgramBuilder: sitesPerProcedure must be positive");
+    }
+}
+
+Addr
+ProgramBuilder::nextAddr()
+{
+    // Word-aligned addresses with small straight-line gaps, mimicking
+    // compiled code layout.
+    const Addr addr = addrCursor;
+    addrCursor += 4 * (1 + rng.uniformInt(6));
+    return addr;
+}
+
+u32
+ProgramBuilder::newSite(SiteKind kind, unsigned depth)
+{
+    BranchSite site;
+    site.kind = kind;
+    site.addr = nextAddr();
+
+    switch (kind) {
+      case SiteKind::Biased: {
+        // Bias strength scatters from biasStrength toward 1.0; the
+        // dominant direction is a fair coin so that two branches
+        // aliased into one counter disagree about as often as they
+        // agree -- the regime in which aliasing is destructive, as
+        // in real traces (loops already skew the stream taken).
+        const double strength = params.biasStrength +
+            (1.0 - params.biasStrength) * rng.uniformReal();
+        const bool dominant_taken = rng.chance(0.5);
+        site.takenProbability =
+            dominant_taken ? strength : 1.0 - strength;
+        break;
+      }
+      case SiteKind::Loop: {
+        // Per-site mean trips scatter log-uniformly around the
+        // configured mean, and shrink with nesting depth so nested
+        // loop nests do not multiply into runaway iteration counts
+        // that would starve the rest of the program of execution
+        // time (and the trace of site coverage).
+        const double log_mean = std::log2(
+            std::max(2.0, params.meanLoopTrips));
+        const double site_log = 1.0 + rng.uniformReal() * log_mean;
+        const double depth_scale = std::exp2(
+            2.0 * static_cast<double>(depth > 1 ? depth - 1 : 0));
+        site.meanTrips = std::clamp(
+            std::exp2(site_log) / depth_scale,
+            depth > 1 ? 2.0 : 16.0, depth > 1 ? 16.0 : 64.0);
+        site.fixedTrips = rng.chance(params.fixedLoopFraction);
+        site.exitTaken = rng.chance(0.5);
+        break;
+      }
+      case SiteKind::Correlated: {
+        const unsigned span = static_cast<unsigned>(
+            rng.uniformRange(2, std::max(2u, params.maxCorrelationSpan)));
+        // The farthest bit is always at span-1, so a site's history
+        // requirement is exactly its span: predictors with history
+        // length >= span can capture it, shorter ones cannot. This
+        // is what makes Table 2's history-length sensitivity (and
+        // Figures 7/12's sweet spots) reproducible.
+        History mask = History(1) << (span - 1);
+        const unsigned extra_bits =
+            static_cast<unsigned>(rng.uniformRange(0, 2));
+        for (unsigned i = 0; i < extra_bits; ++i) {
+            mask |= History(1) << rng.uniformInt(span);
+        }
+        site.historyMask = mask;
+        site.invert = rng.chance(0.5);
+        site.noise = params.correlationNoise *
+            (0.5 + rng.uniformReal());
+        break;
+      }
+      case SiteKind::Pattern: {
+        // Loop-like patterns: taken in every slot but one. A random
+        // bit soup would be ~50% unpredictable whenever the pattern
+        // phase is not visible in the history; real repeating
+        // branches are mostly-one-direction with a periodic
+        // exception.
+        site.patternLength =
+            static_cast<u8>(rng.uniformRange(4, 8));
+        site.patternBits = static_cast<u16>(
+            mask(site.patternLength) &
+            ~(u64(1) << rng.uniformInt(site.patternLength)));
+        if (rng.chance(0.5)) {
+            // Opposite polarity: mostly not-taken with one taken.
+            site.patternBits = static_cast<u16>(
+                ~site.patternBits & mask(site.patternLength));
+        }
+        break;
+      }
+    }
+
+    program.sites.push_back(site);
+    if (remainingSites > 0) {
+        --remainingSites;
+    }
+    return static_cast<u32>(program.sites.size() - 1);
+}
+
+SiteKind
+ProgramBuilder::drawIfSiteKind()
+{
+    // Normalize the non-loop fractions (loops are drawn separately
+    // as loop statements).
+    const double biased = std::max(0.0, params.biasedFraction);
+    const double correlated = std::max(0.0, params.correlatedFraction);
+    const double pattern = std::max(
+        0.0, 1.0 - params.loopFraction - biased - correlated);
+    const double total = biased + correlated + pattern;
+    if (total <= 0.0) {
+        return SiteKind::Biased;
+    }
+    const double draw = rng.uniformReal() * total;
+    if (draw < biased) {
+        return SiteKind::Biased;
+    }
+    if (draw < biased + correlated) {
+        return SiteKind::Correlated;
+    }
+    return SiteKind::Pattern;
+}
+
+Statement
+ProgramBuilder::makeCall(u32 proc_index)
+{
+    Statement stmt;
+    stmt.kind = StatementKind::Call;
+    stmt.callee = static_cast<u32>(
+        rng.uniformRange(proc_index + 1, numProcedures - 1));
+    stmt.branchAddr = nextAddr();
+    stmt.returnAddr = nextAddr();
+    return stmt;
+}
+
+StmtBlock
+ProgramBuilder::buildBlock(unsigned depth, u32 proc_index,
+                           u32 &proc_budget)
+{
+    StmtBlock block;
+    const u64 length = rng.uniformRange(1, depth > 1 ? 3 : 5);
+    for (u64 i = 0; i < length; ++i) {
+        if (proc_budget == 0 || remainingSites == 0) {
+            break;
+        }
+        const double draw = rng.uniformReal();
+        // Calls only at a procedure's top level: a call nested in a
+        // loop multiplies the whole callee subtree by the trip
+        // count, and transitive chains turn that into an emission
+        // explosion that concentrates execution in a handful of
+        // procedures. Top-level-only keeps the dispatch rate high
+        // and site coverage realistic.
+        const bool can_call =
+            depth == 1 && proc_index + 1 < numProcedures;
+        if (draw < params.callDensity && can_call) {
+            block.push_back(makeCall(proc_index));
+            continue;
+        }
+        if (draw < params.callDensity + params.jumpDensity) {
+            Statement stmt;
+            stmt.kind = StatementKind::Jump;
+            stmt.branchAddr = nextAddr();
+            block.push_back(stmt);
+            continue;
+        }
+
+        // Loops become rarer with depth for the same reason trips
+        // shrink: nests multiply.
+        const bool nested = depth < params.maxNestingDepth;
+        if (nested &&
+            rng.chance(params.loopFraction /
+                       static_cast<double>(depth))) {
+            Statement stmt;
+            stmt.kind = StatementKind::Loop;
+            stmt.site = newSite(SiteKind::Loop, depth);
+            --proc_budget;
+            stmt.body = buildBlock(depth + 1, proc_index, proc_budget);
+            block.push_back(std::move(stmt));
+        } else {
+            Statement stmt;
+            stmt.kind = StatementKind::If;
+            stmt.site = newSite(drawIfSiteKind(), depth);
+            --proc_budget;
+            if (nested && rng.chance(0.55)) {
+                stmt.thenBlock =
+                    buildBlock(depth + 1, proc_index, proc_budget);
+            }
+            if (nested && rng.chance(0.30)) {
+                stmt.elseBlock =
+                    buildBlock(depth + 1, proc_index, proc_budget);
+            }
+            block.push_back(std::move(stmt));
+        }
+    }
+    return block;
+}
+
+void
+ProgramBuilder::buildDispatcher()
+{
+    // Main guards a call to every procedure with a biased branch
+    // whose popularity decays steeply with rank, then loops forever
+    // (the interpreter restarts main when it returns). When a guard
+    // fires, the procedure runs in a short *burst* (a fixed-trip
+    // loop around the call): popular procedures keep their
+    // predictor state resident while rarely-run code pays its
+    // cold-start cost once per burst rather than once per visit.
+    // This phase-like locality is what keeps the hot
+    // (address, history) working set small relative to the static
+    // set -- the property of the IBS traces that makes capacity
+    // aliasing vanish in mid-sized tables (Figures 1-2) while
+    // conflicts persist.
+    Procedure &main = program.procedures[0];
+    std::vector<u32> order;
+    for (u32 proc = 1; proc < numProcedures; ++proc) {
+        order.push_back(proc);
+    }
+    rng.shuffle(order);
+
+    for (std::size_t rank = 0; rank < order.size(); ++rank) {
+        Statement guard;
+        guard.kind = StatementKind::If;
+        // Steep Zipf-like popularity; floor keeps every procedure
+        // live so static branch counts match the presets.
+        const double popularity = std::clamp(
+            1.2 / std::pow(static_cast<double>(rank + 1), 0.8),
+            0.015, 1.0);
+        u32 site;
+        if (popularity >= 0.12) {
+            // Popular guards fire *periodically*, not at random:
+            // real dispatch branches are heavily structured, and a
+            // random guard soup would make main's global history a
+            // fresh random string every pass, inflating the
+            // substream working set far beyond what the IBS traces
+            // show at long history lengths.
+            site = newSite(SiteKind::Pattern, 1);
+            BranchSite &guard_site = program.sites[site];
+            guard_site.patternLength = 8;
+            const unsigned ones = std::clamp<unsigned>(
+                static_cast<unsigned>(
+                    std::llround(popularity * 8.0)),
+                1, 8);
+            u16 bits = 0;
+            for (unsigned i = 0; i < ones; ++i) {
+                // Spread the taken slots evenly over the period.
+                bits |= u16(1) << ((i * 8) / ones % 8);
+            }
+            guard_site.patternBits = bits;
+        } else {
+            site = newSite(SiteKind::Biased, 1);
+            program.sites[site].takenProbability = popularity;
+        }
+        guard.site = site;
+
+        Statement call;
+        call.kind = StatementKind::Call;
+        call.callee = order[rank];
+        call.branchAddr = nextAddr();
+        call.returnAddr = nextAddr();
+
+        Statement burst;
+        burst.kind = StatementKind::Loop;
+        const u32 burst_site = newSite(SiteKind::Loop, 1);
+        program.sites[burst_site].fixedTrips = true;
+        program.sites[burst_site].meanTrips =
+            static_cast<double>(rng.uniformRange(3, 8));
+        burst.site = burst_site;
+        burst.body.push_back(std::move(call));
+
+        guard.thenBlock.push_back(std::move(burst));
+        main.body.push_back(std::move(guard));
+    }
+}
+
+Program
+ProgramBuilder::build()
+{
+    assert(program.procedures.empty() && "build() is single-shot");
+
+    numProcedures = 1 + std::max<u32>(
+        1, remainingSites / std::max(1u, params.sitesPerProcedure));
+
+    program.procedures.resize(numProcedures);
+    for (u32 proc = 0; proc < numProcedures; ++proc) {
+        program.procedures[proc].entryAddr = nextAddr();
+    }
+
+    // Main's dispatcher consumes one site per procedure.
+    buildDispatcher();
+
+    for (u32 proc = 1; proc < numProcedures; ++proc) {
+        u32 proc_budget = params.sitesPerProcedure;
+        Procedure &procedure = program.procedures[proc];
+        while (proc_budget > 0 && remainingSites > 0) {
+            StmtBlock chunk = buildBlock(1, proc, proc_budget);
+            if (chunk.empty()) {
+                break;
+            }
+            for (Statement &stmt : chunk) {
+                procedure.body.push_back(std::move(stmt));
+            }
+        }
+        if (procedure.body.empty()) {
+            // Degenerate budget: give the procedure one biased
+            // branch so calls to it still emit something.
+            Statement stmt;
+            stmt.kind = StatementKind::If;
+            stmt.site = newSite(SiteKind::Biased, 1);
+            procedure.body.push_back(std::move(stmt));
+        }
+    }
+
+    if (program.sites.empty()) {
+        fatal("ProgramBuilder: generated a program with no branch "
+              "sites");
+    }
+    return std::move(program);
+}
+
+Program
+buildProgram(const ProgramParams &params)
+{
+    return ProgramBuilder(params).build();
+}
+
+} // namespace bpred

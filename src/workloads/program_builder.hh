@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Random generation of synthetic programs.
+ */
+
+#ifndef BPRED_WORKLOADS_PROGRAM_BUILDER_HH
+#define BPRED_WORKLOADS_PROGRAM_BUILDER_HH
+
+#include "support/rng.hh"
+#include "workloads/params.hh"
+#include "workloads/program.hh"
+
+namespace bpred
+{
+
+/**
+ * Builds a random Program from ProgramParams.
+ *
+ * Structure: procedure 0 ("main") is a dispatcher that guards a
+ * call to every other procedure with a biased branch whose taken
+ * probability follows a Zipf-like popularity, so site execution
+ * frequencies are skewed the way real programs' are and every
+ * procedure stays reachable. Other procedures are random nests of
+ * loops, conditionals, calls (to higher-numbered procedures only,
+ * keeping the call graph acyclic) and jumps, drawn according to the
+ * parameter mix. All randomness comes from the seed in the params.
+ */
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(const ProgramParams &params);
+
+    /** Generate the program (callable once per builder). */
+    Program build();
+
+  private:
+    u32 newSite(SiteKind kind, unsigned depth);
+    SiteKind drawIfSiteKind();
+    Addr nextAddr();
+    StmtBlock buildBlock(unsigned depth, u32 proc_index,
+                         u32 &proc_budget);
+    Statement makeCall(u32 proc_index);
+    void buildDispatcher();
+
+    ProgramParams params;
+    Rng rng;
+    Program program;
+    Addr addrCursor;
+    u32 remainingSites;
+    u32 numProcedures;
+};
+
+/** Convenience: build a program directly from @p params. */
+Program buildProgram(const ProgramParams &params);
+
+} // namespace bpred
+
+#endif // BPRED_WORKLOADS_PROGRAM_BUILDER_HH

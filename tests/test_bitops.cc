@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Unit tests for support/bitops.hh.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/bitops.hh"
+
+namespace bpred
+{
+namespace
+{
+
+TEST(Mask, Zero)
+{
+    EXPECT_EQ(mask(0), 0u);
+}
+
+TEST(Mask, Small)
+{
+    EXPECT_EQ(mask(1), 0x1u);
+    EXPECT_EQ(mask(4), 0xfu);
+    EXPECT_EQ(mask(12), 0xfffu);
+}
+
+TEST(Mask, Full)
+{
+    EXPECT_EQ(mask(64), ~u64(0));
+    EXPECT_EQ(mask(63), ~u64(0) >> 1);
+}
+
+TEST(Bits, ExtractsField)
+{
+    EXPECT_EQ(bits(0xabcd, 4, 8), 0xbcu);
+    EXPECT_EQ(bits(0xabcd, 0, 4), 0xdu);
+    EXPECT_EQ(bits(0xabcd, 12, 4), 0xau);
+}
+
+TEST(Bit, SingleBits)
+{
+    EXPECT_TRUE(bit(0b100, 2));
+    EXPECT_FALSE(bit(0b100, 1));
+    EXPECT_TRUE(bit(u64(1) << 63, 63));
+}
+
+TEST(IsPowerOfTwo, Basics)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(u64(1) << 40));
+    EXPECT_FALSE(isPowerOfTwo((u64(1) << 40) + 1));
+}
+
+TEST(FloorLog2, Basics)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4096), 12u);
+    EXPECT_EQ(floorLog2(~u64(0)), 63u);
+}
+
+TEST(CeilLog2, Basics)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(4096), 12u);
+    EXPECT_EQ(ceilLog2(4097), 13u);
+}
+
+TEST(PopCount, Basics)
+{
+    EXPECT_EQ(popCount(0), 0u);
+    EXPECT_EQ(popCount(0b1011), 3u);
+    EXPECT_EQ(popCount(~u64(0)), 64u);
+}
+
+TEST(XorFold, FoldsToWidth)
+{
+    // 0xab ^ 0xcd = 0x66
+    EXPECT_EQ(xorFold(0xabcd, 8), 0x66u);
+    // Value narrower than the width is unchanged.
+    EXPECT_EQ(xorFold(0x3, 8), 0x3u);
+    // Folding to 1 bit equals parity.
+    EXPECT_EQ(xorFold(0b1011, 1), 1u);
+    EXPECT_EQ(xorFold(0b1010, 1), 0u);
+}
+
+TEST(XorFold, ResultAlwaysInRange)
+{
+    for (u64 v = 0; v < 4096; v += 7) {
+        EXPECT_LT(xorFold(v * 0x9e3779b9ULL, 5), 32u);
+    }
+}
+
+TEST(ReverseBits, Involution)
+{
+    for (u64 v = 0; v < 256; ++v) {
+        EXPECT_EQ(reverseBits(reverseBits(v, 8), 8), v);
+    }
+}
+
+TEST(ReverseBits, KnownValues)
+{
+    EXPECT_EQ(reverseBits(0b0001, 4), 0b1000u);
+    EXPECT_EQ(reverseBits(0b1101, 4), 0b1011u);
+}
+
+TEST(RotateLeft, Basics)
+{
+    EXPECT_EQ(rotateLeft(0b0001, 4, 1), 0b0010u);
+    EXPECT_EQ(rotateLeft(0b1000, 4, 1), 0b0001u);
+    EXPECT_EQ(rotateLeft(0b1011, 4, 0), 0b1011u);
+    EXPECT_EQ(rotateLeft(0b1011, 4, 4), 0b1011u);
+}
+
+/** Property: rotating by n is the identity for any value. */
+TEST(RotateLeft, FullRotationIdentity)
+{
+    for (unsigned n = 1; n <= 16; ++n) {
+        for (u64 v = 0; v < 64; ++v) {
+            EXPECT_EQ(rotateLeft(v & mask(n), n, n), v & mask(n));
+        }
+    }
+}
+
+} // namespace
+} // namespace bpred

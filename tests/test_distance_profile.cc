@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for last-use-distance profiling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/distance_profile.hh"
+#include "model/extrapolation.hh"
+#include "model/formulas.hh"
+
+namespace bpred
+{
+namespace
+{
+
+Trace
+cyclicTrace(u64 sites, u64 rounds)
+{
+    Trace trace("cyclic");
+    for (u64 r = 0; r < rounds; ++r) {
+        for (u64 s = 0; s < sites; ++s) {
+            trace.appendConditional(0x1000 + 4 * s, true);
+        }
+    }
+    return trace;
+}
+
+TEST(DistanceProfile, CyclicStreamDistances)
+{
+    // 8 sites round-robin, history 0: every re-reference has
+    // distance 7; the first 8 are compulsory.
+    const DistanceProfile profile =
+        profileDistances(cyclicTrace(8, 10), 0);
+    EXPECT_EQ(profile.dynamicBranches, 80u);
+    EXPECT_EQ(profile.compulsory, 8u);
+    EXPECT_EQ(profile.distances.count(7), 72u);
+    EXPECT_EQ(profile.distances.total(), 72u);
+}
+
+TEST(DistanceProfile, FractionWithin)
+{
+    const DistanceProfile profile =
+        profileDistances(cyclicTrace(8, 10), 0);
+    EXPECT_DOUBLE_EQ(profile.fractionWithin(6), 0.0);
+    EXPECT_NEAR(profile.fractionWithin(7), 72.0 / 80.0, 1e-12);
+    EXPECT_NEAR(profile.fractionWithin(1000), 72.0 / 80.0, 1e-12);
+}
+
+TEST(DistanceProfile, ExpectedAliasingMatchesFormula)
+{
+    const DistanceProfile profile =
+        profileDistances(cyclicTrace(8, 10), 0);
+    // All finite distances are 7; compulsory contributes 1.
+    for (const u64 entries : {u64(16), u64(64), u64(1024)}) {
+        const double expected =
+            (8.0 * 1.0 +
+             72.0 * aliasingProbability(entries, 7)) /
+            80.0;
+        EXPECT_NEAR(profile.expectedAliasingProbability(entries),
+                    expected, 1e-12)
+            << entries;
+    }
+}
+
+TEST(DistanceProfile, BiggerTablesAliasLess)
+{
+    const DistanceProfile profile =
+        profileDistances(cyclicTrace(64, 20), 0);
+    double previous = 1.1;
+    for (unsigned bits = 4; bits <= 16; bits += 2) {
+        const double p =
+            profile.expectedAliasingProbability(u64(1) << bits);
+        EXPECT_LT(p, previous);
+        previous = p;
+    }
+}
+
+TEST(DistanceProfile, HistoryLengthInflatesDistances)
+{
+    // With history bits, one address spawns several keys, growing
+    // both the compulsory count and typical distances.
+    Trace trace("hist");
+    u64 lcg = 7;
+    for (int i = 0; i < 5000; ++i) {
+        lcg = lcg * 6364136223846793005ULL + 1;
+        trace.appendConditional(0x1000 + 4 * ((lcg >> 40) % 32),
+                                ((lcg >> 20) & 1) != 0);
+    }
+    const DistanceProfile h0 = profileDistances(trace, 0);
+    const DistanceProfile h8 = profileDistances(trace, 8);
+    EXPECT_GT(h8.compulsory, h0.compulsory);
+    EXPECT_GT(h8.distances.mean(), h0.distances.mean());
+}
+
+TEST(DistanceProfile, AgreesWithExtrapolationEngine)
+{
+    // Cross-module invariant: the extrapolation engine's mean
+    // per-bank aliasing probability must equal the profile's
+    // expectation for the same geometry (both integrate formula
+    // (1) over the same distance distribution).
+    Trace trace("cross");
+    u64 lcg = 15;
+    for (int i = 0; i < 8000; ++i) {
+        lcg = lcg * 6364136223846793005ULL + 1;
+        trace.appendConditional(0x1000 + 4 * ((lcg >> 40) % 96),
+                                ((lcg >> 17) & 1) != 0);
+    }
+    const unsigned history_bits = 4;
+    const u64 bank_entries = 256;
+
+    const DistanceProfile profile =
+        profileDistances(trace, history_bits);
+    TraceModelInputs inputs; // values irrelevant to mean-p
+    const ExtrapolationResult extrapolated =
+        extrapolateMispredictions(trace, history_bits, bank_entries,
+                                  1024, inputs);
+    EXPECT_NEAR(extrapolated.meanBankAliasingProbability,
+                profile.expectedAliasingProbability(bank_entries),
+                1e-9);
+}
+
+TEST(DistanceProfile, EmptyTrace)
+{
+    const DistanceProfile profile =
+        profileDistances(Trace("empty"), 4);
+    EXPECT_EQ(profile.dynamicBranches, 0u);
+    EXPECT_DOUBLE_EQ(profile.fractionWithin(100), 0.0);
+    EXPECT_DOUBLE_EQ(profile.expectedAliasingProbability(1024), 0.0);
+}
+
+} // namespace
+} // namespace bpred

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Unit tests for the trace-driven model extrapolation (Figure 11
+ * machinery).
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/extrapolation.hh"
+#include "support/rng.hh"
+
+namespace bpred
+{
+namespace
+{
+
+Trace
+biasedRandomTrace(u64 sites, u64 length, u64 seed)
+{
+    Trace trace("model-input");
+    Rng rng(seed);
+    for (u64 i = 0; i < length; ++i) {
+        const u64 site = rng.uniformInt(sites);
+        const Addr pc = 0x1000 + 4 * site;
+        const bool biased_taken = site % 4 != 0; // 75% of sites
+        trace.appendConditional(pc,
+                                rng.chance(biased_taken ? 0.95
+                                                        : 0.05));
+    }
+    return trace;
+}
+
+TEST(ModelInputs, BiasDensityMeasured)
+{
+    const Trace trace = biasedRandomTrace(64, 20000, 3);
+    const TraceModelInputs inputs = measureModelInputs(trace, 0);
+    // 75% of sites are taken-biased; with h=0 substreams are sites.
+    EXPECT_NEAR(inputs.biasTaken, 0.75, 0.1);
+    EXPECT_EQ(inputs.numSubstreams, 64u);
+    EXPECT_EQ(inputs.dynamicBranches, 20000u);
+}
+
+TEST(ModelInputs, UnaliasedRateMatchesNoise)
+{
+    // Sites flip with probability 0.05 against their bias; an
+    // unaliased 1-bit predictor mispredicts roughly at twice the
+    // flip rate (each flip also spoils the next prediction).
+    const Trace trace = biasedRandomTrace(64, 40000, 5);
+    const TraceModelInputs inputs = measureModelInputs(trace, 0);
+    EXPECT_GT(inputs.unaliasedMispredict, 0.05);
+    EXPECT_LT(inputs.unaliasedMispredict, 0.15);
+}
+
+TEST(ModelInputs, MoreHistoryMoreSubstreams)
+{
+    const Trace trace = biasedRandomTrace(64, 20000, 7);
+    const TraceModelInputs h0 = measureModelInputs(trace, 0);
+    const TraceModelInputs h8 = measureModelInputs(trace, 8);
+    EXPECT_GT(h8.numSubstreams, h0.numSubstreams);
+}
+
+TEST(Extrapolation, LargeTablesOnlyCompulsoryOverhead)
+{
+    const Trace trace = biasedRandomTrace(32, 10000, 11);
+    const TraceModelInputs inputs = measureModelInputs(trace, 0);
+    // Tables far larger than the working set: aliasing probability
+    // ~0 except compulsory (p = 1) references.
+    const ExtrapolationResult result = extrapolateMispredictions(
+        trace, 0, u64(1) << 20, u64(1) << 20, inputs);
+    EXPECT_NEAR(result.skewedExtrapolated,
+                inputs.unaliasedMispredict, 0.01);
+    EXPECT_NEAR(result.directMappedExtrapolated,
+                inputs.unaliasedMispredict, 0.01);
+}
+
+TEST(Extrapolation, TinyTablesAddLargeOverhead)
+{
+    const Trace trace = biasedRandomTrace(256, 20000, 13);
+    const TraceModelInputs inputs = measureModelInputs(trace, 0);
+    const ExtrapolationResult small = extrapolateMispredictions(
+        trace, 0, 16, 16, inputs);
+    const ExtrapolationResult large = extrapolateMispredictions(
+        trace, 0, 4096, 4096, inputs);
+    EXPECT_GT(small.skewedExtrapolated, large.skewedExtrapolated);
+    EXPECT_GT(small.directMappedExtrapolated,
+              large.directMappedExtrapolated);
+    EXPECT_GT(small.meanBankAliasingProbability,
+              large.meanBankAliasingProbability);
+}
+
+TEST(Extrapolation, SkewedBeatsDmAtEqualStorageShortDistances)
+{
+    // A working set that fits: re-reference distances are short, so
+    // the model must favour 3x(N/3) skewed over N direct-mapped.
+    const Trace trace = biasedRandomTrace(48, 20000, 17);
+    const TraceModelInputs inputs = measureModelInputs(trace, 0);
+    const ExtrapolationResult result = extrapolateMispredictions(
+        trace, 0, 512 / 3, 512, inputs);
+    EXPECT_LT(result.skewedExtrapolated,
+              result.directMappedExtrapolated + 1e-9);
+}
+
+TEST(Extrapolation, MeanProbabilityWithinBounds)
+{
+    const Trace trace = biasedRandomTrace(64, 5000, 19);
+    const TraceModelInputs inputs = measureModelInputs(trace, 4);
+    const ExtrapolationResult result = extrapolateMispredictions(
+        trace, 4, 256, 1024, inputs);
+    EXPECT_GE(result.meanBankAliasingProbability, 0.0);
+    EXPECT_LE(result.meanBankAliasingProbability, 1.0);
+}
+
+TEST(Extrapolation, EmptyTraceIsZero)
+{
+    Trace trace("empty");
+    TraceModelInputs inputs;
+    const ExtrapolationResult result =
+        extrapolateMispredictions(trace, 4, 256, 1024, inputs);
+    EXPECT_DOUBLE_EQ(result.skewedExtrapolated, 0.0);
+    EXPECT_DOUBLE_EQ(result.directMappedExtrapolated, 0.0);
+}
+
+} // namespace
+} // namespace bpred

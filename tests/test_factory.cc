@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Unit tests for the predictor spec factory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/factory.hh"
+#include "support/logging.hh"
+
+namespace bpred
+{
+namespace
+{
+
+TEST(Factory, BuildsEveryScheme)
+{
+    EXPECT_EQ(makePredictor("static:taken")->name(), "always-taken");
+    EXPECT_EQ(makePredictor("static:nottaken")->name(),
+              "always-not-taken");
+    EXPECT_EQ(makePredictor("bimodal:10")->name(), "bimodal-1K");
+    EXPECT_EQ(makePredictor("gshare:14:12")->name(),
+              "gshare-16K-h12");
+    EXPECT_EQ(makePredictor("gselect:12:6")->name(),
+              "gselect-4K-h6");
+    EXPECT_EQ(makePredictor("pag:10:8")->name(), "pag-1Kx8");
+    EXPECT_EQ(makePredictor("gskewed:3:12:8")->name(),
+              "gskewed-3x4K-h8-partial");
+    EXPECT_EQ(makePredictor("gskewed:3:12:8:total")->name(),
+              "gskewed-3x4K-h8-total");
+    EXPECT_EQ(makePredictor("egskew:12:11")->name(),
+              "e-gskew-3x4K-h11-partial");
+    EXPECT_EQ(makePredictor("falru:4096:4")->name(),
+              "fa-lru-4096-h4");
+    EXPECT_EQ(makePredictor("unaliased:12:1")->name(),
+              "unaliased-h12-1bit");
+    EXPECT_NE(makePredictor("hybrid:10:6"), nullptr);
+    EXPECT_EQ(makePredictor("agree:14:10:12")->name(),
+              "agree-16K-h10");
+    EXPECT_EQ(makePredictor("bimode:13:10:12")->name(),
+              "bimode-2x8K+4K-h10");
+    EXPECT_EQ(makePredictor("yags:10:8:11")->name(),
+              "yags-2x1K+2K-h8");
+    EXPECT_EQ(makePredictor("gskewedsh:3:12:8")->name(),
+              "gskewed-sh-3x4K-h8-partial");
+    EXPECT_EQ(makePredictor("egskewsh:12:8")->name(),
+              "e-gskew-sh-3x4K-h8-partial");
+    EXPECT_EQ(makePredictor("pskew:10:8:3:12")->name(),
+              "pskew-1Kx8-3x4K");
+    EXPECT_EQ(makePredictor("gskewed:3:12:8:partial-lazy")->name(),
+              "gskewed-3x4K-h8-partial-lazy");
+}
+
+TEST(Factory, CounterBitsOptional)
+{
+    auto one_bit = makePredictor("gshare:10:4:1");
+    auto two_bit = makePredictor("gshare:10:4");
+    EXPECT_EQ(one_bit->storageBits(), 1024u);
+    EXPECT_EQ(two_bit->storageBits(), 2048u);
+}
+
+TEST(Factory, BuiltPredictorsFunction)
+{
+    for (const char *spec :
+         {"bimodal:8", "gshare:8:4", "gselect:8:4", "pag:8:6",
+          "hybrid:8:4", "gskewed:3:6:4", "egskew:6:4", "falru:64:4",
+          "unaliased:4", "static:taken"}) {
+        auto predictor = makePredictor(spec);
+        ASSERT_NE(predictor, nullptr) << spec;
+        for (int i = 0; i < 50; ++i) {
+            predictor->predict(0x100 + 4 * (i % 8));
+            predictor->update(0x100 + 4 * (i % 8), i % 3 != 0);
+            predictor->notifyUnconditional(0x400);
+        }
+        EXPECT_NO_THROW(predictor->reset()) << spec;
+    }
+}
+
+TEST(Factory, RejectsUnknownScheme)
+{
+    EXPECT_THROW(makePredictor("perceptron:10"), FatalError);
+    EXPECT_THROW(makePredictor(""), FatalError);
+}
+
+TEST(Factory, RejectsWrongFieldCount)
+{
+    EXPECT_THROW(makePredictor("gshare:10"), FatalError);
+    EXPECT_THROW(makePredictor("gshare:10:4:2:9"), FatalError);
+    EXPECT_THROW(makePredictor("static"), FatalError);
+}
+
+TEST(Factory, RejectsBadNumbers)
+{
+    EXPECT_THROW(makePredictor("gshare:abc:4"), FatalError);
+    EXPECT_THROW(makePredictor("bimodal:99999999999"), FatalError);
+    EXPECT_THROW(makePredictor("falru:0:4"), FatalError);
+}
+
+TEST(Factory, RejectsBadPolicy)
+{
+    EXPECT_THROW(makePredictor("gskewed:3:10:4:sometimes"),
+                 FatalError);
+}
+
+TEST(Factory, RejectsBadStaticDirection)
+{
+    EXPECT_THROW(makePredictor("static:maybe"), FatalError);
+}
+
+TEST(Factory, HelpMentionsEveryScheme)
+{
+    const std::string help = predictorSpecHelp();
+    for (const char *scheme :
+         {"static", "bimodal", "gshare", "gselect", "pag", "hybrid",
+          "agree", "bimode", "yags", "gskewed", "egskew", "gskewedsh",
+          "egskewsh", "pskew", "falru", "unaliased"}) {
+        EXPECT_NE(help.find(scheme), std::string::npos) << scheme;
+    }
+}
+
+} // namespace
+} // namespace bpred

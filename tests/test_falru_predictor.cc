@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for the fully-associative LRU predictor (Figure 8's
+ * yardstick).
+ */
+
+#include <gtest/gtest.h>
+
+#include "aliasing/falru_predictor.hh"
+
+namespace bpred
+{
+namespace
+{
+
+TEST(FaLruPredictor, MissPredictsTaken)
+{
+    FaLruPredictor predictor(16, 4);
+    EXPECT_TRUE(predictor.predict(0x100));
+}
+
+TEST(FaLruPredictor, LearnsResidentSubstream)
+{
+    FaLruPredictor predictor(16, 0);
+    const Addr pc = 0x40;
+    predictor.predict(pc);
+    predictor.update(pc, false);
+    // Entry now resident, trained strongly not-taken.
+    EXPECT_FALSE(predictor.predict(pc));
+}
+
+TEST(FaLruPredictor, CapacityEvictionRestoresStaticPrediction)
+{
+    FaLruPredictor predictor(2, 0);
+    predictor.update(0x10, false);
+    predictor.update(0x20, false);
+    predictor.update(0x30, false); // evicts 0x10's pair
+    EXPECT_TRUE(predictor.predict(0x10));  // back to always-taken
+    EXPECT_FALSE(predictor.predict(0x30));
+}
+
+TEST(FaLruPredictor, HistoryDistinguishesSubstreams)
+{
+    FaLruPredictor predictor(64, 2);
+    const Addr pc = 0x80;
+    // Alternating outcome keyed by previous outcome: two
+    // substreams with opposite directions.
+    bool outcome = false;
+    int wrong = 0;
+    for (int i = 0; i < 200; ++i) {
+        outcome = !outcome;
+        if (i >= 100) {
+            wrong += predictor.predict(pc) != outcome;
+        }
+        predictor.update(pc, outcome);
+    }
+    EXPECT_EQ(wrong, 0);
+}
+
+TEST(FaLruPredictor, StorageIncludesTags)
+{
+    FaLruPredictor predictor(1024, 12, 2);
+    // Tag-full structures are expensive: far more than 2 bits/entry.
+    EXPECT_GT(predictor.storageBits(), 1024u * 2 * 10);
+}
+
+TEST(FaLruPredictor, NameEncodesConfig)
+{
+    FaLruPredictor predictor(4096, 4);
+    EXPECT_EQ(predictor.name(), "fa-lru-4096-h4");
+}
+
+TEST(FaLruPredictor, MissRatioExposed)
+{
+    FaLruPredictor predictor(2, 0);
+    predictor.update(0x10, true);
+    predictor.update(0x10, true);
+    EXPECT_NEAR(predictor.missRatio(), 0.5, 1e-12);
+}
+
+TEST(FaLruPredictor, ResetForgets)
+{
+    FaLruPredictor predictor(8, 0);
+    predictor.update(0x10, false);
+    EXPECT_FALSE(predictor.predict(0x10));
+    predictor.reset();
+    EXPECT_TRUE(predictor.predict(0x10));
+}
+
+TEST(FaLruPredictor, UnconditionalShiftsHistory)
+{
+    FaLruPredictor with_uncond(64, 4);
+    FaLruPredictor without(64, 4);
+    const Addr pc = 0x100;
+    // Train under one history context.
+    with_uncond.update(pc, false);
+    without.update(pc, false);
+    // Shifting history moves the pair out of context for the
+    // predictor that saw the unconditional branch.
+    with_uncond.notifyUnconditional(0x200);
+    EXPECT_TRUE(with_uncond.predict(pc));   // different key -> miss
+    EXPECT_FALSE(without.predict(pc));      // same key -> learned
+}
+
+} // namespace
+} // namespace bpred

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Unit and property tests for the analytical model formulas.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aliasing/stack_distance.hh"
+#include "model/formulas.hh"
+#include "support/logging.hh"
+
+namespace bpred
+{
+namespace
+{
+
+constexpr u64 inf = StackDistanceTracker::infiniteDistance;
+
+TEST(AliasingProbability, ZeroDistanceIsZero)
+{
+    EXPECT_DOUBLE_EQ(aliasingProbability(1024, 0), 0.0);
+}
+
+TEST(AliasingProbability, InfiniteDistanceIsOne)
+{
+    EXPECT_DOUBLE_EQ(aliasingProbability(1024, inf), 1.0);
+}
+
+TEST(AliasingProbability, Formula1Exact)
+{
+    // p = 1 - (1 - 1/N)^D
+    const double expected = 1.0 - std::pow(1.0 - 1.0 / 64.0, 10.0);
+    EXPECT_NEAR(aliasingProbability(64, 10), expected, 1e-14);
+}
+
+TEST(AliasingProbability, MonotonicInDistance)
+{
+    double previous = -1.0;
+    for (u64 d = 0; d < 1000; d += 37) {
+        const double p = aliasingProbability(256, d);
+        EXPECT_GT(p, previous);
+        previous = p;
+    }
+}
+
+TEST(AliasingProbability, MonotonicInTableSizeReversed)
+{
+    // Bigger tables alias less at a given distance.
+    for (unsigned log_n = 4; log_n < 16; ++log_n) {
+        EXPECT_GT(aliasingProbability(u64(1) << log_n, 100),
+                  aliasingProbability(u64(1) << (log_n + 1), 100));
+    }
+}
+
+TEST(AliasingProbability, SingleEntryTable)
+{
+    EXPECT_DOUBLE_EQ(aliasingProbability(1, 0), 0.0);
+    EXPECT_DOUBLE_EQ(aliasingProbability(1, 1), 1.0);
+    EXPECT_DOUBLE_EQ(aliasingProbability(1, 100), 1.0);
+}
+
+TEST(AliasingProbabilityApprox, CloseToExactForLargeN)
+{
+    for (u64 d : {u64(10), u64(100), u64(1000), u64(10000)}) {
+        const double exact = aliasingProbability(16384, d);
+        const double approx = aliasingProbabilityApprox(16384, d);
+        EXPECT_NEAR(approx, exact, 1e-4) << "distance " << d;
+    }
+    EXPECT_DOUBLE_EQ(aliasingProbabilityApprox(1024, inf), 1.0);
+}
+
+TEST(DestructiveDm, Formula4)
+{
+    // Pdm = 2 b (1-b) p
+    EXPECT_DOUBLE_EQ(destructiveProbabilityDirectMapped(0.4, 0.5),
+                     0.5 * 0.4);
+    EXPECT_DOUBLE_EQ(destructiveProbabilityDirectMapped(1.0, 0.3),
+                     2 * 0.3 * 0.7);
+    EXPECT_DOUBLE_EQ(destructiveProbabilityDirectMapped(0.0, 0.5),
+                     0.0);
+}
+
+TEST(DestructiveSkewed3, WorstCaseBiasHalf)
+{
+    // Paper: for b = 1/2, Psk = (3/4) p^2 (1-p) + (1/2) p^3.
+    for (double p : {0.0, 0.1, 0.25, 0.5, 0.75, 1.0}) {
+        const double expected =
+            0.75 * p * p * (1.0 - p) + 0.5 * p * p * p;
+        EXPECT_NEAR(destructiveProbabilitySkewed3(p, 0.5), expected,
+                    1e-14)
+            << "p = " << p;
+    }
+}
+
+TEST(DestructiveSkewed3, ZeroAtExtremeBias)
+{
+    // With b = 0 or 1, every substream predicts the same direction
+    // and aliasing cannot change a prediction.
+    for (double p : {0.1, 0.5, 0.9}) {
+        EXPECT_NEAR(destructiveProbabilitySkewed3(p, 0.0), 0.0,
+                    1e-14);
+        EXPECT_NEAR(destructiveProbabilitySkewed3(p, 1.0), 0.0,
+                    1e-14);
+    }
+}
+
+TEST(DestructiveSkewed3, CubicGrowthBeatsLinearAtSmallP)
+{
+    // The paper's core claim: polynomial vs linear growth.
+    for (double p : {0.01, 0.05, 0.1, 0.2}) {
+        EXPECT_LT(destructiveProbabilitySkewed3(p, 0.5),
+                  destructiveProbabilityDirectMapped(p, 0.5))
+            << "p = " << p;
+    }
+    // Near p = 1 the skewed structure is WORSE (redundancy costs).
+    EXPECT_GT(destructiveProbabilitySkewed3(1.0, 0.5),
+              destructiveProbabilityDirectMapped(1.0, 0.5) - 1e-12);
+}
+
+TEST(DestructiveSkewedGeneral, MatchesClosedForms)
+{
+    for (double p : {0.0, 0.05, 0.3, 0.6, 1.0}) {
+        for (double b : {0.2, 0.5, 0.8}) {
+            EXPECT_NEAR(destructiveProbabilitySkewed(3, p, b),
+                        destructiveProbabilitySkewed3(p, b), 1e-12);
+            EXPECT_NEAR(destructiveProbabilitySkewed(1, p, b),
+                        destructiveProbabilityDirectMapped(p, b),
+                        1e-12);
+        }
+    }
+}
+
+TEST(DestructiveSkewedGeneral, FiveBanksFlatterAtSmallP)
+{
+    // More banks -> higher-degree polynomial -> smaller overhead at
+    // small p.
+    for (double p : {0.01, 0.05, 0.1}) {
+        EXPECT_LT(destructiveProbabilitySkewed(5, p, 0.5),
+                  destructiveProbabilitySkewed(3, p, 0.5));
+    }
+}
+
+TEST(DestructiveSkewedGeneral, RejectsEvenBanks)
+{
+    EXPECT_THROW(destructiveProbabilitySkewed(2, 0.1, 0.5),
+                 FatalError);
+    EXPECT_THROW(destructiveProbabilitySkewed(0, 0.1, 0.5),
+                 FatalError);
+}
+
+TEST(DestructiveSkewedGeneral, ProbabilityBounds)
+{
+    for (unsigned banks : {1u, 3u, 5u}) {
+        for (double p = 0.0; p <= 1.0; p += 0.1) {
+            for (double b = 0.0; b <= 1.0; b += 0.25) {
+                const double value =
+                    destructiveProbabilitySkewed(banks, p, b);
+                EXPECT_GE(value, -1e-12);
+                EXPECT_LE(value, 1.0 + 1e-12);
+            }
+        }
+    }
+}
+
+TEST(CrossoverDistance, NearTenthOfTableSize)
+{
+    // §5.2: Psk < Pdm while D < ~N/10 for a 3x(N/3) vs N-entry
+    // comparison.
+    for (u64 n : {u64(3) << 10, u64(3) << 12, u64(3) << 14}) {
+        const u64 crossover = skewedCrossoverDistance(n);
+        EXPECT_GT(crossover, n / 30);
+        EXPECT_LT(crossover, n / 3);
+    }
+}
+
+TEST(CrossoverDistance, BelowCrossoverSkewWins)
+{
+    const u64 n = 3 << 12;
+    const u64 crossover = skewedCrossoverDistance(n);
+    const u64 bank = n / 3;
+
+    const u64 d_low = crossover / 2;
+    EXPECT_LT(destructiveProbabilitySkewed3(
+                  aliasingProbability(bank, d_low), 0.5),
+              destructiveProbabilityDirectMapped(
+                  aliasingProbability(n, d_low), 0.5));
+
+    const u64 d_high = crossover * 2;
+    EXPECT_GT(destructiveProbabilitySkewed3(
+                  aliasingProbability(bank, d_high), 0.5),
+              destructiveProbabilityDirectMapped(
+                  aliasingProbability(n, d_high), 0.5));
+}
+
+} // namespace
+} // namespace bpred

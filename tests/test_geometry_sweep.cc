@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Parameterized geometry sweeps: every predictor family must be
+ * well-behaved across the full range of table sizes and history
+ * lengths the experiments sweep, including the degenerate corners
+ * (history 0, history >> index, 2-entry tables).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/skewed_predictor.hh"
+#include "predictors/bimodal.hh"
+#include "predictors/hybrid.hh"
+#include "predictors/gselect.hh"
+#include "predictors/gshare.hh"
+#include "sim/driver.hh"
+#include "support/rng.hh"
+
+namespace bpred
+{
+namespace
+{
+
+Trace
+sweepTrace()
+{
+    static const Trace trace = [] {
+        Trace t("sweep");
+        Rng rng(100);
+        for (int i = 0; i < 20000; ++i) {
+            const Addr pc = 0x1000 + 4 * rng.uniformInt(256);
+            const bool dominant = (pc >> 2) % 2 == 0;
+            t.appendConditional(pc,
+                                rng.chance(dominant ? 0.9 : 0.1));
+            if (rng.chance(0.2)) {
+                t.appendUnconditional(0x9000 + 4 * rng.uniformInt(32));
+            }
+        }
+        return t;
+    }();
+    return trace;
+}
+
+using Geometry = std::pair<unsigned, unsigned>; // (index, history)
+
+class GlobalGeometry : public ::testing::TestWithParam<Geometry>
+{
+};
+
+TEST_P(GlobalGeometry, GShareWellBehaved)
+{
+    const auto [index_bits, history_bits] = GetParam();
+    GSharePredictor predictor(index_bits, history_bits);
+    const SimResult result = simulate(predictor, sweepTrace());
+    EXPECT_GT(result.conditionals, 0u);
+    // A sane predictor never anti-learns: even at the degenerate
+    // corners (a handful of entries shared by hundreds of
+    // opposing-bias sites, where ~50% is the true asymptote) it
+    // must not exceed chance by more than noise.
+    EXPECT_LT(result.mispredictRatio(), 0.55)
+        << "i=" << index_bits << " h=" << history_bits;
+}
+
+TEST_P(GlobalGeometry, GSelectWellBehaved)
+{
+    const auto [index_bits, history_bits] = GetParam();
+    GSelectPredictor predictor(index_bits, history_bits);
+    const SimResult result = simulate(predictor, sweepTrace());
+    EXPECT_LT(result.mispredictRatio(), 0.55);
+}
+
+TEST_P(GlobalGeometry, SkewedWellBehaved)
+{
+    const auto [index_bits, history_bits] = GetParam();
+    SkewedPredictor predictor(3, index_bits, history_bits,
+                              UpdatePolicy::Partial);
+    const SimResult result = simulate(predictor, sweepTrace());
+    EXPECT_LT(result.mispredictRatio(), 0.55);
+}
+
+TEST_P(GlobalGeometry, EnhancedSkewedWellBehaved)
+{
+    const auto [index_bits, history_bits] = GetParam();
+    SkewedPredictor predictor(
+        makeEnhancedConfig(index_bits, history_bits));
+    const SimResult result = simulate(predictor, sweepTrace());
+    EXPECT_LT(result.mispredictRatio(), 0.55);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corners, GlobalGeometry,
+    ::testing::Values(Geometry{1, 0},   // 2 entries, no history
+                      Geometry{2, 8},   // history >> index
+                      Geometry{6, 0},   // address-only
+                      Geometry{6, 6},   // balanced
+                      Geometry{10, 4},  // paper's short history
+                      Geometry{10, 16}, // history > index
+                      Geometry{14, 12}, // paper's big table
+                      Geometry{16, 1}), // long index, 1-bit history
+    [](const ::testing::TestParamInfo<Geometry> &info) {
+        return "i" + std::to_string(info.param.first) + "_h" +
+            std::to_string(info.param.second);
+    });
+
+TEST(Composition, HybridOfSkewedAndBimodalWorks)
+{
+    // The combining predictor composes with any Predictor —
+    // including the paper's, giving an Evers-style
+    // context-switch-tolerant hybrid.
+    HybridPredictor hybrid(
+        std::make_unique<SkewedPredictor>(3, 10, 8,
+                                          UpdatePolicy::Partial),
+        std::make_unique<BimodalPredictor>(10), 10);
+    const SimResult result = simulate(hybrid, sweepTrace());
+    EXPECT_LT(result.mispredictRatio(), 0.25);
+    EXPECT_NE(hybrid.name().find("gskewed"), std::string::npos);
+}
+
+} // namespace
+} // namespace bpred

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Unit tests for the global-history register.
+ */
+
+#include <gtest/gtest.h>
+
+#include "predictors/history.hh"
+
+namespace bpred
+{
+namespace
+{
+
+TEST(GlobalHistory, StartsEmpty)
+{
+    GlobalHistory history;
+    EXPECT_EQ(history.raw(), 0u);
+    EXPECT_EQ(history.value(12), 0u);
+}
+
+TEST(GlobalHistory, YoungestInBitZero)
+{
+    GlobalHistory history;
+    history.shiftIn(true);
+    EXPECT_EQ(history.value(4), 0b0001u);
+    history.shiftIn(false);
+    EXPECT_EQ(history.value(4), 0b0010u);
+    history.shiftIn(true);
+    EXPECT_EQ(history.value(4), 0b0101u);
+}
+
+TEST(GlobalHistory, ValueMasksWidth)
+{
+    GlobalHistory history;
+    for (int i = 0; i < 10; ++i) {
+        history.shiftIn(true);
+    }
+    EXPECT_EQ(history.value(4), 0b1111u);
+    EXPECT_EQ(history.value(10), 0b11'1111'1111u);
+    EXPECT_EQ(history.value(0), 0u);
+}
+
+TEST(GlobalHistory, SetAndReset)
+{
+    GlobalHistory history;
+    history.set(0xdeadbeef);
+    EXPECT_EQ(history.raw(), 0xdeadbeefu);
+    history.reset();
+    EXPECT_EQ(history.raw(), 0u);
+}
+
+TEST(GlobalHistory, ShiftsOutOldOutcomes)
+{
+    GlobalHistory history;
+    history.shiftIn(true);
+    for (int i = 0; i < 64; ++i) {
+        history.shiftIn(false);
+    }
+    EXPECT_EQ(history.raw(), 0u);
+}
+
+} // namespace
+} // namespace bpred

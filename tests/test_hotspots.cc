@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for conflict hotspot analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include "aliasing/hotspots.hh"
+#include "predictors/info_vector.hh"
+
+namespace bpred
+{
+namespace
+{
+
+TEST(Hotspots, EmptyOnConflictFreeTrace)
+{
+    Trace trace("clean");
+    for (int i = 0; i < 100; ++i) {
+        trace.appendConditional(0x100, true);
+        trace.appendConditional(0x104, true);
+    }
+    IndexFunction function{IndexKind::Address, 8, 0};
+    EXPECT_TRUE(findConflictHotspots(trace, function, 10).empty());
+}
+
+TEST(Hotspots, FindsPingPongPair)
+{
+    // Two addresses sharing one entry of a 2-entry table.
+    Trace trace("fight");
+    const Addr a = 0x1000;
+    const Addr b = a + 8;
+    for (int i = 0; i < 60; ++i) {
+        trace.appendConditional(a, true);
+        trace.appendConditional(b, false);
+    }
+    // Give `a` a few extra visits so it is the clear top user.
+    for (int i = 0; i < 10; ++i) {
+        trace.appendConditional(a, true);
+    }
+
+    IndexFunction function{IndexKind::Address, 1, 0};
+    const auto hotspots = findConflictHotspots(trace, function, 10);
+    ASSERT_EQ(hotspots.size(), 1u);
+    const ConflictHotspot &hotspot = hotspots.front();
+    EXPECT_EQ(hotspot.index, function(a, 0));
+    EXPECT_EQ(hotspot.distinctUsers, 2u);
+    // Ping-pong: nearly every access conflicts.
+    EXPECT_GE(hotspot.conflicts, 118u);
+    EXPECT_EQ(hotspot.topUser, packInfoVector(a, 0, 0));
+    EXPECT_EQ(hotspot.topUserCount, 70u);
+    EXPECT_EQ(hotspot.secondUser, packInfoVector(b, 0, 0));
+    EXPECT_EQ(hotspot.secondUserCount, 60u);
+}
+
+TEST(Hotspots, SortedByConflictCount)
+{
+    // Entry 0: heavy ping-pong; entry 1: light ping-pong.
+    Trace trace("two");
+    for (int i = 0; i < 50; ++i) {
+        trace.appendConditional(0x1000, true);  // entry 0
+        trace.appendConditional(0x1008, false); // entry 0
+    }
+    for (int i = 0; i < 5; ++i) {
+        trace.appendConditional(0x1004, true);  // entry 1
+        trace.appendConditional(0x100c, false); // entry 1
+    }
+    IndexFunction function{IndexKind::Address, 1, 0};
+    const auto hotspots = findConflictHotspots(trace, function, 10);
+    ASSERT_EQ(hotspots.size(), 2u);
+    EXPECT_GT(hotspots[0].conflicts, hotspots[1].conflicts);
+}
+
+TEST(Hotspots, TopKLimitsOutput)
+{
+    // Many lightly-conflicting entries.
+    Trace trace("many");
+    for (int round = 0; round < 4; ++round) {
+        for (Addr site = 0; site < 32; ++site) {
+            trace.appendConditional(0x1000 + 4 * site, true);
+            trace.appendConditional(0x1000 + 4 * (site + 32),
+                                    false);
+        }
+    }
+    IndexFunction function{IndexKind::Address, 5, 0};
+    const auto hotspots = findConflictHotspots(trace, function, 7);
+    EXPECT_EQ(hotspots.size(), 7u);
+}
+
+TEST(Hotspots, HistoryBitsSeparateUsers)
+{
+    // One address under alternating history: with h=1 the two
+    // contexts are distinct users of (possibly) different entries.
+    Trace trace("hist");
+    bool outcome = false;
+    for (int i = 0; i < 100; ++i) {
+        outcome = !outcome;
+        trace.appendConditional(0x100, outcome);
+    }
+    IndexFunction function{IndexKind::GShare, 1, 1};
+    const auto hotspots = findConflictHotspots(trace, function, 4);
+    // The two (addr, hist) identities hash to 2 distinct entries
+    // out of 2, or collide in one; either way the analysis runs
+    // and reports consistent counts.
+    u64 total_users = 0;
+    for (const auto &hotspot : hotspots) {
+        total_users += hotspot.distinctUsers;
+    }
+    EXPECT_LE(total_users, 2u);
+}
+
+} // namespace
+} // namespace bpred

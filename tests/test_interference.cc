@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Unit tests for destructive/harmless/constructive interference
+ * classification.
+ */
+
+#include <gtest/gtest.h>
+
+#include "aliasing/interference.hh"
+#include "support/rng.hh"
+
+namespace bpred
+{
+namespace
+{
+
+TEST(Interference, NoAliasingMeansNoInterference)
+{
+    Trace trace("clean");
+    for (int i = 0; i < 200; ++i) {
+        trace.appendConditional(0x100, true);
+    }
+    IndexFunction function{IndexKind::Address, 4, 0};
+    const InterferenceResult result =
+        classifyInterference(trace, function);
+    EXPECT_EQ(result.dynamicBranches, 200u);
+    EXPECT_EQ(result.destructive, 0u);
+    EXPECT_EQ(result.constructive, 0u);
+    // All lookups after the compulsory first hit the same stored
+    // identity.
+    EXPECT_EQ(result.harmless, 0u);
+    EXPECT_EQ(result.compulsory, 1u);
+    EXPECT_EQ(result.unaliasedLookups, 199u);
+}
+
+TEST(Interference, OppositeBiasConflictIsDestructive)
+{
+    // Two branches with opposite strong biases sharing one entry:
+    // classic destructive interference.
+    Trace trace("fight");
+    const Addr a = 0x1000;
+    const Addr b = a + 8; // same entry in a 1-bit address index
+    for (int i = 0; i < 200; ++i) {
+        trace.appendConditional(a, true);
+        trace.appendConditional(b, false);
+    }
+    IndexFunction function{IndexKind::Address, 1, 0};
+    const InterferenceResult result =
+        classifyInterference(trace, function);
+    EXPECT_GT(result.destructive, 100u);
+    EXPECT_GT(result.mispredictRatio, 0.4);
+}
+
+TEST(Interference, SameDirectionConflictIsHarmlessOrConstructive)
+{
+    // Two always-taken branches sharing an entry: the sharing can
+    // never hurt.
+    Trace trace("friends");
+    const Addr a = 0x1000;
+    const Addr b = a + 8;
+    for (int i = 0; i < 200; ++i) {
+        trace.appendConditional(a, true);
+        trace.appendConditional(b, true);
+    }
+    IndexFunction function{IndexKind::Address, 1, 0};
+    const InterferenceResult result =
+        classifyInterference(trace, function);
+    EXPECT_EQ(result.destructive, 0u);
+    EXPECT_GT(result.harmless + result.constructive +
+                  result.unaliasedLookups,
+              390u);
+    EXPECT_LT(result.mispredictRatio, 0.05);
+}
+
+TEST(Interference, RatiosNormalizeByDynamicCount)
+{
+    Trace trace("r");
+    const Addr a = 0x1000;
+    const Addr b = a + 8;
+    for (int i = 0; i < 50; ++i) {
+        trace.appendConditional(a, true);
+        trace.appendConditional(b, false);
+    }
+    IndexFunction function{IndexKind::Address, 1, 0};
+    const InterferenceResult result =
+        classifyInterference(trace, function);
+    EXPECT_NEAR(result.destructiveRatio(),
+                static_cast<double>(result.destructive) / 100.0,
+                1e-12);
+    EXPECT_NEAR(result.constructiveRatio(),
+                static_cast<double>(result.constructive) / 100.0,
+                1e-12);
+}
+
+TEST(Interference, DestructiveDominatesConstructive)
+{
+    // Young et al.'s observation, which the paper leans on: on a
+    // mixed random workload, destructive aliasing far outweighs
+    // constructive.
+    Trace trace("mixed");
+    Rng rng(2024);
+    for (int i = 0; i < 20000; ++i) {
+        const Addr pc = 0x1000 + 4 * rng.uniformInt(512);
+        // Per-site stable bias derived from the address.
+        const bool biased_taken = (pc >> 2) % 3 != 0;
+        const bool outcome =
+            rng.chance(biased_taken ? 0.92 : 0.08);
+        trace.appendConditional(pc, outcome);
+    }
+    IndexFunction function{IndexKind::Address, 6, 0}; // 64 entries
+    const InterferenceResult result =
+        classifyInterference(trace, function);
+    EXPECT_GT(result.destructive, 2 * result.constructive);
+}
+
+TEST(Interference, CountsPartitionDynamicBranches)
+{
+    Trace trace("partition");
+    Rng rng(7);
+    for (int i = 0; i < 5000; ++i) {
+        trace.appendConditional(0x1000 + 4 * rng.uniformInt(64),
+                                rng.chance(0.7));
+    }
+    IndexFunction function{IndexKind::Address, 4, 0};
+    const InterferenceResult result =
+        classifyInterference(trace, function);
+    EXPECT_EQ(result.compulsory + result.unaliasedLookups +
+                  result.harmless + result.destructive +
+                  result.constructive,
+              result.dynamicBranches);
+}
+
+} // namespace
+} // namespace bpred

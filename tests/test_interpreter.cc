@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Unit tests for the synthetic-program interpreter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "support/logging.hh"
+#include "workloads/interpreter.hh"
+#include "workloads/program_builder.hh"
+
+namespace bpred
+{
+namespace
+{
+
+/** A hand-built program: main { loop(site 0) { if (site 1) } }. */
+Program
+handProgram()
+{
+    Program program;
+    program.sites.resize(2);
+    program.sites[0].kind = SiteKind::Loop;
+    program.sites[0].addr = 0x100;
+    program.sites[0].meanTrips = 4.0;
+    program.sites[0].fixedTrips = true;
+    program.sites[1].kind = SiteKind::Biased;
+    program.sites[1].addr = 0x104;
+    program.sites[1].takenProbability = 1.0;
+
+    Statement inner;
+    inner.kind = StatementKind::If;
+    inner.site = 1;
+
+    Statement loop;
+    loop.kind = StatementKind::Loop;
+    loop.site = 0;
+    loop.body.push_back(inner);
+
+    Procedure main;
+    main.entryAddr = 0x100;
+    main.body.push_back(loop);
+    program.procedures.push_back(main);
+    return program;
+}
+
+TEST(Interpreter, EmitsExactQuantum)
+{
+    const Program program = handProgram();
+    Trace trace("t");
+    StreamContext context(trace);
+    Interpreter interpreter(program, 1);
+    const u64 emitted = interpreter.run(context, 100);
+    EXPECT_EQ(emitted, 100u);
+    EXPECT_EQ(context.conditionals(), 100u);
+}
+
+TEST(Interpreter, FixedLoopEmitsBottomTestPattern)
+{
+    // With 4 fixed trips, the loop branch pattern is T T T N per
+    // activation, and the if inside fires once per iteration.
+    const Program program = handProgram();
+    Trace trace("t");
+    StreamContext context(trace);
+    Interpreter interpreter(program, 1);
+    interpreter.run(context, 8); // one full activation = 8 branches
+
+    // Expected: (if, loopT) x3, (if, loopN) -> addresses alternate.
+    ASSERT_EQ(trace.size(), 8u);
+    for (int i = 0; i < 8; i += 2) {
+        EXPECT_EQ(trace[i].pc, 0x104u) << "if site at " << i;
+        EXPECT_TRUE(trace[i].taken);
+        EXPECT_EQ(trace[i + 1].pc, 0x100u) << "loop site";
+    }
+    EXPECT_TRUE(trace[1].taken);
+    EXPECT_TRUE(trace[3].taken);
+    EXPECT_TRUE(trace[5].taken);
+    EXPECT_FALSE(trace[7].taken); // loop exit
+}
+
+TEST(Interpreter, ResumableAcrossQuanta)
+{
+    // Running 50 then 50 must equal running 100 in one go.
+    const Program program = handProgram();
+
+    Trace split_trace("a");
+    StreamContext split_context(split_trace);
+    Interpreter split(program, 9);
+    split.run(split_context, 50);
+    split.run(split_context, 50);
+
+    Trace whole_trace("b");
+    StreamContext whole_context(whole_trace);
+    Interpreter whole(program, 9);
+    whole.run(whole_context, 100);
+
+    ASSERT_EQ(split_trace.size(), whole_trace.size());
+    for (std::size_t i = 0; i < whole_trace.size(); ++i) {
+        ASSERT_EQ(split_trace[i], whole_trace[i]) << "record " << i;
+    }
+}
+
+TEST(Interpreter, RestartsMainWhenItReturns)
+{
+    const Program program = handProgram();
+    Trace trace("t");
+    StreamContext context(trace);
+    Interpreter interpreter(program, 1);
+    // 8 branches per main activation; ask for several activations.
+    interpreter.run(context, 80);
+    EXPECT_EQ(context.conditionals(), 80u);
+}
+
+TEST(Interpreter, GeneratedProgramEmitsCallsAndJumps)
+{
+    ProgramParams params;
+    params.seed = 3;
+    params.staticBranchTarget = 400;
+    const Program program = buildProgram(params);
+
+    Trace trace("gen");
+    StreamContext context(trace);
+    Interpreter interpreter(program, 4);
+    interpreter.run(context, 20000);
+
+    const TraceStats stats = computeTraceStats(trace);
+    EXPECT_EQ(stats.dynamicConditional, 20000u);
+    EXPECT_GT(stats.dynamicUnconditional, 500u)
+        << "calls/returns/jumps present in the stream";
+}
+
+TEST(Interpreter, CoversMostStaticSites)
+{
+    ProgramParams params;
+    params.seed = 5;
+    params.staticBranchTarget = 300;
+    const Program program = buildProgram(params);
+
+    Trace trace("cov");
+    StreamContext context(trace);
+    Interpreter interpreter(program, 6);
+    interpreter.run(context, 120000);
+
+    std::unordered_set<Addr> executed;
+    for (const BranchRecord &record : trace) {
+        if (record.conditional) {
+            executed.insert(record.pc);
+        }
+    }
+    // Most generated sites should actually execute.
+    EXPECT_GT(executed.size(), program.numSites() * 6 / 10);
+}
+
+TEST(Interpreter, DeterministicForSeed)
+{
+    ProgramParams params;
+    params.seed = 8;
+    params.staticBranchTarget = 200;
+    const Program program = buildProgram(params);
+
+    Trace a("a");
+    Trace b("b");
+    {
+        StreamContext context(a);
+        Interpreter interpreter(program, 42);
+        interpreter.run(context, 5000);
+    }
+    {
+        StreamContext context(b);
+        Interpreter interpreter(program, 42);
+        interpreter.run(context, 5000);
+    }
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i], b[i]);
+    }
+}
+
+TEST(Interpreter, CorrelatedSitesFollowSharedHistory)
+{
+    // A program with a single noiseless correlated site driven by
+    // bit 0 of the history: outcome at step i equals previous
+    // outcome's complement... i.e., deterministic given history.
+    Program program;
+    program.sites.resize(1);
+    program.sites[0].kind = SiteKind::Correlated;
+    program.sites[0].addr = 0x200;
+    program.sites[0].historyMask = 0b1;
+    program.sites[0].invert = true; // taken iff last outcome was N
+    program.sites[0].noise = 0.0;
+
+    Statement stmt;
+    stmt.kind = StatementKind::If;
+    stmt.site = 0;
+    Procedure main;
+    main.body.push_back(stmt);
+    program.procedures.push_back(main);
+
+    Trace trace("corr");
+    StreamContext context(trace);
+    Interpreter interpreter(program, 1);
+    interpreter.run(context, 64);
+
+    // Outcomes must alternate T N T N ... after the first.
+    for (std::size_t i = 1; i < trace.size(); ++i) {
+        EXPECT_NE(trace[i].taken, trace[i - 1].taken);
+    }
+}
+
+TEST(Interpreter, RejectsEmptyProgram)
+{
+    Program empty;
+    EXPECT_THROW(Interpreter(empty, 1), FatalError);
+}
+
+} // namespace
+} // namespace bpred

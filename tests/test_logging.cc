@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Unit tests for error reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/logging.hh"
+
+namespace bpred
+{
+namespace
+{
+
+TEST(Fatal, ThrowsFatalError)
+{
+    EXPECT_THROW(fatal("boom"), FatalError);
+}
+
+TEST(Fatal, MessagePreserved)
+{
+    try {
+        fatal("the message");
+        FAIL() << "fatal() returned";
+    } catch (const FatalError &error) {
+        EXPECT_STREQ(error.what(), "the message");
+    }
+}
+
+TEST(FatalError, IsRuntimeError)
+{
+    // Embedders may catch std::runtime_error generically.
+    EXPECT_THROW(fatal("x"), std::runtime_error);
+}
+
+TEST(WarnInform, DoNotThrow)
+{
+    setQuiet(true);
+    EXPECT_NO_THROW(warn("w"));
+    EXPECT_NO_THROW(inform("i"));
+    setQuiet(false);
+}
+
+} // namespace
+} // namespace bpred

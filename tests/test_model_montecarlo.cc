@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Monte-Carlo validation of the analytical model: simulate the
+ * §5.2 probabilistic process directly (random aliasing events,
+ * random substream biases, majority vote) and check the closed
+ * forms against the empirical frequencies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/formulas.hh"
+#include "support/rng.hh"
+
+namespace bpred
+{
+namespace
+{
+
+/**
+ * One trial of the paper's §5.2 process for an M-bank predictor:
+ * the unaliased prediction is taken with probability b; each bank
+ * is aliased with probability p, in which case it votes with an
+ * independent substream's prediction (taken w.p. b); un-aliased
+ * banks vote the unaliased prediction. Returns whether the
+ * majority differs from the unaliased prediction.
+ */
+bool
+trialDiffers(Rng &rng, unsigned banks, double p, double b)
+{
+    const bool unaliased_taken = rng.chance(b);
+    unsigned votes_taken = 0;
+    for (unsigned bank = 0; bank < banks; ++bank) {
+        bool vote = unaliased_taken;
+        if (rng.chance(p)) {
+            vote = rng.chance(b);
+        }
+        votes_taken += vote ? 1 : 0;
+    }
+    const bool majority_taken = votes_taken * 2 > banks;
+    return majority_taken != unaliased_taken;
+}
+
+class ModelMonteCarlo
+    : public ::testing::TestWithParam<std::pair<double, double>>
+{
+};
+
+TEST_P(ModelMonteCarlo, ThreeBankFormulaMatches)
+{
+    const auto [p, b] = GetParam();
+    Rng rng(static_cast<u64>(p * 1000) * 131 +
+            static_cast<u64>(b * 1000));
+    const int trials = 200000;
+    int differs = 0;
+    for (int i = 0; i < trials; ++i) {
+        differs += trialDiffers(rng, 3, p, b);
+    }
+    const double empirical =
+        static_cast<double>(differs) / trials;
+    EXPECT_NEAR(empirical, destructiveProbabilitySkewed3(p, b),
+                0.004)
+        << "p=" << p << " b=" << b;
+}
+
+TEST_P(ModelMonteCarlo, OneBankFormulaMatches)
+{
+    const auto [p, b] = GetParam();
+    Rng rng(static_cast<u64>(p * 1000) * 257 +
+            static_cast<u64>(b * 1000));
+    const int trials = 200000;
+    int differs = 0;
+    for (int i = 0; i < trials; ++i) {
+        differs += trialDiffers(rng, 1, p, b);
+    }
+    const double empirical =
+        static_cast<double>(differs) / trials;
+    EXPECT_NEAR(empirical, destructiveProbabilityDirectMapped(p, b),
+                0.004);
+}
+
+TEST_P(ModelMonteCarlo, FiveBankGeneralizationMatches)
+{
+    const auto [p, b] = GetParam();
+    Rng rng(static_cast<u64>(p * 1000) * 509 +
+            static_cast<u64>(b * 1000));
+    const int trials = 200000;
+    int differs = 0;
+    for (int i = 0; i < trials; ++i) {
+        differs += trialDiffers(rng, 5, p, b);
+    }
+    const double empirical =
+        static_cast<double>(differs) / trials;
+    EXPECT_NEAR(empirical, destructiveProbabilitySkewed(5, p, b),
+                0.004);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ModelMonteCarlo,
+    ::testing::Values(std::pair{0.05, 0.5}, std::pair{0.2, 0.5},
+                      std::pair{0.5, 0.5}, std::pair{0.8, 0.5},
+                      std::pair{0.3, 0.2}, std::pair{0.3, 0.7},
+                      std::pair{0.9, 0.35}, std::pair{0.1, 0.9}));
+
+/**
+ * Formula (1) against a direct balls-into-bins simulation: probe a
+ * table entry after D distinct intervening references.
+ */
+TEST(ModelMonteCarlo, AliasingProbabilityMatchesBallsInBins)
+{
+    Rng rng(404);
+    const u64 entries = 64;
+    for (const u64 distance : {u64(1), u64(8), u64(64), u64(256)}) {
+        const int trials = 50000;
+        int aliased = 0;
+        for (int i = 0; i < trials; ++i) {
+            // Our key sits in entry 0 (wlog, hash is uniform);
+            // D distinct other keys land uniformly.
+            bool hit_entry = false;
+            for (u64 d = 0; d < distance; ++d) {
+                hit_entry |= rng.uniformInt(entries) == 0;
+            }
+            aliased += hit_entry;
+        }
+        const double empirical =
+            static_cast<double>(aliased) / trials;
+        EXPECT_NEAR(empirical, aliasingProbability(entries, distance),
+                    0.01)
+            << "D=" << distance;
+    }
+}
+
+} // namespace
+} // namespace bpred

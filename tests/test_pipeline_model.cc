@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Unit tests for the first-order pipeline cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/pipeline_model.hh"
+#include "support/logging.hh"
+
+namespace bpred
+{
+namespace
+{
+
+TEST(PipelineModel, PerfectPredictionIsBaseCpi)
+{
+    const PipelineEstimate estimate = estimatePipeline(0.0);
+    EXPECT_DOUBLE_EQ(estimate.cpi, PipelineParams{}.baseCpi);
+    EXPECT_DOUBLE_EQ(estimate.stallFraction, 0.0);
+}
+
+TEST(PipelineModel, KnownValues)
+{
+    PipelineParams params;
+    params.baseCpi = 1.0;
+    params.branchDensity = 0.2;
+    params.mispredictPenalty = 10.0;
+    // m = 5%: stall CPI = 0.2 * 0.05 * 10 = 0.1.
+    const PipelineEstimate estimate = estimatePipeline(0.05, params);
+    EXPECT_NEAR(estimate.cpi, 1.1, 1e-12);
+    EXPECT_NEAR(estimate.stallFraction, 0.1 / 1.1, 1e-12);
+}
+
+TEST(PipelineModel, MonotoneInMisprediction)
+{
+    double previous = -1.0;
+    for (double m = 0.0; m <= 1.0; m += 0.1) {
+        const PipelineEstimate estimate = estimatePipeline(m);
+        EXPECT_GT(estimate.cpi, previous);
+        previous = estimate.cpi;
+    }
+}
+
+TEST(PipelineModel, SpeedupSymmetry)
+{
+    const PipelineEstimate fast = estimatePipeline(0.02);
+    const PipelineEstimate slow = estimatePipeline(0.10);
+    EXPECT_GT(fast.speedupOver(slow), 1.0);
+    EXPECT_LT(slow.speedupOver(fast), 1.0);
+    EXPECT_NEAR(fast.speedupOver(slow) * slow.speedupOver(fast),
+                1.0, 1e-12);
+}
+
+TEST(PipelineModel, SimResultOverload)
+{
+    SimResult result;
+    result.conditionals = 1000;
+    result.mispredicts = 50;
+    const PipelineEstimate via_result = estimatePipeline(result);
+    const PipelineEstimate via_ratio = estimatePipeline(0.05);
+    EXPECT_DOUBLE_EQ(via_result.cpi, via_ratio.cpi);
+}
+
+TEST(PipelineModel, DeeperPipelinesAmplifyGains)
+{
+    PipelineParams shallow;
+    shallow.mispredictPenalty = 5.0;
+    PipelineParams deep;
+    deep.mispredictPenalty = 20.0;
+
+    const double speedup_shallow =
+        estimatePipeline(0.04, shallow)
+            .speedupOver(estimatePipeline(0.08, shallow));
+    const double speedup_deep =
+        estimatePipeline(0.04, deep).speedupOver(
+            estimatePipeline(0.08, deep));
+    // Halving misprediction is worth more on the deeper machine —
+    // the paper's motivating observation.
+    EXPECT_GT(speedup_deep, speedup_shallow);
+}
+
+TEST(PipelineModel, HalfStallMarker)
+{
+    PipelineParams params;
+    params.baseCpi = 0.6;
+    params.branchDensity = 0.15;
+    params.mispredictPenalty = 20.0;
+    const double marker = halfStallMispredictRatio(params);
+    EXPECT_NEAR(marker, 0.6 / 3.0, 1e-12);
+    const PipelineEstimate at_marker =
+        estimatePipeline(marker, params);
+    EXPECT_NEAR(at_marker.stallFraction, 0.5, 1e-12);
+}
+
+TEST(PipelineModel, HalfStallClampsAtOne)
+{
+    PipelineParams params;
+    params.baseCpi = 10.0;
+    params.branchDensity = 0.1;
+    params.mispredictPenalty = 5.0;
+    EXPECT_DOUBLE_EQ(halfStallMispredictRatio(params), 1.0);
+}
+
+TEST(PipelineModel, RejectsBadInputs)
+{
+    EXPECT_THROW(estimatePipeline(-0.1), FatalError);
+    EXPECT_THROW(estimatePipeline(1.1), FatalError);
+    PipelineParams bad;
+    bad.baseCpi = 0.0;
+    EXPECT_THROW(estimatePipeline(0.1, bad), FatalError);
+    PipelineParams degenerate;
+    degenerate.branchDensity = 0.0;
+    EXPECT_THROW(halfStallMispredictRatio(degenerate), FatalError);
+}
+
+} // namespace
+} // namespace bpred

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Cross-predictor contract suite: every scheme the factory can
+ * build must honour the Predictor interface contract. Runs the
+ * same property battery over each spec (parameterized gtest).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/driver.hh"
+#include "sim/factory.hh"
+#include "support/rng.hh"
+#include "trace/trace.hh"
+
+namespace bpred
+{
+namespace
+{
+
+/** Every scheme at a small geometry. */
+const std::vector<const char *> allSpecs = {
+    "static:taken",
+    "static:nottaken",
+    "bimodal:8",
+    "bimodal:8:1",
+    "gshare:8:6",
+    "gshare:8:6:1",
+    "gselect:8:4",
+    "pag:8:6",
+    "agree:8:6:8",
+    "bimode:8:6:8",
+    "yags:8:6:8",
+    "hybrid:8:6",
+    "gskewed:1:8:6",
+    "gskewed:3:8:6",
+    "gskewed:3:8:6:total",
+    "gskewed:3:8:6:partial-lazy",
+    "gskewed:5:8:6",
+    "egskew:8:6",
+    "gskewedsh:3:8:6",
+    "egskewsh:8:6",
+    "pskew:8:6:3:8",
+    "falru:4096:6",
+    "unaliased:6",
+};
+
+Trace
+contractTrace(u64 seed)
+{
+    Trace trace("contract");
+    Rng rng(seed);
+    for (int i = 0; i < 20000; ++i) {
+        const Addr pc = 0x1000 + 4 * rng.uniformInt(300);
+        if (rng.chance(0.2)) {
+            trace.appendUnconditional(pc + 0x10000);
+        } else {
+            // Mix of biased and history-correlated outcomes.
+            const bool outcome = (pc >> 2) % 3 == 0
+                ? rng.chance(0.9)
+                : (i & 2) != 0;
+            trace.appendConditional(pc, outcome);
+        }
+    }
+    return trace;
+}
+
+class PredictorContract
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(PredictorContract, BuildsWithNonEmptyName)
+{
+    auto predictor = makePredictor(GetParam());
+    ASSERT_NE(predictor, nullptr);
+    EXPECT_FALSE(predictor->name().empty());
+}
+
+TEST_P(PredictorContract, SurvivesRandomStream)
+{
+    auto predictor = makePredictor(GetParam());
+    const Trace trace = contractTrace(1);
+    const SimResult result = simulate(*predictor, trace);
+    EXPECT_GT(result.conditionals, 0u);
+    EXPECT_LE(result.mispredicts, result.conditionals);
+}
+
+TEST_P(PredictorContract, DeterministicAcrossInstances)
+{
+    auto a = makePredictor(GetParam());
+    auto b = makePredictor(GetParam());
+    const Trace trace = contractTrace(2);
+    const SimResult ra = simulate(*a, trace);
+    const SimResult rb = simulate(*b, trace);
+    EXPECT_EQ(ra.mispredicts, rb.mispredicts);
+}
+
+TEST_P(PredictorContract, ResetRestoresInitialBehaviour)
+{
+    auto predictor = makePredictor(GetParam());
+    const Trace trace = contractTrace(3);
+    const SimResult first = simulate(*predictor, trace);
+    predictor->reset();
+    const SimResult second = simulate(*predictor, trace);
+    EXPECT_EQ(first.mispredicts, second.mispredicts)
+        << "reset() did not restore the cold state";
+}
+
+TEST_P(PredictorContract, PredictIsSideEffectFreeOnTables)
+{
+    // Calling predict() twice in a row must return the same value
+    // (prediction is a pure read of predictor state).
+    auto predictor = makePredictor(GetParam());
+    const Trace trace = contractTrace(4);
+    u64 step = 0;
+    for (const BranchRecord &record : trace) {
+        if (!record.conditional) {
+            predictor->notifyUnconditional(record.pc);
+            continue;
+        }
+        const bool once = predictor->predict(record.pc);
+        const bool twice = predictor->predict(record.pc);
+        ASSERT_EQ(once, twice) << "at step " << step;
+        predictor->update(record.pc, record.taken);
+        if (++step > 2000) {
+            break;
+        }
+    }
+}
+
+TEST_P(PredictorContract, BetterThanCoinFlipOnLearnableStream)
+{
+    // Every real predictor (not the static ones) must beat 50% on
+    // a stream of strongly biased branches.
+    const std::string spec = GetParam();
+    if (spec.rfind("static", 0) == 0) {
+        GTEST_SKIP() << "static predictors are direction-fixed";
+    }
+    auto predictor = makePredictor(spec);
+    Trace trace("biased");
+    Rng rng(5);
+    for (int i = 0; i < 20000; ++i) {
+        const Addr pc = 0x1000 + 4 * rng.uniformInt(64);
+        const bool dominant = (pc >> 2) % 2 == 0;
+        trace.appendConditional(pc, rng.chance(dominant ? 0.95
+                                                        : 0.05));
+    }
+    const SimResult result = simulate(*predictor, trace);
+    EXPECT_LT(result.mispredictRatio(), 0.30) << predictor->name();
+}
+
+TEST_P(PredictorContract, StorageBitsStable)
+{
+    auto predictor = makePredictor(GetParam());
+    const u64 before = predictor->storageBits();
+    const Trace trace = contractTrace(6);
+    simulate(*predictor, trace);
+    // Only the unaliased predictor is allowed to grow.
+    if (std::string(GetParam()).rfind("unaliased", 0) != 0) {
+        EXPECT_EQ(predictor->storageBits(), before);
+    }
+}
+
+TEST_P(PredictorContract, WarmupNeverHurtsDeterminism)
+{
+    auto predictor = makePredictor(GetParam());
+    const Trace trace = contractTrace(7);
+    const SimResult warm =
+        simulateWithWarmup(*predictor, trace, 5000);
+    EXPECT_LE(warm.conditionals,
+              computeTraceStats(trace).dynamicConditional);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, PredictorContract, ::testing::ValuesIn(allSpecs),
+    [](const ::testing::TestParamInfo<const char *> &info) {
+        std::string name = info.param;
+        for (char &c : name) {
+            if (c == ':' || c == '-') {
+                c = '_';
+            }
+        }
+        return name;
+    });
+
+} // namespace
+} // namespace bpred

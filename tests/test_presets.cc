@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Unit tests for the IBS-like benchmark presets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "support/logging.hh"
+#include "workloads/presets.hh"
+
+namespace bpred
+{
+namespace
+{
+
+TEST(Presets, SixBenchmarksInPaperOrder)
+{
+    const auto &names = ibsBenchmarkNames();
+    ASSERT_EQ(names.size(), 6u);
+    EXPECT_EQ(names[0], "groff");
+    EXPECT_EQ(names[1], "gs");
+    EXPECT_EQ(names[2], "mpeg_play");
+    EXPECT_EQ(names[3], "nroff");
+    EXPECT_EQ(names[4], "real_gcc");
+    EXPECT_EQ(names[5], "verilog");
+}
+
+TEST(Presets, StaticTargetsMatchTable1)
+{
+    EXPECT_EQ(ibsPreset("groff").user.staticBranchTarget, 5634u);
+    EXPECT_EQ(ibsPreset("gs").user.staticBranchTarget, 10935u);
+    EXPECT_EQ(ibsPreset("mpeg_play").user.staticBranchTarget, 4752u);
+    EXPECT_EQ(ibsPreset("nroff").user.staticBranchTarget, 4480u);
+    EXPECT_EQ(ibsPreset("real_gcc").user.staticBranchTarget, 16716u);
+    EXPECT_EQ(ibsPreset("verilog").user.staticBranchTarget, 3918u);
+}
+
+TEST(Presets, UnknownNameRejected)
+{
+    EXPECT_THROW(ibsPreset("doom"), FatalError);
+}
+
+TEST(Presets, ScaleMultipliesDynamicTarget)
+{
+    const u64 base = ibsPreset("groff", 1.0).dynamicConditionalTarget;
+    EXPECT_EQ(ibsPreset("groff", 0.5).dynamicConditionalTarget,
+              base / 2);
+    EXPECT_EQ(ibsPreset("groff", 2.0).dynamicConditionalTarget,
+              base * 2);
+}
+
+TEST(Presets, InvalidScaleRejected)
+{
+    EXPECT_THROW(ibsPreset("groff", 0.0), FatalError);
+    EXPECT_THROW(ibsPreset("groff", -1.0), FatalError);
+}
+
+TEST(Presets, TraceGenerationSmallScale)
+{
+    const Trace trace = makeIbsTrace("verilog", 0.01); // 20k branches
+    const TraceStats stats = computeTraceStats(trace);
+    EXPECT_EQ(trace.name(), "verilog");
+    EXPECT_EQ(stats.dynamicConditional, 20000u);
+    EXPECT_GT(stats.staticConditional, 500u);
+    EXPECT_GT(stats.dynamicUnconditional, 0u);
+}
+
+TEST(Presets, DistinctBenchmarksDistinctStreams)
+{
+    const Trace groff = makeIbsTrace("groff", 0.005);
+    const Trace nroff = makeIbsTrace("nroff", 0.005);
+    bool differs = groff.size() != nroff.size();
+    for (std::size_t i = 0; !differs && i < groff.size(); ++i) {
+        differs = !(groff[i] == nroff[i]);
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(Presets, EffectiveScaleUsesEnvOverride)
+{
+    ::setenv("BPRED_TRACE_SCALE", "0.25", 1);
+    EXPECT_DOUBLE_EQ(effectiveTraceScale(1.0), 0.25);
+    ::setenv("BPRED_TRACE_SCALE", "garbage", 1);
+    setQuiet(true);
+    EXPECT_DOUBLE_EQ(effectiveTraceScale(1.0), 1.0);
+    setQuiet(false);
+    ::unsetenv("BPRED_TRACE_SCALE");
+    EXPECT_DOUBLE_EQ(effectiveTraceScale(0.5), 0.5);
+}
+
+TEST(Presets, BonusBenchmarksAvailable)
+{
+    const auto &all = ibsAllBenchmarkNames();
+    ASSERT_EQ(all.size(), 8u);
+    EXPECT_EQ(all[6], "sdet");
+    EXPECT_EQ(all[7], "video_play");
+    // The paper's six come first, unchanged.
+    for (std::size_t i = 0; i < 6; ++i) {
+        EXPECT_EQ(all[i], ibsBenchmarkNames()[i]);
+    }
+    // Both presets build and generate.
+    EXPECT_EQ(ibsPreset("sdet").kernelShare, 0.35);
+    const Trace trace = makeIbsTrace("video_play", 0.005);
+    EXPECT_EQ(computeTraceStats(trace).dynamicConditional, 10000u);
+}
+
+TEST(Presets, LargestStaticSetIsRealGcc)
+{
+    // The Table 1 ordering property the experiments rely on.
+    const auto gcc = ibsPreset("real_gcc").user.staticBranchTarget;
+    for (const std::string &name : ibsBenchmarkNames()) {
+        EXPECT_LE(ibsPreset(name).user.staticBranchTarget, gcc);
+    }
+}
+
+} // namespace
+} // namespace bpred

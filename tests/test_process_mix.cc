@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Unit tests for multi-process workload composition.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "support/logging.hh"
+#include "workloads/process_mix.hh"
+#include "workloads/program_builder.hh"
+
+namespace bpred
+{
+namespace
+{
+
+WorkloadParams
+smallWorkload(u64 seed = 1)
+{
+    WorkloadParams params;
+    params.name = "mix-test";
+    params.seed = seed;
+    params.dynamicConditionalTarget = 30000;
+    params.user.staticBranchTarget = 400;
+    params.kernel.staticBranchTarget = 120;
+    params.kernelShare = 0.25;
+    params.userQuantumMean = 2000;
+    return params;
+}
+
+TEST(ProcessMix, HitsDynamicTarget)
+{
+    const Trace trace = generateWorkload(smallWorkload());
+    const TraceStats stats = computeTraceStats(trace);
+    EXPECT_EQ(stats.dynamicConditional, 30000u);
+    EXPECT_EQ(trace.name(), "mix-test");
+}
+
+TEST(ProcessMix, Deterministic)
+{
+    const Trace a = generateWorkload(smallWorkload(7));
+    const Trace b = generateWorkload(smallWorkload(7));
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i], b[i]) << "record " << i;
+    }
+}
+
+TEST(ProcessMix, SeedChangesStream)
+{
+    const Trace a = generateWorkload(smallWorkload(1));
+    const Trace b = generateWorkload(smallWorkload(2));
+    bool differs = a.size() != b.size();
+    for (std::size_t i = 0; !differs && i < a.size(); ++i) {
+        differs = !(a[i] == b[i]);
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(ProcessMix, KernelAddressesPresent)
+{
+    WorkloadParams params = smallWorkload();
+    params.user.addressBase = 0x0040'0000;
+    params.kernel.addressBase = 0x8000'0000;
+    const Trace trace = generateWorkload(params);
+
+    u64 user_branches = 0;
+    u64 kernel_branches = 0;
+    for (const BranchRecord &record : trace) {
+        if (!record.conditional) {
+            continue;
+        }
+        if (record.pc >= 0x8000'0000) {
+            ++kernel_branches;
+        } else {
+            ++user_branches;
+        }
+    }
+    EXPECT_GT(kernel_branches, 0u);
+    EXPECT_GT(user_branches, 0u);
+    // Kernel share ~25%, very loose bounds.
+    const double share = static_cast<double>(kernel_branches) /
+        static_cast<double>(kernel_branches + user_branches);
+    EXPECT_GT(share, 0.10);
+    EXPECT_LT(share, 0.45);
+}
+
+TEST(ProcessMix, ZeroKernelShareIsPureUser)
+{
+    WorkloadParams params = smallWorkload();
+    params.kernelShare = 0.0;
+    params.kernel.addressBase = 0x8000'0000;
+    const Trace trace = generateWorkload(params);
+    for (const BranchRecord &record : trace) {
+        EXPECT_LT(record.pc, 0x8000'0000u);
+    }
+}
+
+TEST(ProcessMix, InterleavingActuallySwitches)
+{
+    // Look for address-space switches within the stream.
+    WorkloadParams params = smallWorkload();
+    params.user.addressBase = 0x0040'0000;
+    params.kernel.addressBase = 0x8000'0000;
+    params.userQuantumMean = 500;
+    const Trace trace = generateWorkload(params);
+
+    u64 switches = 0;
+    bool in_kernel = false;
+    for (const BranchRecord &record : trace) {
+        const bool kernel = record.pc >= 0x8000'0000;
+        if (kernel != in_kernel) {
+            ++switches;
+            in_kernel = kernel;
+        }
+    }
+    EXPECT_GT(switches, 20u);
+}
+
+TEST(ProcessMix, RejectsZeroTarget)
+{
+    WorkloadParams params = smallWorkload();
+    params.dynamicConditionalTarget = 0;
+    EXPECT_THROW(generateWorkload(params), FatalError);
+}
+
+TEST(RunProgramToTrace, BasicOperation)
+{
+    ProgramParams params;
+    params.seed = 2;
+    params.staticBranchTarget = 100;
+    const Program program = buildProgram(params);
+    const Trace trace = runProgramToTrace(program, 3, 5000, "solo");
+    EXPECT_EQ(trace.name(), "solo");
+    EXPECT_EQ(computeTraceStats(trace).dynamicConditional, 5000u);
+}
+
+} // namespace
+} // namespace bpred

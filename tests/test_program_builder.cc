@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Unit tests for synthetic program generation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/program_builder.hh"
+
+namespace bpred
+{
+namespace
+{
+
+ProgramParams
+smallParams(u64 seed = 1)
+{
+    ProgramParams params;
+    params.seed = seed;
+    params.staticBranchTarget = 300;
+    params.sitesPerProcedure = 30;
+    return params;
+}
+
+TEST(ProgramBuilder, Deterministic)
+{
+    const Program a = buildProgram(smallParams(5));
+    const Program b = buildProgram(smallParams(5));
+    ASSERT_EQ(a.sites.size(), b.sites.size());
+    ASSERT_EQ(a.procedures.size(), b.procedures.size());
+    for (std::size_t i = 0; i < a.sites.size(); ++i) {
+        EXPECT_EQ(a.sites[i].addr, b.sites[i].addr);
+        EXPECT_EQ(a.sites[i].kind, b.sites[i].kind);
+    }
+}
+
+TEST(ProgramBuilder, DifferentSeedsDiffer)
+{
+    const Program a = buildProgram(smallParams(1));
+    const Program b = buildProgram(smallParams(2));
+    bool differs = a.sites.size() != b.sites.size();
+    if (!differs) {
+        for (std::size_t i = 0; i < a.sites.size(); ++i) {
+            if (a.sites[i].addr != b.sites[i].addr ||
+                a.sites[i].kind != b.sites[i].kind) {
+                differs = true;
+                break;
+            }
+        }
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(ProgramBuilder, SiteCountNearTarget)
+{
+    const Program program = buildProgram(smallParams());
+    EXPECT_GE(program.numSites(), 300u * 8 / 10);
+    EXPECT_LE(program.numSites(), 300u * 13 / 10);
+}
+
+TEST(ProgramBuilder, AddressesWordAlignedAndUnique)
+{
+    const Program program = buildProgram(smallParams());
+    std::set<Addr> addresses;
+    for (const BranchSite &site : program.sites) {
+        EXPECT_EQ(site.addr % 4, 0u);
+        EXPECT_TRUE(addresses.insert(site.addr).second)
+            << "duplicate site address";
+    }
+}
+
+TEST(ProgramBuilder, AddressesStartAtBase)
+{
+    ProgramParams params = smallParams();
+    params.addressBase = 0x7000'0000;
+    const Program program = buildProgram(params);
+    for (const BranchSite &site : program.sites) {
+        EXPECT_GE(site.addr, 0x7000'0000u);
+    }
+}
+
+TEST(ProgramBuilder, MixesSiteKinds)
+{
+    const Program program = buildProgram(smallParams());
+    std::set<SiteKind> kinds;
+    for (const BranchSite &site : program.sites) {
+        kinds.insert(site.kind);
+    }
+    EXPECT_EQ(kinds.size(), 4u) << "all four behaviours present";
+}
+
+TEST(ProgramBuilder, CallGraphAcyclic)
+{
+    const Program program = buildProgram(smallParams());
+
+    // Walk every statement; a Call from procedure i must target
+    // j > i.
+    struct Walker
+    {
+        const Program &program;
+        u32 current = 0;
+        bool ok = true;
+
+        void
+        walk(const StmtBlock &block)
+        {
+            for (const Statement &stmt : block) {
+                if (stmt.kind == StatementKind::Call) {
+                    ok = ok && stmt.callee > current &&
+                        stmt.callee < program.procedures.size();
+                } else if (stmt.kind == StatementKind::If) {
+                    walk(stmt.thenBlock);
+                    walk(stmt.elseBlock);
+                } else if (stmt.kind == StatementKind::Loop) {
+                    walk(stmt.body);
+                }
+            }
+        }
+    };
+
+    Walker walker{program};
+    for (u32 proc = 0; proc < program.procedures.size(); ++proc) {
+        walker.current = proc;
+        walker.walk(program.procedures[proc].body);
+    }
+    EXPECT_TRUE(walker.ok);
+}
+
+TEST(ProgramBuilder, MainDispatchesToEveryProcedure)
+{
+    const Program program = buildProgram(smallParams());
+    std::set<u32> called;
+    // Main's dispatcher is If-guarded burst loops around calls.
+    for (const Statement &stmt : program.procedures[0].body) {
+        if (stmt.kind != StatementKind::If ||
+            stmt.thenBlock.empty()) {
+            continue;
+        }
+        const Statement &burst = stmt.thenBlock[0];
+        if (burst.kind == StatementKind::Loop &&
+            !burst.body.empty() &&
+            burst.body[0].kind == StatementKind::Call) {
+            called.insert(burst.body[0].callee);
+        }
+    }
+    EXPECT_EQ(called.size(), program.procedures.size() - 1);
+}
+
+TEST(ProgramBuilder, ShapeAnalysisConsistent)
+{
+    const Program program = buildProgram(smallParams());
+    const ProgramShape shape = analyzeProgram(program);
+    EXPECT_EQ(shape.ifCount + shape.loopCount, program.numSites());
+    EXPECT_GT(shape.loopCount, 0u);
+    EXPECT_GT(shape.callCount, 0u);
+    EXPECT_GE(shape.maxDepth, 2u);
+}
+
+TEST(ProgramBuilder, SiteParametersWithinContracts)
+{
+    const Program program = buildProgram(smallParams());
+    for (const BranchSite &site : program.sites) {
+        switch (site.kind) {
+          case SiteKind::Biased:
+            EXPECT_GE(site.takenProbability, 0.0);
+            EXPECT_LE(site.takenProbability, 1.0);
+            break;
+          case SiteKind::Loop:
+            EXPECT_GE(site.meanTrips, 2.0);
+            EXPECT_LE(site.meanTrips, 128.0);
+            break;
+          case SiteKind::Correlated:
+            EXPECT_NE(site.historyMask, 0u);
+            EXPECT_GE(site.noise, 0.0);
+            EXPECT_LT(site.noise, 0.5);
+            break;
+          case SiteKind::Pattern:
+            EXPECT_GE(site.patternLength, 2);
+            EXPECT_LE(site.patternLength, 16);
+            break;
+        }
+    }
+}
+
+TEST(ProgramBuilder, TinyBudgetStillValid)
+{
+    ProgramParams params;
+    params.staticBranchTarget = 1;
+    params.sitesPerProcedure = 4;
+    const Program program = buildProgram(params);
+    EXPECT_GE(program.numSites(), 1u);
+    EXPECT_GE(program.procedures.size(), 2u);
+}
+
+} // namespace
+} // namespace bpred

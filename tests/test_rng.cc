@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/rng.hh"
+
+namespace bpred
+{
+namespace
+{
+
+TEST(SplitMix, DeterministicForSeed)
+{
+    SplitMix64 a(42);
+    SplitMix64 b(42);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.next(), b.next());
+    }
+}
+
+TEST(SplitMix, DifferentSeedsDiffer)
+{
+    SplitMix64 a(1);
+    SplitMix64 b(2);
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 1000; ++i) {
+        ASSERT_EQ(a.next(), b.next());
+    }
+}
+
+TEST(Rng, UniformIntInBound)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        EXPECT_LT(rng.uniformInt(17), 17u);
+    }
+}
+
+TEST(Rng, UniformIntCoversRange)
+{
+    Rng rng(9);
+    std::vector<int> seen(8, 0);
+    for (int i = 0; i < 8000; ++i) {
+        ++seen[rng.uniformInt(8)];
+    }
+    for (int count : seen) {
+        // Each of 8 buckets expects ~1000; allow wide slack.
+        EXPECT_GT(count, 700);
+        EXPECT_LT(count, 1300);
+    }
+}
+
+TEST(Rng, UniformRangeInclusive)
+{
+    Rng rng(11);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const u64 value = rng.uniformRange(3, 6);
+        EXPECT_GE(value, 3u);
+        EXPECT_LE(value, 6u);
+        saw_lo = saw_lo || value == 3;
+        saw_hi = saw_hi || value == 6;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformRealInUnitInterval)
+{
+    Rng rng(13);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double value = rng.uniformReal();
+        EXPECT_GE(value, 0.0);
+        EXPECT_LT(value, 1.0);
+        sum += value;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(17);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceFrequency)
+{
+    Rng rng(19);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i) {
+        if (rng.chance(0.3)) {
+            ++hits;
+        }
+    }
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, GeometricMean)
+{
+    Rng rng(23);
+    // Mean of Geometric(p) (failures before success) is (1-p)/p.
+    const double p = 0.25;
+    double sum = 0.0;
+    const int n = 40000;
+    for (int i = 0; i < n; ++i) {
+        sum += static_cast<double>(rng.geometric(p));
+    }
+    EXPECT_NEAR(sum / n, (1.0 - p) / p, 0.1);
+}
+
+TEST(Rng, GeometricPOneIsZero)
+{
+    Rng rng(29);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(rng.geometric(1.0), 0u);
+    }
+}
+
+TEST(Rng, ZipfInRange)
+{
+    Rng rng(31);
+    for (int i = 0; i < 5000; ++i) {
+        EXPECT_LT(rng.zipf(100, 1.0), 100u);
+    }
+}
+
+TEST(Rng, ZipfSkewsTowardSmallRanks)
+{
+    Rng rng(37);
+    u64 low = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        if (rng.zipf(1000, 1.0) < 10) {
+            ++low;
+        }
+    }
+    // Under Zipf(s=1), the top-10 of 1000 items carry ~39% of mass;
+    // uniform would carry 1%.
+    EXPECT_GT(low, n / 5);
+}
+
+TEST(Rng, ZipfZeroExponentIsUniform)
+{
+    Rng rng(41);
+    std::vector<int> seen(4, 0);
+    for (int i = 0; i < 8000; ++i) {
+        ++seen[rng.zipf(4, 0.0)];
+    }
+    for (int count : seen) {
+        EXPECT_GT(count, 1600);
+        EXPECT_LT(count, 2400);
+    }
+}
+
+TEST(Rng, ZipfSingleton)
+{
+    Rng rng(43);
+    EXPECT_EQ(rng.zipf(1, 1.5), 0u);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(47);
+    std::vector<int> items = {1, 2, 3, 4, 5, 6, 7, 8};
+    std::vector<int> shuffled = items;
+    rng.shuffle(shuffled);
+    std::sort(shuffled.begin(), shuffled.end());
+    EXPECT_EQ(shuffled, items);
+}
+
+TEST(Rng, ShuffleEmptyAndSingle)
+{
+    Rng rng(53);
+    std::vector<int> empty;
+    rng.shuffle(empty);
+    EXPECT_TRUE(empty.empty());
+    std::vector<int> one = {9};
+    rng.shuffle(one);
+    EXPECT_EQ(one[0], 9);
+}
+
+TEST(Rng, ForkIsIndependent)
+{
+    Rng parent(59);
+    Rng child = parent.fork();
+    // Forked stream should differ from the parent's continuation.
+    bool any_different = false;
+    for (int i = 0; i < 10; ++i) {
+        if (parent.next() != child.next()) {
+            any_different = true;
+        }
+    }
+    EXPECT_TRUE(any_different);
+}
+
+} // namespace
+} // namespace bpred

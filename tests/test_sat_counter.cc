@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Unit tests for saturating counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/sat_counter.hh"
+
+namespace bpred
+{
+namespace
+{
+
+TEST(SatCounter, OneBitActsAsLastOutcome)
+{
+    SatCounter counter(1);
+    EXPECT_FALSE(counter.predictTaken());
+    counter.update(true);
+    EXPECT_TRUE(counter.predictTaken());
+    counter.update(false);
+    EXPECT_FALSE(counter.predictTaken());
+}
+
+TEST(SatCounter, TwoBitHysteresis)
+{
+    SatCounter counter(2);
+    counter.setStrong(true); // 3
+    EXPECT_TRUE(counter.predictTaken());
+    counter.update(false); // 2: still predicts taken
+    EXPECT_TRUE(counter.predictTaken());
+    counter.update(false); // 1: now not taken
+    EXPECT_FALSE(counter.predictTaken());
+}
+
+TEST(SatCounter, SaturatesHigh)
+{
+    SatCounter counter(2);
+    for (int i = 0; i < 10; ++i) {
+        counter.update(true);
+    }
+    EXPECT_EQ(counter.value(), 3);
+    EXPECT_TRUE(counter.isStrong());
+}
+
+TEST(SatCounter, SaturatesLow)
+{
+    SatCounter counter(2, 3);
+    for (int i = 0; i < 10; ++i) {
+        counter.update(false);
+    }
+    EXPECT_EQ(counter.value(), 0);
+    EXPECT_TRUE(counter.isStrong());
+}
+
+TEST(SatCounter, ThresholdMidpoint)
+{
+    SatCounter two(2);
+    EXPECT_EQ(two.threshold(), 2);
+    SatCounter three(3);
+    EXPECT_EQ(three.threshold(), 4);
+    EXPECT_EQ(three.maxValue(), 7);
+}
+
+TEST(SatCounter, SetWeak)
+{
+    SatCounter counter(2);
+    counter.setWeak(true);
+    EXPECT_TRUE(counter.predictTaken());
+    EXPECT_FALSE(counter.isStrong());
+    counter.setWeak(false);
+    EXPECT_FALSE(counter.predictTaken());
+    EXPECT_FALSE(counter.isStrong());
+}
+
+TEST(SatCounter, SetStrong)
+{
+    SatCounter counter(2);
+    counter.setStrong(true);
+    EXPECT_EQ(counter.value(), 3);
+    counter.setStrong(false);
+    EXPECT_EQ(counter.value(), 0);
+}
+
+/**
+ * Property: for every width, a counter saturated toward a
+ * direction survives exactly maxValue/2 opposing updates before
+ * flipping its prediction.
+ */
+class SatCounterWidth : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SatCounterWidth, HysteresisDepth)
+{
+    const unsigned width = GetParam();
+    SatCounter counter(width);
+    counter.setStrong(true);
+    unsigned flips_needed = 0;
+    while (counter.predictTaken()) {
+        counter.update(false);
+        ++flips_needed;
+    }
+    // From max (2^w - 1) down to threshold-1 (2^(w-1) - 1):
+    // exactly 2^(w-1) updates.
+    EXPECT_EQ(flips_needed, 1u << (width - 1));
+}
+
+TEST_P(SatCounterWidth, NeverLeavesRange)
+{
+    const unsigned width = GetParam();
+    SatCounter counter(width);
+    u64 pattern = 0xa5a5'5a5a'dead'beefULL;
+    for (int i = 0; i < 64; ++i) {
+        counter.update((pattern >> i) & 1);
+        EXPECT_LE(counter.value(), counter.maxValue());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, SatCounterWidth,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 8u));
+
+TEST(SatCounterArray, InitialState)
+{
+    SatCounterArray table(16, 2);
+    EXPECT_EQ(table.size(), 16u);
+    EXPECT_EQ(table.width(), 2u);
+    EXPECT_EQ(table.storageBits(), 32u);
+    for (u64 i = 0; i < table.size(); ++i) {
+        EXPECT_FALSE(table.predictTaken(i));
+        EXPECT_EQ(table.value(i), 0);
+    }
+}
+
+TEST(SatCounterArray, IndependentEntries)
+{
+    SatCounterArray table(8, 2);
+    table.update(3, true);
+    table.update(3, true);
+    EXPECT_TRUE(table.predictTaken(3));
+    for (u64 i = 0; i < 8; ++i) {
+        if (i != 3) {
+            EXPECT_FALSE(table.predictTaken(i));
+        }
+    }
+}
+
+TEST(SatCounterArray, MatchesScalarCounter)
+{
+    SatCounterArray table(1, 2);
+    SatCounter scalar(2);
+    u64 pattern = 0x1234'5678'9abc'def0ULL;
+    for (int i = 0; i < 64; ++i) {
+        const bool taken = (pattern >> i) & 1;
+        table.update(0, taken);
+        scalar.update(taken);
+        ASSERT_EQ(table.value(0), scalar.value());
+        ASSERT_EQ(table.predictTaken(0), scalar.predictTaken());
+    }
+}
+
+TEST(SatCounterArray, Reset)
+{
+    SatCounterArray table(4, 2);
+    table.update(0, true);
+    table.update(1, true);
+    table.reset(3);
+    for (u64 i = 0; i < 4; ++i) {
+        EXPECT_EQ(table.value(i), 3);
+    }
+    table.reset();
+    for (u64 i = 0; i < 4; ++i) {
+        EXPECT_EQ(table.value(i), 0);
+    }
+}
+
+TEST(SatCounterArray, InitialValueHonoured)
+{
+    SatCounterArray table(4, 2, 2);
+    for (u64 i = 0; i < 4; ++i) {
+        EXPECT_TRUE(table.predictTaken(i));
+    }
+}
+
+} // namespace
+} // namespace bpred

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Unit and property tests for the skewing function family.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/skew.hh"
+#include "support/bitops.hh"
+#include "support/rng.hh"
+
+namespace bpred
+{
+namespace
+{
+
+TEST(SkewH, MatchesDefinitionSmall)
+{
+    // n = 4: H(y4 y3 y2 y1) = (y4^y1, y4, y3, y2).
+    // y = 0b1011 -> y4=1, y3=0, y2=1, y1=1 -> (1^1, 1, 0, 1) = 0b0101.
+    EXPECT_EQ(skewH(0b1011, 4), 0b0101u);
+    // y = 0b1000 -> (1^0, 1, 0, 0) = 0b1100.
+    EXPECT_EQ(skewH(0b1000, 4), 0b1100u);
+    // y = 0b0001 -> (0^1, 0, 0, 0) = 0b1000.
+    EXPECT_EQ(skewH(0b0001, 4), 0b1000u);
+}
+
+TEST(SkewH, WidthOneIsIdentity)
+{
+    EXPECT_EQ(skewH(0, 1), 0u);
+    EXPECT_EQ(skewH(1, 1), 1u);
+    EXPECT_EQ(skewHInverse(0, 1), 0u);
+    EXPECT_EQ(skewHInverse(1, 1), 1u);
+}
+
+/** Property: H is a bijection on every width (it's a permutation). */
+class SkewWidth : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SkewWidth, HIsBijective)
+{
+    const unsigned n = GetParam();
+    std::set<u64> images;
+    for (u64 y = 0; y <= mask(n); ++y) {
+        images.insert(skewH(y, n));
+    }
+    EXPECT_EQ(images.size(), mask(n) + 1);
+}
+
+TEST_P(SkewWidth, HInverseInvertsH)
+{
+    const unsigned n = GetParam();
+    for (u64 y = 0; y <= mask(n); ++y) {
+        EXPECT_EQ(skewHInverse(skewH(y, n), n), y);
+        EXPECT_EQ(skewH(skewHInverse(y, n), n), y);
+    }
+}
+
+TEST_P(SkewWidth, ResultsStayInRange)
+{
+    const unsigned n = GetParam();
+    Rng rng(n);
+    for (int i = 0; i < 200; ++i) {
+        const u64 y = rng.next();
+        EXPECT_LE(skewH(y, n), mask(n));
+        EXPECT_LE(skewHInverse(y, n), mask(n));
+        for (unsigned bank = 0; bank < maxSkewBanks; ++bank) {
+            EXPECT_LE(skewIndex(bank, y, n), mask(n));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SkewWidth,
+                         ::testing::Values(2u, 3u, 4u, 6u, 8u, 10u));
+
+TEST(SkewIndex, MatchesPaperFormulas)
+{
+    const unsigned n = 6;
+    Rng rng(77);
+    for (int i = 0; i < 500; ++i) {
+        const u64 v = rng.next();
+        const u64 v1 = v & mask(n);
+        const u64 v2 = (v >> n) & mask(n);
+        EXPECT_EQ(skewIndex(0, v, n),
+                  skewH(v1, n) ^ skewHInverse(v2, n) ^ v2);
+        EXPECT_EQ(skewIndex(1, v, n),
+                  skewH(v1, n) ^ skewHInverse(v2, n) ^ v1);
+        EXPECT_EQ(skewIndex(2, v, n),
+                  skewHInverse(v1, n) ^ skewH(v2, n) ^ v2);
+    }
+}
+
+/**
+ * The inter-bank dispersion property, correctly scoped: the
+ * functions are GF(2)-linear, so collision structure depends only
+ * on the pair's difference (A, B) = (V1 xor W1, V2 xor W2). When
+ * A != B, a pair colliding in one bank NEVER collides in another;
+ * the only multi-bank collisions live on the degenerate A == B
+ * subspace (where f0 and f1 coincide by construction), and those
+ * pairs then collide in all three banks at once. Exhaustive check
+ * at n = 5.
+ */
+TEST(SkewIndex, DispersionProperty)
+{
+    const unsigned n = 5;
+    const u64 space = u64(1) << (2 * n);
+    u64 pairs_colliding_somewhere = 0;
+    u64 pairs_colliding_multiply = 0;
+
+    for (u64 v = 0; v < space; ++v) {
+        for (u64 w = v + 1; w < space; ++w) {
+            unsigned collisions = 0;
+            for (unsigned bank = 0; bank < 3; ++bank) {
+                if (skewIndex(bank, v, n) == skewIndex(bank, w, n)) {
+                    ++collisions;
+                }
+            }
+            if (collisions >= 1) {
+                ++pairs_colliding_somewhere;
+            }
+            if (collisions >= 2) {
+                ++pairs_colliding_multiply;
+                const u64 a = (v ^ w) & mask(n);
+                const u64 b = ((v ^ w) >> n) & mask(n);
+                // Multi-bank collisions only on the A == B line...
+                ASSERT_EQ(a, b) << "v=" << v << " w=" << w;
+                // ...and there they collide in ALL banks.
+                ASSERT_EQ(collisions, 3u) << "v=" << v << " w=" << w;
+            }
+        }
+    }
+
+    // The degenerate subspace is a vanishing fraction: at n = 5,
+    // 1536 of 523776 pairs (0.3%), vs 44544 colliding in >= 1 bank.
+    EXPECT_GT(pairs_colliding_somewhere, space);
+    EXPECT_LT(pairs_colliding_multiply * 20,
+              pairs_colliding_somewhere);
+}
+
+/**
+ * Vectors equal on (V2, V1) but different in V3 collide in every
+ * bank — the documented limitation of the function family.
+ */
+TEST(SkewIndex, HighBitsIgnored)
+{
+    const unsigned n = 6;
+    const u64 v = 0x2a5;
+    const u64 w = v | (u64(1) << (2 * n + 3));
+    for (unsigned bank = 0; bank < 3; ++bank) {
+        EXPECT_EQ(skewIndex(bank, v, n), skewIndex(bank, w, n));
+    }
+}
+
+/** Each bank's index function is itself a balanced hash. */
+TEST(SkewIndex, BanksDistributeUniformly)
+{
+    const unsigned n = 6;
+    for (unsigned bank = 0; bank < maxSkewBanks; ++bank) {
+        std::map<u64, int> load;
+        for (u64 v = 0; v < (u64(1) << (2 * n)); ++v) {
+            ++load[skewIndex(bank, v, n)];
+        }
+        // Perfectly balanced: each of 2^n indices hit 2^n times.
+        ASSERT_EQ(load.size(), u64(1) << n);
+        for (const auto &[index, count] : load) {
+            ASSERT_EQ(count, 1 << n) << "bank " << bank;
+        }
+    }
+}
+
+TEST(SkewIndex, ExtendedBanksDifferFromPaperBanks)
+{
+    const unsigned n = 8;
+    Rng rng(123);
+    int same03 = 0;
+    int same14 = 0;
+    const int trials = 2000;
+    for (int i = 0; i < trials; ++i) {
+        const u64 v = rng.next();
+        same03 += skewIndex(0, v, n) == skewIndex(3, v, n);
+        same14 += skewIndex(1, v, n) == skewIndex(4, v, n);
+    }
+    // Independent hashes agree with probability ~2^-8.
+    EXPECT_LT(same03, trials / 50);
+    EXPECT_LT(same14, trials / 50);
+}
+
+} // namespace
+} // namespace bpred

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Unit and property tests for the LRU stack-distance tracker.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <vector>
+
+#include "aliasing/stack_distance.hh"
+#include "support/rng.hh"
+
+namespace bpred
+{
+namespace
+{
+
+constexpr u64 inf = StackDistanceTracker::infiniteDistance;
+
+TEST(StackDistance, FirstReferenceIsInfinite)
+{
+    StackDistanceTracker tracker;
+    EXPECT_EQ(tracker.reference(42), inf);
+    EXPECT_EQ(tracker.distinctKeys(), 1u);
+}
+
+TEST(StackDistance, ImmediateRereferenceIsZero)
+{
+    StackDistanceTracker tracker;
+    tracker.reference(1);
+    EXPECT_EQ(tracker.reference(1), 0u);
+}
+
+TEST(StackDistance, CountsDistinctIntervening)
+{
+    StackDistanceTracker tracker;
+    tracker.reference(1);
+    tracker.reference(2);
+    tracker.reference(3);
+    tracker.reference(2); // repeats don't add distinct keys
+    EXPECT_EQ(tracker.reference(1), 2u); // {2, 3}
+}
+
+TEST(StackDistance, RepeatsDoNotInflateDistance)
+{
+    StackDistanceTracker tracker;
+    tracker.reference(1);
+    for (int i = 0; i < 10; ++i) {
+        tracker.reference(2);
+    }
+    EXPECT_EQ(tracker.reference(1), 1u);
+}
+
+TEST(StackDistance, SequentialScanDistances)
+{
+    StackDistanceTracker tracker;
+    for (u64 key = 0; key < 100; ++key) {
+        EXPECT_EQ(tracker.reference(key), inf);
+    }
+    // Re-scan in the same order: every key has distance 99.
+    for (u64 key = 0; key < 100; ++key) {
+        EXPECT_EQ(tracker.reference(key), 99u);
+    }
+    EXPECT_EQ(tracker.distinctKeys(), 100u);
+    EXPECT_EQ(tracker.references(), 200u);
+}
+
+TEST(StackDistance, ReverseRescanDistances)
+{
+    StackDistanceTracker tracker;
+    for (u64 key = 0; key < 10; ++key) {
+        tracker.reference(key);
+    }
+    // Reverse order: key 9 was just used (0), then 8 has 1
+    // intervening (9), etc.
+    for (u64 key = 10; key-- > 0;) {
+        EXPECT_EQ(tracker.reference(key), 9 - key);
+    }
+}
+
+TEST(StackDistance, Reset)
+{
+    StackDistanceTracker tracker;
+    tracker.reference(1);
+    tracker.reference(1);
+    tracker.reset();
+    EXPECT_EQ(tracker.references(), 0u);
+    EXPECT_EQ(tracker.distinctKeys(), 0u);
+    EXPECT_EQ(tracker.reference(1), inf);
+}
+
+/**
+ * Property: against a brute-force reference model over random
+ * streams (exercises the Fenwick growth path too).
+ */
+TEST(StackDistance, MatchesBruteForceModel)
+{
+    StackDistanceTracker tracker;
+    std::vector<u64> stream;
+    std::unordered_map<u64, std::size_t> last_position;
+    Rng rng(31337);
+
+    for (int i = 0; i < 6000; ++i) {
+        const u64 key = rng.uniformInt(64);
+        u64 expected = inf;
+        const auto it = last_position.find(key);
+        if (it != last_position.end()) {
+            // Brute force: count distinct keys after the last use.
+            std::vector<bool> seen(64, false);
+            u64 distinct = 0;
+            for (std::size_t j = it->second + 1; j < stream.size();
+                 ++j) {
+                if (!seen[stream[j]]) {
+                    seen[stream[j]] = true;
+                    ++distinct;
+                }
+            }
+            expected = distinct;
+        }
+        ASSERT_EQ(tracker.reference(key), expected) << "step " << i;
+        last_position[key] = stream.size();
+        stream.push_back(key);
+    }
+}
+
+/**
+ * The tie to the fully-associative table: a reference hits an
+ * N-entry LRU table iff its stack distance is < N.
+ */
+TEST(StackDistance, PredictsFaLruResidency)
+{
+    // Stream: A B C D A -> A's distance is 3, so A hits in
+    // capacity-4 and misses in capacity-3.
+    StackDistanceTracker tracker;
+    tracker.reference('A');
+    tracker.reference('B');
+    tracker.reference('C');
+    tracker.reference('D');
+    EXPECT_EQ(tracker.reference('A'), 3u);
+}
+
+TEST(StackDistance, GrowthBeyondInitialTreeSize)
+{
+    // More references than the initial Fenwick capacity (1024),
+    // exercising the tree-rebuild path.
+    StackDistanceTracker tracker;
+    for (u64 i = 0; i < 5000; ++i) {
+        tracker.reference(i % 7);
+    }
+    // The loop ends after i = 4999 (key 1); key 0 was last touched
+    // at i = 4998, so exactly one distinct key intervened.
+    EXPECT_EQ(tracker.reference(0), 1u);
+    // A full round-robin pass re-establishes distance 6 for all.
+    for (u64 key = 1; key < 7; ++key) {
+        tracker.reference(key);
+    }
+    EXPECT_EQ(tracker.reference(0), 6u);
+    EXPECT_EQ(tracker.reference(1), 6u);
+}
+
+} // namespace
+} // namespace bpred

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Unit tests for statistics primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/stats.hh"
+
+namespace bpred
+{
+namespace
+{
+
+TEST(RatioStat, Empty)
+{
+    RatioStat stat;
+    EXPECT_EQ(stat.events(), 0u);
+    EXPECT_EQ(stat.total(), 0u);
+    EXPECT_DOUBLE_EQ(stat.ratio(), 0.0);
+}
+
+TEST(RatioStat, Counting)
+{
+    RatioStat stat;
+    stat.sample(true);
+    stat.sample(false);
+    stat.sample(true);
+    stat.sample(false);
+    EXPECT_EQ(stat.events(), 2u);
+    EXPECT_EQ(stat.total(), 4u);
+    EXPECT_DOUBLE_EQ(stat.ratio(), 0.5);
+    EXPECT_DOUBLE_EQ(stat.percent(), 50.0);
+}
+
+TEST(RatioStat, Merge)
+{
+    RatioStat a;
+    RatioStat b;
+    a.sample(true);
+    a.sample(false);
+    b.sample(true);
+    b.sample(true);
+    a.merge(b);
+    EXPECT_EQ(a.events(), 3u);
+    EXPECT_EQ(a.total(), 4u);
+}
+
+TEST(RatioStat, Reset)
+{
+    RatioStat stat;
+    stat.sample(true);
+    stat.reset();
+    EXPECT_EQ(stat.total(), 0u);
+    EXPECT_DOUBLE_EQ(stat.ratio(), 0.0);
+}
+
+TEST(RunningStat, Empty)
+{
+    RunningStat stat;
+    EXPECT_EQ(stat.count(), 0u);
+    EXPECT_DOUBLE_EQ(stat.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(stat.variance(), 0.0);
+}
+
+TEST(RunningStat, SingleSample)
+{
+    RunningStat stat;
+    stat.sample(5.0);
+    EXPECT_EQ(stat.count(), 1u);
+    EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(stat.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(stat.min(), 5.0);
+    EXPECT_DOUBLE_EQ(stat.max(), 5.0);
+}
+
+TEST(RunningStat, KnownMoments)
+{
+    RunningStat stat;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+        stat.sample(v);
+    }
+    EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+    EXPECT_NEAR(stat.variance(), 4.0, 1e-12);
+    EXPECT_NEAR(stat.stddev(), 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(stat.min(), 2.0);
+    EXPECT_DOUBLE_EQ(stat.max(), 9.0);
+    EXPECT_DOUBLE_EQ(stat.sum(), 40.0);
+}
+
+TEST(RunningStat, Reset)
+{
+    RunningStat stat;
+    stat.sample(1.0);
+    stat.reset();
+    EXPECT_EQ(stat.count(), 0u);
+    EXPECT_DOUBLE_EQ(stat.sum(), 0.0);
+}
+
+TEST(Histogram, Empty)
+{
+    Histogram histogram;
+    EXPECT_EQ(histogram.total(), 0u);
+    EXPECT_EQ(histogram.numKeys(), 0u);
+    EXPECT_DOUBLE_EQ(histogram.mean(), 0.0);
+    EXPECT_EQ(histogram.percentile(0.5), 0u);
+}
+
+TEST(Histogram, CountsAndMean)
+{
+    Histogram histogram;
+    histogram.sample(1);
+    histogram.sample(1);
+    histogram.sample(3);
+    histogram.sampleN(5, 2);
+    EXPECT_EQ(histogram.total(), 5u);
+    EXPECT_EQ(histogram.count(1), 2u);
+    EXPECT_EQ(histogram.count(3), 1u);
+    EXPECT_EQ(histogram.count(5), 2u);
+    EXPECT_EQ(histogram.count(7), 0u);
+    EXPECT_DOUBLE_EQ(histogram.mean(), (1 + 1 + 3 + 5 + 5) / 5.0);
+}
+
+TEST(Histogram, Percentiles)
+{
+    Histogram histogram;
+    for (u64 key = 1; key <= 100; ++key) {
+        histogram.sample(key);
+    }
+    EXPECT_EQ(histogram.percentile(0.5), 50u);
+    EXPECT_EQ(histogram.percentile(0.9), 90u);
+    EXPECT_EQ(histogram.percentile(1.0), 100u);
+    EXPECT_EQ(histogram.percentile(0.01), 1u);
+}
+
+TEST(Histogram, CumulativeFraction)
+{
+    Histogram histogram;
+    histogram.sampleN(10, 5);
+    histogram.sampleN(20, 5);
+    EXPECT_DOUBLE_EQ(histogram.cumulativeFraction(9), 0.0);
+    EXPECT_DOUBLE_EQ(histogram.cumulativeFraction(10), 0.5);
+    EXPECT_DOUBLE_EQ(histogram.cumulativeFraction(20), 1.0);
+    EXPECT_DOUBLE_EQ(histogram.cumulativeFraction(1000), 1.0);
+}
+
+TEST(Histogram, SortedPairs)
+{
+    Histogram histogram;
+    histogram.sample(5);
+    histogram.sample(2);
+    histogram.sample(5);
+    const auto pairs = histogram.sorted();
+    ASSERT_EQ(pairs.size(), 2u);
+    EXPECT_EQ(pairs[0].first, 2u);
+    EXPECT_EQ(pairs[0].second, 1u);
+    EXPECT_EQ(pairs[1].first, 5u);
+    EXPECT_EQ(pairs[1].second, 2u);
+}
+
+TEST(Histogram, Log2Buckets)
+{
+    Histogram histogram;
+    histogram.sample(0);  // bucket 0
+    histogram.sample(1);  // bucket 0
+    histogram.sample(2);  // bucket 1
+    histogram.sample(3);  // bucket 1
+    histogram.sample(4);  // bucket 2
+    histogram.sample(7);  // bucket 2
+    histogram.sample(8);  // bucket 3
+    const auto buckets = histogram.log2Buckets();
+    ASSERT_EQ(buckets.size(), 4u);
+    EXPECT_EQ(buckets[0], 2u);
+    EXPECT_EQ(buckets[1], 2u);
+    EXPECT_EQ(buckets[2], 2u);
+    EXPECT_EQ(buckets[3], 1u);
+}
+
+TEST(Histogram, Reset)
+{
+    Histogram histogram;
+    histogram.sample(1);
+    histogram.reset();
+    EXPECT_EQ(histogram.total(), 0u);
+    EXPECT_EQ(histogram.numKeys(), 0u);
+}
+
+} // namespace
+} // namespace bpred

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Unit tests for text-table formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/table.hh"
+
+namespace bpred
+{
+namespace
+{
+
+TEST(FormatDouble, Precision)
+{
+    EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(formatDouble(3.14159, 4), "3.1416");
+    EXPECT_EQ(formatDouble(2.0, 0), "2");
+}
+
+TEST(FormatCount, GroupsThousands)
+{
+    EXPECT_EQ(formatCount(0), "0");
+    EXPECT_EQ(formatCount(999), "999");
+    EXPECT_EQ(formatCount(1000), "1,000");
+    EXPECT_EQ(formatCount(14288742), "14,288,742");
+}
+
+TEST(FormatEntries, PowerOfTwoLabels)
+{
+    EXPECT_EQ(formatEntries(512), "512");
+    EXPECT_EQ(formatEntries(1024), "1K");
+    EXPECT_EQ(formatEntries(16384), "16K");
+    EXPECT_EQ(formatEntries(262144), "256K");
+    EXPECT_EQ(formatEntries(1000), "1000");
+}
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable table({"name", "value"});
+    table.row().cell(std::string("a")).cell(u64(1));
+    table.row().cell(std::string("longer")).cell(u64(123456));
+    std::ostringstream os;
+    table.print(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("longer"), std::string::npos);
+    EXPECT_NE(text.find("123456"), std::string::npos);
+    EXPECT_NE(text.find("name"), std::string::npos);
+    // All data lines share the same width.
+    std::istringstream lines(text);
+    std::string line;
+    std::size_t width = 0;
+    while (std::getline(lines, line)) {
+        if (width == 0) {
+            width = line.size();
+        }
+        EXPECT_EQ(line.size(), width);
+    }
+}
+
+TEST(TextTable, PercentCell)
+{
+    TextTable table({"x"});
+    table.row().percentCell(12.3456);
+    std::ostringstream os;
+    table.print(os);
+    EXPECT_NE(os.str().find("12.35 %"), std::string::npos);
+}
+
+TEST(TextTable, CsvOutput)
+{
+    TextTable table({"a", "b"});
+    table.row().cell(u64(1)).cell(u64(2));
+    table.row().cell(u64(3)).cell(u64(4));
+    std::ostringstream os;
+    table.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(TextTable, NumRows)
+{
+    TextTable table({"a"});
+    EXPECT_EQ(table.numRows(), 0u);
+    table.row().cell(u64(1));
+    table.row().cell(u64(2));
+    EXPECT_EQ(table.numRows(), 2u);
+}
+
+TEST(TextTable, DoubleCellPrecision)
+{
+    TextTable table({"v"});
+    table.row().cell(1.23456, 3);
+    std::ostringstream os;
+    table.printCsv(os);
+    EXPECT_EQ(os.str(), "v\n1.235\n");
+}
+
+TEST(PrintHeading, Format)
+{
+    std::ostringstream os;
+    printHeading(os, "Table 1");
+    EXPECT_EQ(os.str(), "\n== Table 1 ==\n\n");
+}
+
+TEST(TextTable, ShortRowRendersBlank)
+{
+    TextTable table({"a", "b"});
+    table.row().cell(u64(1)); // second column missing
+    std::ostringstream os;
+    table.print(os);
+    // Should not crash, and still produce a full-width row.
+    EXPECT_NE(os.str().find("1"), std::string::npos);
+}
+
+} // namespace
+} // namespace bpred

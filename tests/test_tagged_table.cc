@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Unit tests for the direct-mapped tagged shadow table.
+ */
+
+#include <gtest/gtest.h>
+
+#include "aliasing/tagged_table.hh"
+
+namespace bpred
+{
+namespace
+{
+
+TEST(TaggedDmTable, ColdAccessIsMiss)
+{
+    TaggedDirectMappedTable table(4);
+    EXPECT_TRUE(table.access(0, 111));
+    EXPECT_EQ(table.aliasing().events(), 1u);
+    EXPECT_EQ(table.aliasing().total(), 1u);
+}
+
+TEST(TaggedDmTable, RepeatAccessIsHit)
+{
+    TaggedDirectMappedTable table(4);
+    table.access(3, 42);
+    EXPECT_FALSE(table.access(3, 42));
+    EXPECT_DOUBLE_EQ(table.aliasing().ratio(), 0.5);
+}
+
+TEST(TaggedDmTable, DifferentKeySameIndexAliases)
+{
+    TaggedDirectMappedTable table(4);
+    table.access(5, 1);
+    EXPECT_TRUE(table.access(5, 2)); // conflict
+    EXPECT_TRUE(table.access(5, 1)); // evicted, aliases again
+}
+
+TEST(TaggedDmTable, IndependentEntries)
+{
+    TaggedDirectMappedTable table(3);
+    table.access(0, 10);
+    table.access(1, 11);
+    EXPECT_FALSE(table.access(0, 10));
+    EXPECT_FALSE(table.access(1, 11));
+}
+
+TEST(TaggedDmTable, Size)
+{
+    TaggedDirectMappedTable table(10);
+    EXPECT_EQ(table.size(), 1024u);
+}
+
+TEST(TaggedDmTable, ResetClears)
+{
+    TaggedDirectMappedTable table(4);
+    table.access(0, 7);
+    table.access(0, 7);
+    table.reset();
+    EXPECT_EQ(table.aliasing().total(), 0u);
+    EXPECT_TRUE(table.access(0, 7)); // cold again
+}
+
+TEST(TaggedDmTable, PingPongConflictPattern)
+{
+    // Two substreams sharing one entry alias on every access — the
+    // canonical conflict-aliasing picture.
+    TaggedDirectMappedTable table(2);
+    int misses = 0;
+    for (int i = 0; i < 100; ++i) {
+        misses += table.access(1, i % 2 == 0 ? 100 : 200);
+    }
+    EXPECT_EQ(misses, 100);
+}
+
+} // namespace
+} // namespace bpred

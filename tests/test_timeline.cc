@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Unit tests for windowed misprediction timelines.
+ */
+
+#include <gtest/gtest.h>
+
+#include "predictors/bimodal.hh"
+#include "predictors/static_pred.hh"
+#include "sim/timeline.hh"
+#include "support/logging.hh"
+#include "support/rng.hh"
+
+namespace bpred
+{
+namespace
+{
+
+Trace
+phasedTrace()
+{
+    // Phase 1: branch taken; phase 2: same branch not-taken.
+    Trace trace("phased");
+    for (int i = 0; i < 1000; ++i) {
+        trace.appendConditional(0x100, true);
+    }
+    for (int i = 0; i < 1000; ++i) {
+        trace.appendConditional(0x100, false);
+    }
+    return trace;
+}
+
+TEST(Timeline, WindowCountAndSizes)
+{
+    StaticPredictor predictor(true);
+    const TimelineResult result =
+        runTimeline(predictor, phasedTrace(), 100);
+    EXPECT_EQ(result.windowSize, 100u);
+    EXPECT_EQ(result.windows.size(), 20u);
+}
+
+TEST(Timeline, CapturesPhaseChange)
+{
+    StaticPredictor predictor(true);
+    const TimelineResult result =
+        runTimeline(predictor, phasedTrace(), 100);
+    // First half perfect, second half all wrong.
+    for (std::size_t i = 0; i < 10; ++i) {
+        EXPECT_DOUBLE_EQ(result.windows[i], 0.0) << i;
+    }
+    for (std::size_t i = 10; i < 20; ++i) {
+        EXPECT_DOUBLE_EQ(result.windows[i], 1.0) << i;
+    }
+    EXPECT_DOUBLE_EQ(result.mean(), 0.5);
+    EXPECT_DOUBLE_EQ(result.worst(), 1.0);
+}
+
+TEST(Timeline, AdaptivePredictorRecoversAfterPhaseChange)
+{
+    BimodalPredictor predictor(4);
+    const TimelineResult result =
+        runTimeline(predictor, phasedTrace(), 100);
+    // The window containing the flip is bad; later windows recover.
+    EXPECT_GT(result.windows[10], 0.0);
+    EXPECT_DOUBLE_EQ(result.windows[19], 0.0);
+}
+
+TEST(Timeline, WarmupEstimate)
+{
+    // A predictor that mispredicts heavily at first then settles.
+    BimodalPredictor predictor(8);
+    Trace trace("warmup");
+    Rng rng(3);
+    for (int i = 0; i < 20000; ++i) {
+        const Addr pc = 0x1000 + 4 * rng.uniformInt(200);
+        trace.appendConditional(pc, (pc >> 2) % 2 == 0);
+    }
+    const TimelineResult result =
+        runTimeline(predictor, trace, 500);
+    // Cold window 0 must be worse than steady state; warm-up ends
+    // within the first few windows.
+    EXPECT_GT(result.windows.front(),
+              result.windows.back() + 0.01);
+    EXPECT_LE(result.warmupWindows(0.02), 4u);
+}
+
+TEST(Timeline, PartialFinalWindowIncludedWhenBigEnough)
+{
+    StaticPredictor predictor(true);
+    Trace trace("partial");
+    for (int i = 0; i < 250; ++i) {
+        trace.appendConditional(0x10, true);
+    }
+    const TimelineResult result = runTimeline(predictor, trace, 100);
+    // 2 full windows + a half window (>= 10% of window size).
+    EXPECT_EQ(result.windows.size(), 3u);
+}
+
+TEST(Timeline, TinyTrailIgnored)
+{
+    StaticPredictor predictor(true);
+    Trace trace("tiny-trail");
+    for (int i = 0; i < 205; ++i) {
+        trace.appendConditional(0x10, true);
+    }
+    const TimelineResult result = runTimeline(predictor, trace, 100);
+    EXPECT_EQ(result.windows.size(), 2u);
+}
+
+TEST(Timeline, UnconditionalsDoNotFillWindows)
+{
+    StaticPredictor predictor(true);
+    Trace trace("uncond");
+    for (int i = 0; i < 100; ++i) {
+        trace.appendConditional(0x10, true);
+        trace.appendUnconditional(0x20);
+        trace.appendUnconditional(0x24);
+    }
+    const TimelineResult result = runTimeline(predictor, trace, 50);
+    EXPECT_EQ(result.windows.size(), 2u);
+}
+
+TEST(Timeline, RejectsZeroWindow)
+{
+    StaticPredictor predictor(true);
+    EXPECT_THROW(runTimeline(predictor, Trace("x"), 0), FatalError);
+}
+
+TEST(Timeline, EmptyTrace)
+{
+    StaticPredictor predictor(true);
+    const TimelineResult result =
+        runTimeline(predictor, Trace("empty"), 100);
+    EXPECT_TRUE(result.windows.empty());
+    EXPECT_DOUBLE_EQ(result.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(result.worst(), 0.0);
+    EXPECT_EQ(result.warmupWindows(), 0u);
+}
+
+} // namespace
+} // namespace bpred

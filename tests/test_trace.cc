@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Unit tests for the trace container and statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/trace.hh"
+
+namespace bpred
+{
+namespace
+{
+
+TEST(Trace, EmptyState)
+{
+    Trace trace("empty");
+    EXPECT_TRUE(trace.empty());
+    EXPECT_EQ(trace.size(), 0u);
+    EXPECT_EQ(trace.name(), "empty");
+}
+
+TEST(Trace, AppendAndIterate)
+{
+    Trace trace("t");
+    trace.appendConditional(0x1000, true);
+    trace.appendConditional(0x1004, false);
+    trace.appendUnconditional(0x1008);
+    ASSERT_EQ(trace.size(), 3u);
+
+    EXPECT_EQ(trace[0].pc, 0x1000u);
+    EXPECT_TRUE(trace[0].taken);
+    EXPECT_TRUE(trace[0].conditional);
+
+    EXPECT_FALSE(trace[1].taken);
+    EXPECT_TRUE(trace[1].conditional);
+
+    EXPECT_TRUE(trace[2].taken);
+    EXPECT_FALSE(trace[2].conditional);
+
+    u64 count = 0;
+    for (const BranchRecord &record : trace) {
+        (void)record;
+        ++count;
+    }
+    EXPECT_EQ(count, 3u);
+}
+
+TEST(Trace, SetNameAndClear)
+{
+    Trace trace;
+    trace.setName("renamed");
+    trace.appendConditional(4, true);
+    trace.clear();
+    EXPECT_TRUE(trace.empty());
+    EXPECT_EQ(trace.name(), "renamed");
+}
+
+TEST(BranchRecord, Equality)
+{
+    const BranchRecord a{0x10, true, true};
+    const BranchRecord b{0x10, true, true};
+    const BranchRecord c{0x10, false, true};
+    EXPECT_EQ(a, b);
+    EXPECT_FALSE(a == c);
+}
+
+TEST(TraceStats, CountsPopulations)
+{
+    Trace trace("s");
+    trace.appendConditional(0x100, true);
+    trace.appendConditional(0x100, false);
+    trace.appendConditional(0x104, true);
+    trace.appendUnconditional(0x200);
+    trace.appendUnconditional(0x200);
+
+    const TraceStats stats = computeTraceStats(trace);
+    EXPECT_EQ(stats.dynamicConditional, 3u);
+    EXPECT_EQ(stats.staticConditional, 2u);
+    EXPECT_EQ(stats.dynamicUnconditional, 2u);
+    EXPECT_EQ(stats.staticUnconditional, 1u);
+    EXPECT_EQ(stats.takenConditional, 2u);
+    EXPECT_NEAR(stats.takenRatio(), 2.0 / 3.0, 1e-12);
+    EXPECT_NEAR(stats.dynamicPerStatic(), 1.5, 1e-12);
+}
+
+TEST(TraceStats, EmptyTrace)
+{
+    const TraceStats stats = computeTraceStats(Trace("e"));
+    EXPECT_EQ(stats.dynamicConditional, 0u);
+    EXPECT_DOUBLE_EQ(stats.takenRatio(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.dynamicPerStatic(), 0.0);
+}
+
+} // namespace
+} // namespace bpred

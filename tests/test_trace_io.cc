@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Unit tests for trace serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "support/logging.hh"
+#include "support/rng.hh"
+#include "trace/trace_io.hh"
+
+namespace bpred
+{
+namespace
+{
+
+Trace
+makeSampleTrace()
+{
+    Trace trace("sample");
+    Rng rng(99);
+    Addr pc = 0x40'0000;
+    for (int i = 0; i < 500; ++i) {
+        pc += 4 * (1 + rng.uniformInt(100));
+        if (rng.chance(0.25)) {
+            trace.appendUnconditional(pc);
+        } else {
+            trace.appendConditional(pc, rng.chance(0.6));
+        }
+        // Occasional backward jumps exercise negative deltas.
+        if (rng.chance(0.2)) {
+            pc -= 4 * rng.uniformInt(200);
+        }
+    }
+    return trace;
+}
+
+TEST(BinaryTraceIO, RoundTrip)
+{
+    const Trace original = makeSampleTrace();
+    std::stringstream buffer;
+    writeBinaryTrace(buffer, original);
+    const Trace loaded = readBinaryTrace(buffer);
+
+    EXPECT_EQ(loaded.name(), original.name());
+    ASSERT_EQ(loaded.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        ASSERT_EQ(loaded[i], original[i]) << "record " << i;
+    }
+}
+
+TEST(BinaryTraceIO, EmptyTraceRoundTrip)
+{
+    Trace empty("nothing");
+    std::stringstream buffer;
+    writeBinaryTrace(buffer, empty);
+    const Trace loaded = readBinaryTrace(buffer);
+    EXPECT_EQ(loaded.name(), "nothing");
+    EXPECT_TRUE(loaded.empty());
+}
+
+TEST(BinaryTraceIO, RejectsBadMagic)
+{
+    std::stringstream buffer("NOPE....");
+    EXPECT_THROW(readBinaryTrace(buffer), FatalError);
+}
+
+TEST(BinaryTraceIO, RejectsTruncated)
+{
+    const Trace original = makeSampleTrace();
+    std::stringstream buffer;
+    writeBinaryTrace(buffer, original);
+    std::string bytes = buffer.str();
+    bytes.resize(bytes.size() / 2);
+    std::stringstream truncated(bytes);
+    EXPECT_THROW(readBinaryTrace(truncated), FatalError);
+}
+
+TEST(BinaryTraceIO, FileRoundTrip)
+{
+    const Trace original = makeSampleTrace();
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "bpred_test.bpt")
+            .string();
+    saveBinaryTrace(path, original);
+    const Trace loaded = loadBinaryTrace(path);
+    EXPECT_EQ(loaded.size(), original.size());
+    std::remove(path.c_str());
+}
+
+TEST(BinaryTraceIO, MissingFileThrows)
+{
+    EXPECT_THROW(loadBinaryTrace("/nonexistent/dir/trace.bpt"),
+                 FatalError);
+}
+
+TEST(TextTraceIO, RoundTrip)
+{
+    const Trace original = makeSampleTrace();
+    std::stringstream buffer;
+    writeTextTrace(buffer, original);
+    const Trace loaded = readTextTrace(buffer, original.name());
+    ASSERT_EQ(loaded.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        ASSERT_EQ(loaded[i], original[i]) << "record " << i;
+    }
+}
+
+TEST(TextTraceIO, ParsesHandwritten)
+{
+    std::stringstream input(
+        "# a comment line\n"
+        "C 1000 T\n"
+        "\n"
+        "C 1004 N # trailing comment\n"
+        "U 1008 T\n");
+    const Trace trace = readTextTrace(input, "hand");
+    ASSERT_EQ(trace.size(), 3u);
+    EXPECT_EQ(trace[0].pc, 0x1000u);
+    EXPECT_TRUE(trace[0].taken);
+    EXPECT_FALSE(trace[1].taken);
+    EXPECT_FALSE(trace[2].conditional);
+}
+
+TEST(TextTraceIO, RejectsBadKind)
+{
+    std::stringstream input("X 1000 T\n");
+    EXPECT_THROW(readTextTrace(input), FatalError);
+}
+
+TEST(TextTraceIO, RejectsBadDirection)
+{
+    std::stringstream input("C 1000 Q\n");
+    EXPECT_THROW(readTextTrace(input), FatalError);
+}
+
+TEST(TextTraceIO, RejectsNotTakenUnconditional)
+{
+    std::stringstream input("U 1000 N\n");
+    EXPECT_THROW(readTextTrace(input), FatalError);
+}
+
+TEST(TextTraceIO, RejectsMalformedLine)
+{
+    std::stringstream input("C 1000\n");
+    EXPECT_THROW(readTextTrace(input), FatalError);
+}
+
+TEST(TextTraceIO, RejectsBadPc)
+{
+    std::stringstream input("C zz T\n");
+    EXPECT_THROW(readTextTrace(input), FatalError);
+}
+
+} // namespace
+} // namespace bpred

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Unit tests for trace transformations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/logging.hh"
+#include "trace/transform.hh"
+
+namespace bpred
+{
+namespace
+{
+
+Trace
+numberedTrace(const std::string &name, Addr base, int count)
+{
+    Trace trace(name);
+    for (int i = 0; i < count; ++i) {
+        trace.appendConditional(base + 4 * static_cast<Addr>(i),
+                                i % 2 == 0);
+    }
+    return trace;
+}
+
+TEST(SliceTrace, MiddleSlice)
+{
+    const Trace trace = numberedTrace("t", 0x100, 10);
+    const Trace slice = sliceTrace(trace, 3, 4);
+    ASSERT_EQ(slice.size(), 4u);
+    EXPECT_EQ(slice[0].pc, 0x100u + 12);
+    EXPECT_EQ(slice[3].pc, 0x100u + 24);
+}
+
+TEST(SliceTrace, ClampsAtEnd)
+{
+    const Trace trace = numberedTrace("t", 0x100, 10);
+    EXPECT_EQ(sliceTrace(trace, 8, 100).size(), 2u);
+    EXPECT_EQ(sliceTrace(trace, 10, 5).size(), 0u);
+    EXPECT_EQ(sliceTrace(trace, 100, 5).size(), 0u);
+}
+
+TEST(SliceTrace, NameMarked)
+{
+    const Trace trace = numberedTrace("orig", 0x100, 4);
+    EXPECT_EQ(sliceTrace(trace, 0, 2).name(), "orig[slice]");
+}
+
+TEST(ConcatTraces, PreservesOrder)
+{
+    const Trace a = numberedTrace("a", 0x100, 3);
+    const Trace b = numberedTrace("b", 0x200, 2);
+    const Trace joined = concatTraces({&a, &b});
+    ASSERT_EQ(joined.size(), 5u);
+    EXPECT_EQ(joined[0].pc, 0x100u);
+    EXPECT_EQ(joined[2].pc, 0x108u);
+    EXPECT_EQ(joined[3].pc, 0x200u);
+    EXPECT_EQ(joined[4].pc, 0x204u);
+}
+
+TEST(ConcatTraces, RejectsEmptyList)
+{
+    EXPECT_THROW(concatTraces({}), FatalError);
+}
+
+TEST(InterleaveTraces, RoundRobinQuanta)
+{
+    const Trace a = numberedTrace("a", 0x100, 4);
+    const Trace b = numberedTrace("b", 0x200, 4);
+    const Trace mix = interleaveTraces({&a, &b}, 2);
+    ASSERT_EQ(mix.size(), 8u);
+    EXPECT_EQ(mix[0].pc, 0x100u);
+    EXPECT_EQ(mix[1].pc, 0x104u);
+    EXPECT_EQ(mix[2].pc, 0x200u);
+    EXPECT_EQ(mix[3].pc, 0x204u);
+    EXPECT_EQ(mix[4].pc, 0x108u);
+}
+
+TEST(InterleaveTraces, UnequalLengthsDrainFully)
+{
+    const Trace a = numberedTrace("a", 0x100, 5);
+    const Trace b = numberedTrace("b", 0x200, 1);
+    const Trace mix = interleaveTraces({&a, &b}, 2);
+    EXPECT_EQ(mix.size(), 6u);
+    // All records preserved.
+    u64 from_a = 0;
+    for (const BranchRecord &record : mix) {
+        from_a += record.pc < 0x200;
+    }
+    EXPECT_EQ(from_a, 5u);
+}
+
+TEST(InterleaveTraces, RejectsBadArgs)
+{
+    const Trace a = numberedTrace("a", 0x100, 2);
+    EXPECT_THROW(interleaveTraces({}, 2), FatalError);
+    EXPECT_THROW(interleaveTraces({&a}, 0), FatalError);
+}
+
+TEST(FilterAddressRange, KeepsHalfOpenRange)
+{
+    const Trace trace = numberedTrace("t", 0x100, 10);
+    const Trace kept =
+        filterAddressRange(trace, 0x108, 0x110);
+    ASSERT_EQ(kept.size(), 2u);
+    EXPECT_EQ(kept[0].pc, 0x108u);
+    EXPECT_EQ(kept[1].pc, 0x10cu);
+}
+
+TEST(FilterAddressRange, EmptyWhenDisjoint)
+{
+    const Trace trace = numberedTrace("t", 0x100, 4);
+    EXPECT_TRUE(filterAddressRange(trace, 0x9000, 0xa000).empty());
+}
+
+TEST(Transforms, SliceOfConcatEqualsOriginal)
+{
+    const Trace a = numberedTrace("a", 0x100, 6);
+    const Trace b = numberedTrace("b", 0x200, 6);
+    const Trace joined = concatTraces({&a, &b});
+    const Trace back = sliceTrace(joined, 6, 6);
+    ASSERT_EQ(back.size(), b.size());
+    for (std::size_t i = 0; i < b.size(); ++i) {
+        EXPECT_EQ(back[i], b[i]);
+    }
+}
+
+} // namespace
+} // namespace bpred

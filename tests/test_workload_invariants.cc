@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Property tests over the workload generator's outputs: the
+ * invariants the experiments rely on, checked per benchmark
+ * (parameterized over all eight presets).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_set>
+
+#include "trace/transform.hh"
+#include "workloads/presets.hh"
+
+namespace bpred
+{
+namespace
+{
+
+class WorkloadInvariants
+    : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    static constexpr double testScale = 0.02; // 40k branches
+
+    const Trace &
+    trace() const
+    {
+        // One generation per (benchmark) parameter, cached.
+        static std::map<std::string, Trace> cache;
+        auto it = cache.find(GetParam());
+        if (it == cache.end()) {
+            it = cache
+                     .emplace(GetParam(),
+                              makeIbsTrace(GetParam(), testScale))
+                     .first;
+        }
+        return it->second;
+    }
+};
+
+TEST_P(WorkloadInvariants, HitsExactDynamicTarget)
+{
+    const TraceStats stats = computeTraceStats(trace());
+    EXPECT_EQ(stats.dynamicConditional, 40000u);
+}
+
+TEST_P(WorkloadInvariants, ContainsUnconditionalBranches)
+{
+    const TraceStats stats = computeTraceStats(trace());
+    // Calls/returns/jumps should be a sizeable minority of the
+    // stream (the paper's traces include them in the history).
+    const double share = static_cast<double>(
+                             stats.dynamicUnconditional) /
+        static_cast<double>(trace().size());
+    EXPECT_GT(share, 0.05);
+    EXPECT_LT(share, 0.50);
+}
+
+TEST_P(WorkloadInvariants, TakenRatioPlausible)
+{
+    const TraceStats stats = computeTraceStats(trace());
+    EXPECT_GT(stats.takenRatio(), 0.30);
+    EXPECT_LT(stats.takenRatio(), 0.80);
+}
+
+TEST_P(WorkloadInvariants, AddressesWordAligned)
+{
+    for (const BranchRecord &record : trace()) {
+        ASSERT_EQ(record.pc % 4, 0u);
+    }
+}
+
+TEST_P(WorkloadInvariants, UnconditionalAlwaysTaken)
+{
+    for (const BranchRecord &record : trace()) {
+        if (!record.conditional) {
+            ASSERT_TRUE(record.taken);
+        }
+    }
+}
+
+TEST_P(WorkloadInvariants, UserAndKernelAddressSpacesDisjoint)
+{
+    const WorkloadParams params = ibsPreset(GetParam(), testScale);
+    const Trace kernel_half = filterAddressRange(
+        trace(), params.kernel.addressBase, ~Addr(0));
+    const Trace user_half = filterAddressRange(
+        trace(), 0, params.kernel.addressBase);
+    EXPECT_EQ(kernel_half.size() + user_half.size(),
+              trace().size());
+    if (params.kernelShare > 0.0) {
+        EXPECT_GT(kernel_half.size(), 0u);
+    }
+    EXPECT_GT(user_half.size(), 0u);
+}
+
+TEST_P(WorkloadInvariants, ConditionalSitesReused)
+{
+    // Sites must repeat (dynamic/static well above 1) or no
+    // predictor could learn anything.
+    const TraceStats stats = computeTraceStats(trace());
+    EXPECT_GT(stats.dynamicPerStatic(), 5.0);
+}
+
+TEST_P(WorkloadInvariants, RegenerationIsBitIdentical)
+{
+    const Trace again = makeIbsTrace(GetParam(), testScale);
+    ASSERT_EQ(again.size(), trace().size());
+    for (std::size_t i = 0; i < again.size(); i += 97) {
+        ASSERT_EQ(again[i], trace()[i]) << "record " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, WorkloadInvariants,
+    ::testing::ValuesIn(ibsAllBenchmarkNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+} // namespace
+} // namespace bpred
