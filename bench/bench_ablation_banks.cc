@@ -13,10 +13,12 @@
 #include "predictors/gshare.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bpred;
     using namespace bpred::bench;
+
+    init(argc, argv);
 
     banner("Ablation: bank count",
            "1-bank (gshare) vs 3-bank vs 5-bank skewed at similar "
@@ -38,7 +40,7 @@ main()
             .percentCell(
                 simulate(three_big, trace).mispredictPercent());
     }
-    table.print(std::cout);
+    emitTable("summary", table);
     std::cout << "(* 16K gshare shown: the nearest one-bank "
                  "power-of-two to 12K total)\n";
 
@@ -46,5 +48,5 @@ main()
         "5x4K barely improves on 3x4K despite 67% more storage; "
         "spending the same transistors on bigger banks (3x8K) "
         "helps more — the paper's recommendation.");
-    return 0;
+    return finish();
 }

@@ -8,10 +8,12 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bpred;
     using namespace bpred::bench;
+
+    init(argc, argv);
 
     banner("Ablation: baseline field",
            "Baselines at ~32Kbit storage: static, bimodal, "
@@ -44,11 +46,11 @@ main()
         table.percentCell(sum /
                           static_cast<double>(suite().size()));
     }
-    table.print(std::cout);
+    emitTable("summary", table);
 
     expectation(
         "gshare < gselect (McFarling), both < bimodal < static; "
         "the skewed organizations sit at the top of the field at "
         "equal or lower storage.");
-    return 0;
+    return finish();
 }

@@ -11,10 +11,12 @@
 #include "aliasing/interference.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bpred;
     using namespace bpred::bench;
+
+    init(argc, argv);
 
     banner("Extension: interference classes",
            "Destructive vs harmless vs constructive aliasing in a "
@@ -47,11 +49,11 @@ main()
                           static_cast<double>(result.constructive),
                   2);
     }
-    table.print(std::cout);
+    emitTable("summary", table);
 
     expectation(
         "Most aliased lookups are harmless; among the harmful "
         "ones, destructive outnumbers constructive several-fold "
         "(Young et al.'s observation, cited in §1).");
-    return 0;
+    return finish();
 }

@@ -15,10 +15,12 @@
 #include "predictors/gshare.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bpred;
     using namespace bpred::bench;
+
+    init(argc, argv);
 
     banner("Ablation: skewing functions",
            "gskewed-3x4K vs identical-index 3x4K (triplication) vs "
@@ -46,7 +48,7 @@ main()
             .percentCell(
                 simulate(gshare, trace).mispredictPercent());
     }
-    table.print(std::cout);
+    emitTable("summary", table);
 
     expectation(
         "Identical-index triplication behaves like the single 4K "
@@ -54,5 +56,5 @@ main()
         "skewing is clearly better: the gain comes from the "
         "independent hash functions, not from having three "
         "banks.");
-    return 0;
+    return finish();
 }

@@ -9,10 +9,12 @@
 #include "core/skewed_predictor.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bpred;
     using namespace bpred::bench;
+
+    init(argc, argv);
 
     banner("Ablation: update policy",
            "gskewed partial vs total update across bank sizes "
@@ -37,7 +39,7 @@ main()
                 .percentCell(t)
                 .cell(t / p, 3);
         }
-        table.print(std::cout);
+        emitTable(formatEntries(u64(1) << bits), table);
     }
 
     expectation(
@@ -45,5 +47,5 @@ main()
         "not updating a dissenting bank on a correct vote leaves "
         "that entry serving its own substream, effectively "
         "increasing capacity.");
-    return 0;
+    return finish();
 }

@@ -1,10 +1,82 @@
 #include "bench_common.hh"
 
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
 #include "sim/factory.hh"
+#include "support/json.hh"
+#include "support/logging.hh"
 #include "workloads/presets.hh"
 
 namespace bpred::bench
 {
+
+namespace
+{
+
+/** Accumulated `--json` report state for this bench binary. */
+struct Report
+{
+    std::string benchName = "bench";
+    std::string jsonPath;
+    JsonValue sections = JsonValue::object();
+};
+
+Report &
+report()
+{
+    static Report instance;
+    return instance;
+}
+
+/** The report node for @p section, created on first use. */
+JsonValue &
+sectionNode(const std::string &section)
+{
+    JsonValue &node = report().sections[section];
+    if (node.isNull()) {
+        node = JsonValue::object();
+    }
+    return node;
+}
+
+std::string
+basenameOf(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+} // namespace
+
+void
+init(int argc, char **argv)
+{
+    if (argc > 0) {
+        report().benchName = basenameOf(argv[0]);
+    }
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc) {
+            report().jsonPath = argv[++i];
+        } else if (arg.rfind("--json=", 0) == 0) {
+            report().jsonPath = arg.substr(7);
+        } else {
+            // CLI surface: report usage and exit instead of
+            // throwing through main() into std::terminate.
+            std::fprintf(stderr, "usage: %s [--json <path>] (got '%s')\n",
+                         report().benchName.c_str(), arg.c_str());
+            std::exit(2);
+        }
+    }
+}
+
+bool
+jsonEnabled()
+{
+    return !report().jsonPath.empty();
+}
 
 const std::vector<Trace> &
 suite()
@@ -32,6 +104,59 @@ void
 expectation(const std::string &text)
 {
     std::cout << "\n[paper shape] " << text << "\n";
+}
+
+void
+emitTable(const std::string &section, const TextTable &table)
+{
+    table.print(std::cout);
+    if (jsonEnabled()) {
+        sectionNode(section)["tables"].push(table.toJson());
+    }
+}
+
+void
+emitResult(const std::string &section, const std::string &name,
+           const SimResult &result)
+{
+    if (jsonEnabled()) {
+        sectionNode(section)["results"][name] = result.toJson();
+    }
+}
+
+void
+emitStats(const std::string &section, const std::string &name,
+          const StatRegistry &stats)
+{
+    if (jsonEnabled()) {
+        sectionNode(section)["stats"][name] = stats.toJson();
+    }
+}
+
+int
+finish()
+{
+    if (!jsonEnabled()) {
+        return 0;
+    }
+    JsonValue document = JsonValue::object();
+    document["bench"] = report().benchName;
+    document["trace_scale"] = effectiveTraceScale(defaultScale);
+    document["sections"] = report().sections;
+    std::ofstream out(report().jsonPath);
+    if (!out) {
+        warn("--json: cannot open '" + report().jsonPath +
+             "' for writing");
+        return 1;
+    }
+    document.write(out, 2);
+    out << "\n";
+    if (!out.good()) {
+        warn("--json: write to '" + report().jsonPath + "' failed");
+        return 1;
+    }
+    inform("wrote JSON report to " + report().jsonPath);
+    return 0;
 }
 
 double

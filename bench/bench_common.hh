@@ -9,6 +9,21 @@
  * prints the paper's reference values alongside for eyeball
  * comparison. Absolute values are not expected to match (our traces
  * are synthetic stand-ins for IBS-Ultrix); shapes and orderings are.
+ *
+ * Machine-readable output: every bench accepts `--json <path>`.
+ * Rows routed through emitTable() (plus any emitSeries() /
+ * emitStats() telemetry) are then also collected into one JSON
+ * document and written to <path> by finish(), giving CI a
+ * BENCH_*.json perf/accuracy trajectory per run. The canonical
+ * main() shape is:
+ *
+ *   int main(int argc, char **argv) {
+ *       init(argc, argv);
+ *       ...
+ *       emitTable(trace.name(), table);  // instead of table.print
+ *       ...
+ *       return finish();
+ *   }
  */
 
 #ifndef BPRED_BENCH_BENCH_COMMON_HH
@@ -19,6 +34,7 @@
 #include <vector>
 
 #include "sim/driver.hh"
+#include "support/stat_registry.hh"
 #include "support/table.hh"
 #include "trace/trace.hh"
 
@@ -27,6 +43,15 @@ namespace bpred::bench
 
 /** Default trace scale for experiments (1.0 = 2M branches each). */
 constexpr double defaultScale = 1.0;
+
+/**
+ * Parse bench command-line arguments (`--json <path>`); call first
+ * in main(). fatal() on unknown arguments.
+ */
+void init(int argc, char **argv);
+
+/** True when `--json` capture is active. */
+bool jsonEnabled();
 
 /**
  * Load the six-benchmark suite once per binary.
@@ -42,6 +67,33 @@ void banner(const std::string &artifact, const std::string &claim);
  * the output is self-judging.
  */
 void expectation(const std::string &text);
+
+/**
+ * Print @p table to stdout and, when `--json` is active, record it
+ * in the report under @p section (typically the trace name; tables
+ * within a section are kept in emission order).
+ */
+void emitTable(const std::string &section, const TextTable &table);
+
+/**
+ * Record a simulation result (windowed time series, top sites) in
+ * the report under @p section as @p name. No stdout output.
+ */
+void emitResult(const std::string &section, const std::string &name,
+                const SimResult &result);
+
+/**
+ * Record a stat-registry snapshot (e.g. probe counters) in the
+ * report under @p section as @p name. No stdout output.
+ */
+void emitStats(const std::string &section, const std::string &name,
+               const StatRegistry &stats);
+
+/**
+ * Write the JSON report to the `--json` path, if one was given.
+ * Returns main()'s exit status.
+ */
+int finish();
 
 /** Misprediction percentage of spec-built predictor over trace. */
 double mispredictPercent(const std::string &spec, const Trace &trace);

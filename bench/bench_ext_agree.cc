@@ -21,10 +21,12 @@
 #include "predictors/gshare.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bpred;
     using namespace bpred::bench;
+
+    init(argc, argv);
 
     banner("Extension: the 1997 de-aliasing designs",
            "Interference conversion (agree) vs segregation "
@@ -53,12 +55,12 @@ main()
                 simulate(gskewed, trace).mispredictPercent())
             .percentCell(interference.destructiveRatio() * 100.0);
     }
-    table.print(std::cout);
+    emitTable("summary", table);
 
     expectation(
         "Both anti-aliasing designs track (or beat) the plain "
         "gshare at equal storage; their relative order depends on "
         "how much of the aliasing is destructive (last column) "
         "and how well first-outcome bias bits fit the workload.");
-    return 0;
+    return finish();
 }

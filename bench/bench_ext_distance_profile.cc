@@ -16,10 +16,12 @@
 #include "model/distance_profile.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bpred;
     using namespace bpred::bench;
+
+    init(argc, argv);
 
     banner("Extension: last-use distance profiles",
            "Distance distribution of (address, history) pairs and "
@@ -44,7 +46,7 @@ main()
                 .cell(profile.expectedAliasingProbability(4096), 4)
                 .cell(profile.expectedAliasingProbability(16384), 4);
         }
-        table.print(std::cout);
+        emitTable("h" + std::to_string(history), table);
     }
 
     expectation(
@@ -53,5 +55,5 @@ main()
         "heavier than h4 (the capacity pressure behind Figure 7's "
         "long-history behaviour). E[p] falls with table size "
         "exactly as formula (1) dictates.");
-    return 0;
+    return finish();
 }

@@ -12,10 +12,12 @@
 #include "core/skewed_predictor.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bpred;
     using namespace bpred::bench;
+
+    init(argc, argv);
 
     banner("Extension: distributed encodings",
            "Shared-hysteresis (1.5 bit/entry) vs full 2-bit gskewed "
@@ -44,7 +46,7 @@ main()
             .percentCell(
                 simulate(full_8k, trace).mispredictPercent());
     }
-    table.print(std::cout);
+    emitTable("summary", table);
 
     expectation(
         "At equal geometry the 25%-cheaper encoding costs only a "
@@ -52,5 +54,5 @@ main()
         "direction); spending the saved bits on more entries "
         "(sh 3x8K at 36Kb vs full 3x8K at 48Kb) buys most of the "
         "bigger table's accuracy at 75% of its cost.");
-    return 0;
+    return finish();
 }

@@ -17,10 +17,12 @@
 #include "predictors/gshare.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bpred;
     using namespace bpred::bench;
+
+    init(argc, argv);
 
     banner("Extension: flush recovery",
            "Mispredict % with predictor state wiped every F "
@@ -57,7 +59,7 @@ main()
             .percentCell(run(gskewed, interval))
             .percentCell(run(egskew, interval));
     }
-    table.print(std::cout);
+    emitTable("summary", table);
 
     expectation(
         "All designs degrade as flushes become frequent; the "
@@ -65,5 +67,5 @@ main()
         "prediction), while global-history designs pay more — the "
         "regime where Evers et al. proposed hybrids. The skewed "
         "designs degrade no worse than gshare.");
-    return 0;
+    return finish();
 }

@@ -19,10 +19,12 @@
 #include "trace/transform.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bpred;
     using namespace bpred::bench;
+
+    init(argc, argv);
 
     banner("Extension: multiprogrammed splicing",
            "groff + gs interleaved in shrinking quanta vs run "
@@ -57,12 +59,12 @@ main()
         measure("quantum " + formatCount(quantum),
                 interleaveTraces({&a, &b}, quantum));
     }
-    table.print(std::cout);
+    emitTable("summary", table);
 
     expectation(
         "Finer interleaving raises aliasing and misprediction for "
         "both designs (two working sets resident at once, history "
         "cross-pollution at every switch); the skewed organization "
         "keeps its edge throughout.");
-    return 0;
+    return finish();
 }

@@ -21,10 +21,12 @@
 #include "workloads/process_mix.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bpred;
     using namespace bpred::bench;
+
+    init(argc, argv);
 
     banner("Extension: OS quantum sensitivity",
            "verilog-like workload, kernel share 25%, sweeping the "
@@ -60,12 +62,12 @@ main()
             .percentCell(skew_pct)
             .percentCell(share_pct - skew_pct);
     }
-    table.print(std::cout);
+    emitTable("summary", table);
 
     expectation(
         "Shorter quanta raise total aliasing and misprediction for "
         "both designs; the skewed organization holds its relative "
         "advantage as interference pressure grows — the workload "
         "regime the paper was designed for.");
-    return 0;
+    return finish();
 }

@@ -14,10 +14,12 @@
 #include "sim/pipeline_model.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bpred;
     using namespace bpred::bench;
+
+    init(argc, argv);
 
     banner("Extension: pipeline impact",
            "gshare-16K vs e-gskew-3x4K (h=11) through the "
@@ -59,12 +61,12 @@ main()
                 estimatePipeline(share_result, deep).stallFraction *
                 100.0);
     }
-    table.print(std::cout);
+    emitTable("summary", table);
 
     expectation(
         "The same accuracy gap is worth ~2.5x more speedup on the "
         "20-cycle machine than the 8-cycle one — the deep-pipeline "
         "motivation of §1 in numbers. e-gskew achieves this with "
         "25% less predictor storage.");
-    return 0;
+    return finish();
 }

@@ -19,10 +19,12 @@
 #include "workloads/process_mix.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bpred;
     using namespace bpred::bench;
+
+    init(argc, argv);
 
     banner("Extension: seed sensitivity",
            "groff-like workload regenerated with 5 seeds: "
@@ -71,11 +73,11 @@ main()
         .cell(formatDouble(egskew_stat.mean()) + " +/- " +
               formatDouble(egskew_stat.stddev()))
         .cell(std::string(""));
-    table.print(std::cout);
+    emitTable("summary", table);
 
     expectation(
         "Seed-to-seed spread is small relative to the "
         "between-design gaps; e-gskew-3x4K beats the 16K gshare "
         "(at 25% less storage) for every seed.");
-    return 0;
+    return finish();
 }

@@ -52,9 +52,11 @@ conflictStressTrace(u64 branches, u64 seed)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bpred::bench;
+
+    init(argc, argv);
 
     banner("Extension: skewed per-address predictor",
            "PAg vs pskew: IBS-like suite (constructive sharing) and "
@@ -79,12 +81,12 @@ main()
             .percentCell(simulate(pag, stress).mispredictPercent())
             .percentCell(simulate(pskew, stress).mispredictPercent());
     }
-    table.print(std::cout);
+    emitTable("summary", table);
 
     expectation(
         "PAg wins on the six IBS-like rows (constructive sharing "
         "dominates); pskew wins by a wide margin on the "
         "conflict-stress row. Skewing helps exactly where "
         "interference is destructive.");
-    return 0;
+    return finish();
 }

@@ -18,10 +18,12 @@
 #include "predictors/info_vector.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bpred;
     using namespace bpred::bench;
+
+    init(argc, argv);
 
     banner("Extension: skewed-associative tagged yardstick",
            "Tagged-table miss % at h=4: direct-mapped gshare vs "
@@ -71,7 +73,7 @@ main()
                 .percentCell(fa * 100.0)
                 .percentCell(closed * 100.0);
         }
-        table.print(std::cout);
+        emitTable(trace.name(), table);
     }
 
     expectation(
@@ -79,5 +81,5 @@ main()
         "skewed tagged table closes most of the DM-to-FA gap — "
         "the cache-side property the tag-less skewed predictor "
         "inherits through its majority vote.");
-    return 0;
+    return finish();
 }

@@ -12,10 +12,12 @@
 #include "core/skewed_predictor.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bpred;
     using namespace bpred::bench;
+
+    init(argc, argv);
 
     banner("Extension: update policies",
            "gskewed-3x4K-h8: total vs partial vs partial-lazy — "
@@ -56,12 +58,12 @@ main()
             .cell(per_kbr(partial, rp), 0)
             .cell(per_kbr(lazy, rl), 0);
     }
-    table.print(std::cout);
+    emitTable("summary", table);
 
     expectation(
         "partial == partial-lazy misprediction (bit-identical "
         "behaviour); write traffic falls from 3000/kbr (total) to "
         "~2800 (partial) to far less (lazy skips "
         "already-saturated strengthening writes).");
-    return 0;
+    return finish();
 }

@@ -15,10 +15,12 @@
 #include "predictors/gshare.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bpred;
     using namespace bpred::bench;
+
+    init(argc, argv);
 
     banner("Figure 11",
            "Analytical extrapolation vs measured simulation "
@@ -57,12 +59,12 @@ main()
             .percentCell(model.directMappedExtrapolated * 100.0)
             .percentCell(share_measured);
     }
-    table.print(std::cout);
+    emitTable("summary", table);
 
     expectation(
         "Model tracks measurement benchmark-by-benchmark and "
         "consistently overestimates slightly — constructive "
         "aliasing, absent from the model, recovers a little "
         "accuracy in reality.");
-    return 0;
+    return finish();
 }

@@ -14,10 +14,12 @@
 #include "aliasing/three_c.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bpred;
     using namespace bpred::bench;
+
+    init(argc, argv);
 
     banner("Figure 1",
            "Aliasing (tagged-table miss %) vs table size, 4-bit "
@@ -49,7 +51,7 @@ main()
                 .percentCell(gshare.capacity() * 100.0)
                 .percentCell(gshare.compulsory * 100.0);
         }
-        table.print(std::cout);
+        emitTable(trace.name(), table);
     }
 
     expectation(
@@ -57,5 +59,5 @@ main()
         "curve collapses to the compulsory floor by ~4K entries, "
         "leaving conflicts as the overwhelming cause of aliasing "
         "in larger tables.");
-    return 0;
+    return finish();
 }

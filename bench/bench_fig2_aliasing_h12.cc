@@ -14,10 +14,12 @@
 #include "aliasing/three_c.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bpred;
     using namespace bpred::bench;
+
+    init(argc, argv);
 
     banner("Figure 2",
            "Aliasing (tagged-table miss %) vs table size, 12-bit "
@@ -49,7 +51,7 @@ main()
                 .percentCell(gshare.capacity() * 100.0)
                 .percentCell(gshare.compulsory * 100.0);
         }
-        table.print(std::cout);
+        emitTable(trace.name(), table);
     }
 
     expectation(
@@ -57,5 +59,5 @@ main()
         "(gselect keeps only ~4 address bits at 64K entries); "
         "capacity vanishes around 16K entries instead of 4K; above "
         "that, conflict dominates.");
-    return 0;
+    return finish();
 }

@@ -135,9 +135,11 @@ measure(const Trace &trace, unsigned index_bits,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bpred::bench;
+
+    init(argc, argv);
 
     banner("Figure 3",
            "Conflicts depend on the mapping function: pairs that "
@@ -158,7 +160,7 @@ main()
             .cell(stats.both_gshare_gselect)
             .cell(stats.both_skew_banks);
     }
-    table.print(std::cout);
+    emitTable("summary", table);
 
     expectation(
         "Each function alone has thousands of colliding pairs "
@@ -166,5 +168,5 @@ main()
         "columns are dramatically smaller — and the skew-bank "
         "pair (f0&f1) column is the smallest, by design of the "
         "function family.");
-    return 0;
+    return finish();
 }

@@ -15,10 +15,12 @@
 #include "predictors/gshare.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bpred;
     using namespace bpred::bench;
+
+    init(argc, argv);
 
     banner("Figure 5",
            "Mispredict % vs size, 4-bit history: gshare-N vs "
@@ -51,7 +53,7 @@ main()
                     simulate(bigger, trace).mispredictPercent())
                 .cell(formatEntries(3 * (u64(1) << bits)));
         }
-        table.print(std::cout);
+        emitTable(trace.name(), table);
     }
 
     expectation(
@@ -59,5 +61,5 @@ main()
         "entries), gskewed-3x(N/4) with 25% less storage matches "
         "or beats gshare-N; gskewed saturates by ~3x4K while "
         "gshare keeps improving to 64K.");
-    return 0;
+    return finish();
 }

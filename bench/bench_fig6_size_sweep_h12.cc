@@ -10,10 +10,12 @@
 #include "predictors/gshare.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bpred;
     using namespace bpred::bench;
+
+    init(argc, argv);
 
     banner("Figure 6",
            "Mispredict % vs size, 12-bit history: gshare-N vs "
@@ -43,7 +45,7 @@ main()
                     simulate(bigger, trace).mispredictPercent())
                 .cell(formatEntries(3 * (u64(1) << bits)));
         }
-        table.print(std::cout);
+        emitTable(trace.name(), table);
     }
 
     expectation(
@@ -51,5 +53,5 @@ main()
         "~16K, gskewed saturates around 3x16K while gshare keeps "
         "gaining to 256K; gskewed is notably better at removing "
         "pathological aliasing (nroff in the paper).");
-    return 0;
+    return finish();
 }

@@ -14,10 +14,12 @@
 #include "predictors/gshare.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bpred;
     using namespace bpred::bench;
+
+    init(argc, argv);
 
     banner("Figure 7",
            "Mispredict % vs history length: gskewed-3x4K vs "
@@ -46,12 +48,12 @@ main()
                                       ? "gskewed"
                                       : "gshare"));
         }
-        table.print(std::cout);
+        emitTable(trace.name(), table);
     }
 
     expectation(
         "Despite 25% less storage, gskewed wins at most history "
         "lengths on most benchmarks (the paper excepts real_gcc, "
         "whose large working set stresses capacity).");
-    return 0;
+    return finish();
 }

@@ -14,10 +14,12 @@
 #include "core/skewed_predictor.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bpred;
     using namespace bpred::bench;
+
+    init(argc, argv);
 
     banner("Figure 8",
            "gskewed-3xN (partial & total) vs N-entry FA-LRU "
@@ -45,7 +47,7 @@ main()
                 .percentCell(
                     simulate(total, trace).mispredictPercent());
         }
-        table.print(std::cout);
+        emitTable(trace.name(), table);
     }
 
     expectation(
@@ -53,5 +55,5 @@ main()
         "the N-entry fully-associative LRU yardstick; with total "
         "update it is slightly worse. Partial update effectively "
         "buys back the capacity the redundancy spends.");
-    return 0;
+    return finish();
 }

@@ -11,10 +11,12 @@
 #include "model/formulas.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bpred;
     using namespace bpred::bench;
+
+    init(argc, argv);
 
     banner("Figures 9-10",
            "Analytical destructive-aliasing probability: 1-bank "
@@ -31,7 +33,7 @@ main()
             .cell(destructiveProbabilitySkewed3(p, 0.5), 4)
             .cell(destructiveProbabilitySkewed(5, p, 0.5), 4);
     }
-    full.print(std::cout);
+    emitTable("summary", full);
 
     std::cout << "\nSmall-p zoom (Figure 10):\n";
     TextTable zoom({"p", "Pdm", "Psk (3-bank)", "Psk/Pdm"});
@@ -42,7 +44,7 @@ main()
         zoom.row().cell(p, 3).cell(dm, 6).cell(sk, 6).cell(
             sk / dm, 4);
     }
-    zoom.print(std::cout);
+    emitTable("summary", zoom);
 
     std::cout << "\nCrossover distance D* where Psk(3x(N/3)) = "
                  "Pdm(N) (paper: D* ~ N/10):\n";
@@ -56,11 +58,11 @@ main()
                       static_cast<double>(d_star),
                   1);
     }
-    crossover.print(std::cout);
+    emitTable("summary", crossover);
 
     expectation(
         "Psk << Pdm for small p (cubic vs linear), crossing above "
         "Pdm as p -> 1; the equal-storage crossover lands near "
         "D = N/10, the paper's rule of thumb.");
-    return 0;
+    return finish();
 }

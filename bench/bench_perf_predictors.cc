@@ -11,6 +11,7 @@
 #include <memory>
 
 #include "sim/factory.hh"
+#include "support/probe.hh"
 #include "support/rng.hh"
 #include "trace/trace.hh"
 
@@ -36,10 +37,12 @@ makePerfTrace()
 }
 
 void
-runPredictor(benchmark::State &state, const std::string &spec)
+runPredictor(benchmark::State &state, const std::string &spec,
+             ProbeSink *probe = nullptr)
 {
     static const Trace trace = makePerfTrace();
     auto predictor = makePredictor(spec);
+    predictor->attachProbe(probe);
     for (auto _ : state) {
         for (const BranchRecord &record : trace) {
             if (!record.conditional) {
@@ -93,6 +96,21 @@ void BM_FaLru(benchmark::State &state)
     runPredictor(state, "falru:4096:10");
 }
 
+// Telemetry cost gauges: the same predictors with a CountingProbe
+// attached. Compare against the no-sink runs above — the no-sink
+// numbers must not regress (the probe hook is one null check), and
+// the probed numbers bound what full instrumentation costs.
+void BM_GShareProbed(benchmark::State &state)
+{
+    CountingProbe probe;
+    runPredictor(state, "gshare:14:10", &probe);
+}
+void BM_EGskewProbed(benchmark::State &state)
+{
+    CountingProbe probe;
+    runPredictor(state, "egskew:12:10", &probe);
+}
+
 BENCHMARK(BM_Bimodal);
 BENCHMARK(BM_GShare);
 BENCHMARK(BM_GSelect);
@@ -102,6 +120,8 @@ BENCHMARK(BM_Gskewed3);
 BENCHMARK(BM_Gskewed5);
 BENCHMARK(BM_EGskew);
 BENCHMARK(BM_FaLru);
+BENCHMARK(BM_GShareProbed);
+BENCHMARK(BM_EGskewProbed);
 
 } // namespace
 

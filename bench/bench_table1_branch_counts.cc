@@ -29,10 +29,12 @@ constexpr PaperRow paperTable1[] = {
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bpred;
     using namespace bpred::bench;
+
+    init(argc, argv);
 
     banner("Table 1",
            "Conditional branch counts (dynamic / static) per "
@@ -51,11 +53,11 @@ main()
             .cell(formatCount(paperTable1[row].static_count));
         ++row;
     }
-    table.print(std::cout);
+    emitTable("summary", table);
 
     expectation(
         "Static counts track Table 1 (real_gcc largest, verilog "
         "smallest); dynamic counts are the configured synthetic "
         "trace length, not the IBS capture length.");
-    return 0;
+    return finish();
 }

@@ -72,15 +72,17 @@ runHistoryLength(unsigned history_bits, const PaperRow *paper)
             .percentCell(paper[row].two_bit);
         ++row;
     }
-    table.print(std::cout);
+    emitTable("summary", table);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bpred::bench;
+
+    init(argc, argv);
 
     banner("Table 2",
            "Unaliased predictor: substream ratio, compulsory "
@@ -96,5 +98,5 @@ main()
         "ratio ~3-6x the h4 ratio, real_gcc highest) and raises "
         "compulsory aliasing; compulsory stays ~small relative to "
         "dynamic count.");
-    return 0;
+    return finish();
 }

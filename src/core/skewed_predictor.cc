@@ -5,6 +5,7 @@
 #include "core/skew.hh"
 #include "predictors/info_vector.hh"
 #include "support/logging.hh"
+#include "support/probe.hh"
 #include "support/table.hh"
 
 namespace bpred
@@ -82,6 +83,14 @@ SkewedPredictor::predict(Addr pc)
 void
 SkewedPredictor::update(Addr pc, bool taken)
 {
+    // Dispatch before any work: the instrumented variant repeats the
+    // whole algorithm with event publishing, keeping the no-sink
+    // loop below free of probe checks.
+    if (probeSink) [[unlikely]] {
+        updateProbed(pc, taken);
+        return;
+    }
+
     // Recompute per-bank indices and predictions with the pre-branch
     // history (update() contract), then apply the update policy.
     unsigned votes_taken = 0;
@@ -120,6 +129,64 @@ SkewedPredictor::update(Addr pc, bool taken)
             }
         }
         banks[bank].update(indices[bank], taken);
+        ++bankWriteCount;
+    }
+    history.shiftIn(taken);
+}
+
+void
+SkewedPredictor::updateProbed(Addr pc, bool taken)
+{
+    // Mirrors update() exactly, adding event publishing at each
+    // decision point. test_probe's SinkDoesNotChangePredictions
+    // guards the two paths against drifting apart.
+    unsigned votes_taken = 0;
+    u64 indices[maxSkewBanks];
+    bool bank_predictions[maxSkewBanks];
+    for (unsigned bank = 0; bank < config.numBanks; ++bank) {
+        indices[bank] = bankIndexOf(bank, pc);
+        bank_predictions[bank] = banks[bank].predictTaken(indices[bank]);
+        if (bank_predictions[bank]) {
+            ++votes_taken;
+        }
+    }
+    const bool overall = votes_taken * 2 > config.numBanks;
+    const bool overall_correct = overall == taken;
+
+    probeSink->onResolved({pc, overall, taken});
+    for (unsigned bank = 0; bank < config.numBanks; ++bank) {
+        probeSink->onBankVote(
+            {pc, bank, bank_predictions[bank], overall, taken});
+    }
+
+    const bool partial =
+        config.updatePolicy == UpdatePolicy::Partial ||
+        config.updatePolicy == UpdatePolicy::PartialLazy;
+    for (unsigned bank = 0; bank < config.numBanks; ++bank) {
+        const bool bank_correct = bank_predictions[bank] == taken;
+        if (partial && overall_correct && !bank_correct) {
+            probeSink->onUpdateSkip(
+                {bank, UpdateSkipEvent::Reason::PartialProtect});
+            continue;
+        }
+        if (config.updatePolicy == UpdatePolicy::PartialLazy &&
+            bank_correct) {
+            const u8 value = banks[bank].value(indices[bank]);
+            const u8 saturated = taken
+                ? static_cast<u8>(mask(config.counterBits))
+                : u8(0);
+            if (value == saturated) {
+                probeSink->onUpdateSkip(
+                    {bank, UpdateSkipEvent::Reason::LazySaturated});
+                continue;
+            }
+        }
+        const u8 before = banks[bank].value(indices[bank]);
+        banks[bank].update(indices[bank], taken);
+        const u8 after = banks[bank].value(indices[bank]);
+        if (before != after) {
+            probeSink->onCounterWrite({bank, before, after});
+        }
         ++bankWriteCount;
     }
     history.shiftIn(taken);

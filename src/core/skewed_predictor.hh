@@ -136,6 +136,10 @@ class SkewedPredictor : public Predictor
   private:
     u64 bankIndexOf(unsigned bank, Addr pc) const;
 
+    /** The whole update() when a probe is attached (kept out of the
+     * hot path so the uninstrumented loop carries no probe checks). */
+    void updateProbed(Addr pc, bool taken);
+
     Config config;
     std::vector<SatCounterArray> banks;
     GlobalHistory history;

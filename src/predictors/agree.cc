@@ -1,6 +1,7 @@
 #include "predictors/agree.hh"
 
 #include "predictors/info_vector.hh"
+#include "support/probe.hh"
 #include "support/table.hh"
 
 namespace bpred
@@ -47,15 +48,46 @@ AgreePredictor::predict(Addr pc)
 void
 AgreePredictor::update(Addr pc, bool taken)
 {
+    // Dispatch before any work so the no-sink path keeps nothing
+    // live across the probed helper's virtual sink calls (which
+    // would force a stack frame on the hot path).
+    if (probeSink) [[unlikely]] {
+        updateProbed(pc, taken);
+        return;
+    }
     u8 &bias_entry = biasTable[addressIndex(pc, biasIndexBits)];
+    const u64 index =
+        gshareIndex(pc, history.raw(), historyBits, indexBits);
     if (bias_entry == biasUnset) {
         // First encounter: the observed outcome becomes the bias.
         bias_entry = taken ? 1 : 0;
     }
-    const bool bias = bias_entry != 0;
+    agreeTable.update(index, taken == (bias_entry != 0));
+    history.shiftIn(taken);
+}
+
+void
+AgreePredictor::updateProbed(Addr pc, bool taken)
+{
+    u8 &bias_entry = biasTable[addressIndex(pc, biasIndexBits)];
     const u64 index =
         gshareIndex(pc, history.raw(), historyBits, indexBits);
+    // Resolve with the pre-update bias, as predict() saw it.
+    const bool predicted_bias =
+        bias_entry == biasUnset ? true : bias_entry != 0;
+    const bool agree = agreeTable.predictTaken(index);
+    probeSink->onResolved(
+        {pc, agree ? predicted_bias : !predicted_bias, taken});
+    if (bias_entry == biasUnset) {
+        bias_entry = taken ? 1 : 0;
+    }
+    const bool bias = bias_entry != 0;
+    const u8 before = agreeTable.value(index);
     agreeTable.update(index, taken == bias);
+    const u8 after = agreeTable.value(index);
+    if (before != after) {
+        probeSink->onCounterWrite({0, before, after});
+    }
     history.shiftIn(taken);
 }
 

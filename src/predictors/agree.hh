@@ -53,6 +53,10 @@ class AgreePredictor : public Predictor
   private:
     bool biasOf(Addr pc) const;
 
+    /** The whole update() when a probe is attached (kept out of the
+     * hot path so the uninstrumented loop stays frameless). */
+    void updateProbed(Addr pc, bool taken);
+
     SatCounterArray agreeTable;
     /** Bias bit per entry; 2 = unset (first encounter pending). */
     std::vector<u8> biasTable;

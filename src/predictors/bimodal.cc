@@ -1,6 +1,7 @@
 #include "predictors/bimodal.hh"
 
 #include "predictors/info_vector.hh"
+#include "support/probe.hh"
 #include "support/table.hh"
 
 namespace bpred
@@ -28,7 +29,27 @@ BimodalPredictor::predict(Addr pc)
 void
 BimodalPredictor::update(Addr pc, bool taken)
 {
+    // Dispatch before any work so the no-sink path keeps nothing
+    // live across the probed helper's virtual sink calls (which
+    // would force a stack frame on the hot path).
+    if (probeSink) [[unlikely]] {
+        updateProbed(pc, taken);
+        return;
+    }
     table.update(indexOf(pc), taken);
+}
+
+void
+BimodalPredictor::updateProbed(Addr pc, bool taken)
+{
+    const u64 index = indexOf(pc);
+    probeSink->onResolved({pc, table.predictTaken(index), taken});
+    const u8 before = table.value(index);
+    table.update(index, taken);
+    const u8 after = table.value(index);
+    if (before != after) {
+        probeSink->onCounterWrite({0, before, after});
+    }
 }
 
 std::string

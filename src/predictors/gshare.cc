@@ -1,6 +1,7 @@
 #include "predictors/gshare.hh"
 
 #include "predictors/info_vector.hh"
+#include "support/probe.hh"
 #include "support/table.hh"
 
 namespace bpred
@@ -30,7 +31,29 @@ GSharePredictor::predict(Addr pc)
 void
 GSharePredictor::update(Addr pc, bool taken)
 {
+    // Dispatch before any work so the no-sink path keeps nothing
+    // live across a call with unknown clobbers (the probed helper's
+    // virtual sink calls) — that would force a stack frame on the
+    // hot path.
+    if (probeSink) [[unlikely]] {
+        updateProbed(pc, taken);
+        return;
+    }
     table.update(indexOf(pc), taken);
+    history.shiftIn(taken);
+}
+
+void
+GSharePredictor::updateProbed(Addr pc, bool taken)
+{
+    const u64 index = indexOf(pc);
+    probeSink->onResolved({pc, table.predictTaken(index), taken});
+    const u8 before = table.value(index);
+    table.update(index, taken);
+    const u8 after = table.value(index);
+    if (before != after) {
+        probeSink->onCounterWrite({0, before, after});
+    }
     history.shiftIn(taken);
 }
 

@@ -43,6 +43,10 @@ class GSharePredictor : public Predictor
   private:
     u64 indexOf(Addr pc) const;
 
+    /** The whole update() when a probe is attached (kept out of the
+     * hot path so the uninstrumented loop stays frameless). */
+    void updateProbed(Addr pc, bool taken);
+
     SatCounterArray table;
     GlobalHistory history;
     unsigned indexBits;

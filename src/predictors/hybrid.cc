@@ -4,6 +4,7 @@
 
 #include "predictors/info_vector.hh"
 #include "support/logging.hh"
+#include "support/probe.hh"
 #include "support/table.hh"
 
 namespace bpred
@@ -43,6 +44,17 @@ HybridPredictor::update(Addr pc, bool taken)
         secondPrediction = secondComponent->predict(pc);
     }
     havePrediction = false;
+
+    if (probeSink) [[unlikely]] {
+        const bool use_first =
+            chooser.predictTaken(addressIndex(pc, chooserIndexBits));
+        const bool overall =
+            use_first ? firstPrediction : secondPrediction;
+        probeSink->onResolved({pc, overall, taken});
+        probeSink->onChoice({use_first,
+                             firstPrediction != secondPrediction,
+                             overall == taken});
+    }
 
     if (firstPrediction != secondPrediction) {
         // Strengthen toward the component that was right.

@@ -13,6 +13,8 @@
 namespace bpred
 {
 
+class ProbeSink;
+
 /**
  * Abstract conditional-branch direction predictor.
  *
@@ -56,6 +58,32 @@ class Predictor
 
     /** Return to the power-on state. */
     virtual void reset() = 0;
+
+    /**
+     * Attach a telemetry sink (see support/probe.hh); nullptr
+     * detaches. Instrumented predictors publish per-prediction
+     * events to the sink from update(); predictors without
+     * instrumentation simply ignore it. Returns the previously
+     * attached sink so callers can restore it.
+     */
+    ProbeSink *
+    attachProbe(ProbeSink *sink)
+    {
+        ProbeSink *previous = probeSink;
+        probeSink = sink;
+        return previous;
+    }
+
+    /** The currently attached telemetry sink (nullptr if none). */
+    ProbeSink *probe() const { return probeSink; }
+
+  protected:
+    /**
+     * The attached sink, null in the common case. Publishing sites
+     * must null-check so the uninstrumented hot path stays a single
+     * predictable branch.
+     */
+    ProbeSink *probeSink = nullptr;
 };
 
 } // namespace bpred

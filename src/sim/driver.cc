@@ -1,14 +1,146 @@
 #include "sim/driver.hh"
 
+#include <cstdio>
+
 #include "support/logging.hh"
+#include "support/probe.hh"
+#include "support/topk.hh"
 
 namespace bpred
 {
 
+namespace
+{
+
+std::string
+formatPc(Addr pc)
+{
+    char buffer[24];
+    std::snprintf(buffer, sizeof(buffer), "0x%llx",
+                  static_cast<unsigned long long>(pc));
+    return buffer;
+}
+
+} // namespace
+
+JsonValue
+SimResult::toJson() const
+{
+    JsonValue result = JsonValue::object();
+    result["predictor"] = predictorName;
+    result["trace"] = traceName;
+    result["conditionals"] = conditionals;
+    result["mispredicts"] = mispredicts;
+    result["mispredict_ratio"] = mispredictRatio();
+    result["storage_bits"] = storageBits;
+    if (windowSize > 0) {
+        result["window_size"] = windowSize;
+        JsonValue series = JsonValue::array();
+        for (const WindowSample &window : windows) {
+            JsonValue sample = JsonValue::object();
+            sample["branches"] = window.branches;
+            sample["mispredicts"] = window.mispredicts;
+            sample["ratio"] = window.ratio();
+            series.push(std::move(sample));
+        }
+        result["windows"] = std::move(series);
+    }
+    if (!topSites.empty()) {
+        JsonValue sites = JsonValue::array();
+        for (const SiteCount &site : topSites) {
+            JsonValue entry = JsonValue::object();
+            entry["pc"] = formatPc(site.pc);
+            entry["mispredicts"] = site.mispredicts;
+            entry["overcount"] = site.overcount;
+            sites.push(std::move(entry));
+        }
+        result["top_sites"] = std::move(sites);
+    }
+    return result;
+}
+
+SimResult
+simulateWithOptions(Predictor &predictor, const Trace &trace,
+                    const SimOptions &options)
+{
+    SimResult result;
+    result.predictorName = predictor.name();
+    result.traceName = trace.name();
+    result.storageBits = predictor.storageBits();
+    result.windowSize = options.windowSize;
+
+    ProbeSink *previous_probe = nullptr;
+    if (options.probe) {
+        previous_probe = predictor.attachProbe(options.probe);
+    }
+
+    TopKCounter sites(options.topSites > 0 ? options.topSites : 1);
+    WindowSample window;
+    u64 seen = 0;
+    u64 since_flush = 0;
+    for (const BranchRecord &record : trace) {
+        if (!record.conditional) {
+            predictor.notifyUnconditional(record.pc);
+            continue;
+        }
+        const bool prediction = predictor.predict(record.pc);
+        predictor.update(record.pc, record.taken);
+        ++seen;
+        if (options.flushInterval &&
+            ++since_flush == options.flushInterval) {
+            predictor.reset();
+            since_flush = 0;
+        }
+        if (seen <= options.warmupBranches) {
+            continue;
+        }
+        ++result.conditionals;
+        const bool wrong = prediction != record.taken;
+        if (wrong) {
+            ++result.mispredicts;
+            if (options.topSites > 0) {
+                sites.add(record.pc);
+            }
+        }
+        if (options.windowSize > 0) {
+            ++window.branches;
+            if (wrong) {
+                ++window.mispredicts;
+            }
+            if (window.branches == options.windowSize) {
+                result.windows.push_back(window);
+                window = WindowSample();
+            }
+        }
+    }
+    if (options.windowSize > 0 && window.branches > 0) {
+        result.windows.push_back(window);
+    }
+    if (options.topSites > 0) {
+        for (const TopKCounter::Item &item : sites.items()) {
+            result.topSites.push_back(
+                {item.key, item.count, item.overcount});
+        }
+    }
+    if (options.probe) {
+        predictor.attachProbe(previous_probe);
+    }
+    return result;
+}
+
 SimResult
 simulate(Predictor &predictor, const Trace &trace)
 {
-    return simulateWithWarmup(predictor, trace, 0);
+    return simulateWithOptions(predictor, trace, SimOptions());
+}
+
+SimResult
+simulateWithWarmup(Predictor &predictor, const Trace &trace,
+                   u64 warmup_branches)
+{
+    SimOptions options;
+    options.warmupBranches = warmup_branches;
+    return simulateWithOptions(predictor, trace, options);
 }
 
 SimResult
@@ -18,58 +150,9 @@ simulateWithFlush(Predictor &predictor, const Trace &trace,
     if (flush_interval == 0) {
         fatal("simulateWithFlush: zero flush interval");
     }
-    SimResult result;
-    result.predictorName = predictor.name();
-    result.traceName = trace.name();
-    result.storageBits = predictor.storageBits();
-
-    u64 since_flush = 0;
-    for (const BranchRecord &record : trace) {
-        if (!record.conditional) {
-            predictor.notifyUnconditional(record.pc);
-            continue;
-        }
-        const bool prediction = predictor.predict(record.pc);
-        predictor.update(record.pc, record.taken);
-        ++result.conditionals;
-        if (prediction != record.taken) {
-            ++result.mispredicts;
-        }
-        if (++since_flush == flush_interval) {
-            predictor.reset();
-            since_flush = 0;
-        }
-    }
-    return result;
-}
-
-SimResult
-simulateWithWarmup(Predictor &predictor, const Trace &trace,
-                   u64 warmup_branches)
-{
-    SimResult result;
-    result.predictorName = predictor.name();
-    result.traceName = trace.name();
-    result.storageBits = predictor.storageBits();
-
-    u64 seen = 0;
-    for (const BranchRecord &record : trace) {
-        if (!record.conditional) {
-            predictor.notifyUnconditional(record.pc);
-            continue;
-        }
-        const bool prediction = predictor.predict(record.pc);
-        predictor.update(record.pc, record.taken);
-        ++seen;
-        if (seen <= warmup_branches) {
-            continue;
-        }
-        ++result.conditionals;
-        if (prediction != record.taken) {
-            ++result.mispredicts;
-        }
-    }
-    return result;
+    SimOptions options;
+    options.flushInterval = flush_interval;
+    return simulateWithOptions(predictor, trace, options);
 }
 
 } // namespace bpred

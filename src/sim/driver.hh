@@ -7,12 +7,86 @@
 #define BPRED_SIM_DRIVER_HH
 
 #include <string>
+#include <vector>
 
 #include "predictors/predictor.hh"
+#include "support/json.hh"
 #include "trace/trace.hh"
 
 namespace bpred
 {
+
+class ProbeSink;
+
+/** One fixed-size window of the misprediction time series. */
+struct WindowSample
+{
+    /** Conditional branches scored in this window. */
+    u64 branches = 0;
+
+    /** Mispredictions among them. */
+    u64 mispredicts = 0;
+
+    /** Misprediction ratio of the window. */
+    double
+    ratio() const
+    {
+        return branches == 0
+            ? 0.0
+            : static_cast<double>(mispredicts) /
+                static_cast<double>(branches);
+    }
+};
+
+/** Misprediction attribution for one branch site (PC). */
+struct SiteCount
+{
+    Addr pc = 0;
+
+    /**
+     * Estimated mispredictions at this site. Sites are tracked with
+     * a bounded counter (support/topk.hh), so the estimate may
+     * exceed the true count by at most overcount.
+     */
+    u64 mispredicts = 0;
+
+    /** Upper bound on the estimate's excess. */
+    u64 overcount = 0;
+};
+
+/** Knobs for simulateWithOptions(); defaults reproduce simulate(). */
+struct SimOptions
+{
+    /** Train (but do not score) the first N conditional branches. */
+    u64 warmupBranches = 0;
+
+    /**
+     * reset() the predictor after every N conditional branches — a
+     * crude model of predictor-state loss on heavyweight context
+     * switches. 0 disables.
+     */
+    u64 flushInterval = 0;
+
+    /**
+     * Record a misprediction time series with N scored conditional
+     * branches per window (a trailing partial window is kept).
+     * 0 disables.
+     */
+    u64 windowSize = 0;
+
+    /**
+     * Attribute mispredictions to branch sites, keeping the top N
+     * sites in a bounded counter. 0 disables.
+     */
+    std::size_t topSites = 0;
+
+    /**
+     * Telemetry sink attached to the predictor for the duration of
+     * the run (the previous sink is restored afterwards). Null
+     * leaves the predictor untouched.
+     */
+    ProbeSink *probe = nullptr;
+};
 
 /** Outcome of simulating one predictor over one trace. */
 struct SimResult
@@ -29,6 +103,18 @@ struct SimResult
     /** Predictor hardware budget in bits. */
     u64 storageBits = 0;
 
+    /** Window size used for the time series (0 = not recorded). */
+    u64 windowSize = 0;
+
+    /** Misprediction time series (empty unless requested). */
+    std::vector<WindowSample> windows;
+
+    /**
+     * Worst branch sites by misprediction count, highest first
+     * (empty unless requested).
+     */
+    std::vector<SiteCount> topSites;
+
     /** Misprediction ratio in [0, 1]. */
     double
     mispredictRatio() const
@@ -41,17 +127,28 @@ struct SimResult
 
     /** Misprediction ratio as a percentage. */
     double mispredictPercent() const { return mispredictRatio() * 100.0; }
+
+    /**
+     * The result as JSON: scalars, plus "windows" and "top_sites"
+     * members when those were recorded.
+     */
+    JsonValue toJson() const;
 };
 
 /**
  * Run @p predictor over @p trace from a cold start: predict and
  * update on every conditional branch, notify on every unconditional
- * branch, and count mispredictions.
+ * branch, and count mispredictions — honouring every knob in
+ * @p options.
  *
  * The predictor is NOT reset first; callers reusing a predictor
  * across traces should call reset() themselves (warm-start studies
  * rely on this).
  */
+SimResult simulateWithOptions(Predictor &predictor, const Trace &trace,
+                              const SimOptions &options);
+
+/** simulateWithOptions() with default options. */
 SimResult simulate(Predictor &predictor, const Trace &trace);
 
 /**

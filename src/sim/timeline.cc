@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "sim/driver.hh"
 #include "support/logging.hh"
 
 namespace bpred
@@ -63,31 +64,17 @@ runTimeline(Predictor &predictor, const Trace &trace,
     TimelineResult result;
     result.windowSize = window_size;
 
-    u64 in_window = 0;
-    u64 wrong_in_window = 0;
-    for (const BranchRecord &record : trace) {
-        if (!record.conditional) {
-            predictor.notifyUnconditional(record.pc);
+    SimOptions options;
+    options.windowSize = window_size;
+    const SimResult sim = simulateWithOptions(predictor, trace, options);
+    for (const WindowSample &window : sim.windows) {
+        // Keep a trailing partial window only when it covers at
+        // least a tenth of a full window.
+        if (window.branches < window_size &&
+            window.branches < window_size / 10) {
             continue;
         }
-        const bool prediction = predictor.predict(record.pc);
-        predictor.update(record.pc, record.taken);
-        ++in_window;
-        if (prediction != record.taken) {
-            ++wrong_in_window;
-        }
-        if (in_window == window_size) {
-            result.windows.push_back(
-                static_cast<double>(wrong_in_window) /
-                static_cast<double>(window_size));
-            in_window = 0;
-            wrong_in_window = 0;
-        }
-    }
-    if (in_window >= window_size / 10 && in_window > 0) {
-        result.windows.push_back(
-            static_cast<double>(wrong_in_window) /
-            static_cast<double>(in_window));
+        result.windows.push_back(window.ratio());
     }
     return result;
 }

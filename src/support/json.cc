@@ -1,0 +1,251 @@
+#include "support/json.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace bpred
+{
+
+JsonValue
+JsonValue::object()
+{
+    JsonValue value;
+    value.store = Object{};
+    return value;
+}
+
+JsonValue
+JsonValue::array()
+{
+    JsonValue value;
+    value.store = Array{};
+    return value;
+}
+
+bool
+JsonValue::isNull() const
+{
+    return std::holds_alternative<std::nullptr_t>(store);
+}
+
+bool
+JsonValue::isObject() const
+{
+    return std::holds_alternative<Object>(store);
+}
+
+bool
+JsonValue::isArray() const
+{
+    return std::holds_alternative<Array>(store);
+}
+
+JsonValue &
+JsonValue::operator[](const std::string &key)
+{
+    if (isNull()) {
+        store = Object{};
+    }
+    if (!isObject()) {
+        panic("JsonValue: member access on a non-object");
+    }
+    auto &members = std::get<Object>(store);
+    for (auto &[name, value] : members) {
+        if (name == key) {
+            return value;
+        }
+    }
+    members.emplace_back(key, JsonValue());
+    return members.back().second;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (!isObject()) {
+        return nullptr;
+    }
+    for (const auto &[name, value] : std::get<Object>(store)) {
+        if (name == key) {
+            return &value;
+        }
+    }
+    return nullptr;
+}
+
+const JsonValue *
+JsonValue::at(std::size_t index) const
+{
+    if (!isArray()) {
+        return nullptr;
+    }
+    const auto &elements = std::get<Array>(store);
+    return index < elements.size() ? &elements[index] : nullptr;
+}
+
+void
+JsonValue::push(JsonValue element)
+{
+    if (isNull()) {
+        store = Array{};
+    }
+    if (!isArray()) {
+        panic("JsonValue: push on a non-array");
+    }
+    std::get<Array>(store).push_back(std::move(element));
+}
+
+std::size_t
+JsonValue::size() const
+{
+    if (isObject()) {
+        return std::get<Object>(store).size();
+    }
+    if (isArray()) {
+        return std::get<Array>(store).size();
+    }
+    return 0;
+}
+
+namespace
+{
+
+void
+writeIndent(std::ostream &os, int indent, int depth)
+{
+    if (indent > 0) {
+        os << '\n' << std::string(std::size_t(indent) * depth, ' ');
+    }
+}
+
+} // namespace
+
+void
+JsonValue::writeAtDepth(std::ostream &os, int indent, int depth) const
+{
+    if (std::holds_alternative<std::nullptr_t>(store)) {
+        os << "null";
+    } else if (const auto *boolean = std::get_if<bool>(&store)) {
+        os << (*boolean ? "true" : "false");
+    } else if (const auto *signed_number = std::get_if<i64>(&store)) {
+        os << *signed_number;
+    } else if (const auto *unsigned_number = std::get_if<u64>(&store)) {
+        os << *unsigned_number;
+    } else if (const auto *real = std::get_if<double>(&store)) {
+        os << jsonFormatDouble(*real);
+    } else if (const auto *text = std::get_if<std::string>(&store)) {
+        os << '"' << jsonEscape(*text) << '"';
+    } else if (const auto *elements = std::get_if<Array>(&store)) {
+        if (elements->empty()) {
+            os << "[]";
+            return;
+        }
+        os << '[';
+        bool first = true;
+        for (const JsonValue &element : *elements) {
+            if (!first) {
+                os << ',';
+            }
+            first = false;
+            writeIndent(os, indent, depth + 1);
+            element.writeAtDepth(os, indent, depth + 1);
+        }
+        writeIndent(os, indent, depth);
+        os << ']';
+    } else {
+        const auto &members = std::get<Object>(store);
+        if (members.empty()) {
+            os << "{}";
+            return;
+        }
+        os << '{';
+        bool first = true;
+        for (const auto &[name, value] : members) {
+            if (!first) {
+                os << ',';
+            }
+            first = false;
+            writeIndent(os, indent, depth + 1);
+            os << '"' << jsonEscape(name) << "\":";
+            if (indent > 0) {
+                os << ' ';
+            }
+            value.writeAtDepth(os, indent, depth + 1);
+        }
+        writeIndent(os, indent, depth);
+        os << '}';
+    }
+}
+
+void
+JsonValue::write(std::ostream &os, int indent) const
+{
+    writeAtDepth(os, indent, 0);
+}
+
+std::string
+JsonValue::dump(int indent) const
+{
+    std::ostringstream os;
+    write(os, indent);
+    return os.str();
+}
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string escaped;
+    escaped.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+          case '"':
+            escaped += "\\\"";
+            break;
+          case '\\':
+            escaped += "\\\\";
+            break;
+          case '\n':
+            escaped += "\\n";
+            break;
+          case '\r':
+            escaped += "\\r";
+            break;
+          case '\t':
+            escaped += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buffer[8];
+                std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                escaped += buffer;
+            } else {
+                escaped += c;
+            }
+        }
+    }
+    return escaped;
+}
+
+std::string
+jsonFormatDouble(double value)
+{
+    if (!std::isfinite(value)) {
+        return "null";
+    }
+    char buffer[40];
+    for (int precision = 1; precision <= 17; ++precision) {
+        std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
+        if (std::strtod(buffer, nullptr) == value) {
+            break;
+        }
+    }
+    return buffer;
+}
+
+} // namespace bpred

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * A minimal JSON document builder.
+ *
+ * Telemetry (stat registries, simulation results, bench tables) is
+ * serialized through this one module so every machine-readable
+ * artifact the project emits has identical formatting: ordered
+ * object keys, shortest round-trippable doubles, and NaN/Inf mapped
+ * to null (JSON has no literals for them). No parser — the project
+ * only ever writes JSON.
+ */
+
+#ifndef BPRED_SUPPORT_JSON_HH
+#define BPRED_SUPPORT_JSON_HH
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace bpred
+{
+
+/**
+ * A JSON document node: null, bool, integer, double, string, array
+ * or object. Objects preserve insertion order so emitted documents
+ * are deterministic and diffable run-to-run.
+ */
+class JsonValue
+{
+  public:
+    /** Constructs null. */
+    JsonValue() = default;
+
+    JsonValue(bool boolean) : store(boolean) {}
+    JsonValue(int number) : store(static_cast<i64>(number)) {}
+    JsonValue(unsigned number) : store(static_cast<u64>(number)) {}
+    JsonValue(i64 number) : store(number) {}
+    JsonValue(u64 number) : store(number) {}
+    JsonValue(double number) : store(number) {}
+    JsonValue(const char *text) : store(std::string(text)) {}
+    JsonValue(std::string text) : store(std::move(text)) {}
+
+    /** An empty JSON object. */
+    static JsonValue object();
+
+    /** An empty JSON array. */
+    static JsonValue array();
+
+    bool isNull() const;
+    bool isObject() const;
+    bool isArray() const;
+
+    /**
+     * Member access on an object: returns the value under @p key,
+     * inserting a null member if absent. A null node silently
+     * becomes an object; any other kind panics (internal misuse).
+     */
+    JsonValue &operator[](const std::string &key);
+
+    /** Member lookup on an object; nullptr when absent. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Element lookup on an array; nullptr when out of range. */
+    const JsonValue *at(std::size_t index) const;
+
+    /**
+     * Array append. A null node silently becomes an array; any
+     * other kind panics.
+     */
+    void push(JsonValue element);
+
+    /** Number of members (object) or elements (array), else 0. */
+    std::size_t size() const;
+
+    /**
+     * Render to @p os. @p indent is the number of spaces per
+     * nesting level; 0 renders compact (no whitespace at all).
+     */
+    void write(std::ostream &os, int indent = 0) const;
+
+    /** write() into a string. */
+    std::string dump(int indent = 0) const;
+
+  private:
+    using Array = std::vector<JsonValue>;
+    using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+    void writeAtDepth(std::ostream &os, int indent, int depth) const;
+
+    std::variant<std::nullptr_t, bool, i64, u64, double,
+                 std::string, Array, Object> store = nullptr;
+};
+
+/** Escape @p text for inclusion in a double-quoted JSON string. */
+std::string jsonEscape(const std::string &text);
+
+/**
+ * Format @p value with the fewest digits that parse back exactly;
+ * NaN and infinities render as "null".
+ */
+std::string jsonFormatDouble(double value);
+
+} // namespace bpred
+
+#endif // BPRED_SUPPORT_JSON_HH

@@ -40,10 +40,12 @@ inform(const std::string &message)
     }
 }
 
-void
+bool
 setQuiet(bool quiet)
 {
+    const bool previous = quietMode;
     quietMode = quiet;
+    return previous;
 }
 
 } // namespace bpred

@@ -37,8 +37,29 @@ void warn(const std::string &message);
 /** Print an informational message to stderr. */
 void inform(const std::string &message);
 
-/** Suppress / restore warn() and inform() output (for tests). */
-void setQuiet(bool quiet);
+/**
+ * Suppress / restore warn() and inform() output (for tests).
+ * Returns the previous quiet state so callers can restore it.
+ */
+bool setQuiet(bool quiet);
+
+/**
+ * RAII guard around setQuiet(): sets the quiet state for the
+ * enclosing scope and restores the previous state on destruction,
+ * so tests cannot leak quiet mode across cases.
+ */
+class QuietScope
+{
+  public:
+    explicit QuietScope(bool quiet = true) : previous(setQuiet(quiet)) {}
+    ~QuietScope() { setQuiet(previous); }
+
+    QuietScope(const QuietScope &) = delete;
+    QuietScope &operator=(const QuietScope &) = delete;
+
+  private:
+    bool previous;
+};
 
 } // namespace bpred
 

@@ -1,0 +1,67 @@
+#include "support/probe.hh"
+
+namespace bpred
+{
+
+CountingProbe::BankStats &
+CountingProbe::bank(unsigned index)
+{
+    if (index >= banks.size()) {
+        banks.resize(index + 1);
+    }
+    BankStats &cached = banks[index];
+    if (!cached.disagree) {
+        const std::string prefix = "bank" + std::to_string(index);
+        cached.disagree = &stats.ratio(prefix + ".disagree");
+        cached.correct = &stats.ratio(prefix + ".correct");
+        cached.skipsPartial = &stats.counter(prefix + ".skips.partial");
+        cached.skipsLazy = &stats.counter(prefix + ".skips.lazy");
+        cached.writes = &stats.counter(prefix + ".writes");
+        cached.transitions = &stats.histogram(prefix + ".transitions");
+    }
+    return cached;
+}
+
+void
+CountingProbe::onResolved(const ResolvedEvent &event)
+{
+    stats.ratio("resolved.mispredict")
+        .sample(event.predicted != event.taken);
+}
+
+void
+CountingProbe::onBankVote(const BankVoteEvent &event)
+{
+    BankStats &cached = bank(event.bank);
+    cached.disagree->sample(event.vote != event.majority);
+    cached.correct->sample(event.vote == event.taken);
+}
+
+void
+CountingProbe::onUpdateSkip(const UpdateSkipEvent &event)
+{
+    BankStats &cached = bank(event.bank);
+    if (event.reason == UpdateSkipEvent::Reason::PartialProtect) {
+        ++*cached.skipsPartial;
+    } else {
+        ++*cached.skipsLazy;
+    }
+}
+
+void
+CountingProbe::onCounterWrite(const CounterWriteEvent &event)
+{
+    BankStats &cached = bank(event.bank);
+    ++*cached.writes;
+    cached.transitions->sample(u64(event.before) * 256 + event.after);
+}
+
+void
+CountingProbe::onChoice(const ChoiceEvent &event)
+{
+    stats.ratio("chooser.first").sample(event.choseFirst);
+    stats.ratio("chooser.disagree").sample(event.componentsDisagreed);
+    stats.ratio("chooser.correct").sample(event.choiceCorrect);
+}
+
+} // namespace bpred

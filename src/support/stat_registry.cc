@@ -1,0 +1,170 @@
+#include "support/stat_registry.hh"
+
+#include "support/logging.hh"
+
+namespace bpred
+{
+
+namespace
+{
+
+const char *
+kindOf(const StatRegistry::Stat &stat)
+{
+    switch (stat.index()) {
+      case 0:
+        return "counter";
+      case 1:
+        return "ratio";
+      case 2:
+        return "running";
+      default:
+        return "histogram";
+    }
+}
+
+JsonValue
+statToJson(const StatRegistry::Stat &stat)
+{
+    if (const auto *count = std::get_if<u64>(&stat)) {
+        return JsonValue(*count);
+    }
+    if (const auto *ratio = std::get_if<RatioStat>(&stat)) {
+        JsonValue node = JsonValue::object();
+        node["events"] = ratio->events();
+        node["total"] = ratio->total();
+        node["ratio"] = ratio->ratio();
+        return node;
+    }
+    if (const auto *running = std::get_if<RunningStat>(&stat)) {
+        JsonValue node = JsonValue::object();
+        node["count"] = running->count();
+        node["mean"] = running->mean();
+        node["stddev"] = running->stddev();
+        node["min"] = running->min();
+        node["max"] = running->max();
+        return node;
+    }
+    const auto &histogram = std::get<Histogram>(stat);
+    JsonValue node = JsonValue::object();
+    node["total"] = histogram.total();
+    node["mean"] = histogram.mean();
+    JsonValue keys = JsonValue::array();
+    for (const auto &[key, count] : histogram.sorted()) {
+        JsonValue pair = JsonValue::array();
+        pair.push(key);
+        pair.push(count);
+        keys.push(std::move(pair));
+    }
+    node["counts"] = std::move(keys);
+    return node;
+}
+
+} // namespace
+
+void
+StatRegistry::checkName(const std::string &name) const
+{
+    if (name.empty() || name.front() == '.' || name.back() == '.' ||
+        name.find("..") != std::string::npos) {
+        fatal("stat registry: malformed stat name '" + name + "'");
+    }
+    // A new leaf may not sit under an existing leaf ("a.b" after
+    // "a")...
+    for (std::size_t dot = name.find('.'); dot != std::string::npos;
+         dot = name.find('.', dot + 1)) {
+        const std::string prefix = name.substr(0, dot);
+        if (stats.count(prefix)) {
+            fatal("stat registry: '" + name + "' collides with " +
+                  kindOf(stats.at(prefix)) + " '" + prefix + "'");
+        }
+    }
+    // ...nor may it name an existing group ("a" after "a.b").
+    const std::string as_group = name + ".";
+    const auto child = stats.lower_bound(as_group);
+    if (child != stats.end() &&
+        child->first.compare(0, as_group.size(), as_group) == 0) {
+        fatal("stat registry: '" + name +
+              "' collides with group member '" + child->first + "'");
+    }
+}
+
+template <typename T>
+T &
+StatRegistry::fetch(const std::string &name, const char *kind_name)
+{
+    auto it = stats.find(name);
+    if (it == stats.end()) {
+        checkName(name);
+        it = stats.emplace(name, Stat(std::in_place_type<T>)).first;
+    } else if (!std::holds_alternative<T>(it->second)) {
+        fatal("stat registry: '" + name + "' already registered as " +
+              kindOf(it->second) + ", requested as " + kind_name);
+    }
+    return std::get<T>(it->second);
+}
+
+u64 &
+StatRegistry::counter(const std::string &name)
+{
+    return fetch<u64>(name, "counter");
+}
+
+RatioStat &
+StatRegistry::ratio(const std::string &name)
+{
+    return fetch<RatioStat>(name, "ratio");
+}
+
+RunningStat &
+StatRegistry::running(const std::string &name)
+{
+    return fetch<RunningStat>(name, "running");
+}
+
+Histogram &
+StatRegistry::histogram(const std::string &name)
+{
+    return fetch<Histogram>(name, "histogram");
+}
+
+bool
+StatRegistry::contains(const std::string &name) const
+{
+    return stats.count(name) != 0;
+}
+
+void
+StatRegistry::reset()
+{
+    for (auto &[name, stat] : stats) {
+        if (auto *count = std::get_if<u64>(&stat)) {
+            *count = 0;
+        } else if (auto *ratio = std::get_if<RatioStat>(&stat)) {
+            ratio->reset();
+        } else if (auto *running = std::get_if<RunningStat>(&stat)) {
+            running->reset();
+        } else {
+            std::get<Histogram>(stat).reset();
+        }
+    }
+}
+
+JsonValue
+StatRegistry::toJson() const
+{
+    JsonValue root = JsonValue::object();
+    for (const auto &[name, stat] : stats) {
+        JsonValue *node = &root;
+        std::size_t start = 0;
+        for (std::size_t dot = name.find('.'); dot != std::string::npos;
+             dot = name.find('.', start)) {
+            node = &(*node)[name.substr(start, dot - start)];
+            start = dot + 1;
+        }
+        (*node)[name.substr(start)] = statToJson(stat);
+    }
+    return root;
+}
+
+} // namespace bpred

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * A registry of named, hierarchically grouped statistics.
+ *
+ * Simulation components register counters, ratios, running stats
+ * and histograms under dot-separated names ("bank0.disagree",
+ * "chooser.first"); the registry serializes the whole collection as
+ * nested JSON. This is the aggregation point for probe-driven
+ * telemetry (see support/probe.hh) and for any component that wants
+ * its internal event counts in machine-readable results.
+ *
+ * Naming scheme: lowercase, '.'-separated segments; a segment
+ * either names a leaf stat or a group, never both ("bank0" cannot
+ * be a counter if "bank0.disagree" exists — enforced with fatal()).
+ */
+
+#ifndef BPRED_SUPPORT_STAT_REGISTRY_HH
+#define BPRED_SUPPORT_STAT_REGISTRY_HH
+
+#include <map>
+#include <string>
+#include <variant>
+
+#include "support/json.hh"
+#include "support/stats.hh"
+
+namespace bpred
+{
+
+/**
+ * Named statistics, created on first access and serializable as
+ * nested JSON.
+ *
+ * References returned by counter()/ratio()/running()/histogram()
+ * stay valid for the registry's lifetime (node-based storage), so
+ * hot paths can cache them and skip the name lookup.
+ */
+class StatRegistry
+{
+  public:
+    /** One registered stat: a plain count or one of the stats.hh types. */
+    using Stat = std::variant<u64, RatioStat, RunningStat, Histogram>;
+
+    /**
+     * The plain counter registered under @p name, created at zero
+     * on first access. fatal() if @p name is registered as another
+     * kind or collides with a group.
+     */
+    u64 &counter(const std::string &name);
+
+    /** As counter(), for a RatioStat. */
+    RatioStat &ratio(const std::string &name);
+
+    /** As counter(), for a RunningStat. */
+    RunningStat &running(const std::string &name);
+
+    /** As counter(), for a Histogram. */
+    Histogram &histogram(const std::string &name);
+
+    /** True if a stat is registered under @p name. */
+    bool contains(const std::string &name) const;
+
+    /** Number of registered stats. */
+    std::size_t size() const { return stats.size(); }
+
+    /** True if nothing is registered. */
+    bool empty() const { return stats.empty(); }
+
+    /** Reset every stat to its empty state (names stay registered). */
+    void reset();
+
+    /** All stats in name order (for iteration in tests/reports). */
+    const std::map<std::string, Stat> &entries() const { return stats; }
+
+    /**
+     * The registry as nested JSON: dot-separated names become
+     * nested objects, counters become numbers, ratios/running
+     * stats/histograms become summary objects.
+     */
+    JsonValue toJson() const;
+
+  private:
+    template <typename T>
+    T &fetch(const std::string &name, const char *kind_name);
+
+    void checkName(const std::string &name) const;
+
+    std::map<std::string, Stat> stats;
+};
+
+} // namespace bpred
+
+#endif // BPRED_SUPPORT_STAT_REGISTRY_HH

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "support/bitops.hh"
+#include "support/logging.hh"
 
 namespace bpred
 {
@@ -76,7 +77,10 @@ Histogram::mean() const
 u64
 Histogram::percentile(double fraction) const
 {
-    assert(fraction > 0.0 && fraction <= 1.0);
+    if (!(fraction > 0.0 && fraction <= 1.0)) {
+        fatal("Histogram::percentile: fraction " +
+              std::to_string(fraction) + " outside (0, 1]");
+    }
     if (total_ == 0) {
         return 0;
     }

@@ -156,7 +156,7 @@ class Histogram
 
     /**
      * Smallest key k such that at least @p fraction of the samples
-     * have key <= k. @p fraction in (0, 1].
+     * have key <= k. fatal() unless @p fraction is in (0, 1].
      */
     u64 percentile(double fraction) const;
 

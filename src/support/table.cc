@@ -29,32 +29,50 @@ TextTable::cell(const std::string &text)
     if (rows.empty()) {
         panic("TextTable::cell called before row()");
     }
-    rows.back().push_back(text);
+    rows.back().push_back({text, JsonValue(text)});
     return *this;
 }
 
 TextTable &
 TextTable::cell(u64 value)
 {
-    return cell(std::to_string(value));
+    if (rows.empty()) {
+        panic("TextTable::cell called before row()");
+    }
+    rows.back().push_back({std::to_string(value), JsonValue(value)});
+    return *this;
 }
 
 TextTable &
 TextTable::cell(i64 value)
 {
-    return cell(std::to_string(value));
+    if (rows.empty()) {
+        panic("TextTable::cell called before row()");
+    }
+    rows.back().push_back({std::to_string(value), JsonValue(value)});
+    return *this;
 }
 
 TextTable &
 TextTable::cell(double value, int precision)
 {
-    return cell(formatDouble(value, precision));
+    if (rows.empty()) {
+        panic("TextTable::cell called before row()");
+    }
+    rows.back().push_back(
+        {formatDouble(value, precision), JsonValue(value)});
+    return *this;
 }
 
 TextTable &
 TextTable::percentCell(double percent_value, int precision)
 {
-    return cell(formatDouble(percent_value, precision) + " %");
+    if (rows.empty()) {
+        panic("TextTable::cell called before row()");
+    }
+    rows.back().push_back({formatDouble(percent_value, precision) + " %",
+                           JsonValue(percent_value)});
+    return *this;
 }
 
 void
@@ -66,17 +84,12 @@ TextTable::print(std::ostream &os) const
     }
     for (const auto &r : rows) {
         for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c) {
-            widths[c] = std::max(widths[c], r[c].size());
+            widths[c] = std::max(widths[c], r[c].text.size());
         }
     }
 
-    auto print_row = [&](const std::vector<std::string> &cells) {
-        os << "| ";
-        for (std::size_t c = 0; c < widths.size(); ++c) {
-            const std::string &text = c < cells.size() ? cells[c] : "";
-            os << std::setw(static_cast<int>(widths[c])) << text;
-            os << (c + 1 < widths.size() ? " | " : " |\n");
-        }
+    auto cell_text = [](const std::vector<Cell> &cells, std::size_t c) {
+        return c < cells.size() ? cells[c].text : std::string();
     };
 
     auto print_rule = [&]() {
@@ -87,11 +100,19 @@ TextTable::print(std::ostream &os) const
         os << "\n";
     };
 
+    auto print_cells = [&](auto &&text_of) {
+        os << "| ";
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            os << std::setw(static_cast<int>(widths[c])) << text_of(c);
+            os << (c + 1 < widths.size() ? " | " : " |\n");
+        }
+    };
+
     print_rule();
-    print_row(header);
+    print_cells([&](std::size_t c) { return header[c]; });
     print_rule();
     for (const auto &r : rows) {
-        print_row(r);
+        print_cells([&](std::size_t c) { return cell_text(r, c); });
     }
     print_rule();
 }
@@ -99,16 +120,37 @@ TextTable::print(std::ostream &os) const
 void
 TextTable::printCsv(std::ostream &os) const
 {
-    auto print_row = [&](const std::vector<std::string> &cells) {
-        for (std::size_t c = 0; c < cells.size(); ++c) {
-            os << cells[c] << (c + 1 < cells.size() ? "," : "");
+    for (std::size_t c = 0; c < header.size(); ++c) {
+        os << header[c] << (c + 1 < header.size() ? "," : "");
+    }
+    os << "\n";
+    for (const auto &r : rows) {
+        for (std::size_t c = 0; c < r.size(); ++c) {
+            os << r[c].text << (c + 1 < r.size() ? "," : "");
         }
         os << "\n";
-    };
-    print_row(header);
-    for (const auto &r : rows) {
-        print_row(r);
     }
+}
+
+JsonValue
+TextTable::toJson() const
+{
+    JsonValue table = JsonValue::object();
+    JsonValue columns = JsonValue::array();
+    for (const std::string &name : header) {
+        columns.push(name);
+    }
+    table["columns"] = std::move(columns);
+    JsonValue json_rows = JsonValue::array();
+    for (const auto &r : rows) {
+        JsonValue json_row = JsonValue::object();
+        for (std::size_t c = 0; c < r.size() && c < header.size(); ++c) {
+            json_row[header[c]] = r[c].json;
+        }
+        json_rows.push(std::move(json_row));
+    }
+    table["rows"] = std::move(json_rows);
+    return table;
 }
 
 std::string

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "support/json.hh"
 #include "support/types.hh"
 
 namespace bpred
@@ -57,9 +58,25 @@ class TextTable
     /** Render as comma-separated values to @p os. */
     void printCsv(std::ostream &os) const;
 
+    /**
+     * The table as JSON: {"columns": [...], "rows": [{...}, ...]}
+     * with each row an object keyed by column header. Cells keep
+     * the type they were added with (numeric cells stay numbers;
+     * percentCell() records the numeric percentage). Cells beyond
+     * the header count are dropped.
+     */
+    JsonValue toJson() const;
+
   private:
+    /** A cell: the rendered text plus its typed JSON value. */
+    struct Cell
+    {
+        std::string text;
+        JsonValue json;
+    };
+
     std::vector<std::string> header;
-    std::vector<std::vector<std::string>> rows;
+    std::vector<std::vector<Cell>> rows;
 };
 
 /** Format @p value as a fixed-precision string. */

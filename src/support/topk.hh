@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Bounded heavy-hitter counting (the space-saving algorithm,
+ * Metwally et al. 2005).
+ *
+ * The simulation driver attributes mispredictions to branch sites;
+ * a trace can touch hundreds of thousands of distinct PCs, so an
+ * exact per-site map would dwarf the predictor under study. A
+ * TopKCounter keeps a fixed number of slots: a key already tracked
+ * increments its slot; a new key evicts the smallest slot and
+ * inherits its count as an overcount bound. Any key whose true
+ * count exceeds total/capacity is guaranteed to be present.
+ */
+
+#ifndef BPRED_SUPPORT_TOPK_HH
+#define BPRED_SUPPORT_TOPK_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace bpred
+{
+
+/** Fixed-capacity approximate top-K counter over u64 keys. */
+class TopKCounter
+{
+  public:
+    /** @param capacity Number of tracked keys; must be positive. */
+    explicit TopKCounter(std::size_t capacity);
+
+    /** Record @p weight occurrences of @p key. */
+    void add(u64 key, u64 weight = 1);
+
+    /** One tracked key with its count estimate. */
+    struct Item
+    {
+        u64 key;
+
+        /** Estimated count; never underestimates the true count. */
+        u64 count;
+
+        /**
+         * Upper bound on the estimate's excess: the true count is
+         * at least count - overcount. Zero for keys tracked since
+         * their first occurrence.
+         */
+        u64 overcount;
+    };
+
+    /** Tracked keys, highest estimated count first. */
+    std::vector<Item> items() const;
+
+    /** Number of tracked keys. */
+    std::size_t size() const { return slots.size(); }
+
+    /** Slot capacity. */
+    std::size_t capacity() const { return capacity_; }
+
+    /** Total weight added so far. */
+    u64 totalAdded() const { return total; }
+
+    /** Clear to empty. */
+    void reset();
+
+  private:
+    struct Slot
+    {
+        u64 count;
+        u64 overcount;
+    };
+
+    std::size_t capacity_;
+    u64 total = 0;
+    std::unordered_map<u64, Slot> slots;
+};
+
+} // namespace bpred
+
+#endif // BPRED_SUPPORT_TOPK_HH

@@ -110,6 +110,113 @@ TEST(Driver, EmptyTrace)
     EXPECT_DOUBLE_EQ(result.mispredictRatio(), 0.0);
 }
 
+TEST(Driver, WindowedSeriesSumsToTotals)
+{
+    BimodalPredictor predictor(8);
+    SimOptions options;
+    options.windowSize = 64;
+    const SimResult result =
+        simulateWithOptions(predictor, simpleTrace(), options);
+
+    EXPECT_EQ(result.windowSize, 64u);
+    // 200 conditionals at 64 per window: 3 full + 1 trailing
+    // partial window of 8.
+    ASSERT_EQ(result.windows.size(), 4u);
+    u64 branches = 0;
+    u64 mispredicts = 0;
+    for (const WindowSample &window : result.windows) {
+        branches += window.branches;
+        mispredicts += window.mispredicts;
+    }
+    EXPECT_EQ(branches, result.conditionals);
+    EXPECT_EQ(mispredicts, result.mispredicts);
+    EXPECT_EQ(result.windows[0].branches, 64u);
+    EXPECT_EQ(result.windows[3].branches, 8u);
+}
+
+TEST(Driver, WindowRatioDecaysAsPredictorWarms)
+{
+    // All cold-start mispredictions land in the first window.
+    BimodalPredictor predictor(8);
+    SimOptions options;
+    options.windowSize = 50;
+    const SimResult result =
+        simulateWithOptions(predictor, simpleTrace(), options);
+    ASSERT_GE(result.windows.size(), 2u);
+    EXPECT_GT(result.windows[0].mispredicts, 0u);
+    EXPECT_EQ(result.windows.back().mispredicts, 0u);
+}
+
+TEST(Driver, TopSitesAttributeMispredictions)
+{
+    // 0x104 is always-not-taken: under an always-taken static
+    // predictor it is the only mispredicting site.
+    StaticPredictor predictor(true);
+    SimOptions options;
+    options.topSites = 4;
+    const SimResult result =
+        simulateWithOptions(predictor, simpleTrace(), options);
+
+    ASSERT_FALSE(result.topSites.empty());
+    EXPECT_EQ(result.topSites[0].pc, 0x104u);
+    EXPECT_EQ(result.topSites[0].mispredicts, result.mispredicts);
+    EXPECT_EQ(result.topSites[0].overcount, 0u);
+    // The always-correct site never enters the counter.
+    EXPECT_EQ(result.topSites.size(), 1u);
+}
+
+TEST(Driver, DefaultOptionsRecordNoTelemetry)
+{
+    BimodalPredictor predictor(8);
+    const SimResult result = simulate(predictor, simpleTrace());
+    EXPECT_EQ(result.windowSize, 0u);
+    EXPECT_TRUE(result.windows.empty());
+    EXPECT_TRUE(result.topSites.empty());
+}
+
+TEST(Driver, ResultToJson)
+{
+    StaticPredictor predictor(true);
+    SimOptions options;
+    options.windowSize = 100;
+    options.topSites = 2;
+    const SimResult result =
+        simulateWithOptions(predictor, simpleTrace(), options);
+
+    const JsonValue json = result.toJson();
+    ASSERT_TRUE(json.isObject());
+    EXPECT_EQ(json.find("predictor")->dump(), "\"always-taken\"");
+    EXPECT_EQ(json.find("trace")->dump(), "\"drv\"");
+    EXPECT_EQ(json.find("conditionals")->dump(), "200");
+    EXPECT_EQ(json.find("mispredicts")->dump(), "100");
+    EXPECT_EQ(json.find("mispredict_ratio")->dump(), "0.5");
+    EXPECT_EQ(json.find("window_size")->dump(), "100");
+
+    const JsonValue *windows = json.find("windows");
+    ASSERT_NE(windows, nullptr);
+    EXPECT_EQ(windows->size(), 2u);
+    const JsonValue *first = windows->at(0);
+    ASSERT_NE(first, nullptr);
+    EXPECT_EQ(first->find("branches")->dump(), "100");
+    EXPECT_EQ(first->find("mispredicts")->dump(), "50");
+
+    const JsonValue *sites = json.find("top_sites");
+    ASSERT_NE(sites, nullptr);
+    ASSERT_EQ(sites->size(), 1u);
+    EXPECT_EQ(sites->at(0)->find("pc")->dump(), "\"0x104\"");
+    EXPECT_EQ(sites->at(0)->find("mispredicts")->dump(), "100");
+}
+
+TEST(Driver, ResultToJsonOmitsUnrequestedTelemetry)
+{
+    BimodalPredictor predictor(8);
+    const JsonValue json =
+        simulate(predictor, simpleTrace()).toJson();
+    EXPECT_EQ(json.find("windows"), nullptr);
+    EXPECT_EQ(json.find("top_sites"), nullptr);
+    EXPECT_EQ(json.find("window_size"), nullptr);
+}
+
 TEST(Driver, StateCarriesAcrossCallsWithoutReset)
 {
     // Documented contract: simulate() does not reset the predictor.

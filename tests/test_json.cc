@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Unit tests for the JSON document builder: golden-string output,
+ * escaping, and number formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "support/json.hh"
+
+namespace bpred
+{
+namespace
+{
+
+TEST(JsonValue, Scalars)
+{
+    EXPECT_EQ(JsonValue().dump(), "null");
+    EXPECT_EQ(JsonValue(true).dump(), "true");
+    EXPECT_EQ(JsonValue(false).dump(), "false");
+    EXPECT_EQ(JsonValue(42).dump(), "42");
+    EXPECT_EQ(JsonValue(i64(-7)).dump(), "-7");
+    EXPECT_EQ(JsonValue(u64(18446744073709551615ull)).dump(),
+              "18446744073709551615");
+    EXPECT_EQ(JsonValue("text").dump(), "\"text\"");
+}
+
+TEST(JsonValue, EmptyContainers)
+{
+    EXPECT_EQ(JsonValue::object().dump(), "{}");
+    EXPECT_EQ(JsonValue::array().dump(), "[]");
+    EXPECT_EQ(JsonValue::object().dump(2), "{}");
+    EXPECT_EQ(JsonValue::array().dump(2), "[]");
+}
+
+TEST(JsonValue, CompactGolden)
+{
+    JsonValue root = JsonValue::object();
+    root["name"] = "gshare";
+    root["bits"] = u64(32768);
+    root["ratio"] = 0.5;
+    JsonValue series = JsonValue::array();
+    series.push(1);
+    series.push(2);
+    root["series"] = std::move(series);
+    EXPECT_EQ(root.dump(),
+              "{\"name\":\"gshare\",\"bits\":32768,"
+              "\"ratio\":0.5,\"series\":[1,2]}");
+}
+
+TEST(JsonValue, PrettyGolden)
+{
+    JsonValue root = JsonValue::object();
+    root["a"] = 1;
+    JsonValue inner = JsonValue::array();
+    inner.push("x");
+    root["b"] = std::move(inner);
+    EXPECT_EQ(root.dump(2),
+              "{\n"
+              "  \"a\": 1,\n"
+              "  \"b\": [\n"
+              "    \"x\"\n"
+              "  ]\n"
+              "}");
+}
+
+TEST(JsonValue, ObjectPreservesInsertionOrder)
+{
+    JsonValue root = JsonValue::object();
+    root["zebra"] = 1;
+    root["apple"] = 2;
+    EXPECT_EQ(root.dump(), "{\"zebra\":1,\"apple\":2}");
+}
+
+TEST(JsonValue, MemberAccessUpdatesInPlace)
+{
+    JsonValue root = JsonValue::object();
+    root["key"] = 1;
+    root["key"] = 2;
+    EXPECT_EQ(root.size(), 1u);
+    EXPECT_EQ(root.dump(), "{\"key\":2}");
+}
+
+TEST(JsonValue, NullPromotesToContainers)
+{
+    JsonValue root;
+    root["auto"] = 1; // null -> object
+    EXPECT_TRUE(root.isObject());
+
+    JsonValue list;
+    list.push(1); // null -> array
+    EXPECT_TRUE(list.isArray());
+    EXPECT_EQ(list.size(), 1u);
+}
+
+TEST(JsonValue, Find)
+{
+    JsonValue root = JsonValue::object();
+    root["present"] = 5;
+    ASSERT_NE(root.find("present"), nullptr);
+    EXPECT_EQ(root.find("present")->dump(), "5");
+    EXPECT_EQ(root.find("absent"), nullptr);
+    EXPECT_EQ(JsonValue(3).find("x"), nullptr);
+}
+
+TEST(JsonEscape, SpecialCharacters)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("say \"hi\""), "say \\\"hi\\\"");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("line\nbreak"), "line\\nbreak");
+    EXPECT_EQ(jsonEscape("tab\there"), "tab\\there");
+    EXPECT_EQ(jsonEscape(std::string("nul\x01") + "x"),
+              "nul\\u0001x");
+}
+
+TEST(JsonFormatDouble, ShortestRoundTrip)
+{
+    EXPECT_EQ(jsonFormatDouble(0.0), "0");
+    EXPECT_EQ(jsonFormatDouble(0.5), "0.5");
+    EXPECT_EQ(jsonFormatDouble(0.1), "0.1");
+    EXPECT_EQ(jsonFormatDouble(-2.25), "-2.25");
+    EXPECT_EQ(jsonFormatDouble(1e100), "1e+100");
+}
+
+TEST(JsonFormatDouble, NonFiniteBecomesNull)
+{
+    EXPECT_EQ(jsonFormatDouble(std::nan("")), "null");
+    EXPECT_EQ(jsonFormatDouble(HUGE_VAL), "null");
+    EXPECT_EQ(jsonFormatDouble(-HUGE_VAL), "null");
+}
+
+TEST(JsonValue, WriteToStream)
+{
+    std::ostringstream os;
+    JsonValue root = JsonValue::object();
+    root["k"] = "v";
+    root.write(os);
+    EXPECT_EQ(os.str(), "{\"k\":\"v\"}");
+}
+
+} // namespace
+} // namespace bpred

@@ -35,10 +35,44 @@ TEST(FatalError, IsRuntimeError)
 
 TEST(WarnInform, DoNotThrow)
 {
-    setQuiet(true);
+    QuietScope quiet;
     EXPECT_NO_THROW(warn("w"));
     EXPECT_NO_THROW(inform("i"));
-    setQuiet(false);
+}
+
+TEST(SetQuiet, ReturnsPreviousState)
+{
+    const bool original = setQuiet(true);
+    EXPECT_TRUE(setQuiet(false));
+    EXPECT_FALSE(setQuiet(true));
+    setQuiet(original);
+}
+
+TEST(QuietScope, RestoresOnExit)
+{
+    const bool original = setQuiet(false);
+    {
+        QuietScope quiet;
+        // Probe the current state without disturbing it for long.
+        EXPECT_TRUE(setQuiet(true));
+    }
+    EXPECT_FALSE(setQuiet(false));
+    setQuiet(original);
+}
+
+TEST(QuietScope, Nests)
+{
+    const bool original = setQuiet(false);
+    {
+        QuietScope outer(true);
+        {
+            QuietScope inner(false);
+            EXPECT_FALSE(setQuiet(false));
+        }
+        EXPECT_TRUE(setQuiet(true));
+    }
+    EXPECT_FALSE(setQuiet(false));
+    setQuiet(original);
 }
 
 } // namespace

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Unit tests for the stat registry: name validation, kind and
+ * leaf-vs-group collisions, reference stability, and JSON shape.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/logging.hh"
+#include "support/stat_registry.hh"
+
+namespace bpred
+{
+namespace
+{
+
+TEST(StatRegistry, CounterCreatedAtZero)
+{
+    StatRegistry stats;
+    EXPECT_EQ(stats.counter("hits"), 0u);
+    stats.counter("hits") += 3;
+    EXPECT_EQ(stats.counter("hits"), 3u);
+    EXPECT_EQ(stats.size(), 1u);
+}
+
+TEST(StatRegistry, EachKindRegisters)
+{
+    StatRegistry stats;
+    stats.counter("a");
+    stats.ratio("b").sample(true);
+    stats.running("c").sample(1.0);
+    stats.histogram("d").sample(7);
+    EXPECT_EQ(stats.size(), 4u);
+    EXPECT_TRUE(stats.contains("a"));
+    EXPECT_TRUE(stats.contains("d"));
+    EXPECT_FALSE(stats.contains("e"));
+}
+
+TEST(StatRegistry, KindMismatchIsFatal)
+{
+    StatRegistry stats;
+    stats.counter("name");
+    EXPECT_THROW(stats.ratio("name"), FatalError);
+    EXPECT_THROW(stats.running("name"), FatalError);
+    EXPECT_THROW(stats.histogram("name"), FatalError);
+    // Same kind is fine.
+    EXPECT_NO_THROW(stats.counter("name"));
+}
+
+TEST(StatRegistry, LeafCannotBecomeGroup)
+{
+    StatRegistry stats;
+    stats.counter("bank0");
+    EXPECT_THROW(stats.counter("bank0.disagree"), FatalError);
+}
+
+TEST(StatRegistry, GroupCannotBecomeLeaf)
+{
+    StatRegistry stats;
+    stats.counter("bank0.disagree");
+    EXPECT_THROW(stats.counter("bank0"), FatalError);
+}
+
+TEST(StatRegistry, SiblingPrefixIsNotAGroupCollision)
+{
+    // "bank0" the leaf and "bank01.x" share a textual prefix but no
+    // group relationship.
+    StatRegistry stats;
+    stats.counter("bank0");
+    EXPECT_NO_THROW(stats.counter("bank01.x"));
+}
+
+TEST(StatRegistry, MalformedNamesAreFatal)
+{
+    StatRegistry stats;
+    EXPECT_THROW(stats.counter(""), FatalError);
+    EXPECT_THROW(stats.counter(".x"), FatalError);
+    EXPECT_THROW(stats.counter("x."), FatalError);
+    EXPECT_THROW(stats.counter("a..b"), FatalError);
+}
+
+TEST(StatRegistry, ReferencesStayValidAcrossInserts)
+{
+    StatRegistry stats;
+    u64 &first = stats.counter("first");
+    // Force rebalancing-ish churn; node-based storage must keep the
+    // reference valid.
+    for (int i = 0; i < 100; ++i) {
+        stats.counter("extra" + std::to_string(i)) = u64(i);
+    }
+    first = 42;
+    EXPECT_EQ(stats.counter("first"), 42u);
+}
+
+TEST(StatRegistry, ResetClearsValuesKeepsNames)
+{
+    StatRegistry stats;
+    stats.counter("c") = 9;
+    stats.ratio("r").sample(true);
+    stats.running("s").sample(2.0);
+    stats.histogram("h").sample(1);
+    stats.reset();
+    EXPECT_EQ(stats.size(), 4u);
+    EXPECT_EQ(stats.counter("c"), 0u);
+    EXPECT_EQ(stats.ratio("r").total(), 0u);
+    EXPECT_EQ(stats.running("s").count(), 0u);
+    EXPECT_EQ(stats.histogram("h").total(), 0u);
+}
+
+TEST(StatRegistry, ToJsonNestsDottedNames)
+{
+    StatRegistry stats;
+    stats.counter("bank0.writes") = 5;
+    stats.counter("bank1.writes") = 7;
+    stats.counter("top") = 1;
+
+    const JsonValue json = stats.toJson();
+    ASSERT_TRUE(json.isObject());
+    const JsonValue *bank0 = json.find("bank0");
+    ASSERT_NE(bank0, nullptr);
+    const JsonValue *writes = bank0->find("writes");
+    ASSERT_NE(writes, nullptr);
+    EXPECT_EQ(writes->dump(), "5");
+    ASSERT_NE(json.find("top"), nullptr);
+    EXPECT_EQ(json.find("top")->dump(), "1");
+}
+
+TEST(StatRegistry, ToJsonLeafShapes)
+{
+    StatRegistry stats;
+    stats.counter("count") = 2;
+    RatioStat &r = stats.ratio("ratio");
+    r.sample(true);
+    r.sample(false);
+    stats.running("run").sample(3.0);
+    stats.histogram("hist").sampleN(4, 2);
+
+    const JsonValue json = stats.toJson();
+    EXPECT_EQ(json.find("count")->dump(), "2");
+
+    const JsonValue *ratio = json.find("ratio");
+    ASSERT_NE(ratio, nullptr);
+    EXPECT_EQ(ratio->find("events")->dump(), "1");
+    EXPECT_EQ(ratio->find("total")->dump(), "2");
+    EXPECT_EQ(ratio->find("ratio")->dump(), "0.5");
+
+    const JsonValue *run = json.find("run");
+    ASSERT_NE(run, nullptr);
+    EXPECT_EQ(run->find("count")->dump(), "1");
+    EXPECT_EQ(run->find("mean")->dump(), "3");
+
+    const JsonValue *hist = json.find("hist");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_EQ(hist->find("total")->dump(), "2");
+    ASSERT_NE(hist->find("counts"), nullptr);
+    EXPECT_EQ(hist->find("counts")->dump(), "[[4,2]]");
+}
+
+TEST(StatRegistry, EmptyRegistryJson)
+{
+    StatRegistry stats;
+    EXPECT_TRUE(stats.empty());
+    EXPECT_EQ(stats.toJson().dump(), "{}");
+}
+
+} // namespace
+} // namespace bpred

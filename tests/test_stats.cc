@@ -7,6 +7,7 @@
 
 #include <cmath>
 
+#include "support/logging.hh"
 #include "support/stats.hh"
 
 namespace bpred
@@ -133,6 +134,17 @@ TEST(Histogram, Percentiles)
     EXPECT_EQ(histogram.percentile(0.9), 90u);
     EXPECT_EQ(histogram.percentile(1.0), 100u);
     EXPECT_EQ(histogram.percentile(0.01), 1u);
+}
+
+TEST(Histogram, PercentileRejectsOutOfRangeFraction)
+{
+    Histogram histogram;
+    histogram.sample(1);
+    EXPECT_THROW(histogram.percentile(0.0), FatalError);
+    EXPECT_THROW(histogram.percentile(-0.1), FatalError);
+    EXPECT_THROW(histogram.percentile(1.5), FatalError);
+    EXPECT_THROW(histogram.percentile(std::nan("")), FatalError);
+    EXPECT_EQ(histogram.percentile(1.0), 1u); // boundary is valid
 }
 
 TEST(Histogram, CumulativeFraction)

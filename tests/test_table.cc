@@ -115,5 +115,43 @@ TEST(TextTable, ShortRowRendersBlank)
     EXPECT_NE(os.str().find("1"), std::string::npos);
 }
 
+TEST(TextTable, ToJsonGolden)
+{
+    TextTable table({"name", "entries", "mispredict"});
+    table.row().cell("gshare").cell(u64(4096)).percentCell(4.25);
+    table.row().cell("e-gskew").cell(u64(12288)).percentCell(3.5);
+    EXPECT_EQ(table.toJson().dump(),
+              "{\"columns\":[\"name\",\"entries\",\"mispredict\"],"
+              "\"rows\":["
+              "{\"name\":\"gshare\",\"entries\":4096,"
+              "\"mispredict\":4.25},"
+              "{\"name\":\"e-gskew\",\"entries\":12288,"
+              "\"mispredict\":3.5}]}");
+}
+
+TEST(TextTable, ToJsonKeepsCellTypes)
+{
+    TextTable table({"s", "u", "i", "d"});
+    table.row().cell("x").cell(u64(7)).cell(i64(-3)).cell(1.5, 3);
+    const JsonValue json = table.toJson();
+    const JsonValue *row = json.find("rows")->at(0);
+    ASSERT_NE(row, nullptr);
+    EXPECT_EQ(row->find("s")->dump(), "\"x\"");
+    EXPECT_EQ(row->find("u")->dump(), "7");
+    EXPECT_EQ(row->find("i")->dump(), "-3");
+    EXPECT_EQ(row->find("d")->dump(), "1.5");
+}
+
+TEST(TextTable, ToJsonShortAndLongRows)
+{
+    TextTable table({"a", "b"});
+    table.row().cell(u64(1)); // short: "b" omitted
+    const JsonValue json = table.toJson();
+    const JsonValue *row = json.find("rows")->at(0);
+    ASSERT_NE(row, nullptr);
+    EXPECT_NE(row->find("a"), nullptr);
+    EXPECT_EQ(row->find("b"), nullptr);
+}
+
 } // namespace
 } // namespace bpred

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Unit tests for the bounded top-K (space-saving) counter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/logging.hh"
+#include "support/topk.hh"
+
+namespace bpred
+{
+namespace
+{
+
+TEST(TopKCounter, RejectsZeroCapacity)
+{
+    EXPECT_THROW(TopKCounter(0), FatalError);
+}
+
+TEST(TopKCounter, ExactUnderCapacity)
+{
+    TopKCounter topk(4);
+    topk.add(10);
+    topk.add(20);
+    topk.add(10);
+    topk.add(10, 2);
+
+    EXPECT_EQ(topk.size(), 2u);
+    EXPECT_EQ(topk.totalAdded(), 5u);
+
+    const auto items = topk.items();
+    ASSERT_EQ(items.size(), 2u);
+    EXPECT_EQ(items[0].key, 10u);
+    EXPECT_EQ(items[0].count, 4u);
+    EXPECT_EQ(items[0].overcount, 0u);
+    EXPECT_EQ(items[1].key, 20u);
+    EXPECT_EQ(items[1].count, 1u);
+    EXPECT_EQ(items[1].overcount, 0u);
+}
+
+TEST(TopKCounter, EvictionInheritsMinCount)
+{
+    TopKCounter topk(2);
+    topk.add(1, 5);
+    topk.add(2, 1);
+    // Capacity full; key 3 evicts the min slot (key 2, count 1) and
+    // inherits its count as overcount.
+    topk.add(3, 1);
+
+    EXPECT_EQ(topk.size(), 2u);
+    const auto items = topk.items();
+    EXPECT_EQ(items[0].key, 1u);
+    EXPECT_EQ(items[0].count, 5u);
+    EXPECT_EQ(items[1].key, 3u);
+    EXPECT_EQ(items[1].count, 2u); // min(1) + weight(1)
+    EXPECT_EQ(items[1].overcount, 1u);
+}
+
+TEST(TopKCounter, EstimateNeverUnderestimates)
+{
+    // The space-saving invariant: estimate >= true count, and
+    // estimate - overcount <= true count.
+    TopKCounter topk(3);
+    u64 true_count_of_7 = 0;
+    const u64 keys[] = {1, 2, 3, 4, 5, 7, 7, 6, 7, 8, 7, 7};
+    for (u64 key : keys) {
+        topk.add(key);
+        if (key == 7) {
+            ++true_count_of_7;
+        }
+    }
+    for (const auto &item : topk.items()) {
+        if (item.key == 7) {
+            EXPECT_GE(item.count, true_count_of_7);
+            EXPECT_LE(item.count - item.overcount, true_count_of_7);
+            return;
+        }
+    }
+    FAIL() << "heavy key 7 not tracked";
+}
+
+TEST(TopKCounter, HeavyHitterGuarantee)
+{
+    // Any key with true count > total / capacity must be present.
+    TopKCounter topk(4);
+    for (int round = 0; round < 100; ++round) {
+        topk.add(999);                       // the heavy hitter
+        topk.add(u64(1000 + round % 37));    // churn
+    }
+    bool found = false;
+    for (const auto &item : topk.items()) {
+        found = found || item.key == 999;
+    }
+    EXPECT_TRUE(found);
+    EXPECT_EQ(topk.totalAdded(), 200u);
+}
+
+TEST(TopKCounter, ItemsSortedByCountThenKey)
+{
+    TopKCounter topk(4);
+    topk.add(5, 2);
+    topk.add(3, 2);
+    topk.add(9, 7);
+    const auto items = topk.items();
+    ASSERT_EQ(items.size(), 3u);
+    EXPECT_EQ(items[0].key, 9u);
+    EXPECT_EQ(items[1].key, 3u); // tie on count: ascending key
+    EXPECT_EQ(items[2].key, 5u);
+}
+
+TEST(TopKCounter, Reset)
+{
+    TopKCounter topk(2);
+    topk.add(1);
+    topk.add(2);
+    topk.reset();
+    EXPECT_EQ(topk.size(), 0u);
+    EXPECT_EQ(topk.totalAdded(), 0u);
+    EXPECT_TRUE(topk.items().empty());
+    EXPECT_EQ(topk.capacity(), 2u);
+}
+
+} // namespace
+} // namespace bpred
