@@ -5,12 +5,19 @@
  *
  * The paper reports (without a figure) that 5 banks gain almost
  * nothing over 3, and that bank size beats bank count.
+ *
+ * All (trace x configuration) cells run on the SweepRunner thread
+ * pool; the ordered results keep output identical to the serial
+ * run at any `--threads` setting.
  */
 
 #include "bench_common.hh"
 
+#include <memory>
+
 #include "core/skewed_predictor.hh"
 #include "predictors/gshare.hh"
+#include "sim/parallel.hh"
 
 int
 main(int argc, char **argv)
@@ -24,21 +31,44 @@ main(int argc, char **argv)
            "1-bank (gshare) vs 3-bank vs 5-bank skewed at similar "
            "total entries, h=8, partial update.");
 
-    TextTable table({"benchmark", "gshare-12K*", "gskewed 3x4K",
-                     "gskewed 5x4K", "gskewed 3x8K"});
+    SweepRunner runner(sweepThreads());
     for (const Trace &trace : suite()) {
         // ~12K single bank: nearest power of two is 16K; note it.
-        GSharePredictor gshare(14, 8);
-        SkewedPredictor three(3, 12, 8, UpdatePolicy::Partial);
-        SkewedPredictor five(5, 12, 8, UpdatePolicy::Partial);
-        SkewedPredictor three_big(3, 13, 8, UpdatePolicy::Partial);
+        runner.enqueue(
+            [] { return std::make_unique<GSharePredictor>(14, 8); },
+            trace);
+        runner.enqueue(
+            [] {
+                return std::make_unique<SkewedPredictor>(
+                    3, 12, 8, UpdatePolicy::Partial);
+            },
+            trace);
+        runner.enqueue(
+            [] {
+                return std::make_unique<SkewedPredictor>(
+                    5, 12, 8, UpdatePolicy::Partial);
+            },
+            trace);
+        runner.enqueue(
+            [] {
+                return std::make_unique<SkewedPredictor>(
+                    3, 13, 8, UpdatePolicy::Partial);
+            },
+            trace);
+    }
+    const std::vector<SimResult> results = runner.run();
+
+    TextTable table({"benchmark", "gshare-12K*", "gskewed 3x4K",
+                     "gskewed 5x4K", "gskewed 3x8K"});
+    std::size_t cell = 0;
+    for (const Trace &trace : suite()) {
         table.row()
             .cell(trace.name())
-            .percentCell(simulate(gshare, trace).mispredictPercent())
-            .percentCell(simulate(three, trace).mispredictPercent())
-            .percentCell(simulate(five, trace).mispredictPercent())
-            .percentCell(
-                simulate(three_big, trace).mispredictPercent());
+            .percentCell(results[cell].mispredictPercent())
+            .percentCell(results[cell + 1].mispredictPercent())
+            .percentCell(results[cell + 2].mispredictPercent())
+            .percentCell(results[cell + 3].mispredictPercent());
+        cell += 4;
     }
     emitTable("summary", table);
     std::cout << "(* 16K gshare shown: the nearest one-bank "

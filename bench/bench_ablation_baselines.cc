@@ -3,9 +3,15 @@
  * Ablation A4: context for the paper's choice of gshare as the
  * reference single-bank scheme — the wider baseline field at
  * comparable storage (32 Kbit of counters).
+ *
+ * All (spec x trace) cells run on the SweepRunner thread pool via
+ * factory specs; the ordered results keep output identical to the
+ * serial run at any `--threads` setting.
  */
 
 #include "bench_common.hh"
+
+#include "sim/parallel.hh"
 
 int
 main(int argc, char **argv)
@@ -26,6 +32,14 @@ main(int argc, char **argv)
         "gskewed:3:12:10",  "egskew:12:10",
     };
 
+    SweepRunner runner(sweepThreads());
+    for (const std::string &spec : specs) {
+        for (const Trace &trace : suite()) {
+            runner.enqueue(spec, trace);
+        }
+    }
+    const std::vector<SimResult> results = runner.run();
+
     TextTable table([&] {
         std::vector<std::string> headers = {"predictor"};
         for (const Trace &trace : suite()) {
@@ -35,11 +49,12 @@ main(int argc, char **argv)
         return headers;
     }());
 
+    std::size_t cell = 0;
     for (const std::string &spec : specs) {
         table.row().cell(spec);
         double sum = 0.0;
-        for (const Trace &trace : suite()) {
-            const double pct = mispredictPercent(spec, trace);
+        for (std::size_t i = 0; i < suite().size(); ++i) {
+            const double pct = results[cell++].mispredictPercent();
             table.percentCell(pct);
             sum += pct;
         }

@@ -4,11 +4,19 @@
  * gshare table on our workloads — the empirical basis for the
  * paper's note that constructive aliasing is much rarer than
  * destructive (why the model's overestimate in Fig. 11 is small).
+ *
+ * Each trace's classification is an independent one-pass
+ * measurement, so the sweep runs on the parallelMap worker pool;
+ * ordered results keep output identical to the serial run at any
+ * `--threads` setting.
  */
 
 #include "bench_common.hh"
 
+#include <functional>
+
 #include "aliasing/interference.hh"
+#include "sim/parallel.hh"
 
 int
 main(int argc, char **argv)
@@ -22,13 +30,21 @@ main(int argc, char **argv)
            "Destructive vs harmless vs constructive aliasing in a "
            "4K-entry gshare table, h=8.");
 
+    std::vector<std::function<InterferenceResult()>> cells;
+    for (const Trace &trace : suite()) {
+        cells.push_back([&trace] {
+            return classifyInterference(
+                trace, IndexFunction{IndexKind::GShare, 12, 8});
+        });
+    }
+    const auto measured = parallelMap(cells, sweepThreads());
+
     TextTable table({"benchmark", "aliased %", "harmless %",
                      "destructive %", "constructive %",
                      "destr/constr"});
+    std::size_t cell = 0;
     for (const Trace &trace : suite()) {
-        IndexFunction function{IndexKind::GShare, 12, 8};
-        const InterferenceResult result =
-            classifyInterference(trace, function);
+        const InterferenceResult &result = measured[cell++];
         const double n =
             static_cast<double>(result.dynamicBranches);
         const double aliased = 100.0 *

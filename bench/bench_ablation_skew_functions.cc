@@ -7,12 +7,19 @@
  * index — pure triplication. If inter-bank hash independence is
  * the active ingredient, triplication should be clearly worse
  * (it triples storage without dispersing conflicts).
+ *
+ * All (trace x configuration) cells run on the SweepRunner thread
+ * pool; the ordered results keep output identical to the serial
+ * run at any `--threads` setting.
  */
 
 #include "bench_common.hh"
 
+#include <memory>
+
 #include "core/skewed_predictor.hh"
 #include "predictors/gshare.hh"
+#include "sim/parallel.hh"
 
 int
 main(int argc, char **argv)
@@ -26,27 +33,45 @@ main(int argc, char **argv)
            "gskewed-3x4K vs identical-index 3x4K (triplication) vs "
            "single 4K gshare, h=8, partial update.");
 
+    SkewedPredictor::Config skewedConfig;
+    skewedConfig.numBanks = 3;
+    skewedConfig.bankIndexBits = 12;
+    skewedConfig.historyBits = 8;
+    skewedConfig.updatePolicy = UpdatePolicy::Partial;
+
+    SkewedPredictor::Config identicalConfig = skewedConfig;
+    identicalConfig.indexing = BankIndexing::IdenticalGshare;
+
+    SweepRunner runner(sweepThreads());
+    for (const Trace &trace : suite()) {
+        runner.enqueue(
+            [skewedConfig] {
+                return std::make_unique<SkewedPredictor>(
+                    skewedConfig);
+            },
+            trace);
+        runner.enqueue(
+            [identicalConfig] {
+                return std::make_unique<SkewedPredictor>(
+                    identicalConfig);
+            },
+            trace);
+        runner.enqueue(
+            [] { return std::make_unique<GSharePredictor>(12, 8); },
+            trace);
+    }
+    const std::vector<SimResult> results = runner.run();
+
     TextTable table({"benchmark", "gskewed 3x4K",
                      "identical 3x4K", "gshare 4K"});
+    std::size_t cell = 0;
     for (const Trace &trace : suite()) {
-        SkewedPredictor::Config config;
-        config.numBanks = 3;
-        config.bankIndexBits = 12;
-        config.historyBits = 8;
-        config.updatePolicy = UpdatePolicy::Partial;
-
-        SkewedPredictor skewed(config);
-        config.indexing = BankIndexing::IdenticalGshare;
-        SkewedPredictor identical(config);
-        GSharePredictor gshare(12, 8);
-
         table.row()
             .cell(trace.name())
-            .percentCell(simulate(skewed, trace).mispredictPercent())
-            .percentCell(
-                simulate(identical, trace).mispredictPercent())
-            .percentCell(
-                simulate(gshare, trace).mispredictPercent());
+            .percentCell(results[cell].mispredictPercent())
+            .percentCell(results[cell + 1].mispredictPercent())
+            .percentCell(results[cell + 2].mispredictPercent());
+        cell += 3;
     }
     emitTable("summary", table);
 

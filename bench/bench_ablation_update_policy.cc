@@ -2,11 +2,18 @@
  * @file
  * Ablation A2 (§4.1/§5.1): partial vs total update across sizes
  * and history lengths.
+ *
+ * All (size x trace x policy) cells run on the SweepRunner thread
+ * pool; the ordered results keep output identical to the serial
+ * run at any `--threads` setting.
  */
 
 #include "bench_common.hh"
 
+#include <memory>
+
 #include "core/skewed_predictor.hh"
+#include "sim/parallel.hh"
 
 int
 main(int argc, char **argv)
@@ -20,19 +27,37 @@ main(int argc, char **argv)
            "gskewed partial vs total update across bank sizes "
            "(h=8) — partial should win consistently.");
 
-    for (const unsigned bits : {10u, 12u}) {
+    const std::vector<unsigned> bankBits = {10, 12};
+
+    SweepRunner runner(sweepThreads());
+    for (const unsigned bits : bankBits) {
+        for (const Trace &trace : suite()) {
+            runner.enqueue(
+                [bits] {
+                    return std::make_unique<SkewedPredictor>(
+                        3, bits, 8, UpdatePolicy::Partial);
+                },
+                trace);
+            runner.enqueue(
+                [bits] {
+                    return std::make_unique<SkewedPredictor>(
+                        3, bits, 8, UpdatePolicy::Total);
+                },
+                trace);
+        }
+    }
+    const std::vector<SimResult> results = runner.run();
+
+    std::size_t cell = 0;
+    for (const unsigned bits : bankBits) {
         std::cout << "\nBank size " << formatEntries(u64(1) << bits)
                   << " (3 banks):\n";
         TextTable table({"benchmark", "partial", "total",
                          "total/partial"});
         for (const Trace &trace : suite()) {
-            SkewedPredictor partial(3, bits, 8,
-                                    UpdatePolicy::Partial);
-            SkewedPredictor total(3, bits, 8, UpdatePolicy::Total);
-            const double p =
-                simulate(partial, trace).mispredictPercent();
-            const double t =
-                simulate(total, trace).mispredictPercent();
+            const double p = results[cell].mispredictPercent();
+            const double t = results[cell + 1].mispredictPercent();
+            cell += 2;
             table.row()
                 .cell(trace.name())
                 .percentCell(p)

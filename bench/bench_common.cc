@@ -1,10 +1,12 @@
 #include "bench_common.hh"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 
 #include "sim/factory.hh"
+#include "sim/parallel.hh"
 #include "support/json.hh"
 #include "support/logging.hh"
 #include "workloads/presets.hh"
@@ -15,11 +17,15 @@ namespace bpred::bench
 namespace
 {
 
+using Clock = std::chrono::steady_clock;
+
 /** Accumulated `--json` report state for this bench binary. */
 struct Report
 {
     std::string benchName = "bench";
     std::string jsonPath;
+    unsigned requestedThreads = 0;
+    Clock::time_point start = Clock::now();
     JsonValue sections = JsonValue::object();
 };
 
@@ -50,24 +56,57 @@ basenameOf(const std::string &path)
 
 } // namespace
 
+namespace
+{
+
+[[noreturn]] void
+usage(const std::string &offending)
+{
+    // CLI surface: report usage and exit instead of throwing
+    // through main() into std::terminate.
+    std::fprintf(stderr,
+                 "usage: %s [--json <path>] [--threads <n>] "
+                 "(got '%s')\n",
+                 report().benchName.c_str(), offending.c_str());
+    std::exit(2);
+}
+
+unsigned
+parseThreads(const std::string &value)
+{
+    try {
+        const unsigned long parsed = std::stoul(value);
+        if (parsed >= 1 && parsed <= 4096) {
+            return static_cast<unsigned>(parsed);
+        }
+    } catch (const std::exception &) {
+        // fall through to usage
+    }
+    usage("--threads " + value);
+}
+
+} // namespace
+
 void
 init(int argc, char **argv)
 {
     if (argc > 0) {
         report().benchName = basenameOf(argv[0]);
     }
+    report().start = Clock::now();
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--json" && i + 1 < argc) {
             report().jsonPath = argv[++i];
         } else if (arg.rfind("--json=", 0) == 0) {
             report().jsonPath = arg.substr(7);
+        } else if (arg == "--threads" && i + 1 < argc) {
+            report().requestedThreads = parseThreads(argv[++i]);
+        } else if (arg.rfind("--threads=", 0) == 0) {
+            report().requestedThreads =
+                parseThreads(arg.substr(10));
         } else {
-            // CLI surface: report usage and exit instead of
-            // throwing through main() into std::terminate.
-            std::fprintf(stderr, "usage: %s [--json <path>] (got '%s')\n",
-                         report().benchName.c_str(), arg.c_str());
-            std::exit(2);
+            usage(arg);
         }
     }
 }
@@ -76,6 +115,12 @@ bool
 jsonEnabled()
 {
     return !report().jsonPath.empty();
+}
+
+unsigned
+sweepThreads()
+{
+    return report().requestedThreads;
 }
 
 const std::vector<Trace> &
@@ -142,6 +187,11 @@ finish()
     JsonValue document = JsonValue::object();
     document["bench"] = report().benchName;
     document["trace_scale"] = effectiveTraceScale(defaultScale);
+    document["threads"] =
+        u64(resolveThreadCount(report().requestedThreads));
+    document["elapsed_seconds"] =
+        std::chrono::duration<double>(Clock::now() - report().start)
+            .count();
     document["sections"] = report().sections;
     std::ofstream out(report().jsonPath);
     if (!out) {

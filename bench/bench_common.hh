@@ -45,13 +45,21 @@ namespace bpred::bench
 constexpr double defaultScale = 1.0;
 
 /**
- * Parse bench command-line arguments (`--json <path>`); call first
- * in main(). fatal() on unknown arguments.
+ * Parse bench command-line arguments (`--json <path>`,
+ * `--threads <n>`); call first in main(). Prints usage and exits
+ * with status 2 on unknown arguments.
  */
 void init(int argc, char **argv);
 
 /** True when `--json` capture is active. */
 bool jsonEnabled();
+
+/**
+ * Worker threads requested via `--threads` (0 = none given; pass
+ * it to SweepRunner, which then falls back to BPRED_THREADS / the
+ * hardware concurrency).
+ */
+unsigned sweepThreads();
 
 /**
  * Load the six-benchmark suite once per binary.
@@ -91,6 +99,9 @@ void emitStats(const std::string &section, const std::string &name,
 
 /**
  * Write the JSON report to the `--json` path, if one was given.
+ * The report records the resolved worker-thread count and the
+ * bench's elapsed wall-clock seconds since init(), so a series of
+ * BENCH_*.json artifacts doubles as a perf trajectory.
  * Returns main()'s exit status.
  */
 int finish();

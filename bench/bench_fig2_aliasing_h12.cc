@@ -7,11 +7,19 @@
  * substream working set is several times larger, so capacity
  * aliasing persists to ~16K entries, and gselect degenerates (few
  * or no address bits survive in the index).
+ *
+ * Every (trace x size) cell is an independent one-pass measurement,
+ * so the sweep runs on the parallelMap worker pool; results come
+ * back in submission order, keeping output identical to the serial
+ * run at any `--threads` setting.
  */
 
 #include "bench_common.hh"
 
+#include <functional>
+
 #include "aliasing/three_c.hh"
+#include "sim/parallel.hh"
 
 int
 main(int argc, char **argv)
@@ -27,21 +35,31 @@ main(int argc, char **argv)
            "LRU.");
 
     constexpr unsigned historyBits = 12;
+    const std::vector<unsigned> sizeBits = {10, 12, 14, 16, 18};
 
+    std::vector<std::function<std::vector<ThreeCsResult>()>> cells;
+    for (const Trace &trace : suite()) {
+        for (const unsigned bits : sizeBits) {
+            cells.push_back([&trace, bits] {
+                return measureThreeCsMulti(
+                    trace,
+                    {{IndexKind::GShare, bits, historyBits},
+                     {IndexKind::GSelect, bits, historyBits}});
+            });
+        }
+    }
+    const auto measured = parallelMap(cells, sweepThreads());
+
+    std::size_t cell = 0;
     for (const Trace &trace : suite()) {
         std::cout << "\n[" << trace.name() << "]\n";
         TextTable table({"entries", "gshare DM", "gselect DM",
                          "FA-LRU", "conflict(gshare)",
                          "capacity", "compulsory"});
-        for (unsigned bits = 10; bits <= 18; bits += 2) {
-            const std::vector<IndexFunction> functions = {
-                {IndexKind::GShare, bits, historyBits},
-                {IndexKind::GSelect, bits, historyBits},
-            };
-            const auto results =
-                measureThreeCsMulti(trace, functions);
-            const ThreeCsResult &gshare = results[0];
-            const ThreeCsResult &gselect = results[1];
+        for (const unsigned bits : sizeBits) {
+            const ThreeCsResult &gshare = measured[cell][0];
+            const ThreeCsResult &gselect = measured[cell][1];
+            ++cell;
             table.row()
                 .cell(formatEntries(u64(1) << bits))
                 .percentCell(gshare.totalAliasing * 100.0)

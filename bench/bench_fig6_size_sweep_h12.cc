@@ -2,12 +2,19 @@
  * @file
  * Figure 6: misprediction percentage vs predictor size, 12-bit
  * history — gshare vs gskewed, 2-bit counters, partial update.
+ *
+ * All (trace x size x design) cells run on the SweepRunner thread
+ * pool; results come back in submission order, so the tables are
+ * identical to the serial run at any `--threads` setting.
  */
 
 #include "bench_common.hh"
 
+#include <memory>
+
 #include "core/skewed_predictor.hh"
 #include "predictors/gshare.hh"
+#include "sim/parallel.hh"
 
 int
 main(int argc, char **argv)
@@ -22,28 +29,49 @@ main(int argc, char **argv)
            "gskewed-3x(N/4) and gskewed-3xN.");
 
     constexpr unsigned historyBits = 12;
+    const std::vector<unsigned> sizeBits = {10, 12, 14, 16, 18};
 
+    SweepRunner runner(sweepThreads());
+    for (const Trace &trace : suite()) {
+        for (const unsigned bits : sizeBits) {
+            runner.enqueue(
+                [bits, historyBits] {
+                    return std::make_unique<GSharePredictor>(
+                        bits, historyBits);
+                },
+                trace);
+            runner.enqueue(
+                [bits, historyBits] {
+                    return std::make_unique<SkewedPredictor>(
+                        3, bits - 2, historyBits,
+                        UpdatePolicy::Partial);
+                },
+                trace);
+            runner.enqueue(
+                [bits, historyBits] {
+                    return std::make_unique<SkewedPredictor>(
+                        3, bits, historyBits,
+                        UpdatePolicy::Partial);
+                },
+                trace);
+        }
+    }
+    const std::vector<SimResult> results = runner.run();
+
+    std::size_t cell = 0;
     for (const Trace &trace : suite()) {
         std::cout << "\n[" << trace.name() << "]\n";
         TextTable table({"gshare entries", "gshare",
                          "gskewed 3x(N/4)", "gskewed 3xN",
                          "3xN total entries"});
-        for (unsigned bits = 10; bits <= 18; bits += 2) {
-            GSharePredictor gshare(bits, historyBits);
-            SkewedPredictor smaller(3, bits - 2, historyBits,
-                                    UpdatePolicy::Partial);
-            SkewedPredictor bigger(3, bits, historyBits,
-                                   UpdatePolicy::Partial);
-
+        for (const unsigned bits : sizeBits) {
             table.row()
                 .cell(formatEntries(u64(1) << bits))
-                .percentCell(
-                    simulate(gshare, trace).mispredictPercent())
-                .percentCell(
-                    simulate(smaller, trace).mispredictPercent())
-                .percentCell(
-                    simulate(bigger, trace).mispredictPercent())
+                .percentCell(results[cell].mispredictPercent())
+                .percentCell(results[cell + 1].mispredictPercent())
+                .percentCell(results[cell + 2].mispredictPercent())
                 .cell(formatEntries(3 * (u64(1) << bits)));
+            cell += 3;
         }
         emitTable(trace.name(), table);
     }

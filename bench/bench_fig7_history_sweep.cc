@@ -6,12 +6,20 @@
  * gskewed uses 25% less storage (24 Kbit vs 32 Kbit of counters)
  * yet the paper finds it outperforms gshare on every benchmark
  * except real_gcc.
+ *
+ * All (trace x history x design) cells run on the SweepRunner
+ * thread pool; results come back in submission order, so the
+ * tables are identical to the serial run at any `--threads`
+ * setting.
  */
 
 #include "bench_common.hh"
 
+#include <memory>
+
 #include "core/skewed_predictor.hh"
 #include "predictors/gshare.hh"
+#include "sim/parallel.hh"
 
 int
 main(int argc, char **argv)
@@ -28,18 +36,36 @@ main(int argc, char **argv)
     const std::vector<unsigned> historyLengths = {0, 2,  4,  6,
                                                   8, 10, 12, 14};
 
+    SweepRunner runner(sweepThreads());
+    for (const Trace &trace : suite()) {
+        for (const unsigned history : historyLengths) {
+            runner.enqueue(
+                [history] {
+                    return std::make_unique<GSharePredictor>(
+                        14, history);
+                },
+                trace);
+            runner.enqueue(
+                [history] {
+                    return std::make_unique<SkewedPredictor>(
+                        3, 12, history, UpdatePolicy::Partial);
+                },
+                trace);
+        }
+    }
+    const std::vector<SimResult> results = runner.run();
+
+    std::size_t cell = 0;
     for (const Trace &trace : suite()) {
         std::cout << "\n[" << trace.name() << "]\n";
         TextTable table({"history", "gshare-16K", "gskewed-3x4K",
                          "winner"});
-        for (unsigned history : historyLengths) {
-            GSharePredictor gshare(14, history);
-            SkewedPredictor gskewed(3, 12, history,
-                                    UpdatePolicy::Partial);
+        for (const unsigned history : historyLengths) {
             const double share_pct =
-                simulate(gshare, trace).mispredictPercent();
+                results[cell].mispredictPercent();
             const double skew_pct =
-                simulate(gskewed, trace).mispredictPercent();
+                results[cell + 1].mispredictPercent();
+            cell += 2;
             table.row()
                 .cell(u64(history))
                 .percentCell(share_pct)

@@ -4,13 +4,22 @@
  * (google-benchmark). Not a paper artifact — a library quality
  * gauge: the simulation loops above run millions of events per
  * configuration, so per-event cost matters.
+ *
+ * The default BM_* fixtures drive the fused predictAndUpdate()
+ * fast path (what simulate() uses); the *Split variants keep the
+ * old predict()+update() sequence so the fusion win stays
+ * measurable. BM_SweepSerial vs BM_SweepParallel time the same
+ * six-cell mini-sweep through a plain loop and through the
+ * SweepRunner pool.
  */
 
 #include <benchmark/benchmark.h>
 
 #include <memory>
 
+#include "sim/driver.hh"
 #include "sim/factory.hh"
+#include "sim/parallel.hh"
 #include "support/probe.hh"
 #include "support/rng.hh"
 #include "trace/trace.hh"
@@ -33,16 +42,47 @@ makePerfTrace()
             trace.appendConditional(pc, rng.chance(0.7));
         }
     }
+    trace.shrinkToFit();
     return trace;
 }
 
+const Trace &
+perfTrace()
+{
+    static const Trace trace = makePerfTrace();
+    return trace;
+}
+
+/** Fused fast path: one virtual call per conditional branch. */
 void
 runPredictor(benchmark::State &state, const std::string &spec,
              ProbeSink *probe = nullptr)
 {
-    static const Trace trace = makePerfTrace();
+    const Trace &trace = perfTrace();
     auto predictor = makePredictor(spec);
     predictor->attachProbe(probe);
+    for (auto _ : state) {
+        for (const BranchRecord &record : trace) {
+            if (!record.conditional) {
+                predictor->notifyUnconditional(record.pc);
+                continue;
+            }
+            benchmark::DoNotOptimize(
+                predictor->predictAndUpdate(record.pc, record.taken)
+                    .prediction);
+        }
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(trace.size()));
+}
+
+/** Legacy split path, kept to measure the fusion win. */
+void
+runPredictorSplit(benchmark::State &state, const std::string &spec)
+{
+    const Trace &trace = perfTrace();
+    auto predictor = makePredictor(spec);
     for (auto _ : state) {
         for (const BranchRecord &record : trace) {
             if (!record.conditional) {
@@ -96,6 +136,17 @@ void BM_FaLru(benchmark::State &state)
     runPredictor(state, "falru:4096:10");
 }
 
+// Split-path references for the fusion speedup (acceptance gauge:
+// the fused BM_GShare/BM_EGskew should beat these by >= 10%).
+void BM_GShareSplit(benchmark::State &state)
+{
+    runPredictorSplit(state, "gshare:14:10");
+}
+void BM_EGskewSplit(benchmark::State &state)
+{
+    runPredictorSplit(state, "egskew:12:10");
+}
+
 // Telemetry cost gauges: the same predictors with a CountingProbe
 // attached. Compare against the no-sink runs above — the no-sink
 // numbers must not regress (the probe hook is one null check), and
@@ -111,6 +162,61 @@ void BM_EGskewProbed(benchmark::State &state)
     runPredictor(state, "egskew:12:10", &probe);
 }
 
+// Sweep engine gauges: the same six-cell mini-sweep executed as a
+// plain serial loop and through the SweepRunner thread pool. On a
+// multi-core host the parallel fixture should approach
+// serial/threads; on one core it degenerates to the serial time
+// plus negligible pool overhead.
+const std::vector<std::string> &
+sweepSpecs()
+{
+    static const std::vector<std::string> specs = {
+        "gshare:12:8",     "gshare:14:8",  "gskewed:3:10:8",
+        "gskewed:3:12:8",  "egskew:10:8",  "egskew:12:8",
+    };
+    return specs;
+}
+
+void BM_SweepSerial(benchmark::State &state)
+{
+    const Trace &trace = perfTrace();
+    u64 mispredicts = 0;
+    for (auto _ : state) {
+        for (const std::string &spec : sweepSpecs()) {
+            auto predictor = makePredictor(spec);
+            mispredicts += simulate(*predictor, trace).mispredicts;
+        }
+    }
+    benchmark::DoNotOptimize(mispredicts);
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(sweepSpecs().size()) *
+        static_cast<int64_t>(trace.size()));
+    state.counters["threads"] = 1;
+}
+
+void BM_SweepParallel(benchmark::State &state)
+{
+    const Trace &trace = perfTrace();
+    u64 mispredicts = 0;
+    SweepRunner runner;
+    for (auto _ : state) {
+        for (const std::string &spec : sweepSpecs()) {
+            runner.enqueue(spec, trace);
+        }
+        for (const SimResult &result : runner.run()) {
+            mispredicts += result.mispredicts;
+        }
+    }
+    benchmark::DoNotOptimize(mispredicts);
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(sweepSpecs().size()) *
+        static_cast<int64_t>(trace.size()));
+    state.counters["threads"] =
+        static_cast<double>(runner.threads());
+}
+
 BENCHMARK(BM_Bimodal);
 BENCHMARK(BM_GShare);
 BENCHMARK(BM_GSelect);
@@ -120,8 +226,12 @@ BENCHMARK(BM_Gskewed3);
 BENCHMARK(BM_Gskewed5);
 BENCHMARK(BM_EGskew);
 BENCHMARK(BM_FaLru);
+BENCHMARK(BM_GShareSplit);
+BENCHMARK(BM_EGskewSplit);
 BENCHMARK(BM_GShareProbed);
 BENCHMARK(BM_EGskewProbed);
+BENCHMARK(BM_SweepSerial);
+BENCHMARK(BM_SweepParallel);
 
 } // namespace
 

@@ -85,13 +85,34 @@ SkewedPredictor::update(Addr pc, bool taken)
 {
     // Dispatch before any work: the instrumented variant repeats the
     // whole algorithm with event publishing, keeping the no-sink
-    // loop below free of probe checks.
+    // pass free of probe checks.
     if (probeSink) [[unlikely]] {
         updateProbed(pc, taken);
         return;
     }
+    updateUnprobed(pc, taken);
+}
 
-    // Recompute per-bank indices and predictions with the pre-branch
+Outcome
+SkewedPredictor::predictAndUpdate(Addr pc, bool taken)
+{
+    if (probeSink) [[unlikely]] {
+        // Off the hot loop; reuse the split implementation so event
+        // order stays identical to predict()+update().
+        const bool prediction = predict(pc);
+        updateProbed(pc, taken);
+        return {prediction};
+    }
+    // One pass: updateUnprobed() already computes every bank index
+    // and vote, so the fused path skips predict()'s duplicate index
+    // computation and bank reads entirely.
+    return {updateUnprobed(pc, taken)};
+}
+
+bool
+SkewedPredictor::updateUnprobed(Addr pc, bool taken)
+{
+    // Compute per-bank indices and predictions with the pre-branch
     // history (update() contract), then apply the update policy.
     unsigned votes_taken = 0;
     u64 indices[maxSkewBanks];
@@ -132,6 +153,7 @@ SkewedPredictor::update(Addr pc, bool taken)
         ++bankWriteCount;
     }
     history.shiftIn(taken);
+    return overall;
 }
 
 void

@@ -104,6 +104,7 @@ class SkewedPredictor : public Predictor
 
     bool predict(Addr pc) override;
     void update(Addr pc, bool taken) override;
+    Outcome predictAndUpdate(Addr pc, bool taken) override;
     void notifyUnconditional(Addr pc) override;
     std::string name() const override;
     u64 storageBits() const override;
@@ -135,6 +136,14 @@ class SkewedPredictor : public Predictor
 
   private:
     u64 bankIndexOf(unsigned bank, Addr pc) const;
+
+    /**
+     * The shared no-probe resolution pass: one index computation
+     * and at most one counter touch per bank, applying the update
+     * policy. Returns the pre-update majority prediction — so
+     * update() and the fused predictAndUpdate() cannot drift apart.
+     */
+    bool updateUnprobed(Addr pc, bool taken);
 
     /** The whole update() when a probe is attached (kept out of the
      * hot path so the uninstrumented loop carries no probe checks). */

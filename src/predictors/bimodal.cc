@@ -39,6 +39,23 @@ BimodalPredictor::update(Addr pc, bool taken)
     table.update(indexOf(pc), taken);
 }
 
+Outcome
+BimodalPredictor::predictAndUpdate(Addr pc, bool taken)
+{
+    if (probeSink) [[unlikely]] {
+        // The probed path is off the hot loop; reuse the split
+        // implementation so event order stays identical to
+        // predict()+update().
+        const bool prediction = predict(pc);
+        updateProbed(pc, taken);
+        return {prediction};
+    }
+    const u64 index = indexOf(pc);
+    const bool prediction = table.predictTaken(index);
+    table.update(index, taken);
+    return {prediction};
+}
+
 void
 BimodalPredictor::updateProbed(Addr pc, bool taken)
 {

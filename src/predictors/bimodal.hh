@@ -30,6 +30,7 @@ class BimodalPredictor : public Predictor
 
     bool predict(Addr pc) override;
     void update(Addr pc, bool taken) override;
+    Outcome predictAndUpdate(Addr pc, bool taken) override;
     std::string name() const override;
     u64 storageBits() const override { return table.storageBits(); }
     void reset() override;

@@ -34,6 +34,16 @@ GSelectPredictor::update(Addr pc, bool taken)
     history.shiftIn(taken);
 }
 
+Outcome
+GSelectPredictor::predictAndUpdate(Addr pc, bool taken)
+{
+    const u64 index = indexOf(pc);
+    const bool prediction = table.predictTaken(index);
+    table.update(index, taken);
+    history.shiftIn(taken);
+    return {prediction};
+}
+
 void
 GSelectPredictor::notifyUnconditional(Addr)
 {

@@ -33,6 +33,7 @@ class GSelectPredictor : public Predictor
 
     bool predict(Addr pc) override;
     void update(Addr pc, bool taken) override;
+    Outcome predictAndUpdate(Addr pc, bool taken) override;
     void notifyUnconditional(Addr pc) override;
     std::string name() const override;
     u64 storageBits() const override { return table.storageBits(); }

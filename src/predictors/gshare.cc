@@ -43,6 +43,23 @@ GSharePredictor::update(Addr pc, bool taken)
     history.shiftIn(taken);
 }
 
+Outcome
+GSharePredictor::predictAndUpdate(Addr pc, bool taken)
+{
+    if (probeSink) [[unlikely]] {
+        // Off the hot loop; reuse the split implementation so event
+        // order stays identical to predict()+update().
+        const bool prediction = predict(pc);
+        updateProbed(pc, taken);
+        return {prediction};
+    }
+    const u64 index = indexOf(pc);
+    const bool prediction = table.predictTaken(index);
+    table.update(index, taken);
+    history.shiftIn(taken);
+    return {prediction};
+}
+
 void
 GSharePredictor::updateProbed(Addr pc, bool taken)
 {

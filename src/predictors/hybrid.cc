@@ -65,6 +65,35 @@ HybridPredictor::update(Addr pc, bool taken)
     secondComponent->update(pc, taken);
 }
 
+Outcome
+HybridPredictor::predictAndUpdate(Addr pc, bool taken)
+{
+    if (probeSink) [[unlikely]] {
+        // Off the hot loop; reuse the split implementation so event
+        // order stays identical to predict()+update().
+        const bool prediction = predict(pc);
+        update(pc, taken);
+        return {prediction};
+    }
+    // One chooser index computation and one pass over each
+    // component: the fused component calls return the pre-update
+    // predictions the chooser needs while training the components.
+    // The chooser table is independent of both components, so
+    // reading it here (instead of before the component updates)
+    // sees the same counter value the split path read in predict().
+    const u64 chooser_index = addressIndex(pc, chooserIndexBits);
+    const bool use_first = chooser.predictTaken(chooser_index);
+    const bool first = firstComponent->predictAndUpdate(pc, taken)
+                           .prediction;
+    const bool second = secondComponent->predictAndUpdate(pc, taken)
+                            .prediction;
+    if (first != second) {
+        chooser.update(chooser_index, first == taken);
+    }
+    havePrediction = false;
+    return {use_first ? first : second};
+}
+
 void
 HybridPredictor::notifyUnconditional(Addr pc)
 {

@@ -3,6 +3,14 @@
 namespace bpred
 {
 
+Outcome
+Predictor::predictAndUpdate(Addr pc, bool taken)
+{
+    const bool prediction = predict(pc);
+    update(pc, taken);
+    return {prediction};
+}
+
 void
 Predictor::notifyUnconditional(Addr)
 {

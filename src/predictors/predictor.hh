@@ -15,12 +15,22 @@ namespace bpred
 
 class ProbeSink;
 
+/** Result of a fused predict-and-train step (predictAndUpdate()). */
+struct Outcome
+{
+    /** The direction predicted before the tables trained. */
+    bool prediction = false;
+};
+
 /**
  * Abstract conditional-branch direction predictor.
  *
- * Contract: the simulation driver calls predict(pc) followed by
- * update(pc, taken) for every *conditional* branch, in trace order,
- * and notifyUnconditional(pc) for every unconditional branch.
+ * Contract: for every *conditional* branch, in trace order, the
+ * simulation driver either calls predict(pc) followed by
+ * update(pc, taken), or the fused predictAndUpdate(pc, taken) —
+ * the two forms must be observably identical (same predictions,
+ * same state evolution, same probe events). It calls
+ * notifyUnconditional(pc) for every unconditional branch.
  * update() must train with the machine state as it was at
  * predict() time (i.e. the pre-branch global history) and only then
  * advance that state. Predictors that keep global history shift
@@ -39,6 +49,17 @@ class Predictor
      * train the tables and advance any internal history.
      */
     virtual void update(Addr pc, bool taken) = 0;
+
+    /**
+     * Fused predict + update: resolve the conditional branch at
+     * @p pc with outcome @p taken and return the direction that
+     * would have been predicted beforehand. Must be equivalent to
+     * predict(pc) followed by update(pc, taken); the default does
+     * exactly that. Hot predictors override it to compute each
+     * table index once and touch each counter once — the
+     * simulation driver's fast path (see sim/driver.hh).
+     */
+    virtual Outcome predictAndUpdate(Addr pc, bool taken);
 
     /**
      * Observe an unconditional branch at @p pc. Default: no effect.

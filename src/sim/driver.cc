@@ -83,8 +83,12 @@ simulateWithOptions(Predictor &predictor, const Trace &trace,
             predictor.notifyUnconditional(record.pc);
             continue;
         }
-        const bool prediction = predictor.predict(record.pc);
-        predictor.update(record.pc, record.taken);
+        // Fused fast path: one virtual dispatch and one index
+        // computation per branch (contract-equivalent to
+        // predict() + update(); test_predictor_contract guards it).
+        const bool prediction =
+            predictor.predictAndUpdate(record.pc, record.taken)
+                .prediction;
         ++seen;
         if (options.flushInterval &&
             ++since_flush == options.flushInterval) {

@@ -1,0 +1,144 @@
+#include "sim/parallel.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+#include "sim/factory.hh"
+#include "support/logging.hh"
+
+namespace bpred
+{
+
+unsigned
+resolveThreadCount(unsigned requested)
+{
+    if (requested > 0) {
+        return requested;
+    }
+    if (const char *env = std::getenv("BPRED_THREADS");
+        env != nullptr && *env != '\0') {
+        try {
+            const unsigned long parsed = std::stoul(env);
+            if (parsed >= 1 && parsed <= 4096) {
+                return static_cast<unsigned>(parsed);
+            }
+        } catch (const std::exception &) {
+            // fall through to the warning
+        }
+        warn("ignoring invalid BPRED_THREADS value");
+    }
+    const unsigned hardware = std::thread::hardware_concurrency();
+    return hardware == 0 ? 1 : hardware;
+}
+
+namespace detail
+{
+
+void
+parallelForIndexed(std::size_t count,
+                   const std::function<void(std::size_t)> &body,
+                   unsigned threads)
+{
+    if (count == 0) {
+        return;
+    }
+    const std::size_t workers =
+        std::min<std::size_t>(threads == 0 ? 1 : threads, count);
+    if (workers <= 1) {
+        // Degenerate pool: run inline, in order, on this thread.
+        for (std::size_t index = 0; index < count; ++index) {
+            body(index);
+        }
+        return;
+    }
+
+    // Self-scheduling work distribution: workers claim the next
+    // unclaimed index until the queue is drained, so a skewed cell
+    // cost never strands work behind a slow static partition.
+    std::atomic<std::size_t> cursor{0};
+    std::vector<std::exception_ptr> errors(count);
+    auto worker = [&] {
+        while (true) {
+            const std::size_t index =
+                cursor.fetch_add(1, std::memory_order_relaxed);
+            if (index >= count) {
+                return;
+            }
+            try {
+                body(index);
+            } catch (...) {
+                // Park the exception in the job's slot; keep the
+                // worker alive so one bad cell cannot wedge the
+                // pool or starve the remaining jobs.
+                errors[index] = std::current_exception();
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+        pool.emplace_back(worker);
+    }
+    for (std::thread &thread : pool) {
+        thread.join();
+    }
+    for (const std::exception_ptr &error : errors) {
+        if (error) {
+            std::rethrow_exception(error);
+        }
+    }
+}
+
+} // namespace detail
+
+SweepRunner::SweepRunner(unsigned threads)
+    : threadCount(resolveThreadCount(threads))
+{
+}
+
+std::size_t
+SweepRunner::enqueue(PredictorFactory factory, const Trace &trace,
+                     SimOptions options)
+{
+    if (!factory) {
+        fatal("SweepRunner: empty predictor factory");
+    }
+    jobs.push_back({std::move(factory), &trace, options});
+    return jobs.size() - 1;
+}
+
+std::size_t
+SweepRunner::enqueue(const std::string &spec, const Trace &trace,
+                     SimOptions options)
+{
+    return enqueue([spec] { return makePredictor(spec); }, trace,
+                   options);
+}
+
+std::vector<SimResult>
+SweepRunner::run()
+{
+    std::vector<Job> batch;
+    batch.swap(jobs);
+    std::vector<SimResult> results(batch.size());
+    detail::parallelForIndexed(
+        batch.size(),
+        [&](std::size_t index) {
+            const Job &job = batch[index];
+            std::unique_ptr<Predictor> predictor = job.factory();
+            if (!predictor) {
+                fatal("SweepRunner: factory returned a null "
+                      "predictor");
+            }
+            results[index] = simulateWithOptions(
+                *predictor, *job.trace, job.options);
+        },
+        threadCount);
+    return results;
+}
+
+} // namespace bpred

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Parallel sweep execution.
+ *
+ * Every figure in the paper is a sweep — predictor geometry x trace
+ * x options — and each cell is an independent trace-driven run, so
+ * the suite is embarrassingly parallel. SweepRunner executes queued
+ * simulation jobs on a fixed pool of worker threads while keeping
+ * the *results* in submission order, so a bench's tables (and its
+ * --json report) are byte-identical to the serial run regardless of
+ * the thread count.
+ *
+ * Determinism / safety model:
+ *  - Each job constructs its own Predictor inside the worker (the
+ *    factory runs on the worker thread); predictor state is never
+ *    shared between jobs.
+ *  - The Trace a job references is read-only for the duration of
+ *    run(); traces may be shared freely across jobs.
+ *  - Per-run state (StatRegistry, TopKCounter, windows, any Rng) is
+ *    owned by the job. A ProbeSink passed via SimOptions must not
+ *    be shared between jobs unless it is itself thread-safe.
+ *  - Workers self-schedule from a shared atomic cursor (the
+ *    work-stealing-style distribution degenerates gracefully when
+ *    cell costs are skewed: fast workers simply claim more cells).
+ *
+ * Thread count resolution (resolveThreadCount): an explicit request
+ * wins, then the BPRED_THREADS environment variable, then
+ * std::thread::hardware_concurrency().
+ */
+
+#ifndef BPRED_SIM_PARALLEL_HH
+#define BPRED_SIM_PARALLEL_HH
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/driver.hh"
+#include "trace/trace.hh"
+
+namespace bpred
+{
+
+/**
+ * The worker-thread count to use: @p requested when positive, else
+ * the BPRED_THREADS environment variable (when set to a positive
+ * integer), else hardware_concurrency() (min 1).
+ */
+unsigned resolveThreadCount(unsigned requested = 0);
+
+namespace detail
+{
+
+/**
+ * Invoke @p body(index) for every index in [0, count) on a pool of
+ * @p threads workers (capped at @p count; <= 1 runs inline on the
+ * calling thread). Blocks until all indices have been processed.
+ * When jobs throw, every remaining index is still executed and the
+ * lowest-index exception is rethrown after the pool has joined —
+ * one bad cell never wedges or poisons the pool.
+ */
+void parallelForIndexed(std::size_t count,
+                        const std::function<void(std::size_t)> &body,
+                        unsigned threads);
+
+} // namespace detail
+
+/**
+ * Run arbitrary result-returning jobs on a worker pool; the result
+ * vector is in submission order. @p threads is resolved through
+ * resolveThreadCount(). T must be default-constructible. Used for
+ * sweep cells that are not plain predictor simulations (e.g. the
+ * Figure 1/2 tagged-table measurements).
+ */
+template <typename T>
+std::vector<T>
+parallelMap(const std::vector<std::function<T()>> &jobs,
+            unsigned threads = 0)
+{
+    std::vector<T> results(jobs.size());
+    detail::parallelForIndexed(
+        jobs.size(),
+        [&](std::size_t index) { results[index] = jobs[index](); },
+        resolveThreadCount(threads));
+    return results;
+}
+
+/**
+ * A queue of independent simulation jobs executed by a fixed thread
+ * pool. Usage:
+ *
+ *   SweepRunner runner(threads);          // 0 = env / hardware
+ *   auto a = runner.enqueue("gshare:14:12", trace);
+ *   auto b = runner.enqueue([] { return makeMyPredictor(); }, other);
+ *   std::vector<SimResult> results = runner.run();
+ *   // results[a], results[b]: identical to the serial simulate()
+ *
+ * run() clears the queue, so a runner can execute several batches.
+ */
+class SweepRunner
+{
+  public:
+    /** Builds one predictor; runs on the worker thread. */
+    using PredictorFactory = std::function<std::unique_ptr<Predictor>()>;
+
+    /** @param threads Worker count; 0 resolves via resolveThreadCount. */
+    explicit SweepRunner(unsigned threads = 0);
+
+    /**
+     * Queue one simulation of a factory-built predictor over
+     * @p trace. The trace must stay alive and unmodified until
+     * run() returns. Returns the job's index into run()'s result
+     * vector.
+     */
+    std::size_t enqueue(PredictorFactory factory, const Trace &trace,
+                        SimOptions options = {});
+
+    /** As above with a factory spec string (sim/factory.hh). */
+    std::size_t enqueue(const std::string &spec, const Trace &trace,
+                        SimOptions options = {});
+
+    /** Jobs queued and not yet run. */
+    std::size_t pending() const { return jobs.size(); }
+
+    /** The resolved worker-thread count. */
+    unsigned threads() const { return threadCount; }
+
+    /**
+     * Execute every queued job and return their SimResults in
+     * submission order (element-wise identical to calling
+     * simulateWithOptions serially, whatever the thread count).
+     * The queue is cleared even on failure; if jobs threw, the
+     * lowest-index exception is rethrown after all workers joined.
+     */
+    std::vector<SimResult> run();
+
+  private:
+    struct Job
+    {
+        PredictorFactory factory;
+        const Trace *trace;
+        SimOptions options;
+    };
+
+    std::vector<Job> jobs;
+    unsigned threadCount;
+};
+
+} // namespace bpred
+
+#endif // BPRED_SIM_PARALLEL_HH

@@ -58,6 +58,13 @@ class Trace
     /** Pre-allocate for @p n records. */
     void reserve(std::size_t n) { records_.reserve(n); }
 
+    /**
+     * Release excess capacity after record-by-record generation
+     * (generators over-reserve from the conditional-branch target;
+     * long-lived suite traces should not carry the slack).
+     */
+    void shrinkToFit() { records_.shrink_to_fit(); }
+
     /** Total records, conditional and unconditional. */
     std::size_t size() const { return records_.size(); }
 

@@ -32,8 +32,13 @@ generateWorkload(const WorkloadParams &params)
     }
 
     Trace trace(params.name);
+    // Pre-reserve from the scaled conditional target: records are
+    // appended one at a time, and unconditional branches (jumps,
+    // calls, returns) ride along at well under half the conditional
+    // rate for every preset, so +50% covers the mix without a
+    // regrowth copy of a multi-million-record vector.
     trace.reserve(params.dynamicConditionalTarget +
-                  params.dynamicConditionalTarget / 3);
+                  params.dynamicConditionalTarget / 2);
     StreamContext context(trace);
 
     Interpreter user(user_program, params.seed + 11);
@@ -70,6 +75,7 @@ generateWorkload(const WorkloadParams &params)
                               std::min(quantum, kernel_remaining));
         }
     }
+    trace.shrinkToFit();
     return trace;
 }
 
@@ -78,10 +84,11 @@ runProgramToTrace(const Program &program, u64 seed,
                   u64 conditional_target, const std::string &name)
 {
     Trace trace(name);
-    trace.reserve(conditional_target + conditional_target / 3);
+    trace.reserve(conditional_target + conditional_target / 2);
     StreamContext context(trace);
     Interpreter interpreter(program, seed);
     interpreter.run(context, conditional_target);
+    trace.shrinkToFit();
     return trace;
 }
 

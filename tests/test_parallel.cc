@@ -1,0 +1,263 @@
+/**
+ * @file
+ * SweepRunner / parallelMap contract: parallel sweep execution must
+ * be observably identical to the serial loop it replaces —
+ * element-wise identical results in submission order, at any thread
+ * count — and one bad job must never wedge the pool.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "predictors/gshare.hh"
+#include "sim/driver.hh"
+#include "sim/factory.hh"
+#include "sim/parallel.hh"
+#include "support/logging.hh"
+#include "support/rng.hh"
+#include "trace/trace.hh"
+
+namespace bpred
+{
+namespace
+{
+
+Trace
+parallelTrace(u64 seed)
+{
+    Trace trace("parallel");
+    Rng rng(seed);
+    for (int i = 0; i < 30000; ++i) {
+        const Addr pc = 0x4000 + 4 * rng.uniformInt(500);
+        if (rng.chance(0.15)) {
+            trace.appendUnconditional(pc + 0x20000);
+        } else {
+            const bool outcome = (pc >> 2) % 3 == 0
+                ? rng.chance(0.85)
+                : (i & 4) != 0;
+            trace.appendConditional(pc, outcome);
+        }
+    }
+    return trace;
+}
+
+/** RAII guard restoring BPRED_THREADS on scope exit. */
+class ThreadsEnvGuard
+{
+  public:
+    explicit ThreadsEnvGuard(const char *value)
+    {
+        const char *old = std::getenv("BPRED_THREADS");
+        hadOld = old != nullptr;
+        if (hadOld) {
+            oldValue = old;
+        }
+        if (value == nullptr) {
+            unsetenv("BPRED_THREADS");
+        } else {
+            setenv("BPRED_THREADS", value, 1);
+        }
+    }
+
+    ~ThreadsEnvGuard()
+    {
+        if (hadOld) {
+            setenv("BPRED_THREADS", oldValue.c_str(), 1);
+        } else {
+            unsetenv("BPRED_THREADS");
+        }
+    }
+
+  private:
+    bool hadOld = false;
+    std::string oldValue;
+};
+
+TEST(ResolveThreadCount, ExplicitRequestWins)
+{
+    ThreadsEnvGuard guard("7");
+    EXPECT_EQ(resolveThreadCount(2), 2u);
+}
+
+TEST(ResolveThreadCount, ReadsEnvironmentVariable)
+{
+    ThreadsEnvGuard guard("3");
+    EXPECT_EQ(resolveThreadCount(), 3u);
+}
+
+TEST(ResolveThreadCount, JunkEnvironmentFallsBack)
+{
+    ThreadsEnvGuard guard("not-a-number");
+    EXPECT_GE(resolveThreadCount(), 1u);
+}
+
+TEST(ResolveThreadCount, ZeroEnvironmentFallsBack)
+{
+    ThreadsEnvGuard guard("0");
+    EXPECT_GE(resolveThreadCount(), 1u);
+}
+
+TEST(ResolveThreadCount, UnsetDefaultsToHardware)
+{
+    ThreadsEnvGuard guard(nullptr);
+    EXPECT_GE(resolveThreadCount(), 1u);
+}
+
+TEST(SweepRunner, MatchesSerialSimulationForEverySpec)
+{
+    const std::vector<std::string> specs = {
+        "bimodal:8",       "gshare:8:6",    "gselect:8:4",
+        "pag:8:6",         "hybrid:8:6",    "gskewed:3:8:6",
+        "gskewed:3:8:6:total", "egskew:8:6", "agree:8:6:8",
+        "falru:1024:6",
+    };
+    const Trace trace = parallelTrace(1);
+
+    SweepRunner runner(4);
+    for (const std::string &spec : specs) {
+        runner.enqueue(spec, trace);
+    }
+    EXPECT_EQ(runner.pending(), specs.size());
+    const std::vector<SimResult> parallel = runner.run();
+    EXPECT_EQ(runner.pending(), 0u);
+
+    ASSERT_EQ(parallel.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        auto predictor = makePredictor(specs[i]);
+        const SimResult serial = simulate(*predictor, trace);
+        EXPECT_EQ(parallel[i].predictorName, serial.predictorName)
+            << specs[i];
+        EXPECT_EQ(parallel[i].traceName, serial.traceName);
+        EXPECT_EQ(parallel[i].conditionals, serial.conditionals)
+            << specs[i];
+        EXPECT_EQ(parallel[i].mispredicts, serial.mispredicts)
+            << specs[i];
+        EXPECT_EQ(parallel[i].storageBits, serial.storageBits)
+            << specs[i];
+    }
+}
+
+TEST(SweepRunner, SingleThreadDegeneratesToSerial)
+{
+    const Trace trace = parallelTrace(2);
+    SweepRunner runner(1);
+    EXPECT_EQ(runner.threads(), 1u);
+    runner.enqueue("gshare:8:6", trace);
+    runner.enqueue("egskew:8:6", trace);
+    const std::vector<SimResult> results = runner.run();
+
+    ASSERT_EQ(results.size(), 2u);
+    GSharePredictor gshare(8, 6);
+    EXPECT_EQ(results[0].mispredicts,
+              simulate(gshare, trace).mispredicts);
+    auto egskew = makePredictor("egskew:8:6");
+    EXPECT_EQ(results[1].mispredicts,
+              simulate(*egskew, trace).mispredicts);
+}
+
+TEST(SweepRunner, FactoryEnqueueMatchesSpecEnqueue)
+{
+    const Trace trace = parallelTrace(3);
+    SweepRunner runner(2);
+    runner.enqueue(
+        [] { return std::make_unique<GSharePredictor>(8, 6); },
+        trace);
+    runner.enqueue("gshare:8:6", trace);
+    const std::vector<SimResult> results = runner.run();
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].mispredicts, results[1].mispredicts);
+    EXPECT_EQ(results[0].predictorName, results[1].predictorName);
+}
+
+TEST(SweepRunner, HonoursSimOptions)
+{
+    const Trace trace = parallelTrace(4);
+    SimOptions options;
+    options.warmupBranches = 5000;
+
+    SweepRunner runner(2);
+    runner.enqueue("gshare:8:6", trace, options);
+    const std::vector<SimResult> results = runner.run();
+
+    GSharePredictor reference(8, 6);
+    const SimResult serial =
+        simulateWithWarmup(reference, trace, 5000);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].conditionals, serial.conditionals);
+    EXPECT_EQ(results[0].mispredicts, serial.mispredicts);
+}
+
+TEST(SweepRunner, ExceptionDoesNotWedgePool)
+{
+    const Trace trace = parallelTrace(5);
+    SweepRunner runner(3);
+    runner.enqueue("gshare:8:6", trace);
+    runner.enqueue(
+        []() -> std::unique_ptr<Predictor> {
+            throw std::runtime_error("factory exploded");
+        },
+        trace);
+    runner.enqueue("bimodal:8", trace);
+    EXPECT_THROW(runner.run(), std::runtime_error);
+    EXPECT_EQ(runner.pending(), 0u);
+
+    // The runner (and its pool) stays usable for a fresh batch.
+    runner.enqueue("gshare:8:6", trace);
+    const std::vector<SimResult> results = runner.run();
+    ASSERT_EQ(results.size(), 1u);
+    GSharePredictor reference(8, 6);
+    EXPECT_EQ(results[0].mispredicts,
+              simulate(reference, trace).mispredicts);
+}
+
+TEST(SweepRunner, BadSpecSurfacesAsFatalError)
+{
+    const Trace trace = parallelTrace(6);
+    SweepRunner runner(2);
+    runner.enqueue("perceptron:10", trace);
+    EXPECT_THROW(runner.run(), FatalError);
+}
+
+TEST(SweepRunner, EmptyQueueRunsToEmptyResults)
+{
+    SweepRunner runner(2);
+    EXPECT_TRUE(runner.run().empty());
+}
+
+TEST(ParallelMap, ReturnsResultsInSubmissionOrder)
+{
+    std::vector<std::function<int()>> jobs;
+    for (int i = 0; i < 64; ++i) {
+        jobs.push_back([i] { return i * i; });
+    }
+    const std::vector<int> results = parallelMap(jobs, 4);
+    ASSERT_EQ(results.size(), jobs.size());
+    for (int i = 0; i < 64; ++i) {
+        EXPECT_EQ(results[static_cast<std::size_t>(i)], i * i);
+    }
+}
+
+TEST(ParallelMap, MatchesSerialForMeasurements)
+{
+    const Trace trace = parallelTrace(7);
+    std::vector<std::function<u64()>> jobs;
+    for (unsigned bits = 6; bits <= 9; ++bits) {
+        jobs.push_back([&trace, bits] {
+            GSharePredictor predictor(bits, 6);
+            return simulate(predictor, trace).mispredicts;
+        });
+    }
+    const std::vector<u64> parallel = parallelMap(jobs, 4);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(parallel[i], jobs[i]());
+    }
+}
+
+} // namespace
+} // namespace bpred

@@ -12,6 +12,7 @@
 
 #include "sim/driver.hh"
 #include "sim/factory.hh"
+#include "support/probe.hh"
 #include "support/rng.hh"
 #include "trace/trace.hh"
 
@@ -162,6 +163,65 @@ TEST_P(PredictorContract, StorageBitsStable)
     if (std::string(GetParam()).rfind("unaliased", 0) != 0) {
         EXPECT_EQ(predictor->storageBits(), before);
     }
+}
+
+TEST_P(PredictorContract, FusedPredictAndUpdateMatchesSplit)
+{
+    // predictAndUpdate() must be observably identical to
+    // predict() followed by update(): same prediction at every
+    // step, which also pins the trained state to the same
+    // trajectory.
+    auto split = makePredictor(GetParam());
+    auto fused = makePredictor(GetParam());
+    const Trace trace = contractTrace(8);
+    u64 step = 0;
+    for (const BranchRecord &record : trace) {
+        if (!record.conditional) {
+            split->notifyUnconditional(record.pc);
+            fused->notifyUnconditional(record.pc);
+            continue;
+        }
+        const bool expected = split->predict(record.pc);
+        split->update(record.pc, record.taken);
+        const bool got =
+            fused->predictAndUpdate(record.pc, record.taken)
+                .prediction;
+        ASSERT_EQ(expected, got) << "at step " << step;
+        ++step;
+    }
+}
+
+TEST_P(PredictorContract, FusedMatchesSplitWithProbeAttached)
+{
+    // With a telemetry sink attached, the fused path must emit
+    // exactly the same event stream as the split path, not just
+    // the same predictions.
+    auto split = makePredictor(GetParam());
+    auto fused = makePredictor(GetParam());
+    CountingProbe splitProbe;
+    CountingProbe fusedProbe;
+    split->attachProbe(&splitProbe);
+    fused->attachProbe(&fusedProbe);
+    const Trace trace = contractTrace(9);
+    u64 step = 0;
+    for (const BranchRecord &record : trace) {
+        if (!record.conditional) {
+            split->notifyUnconditional(record.pc);
+            fused->notifyUnconditional(record.pc);
+            continue;
+        }
+        const bool expected = split->predict(record.pc);
+        split->update(record.pc, record.taken);
+        const bool got =
+            fused->predictAndUpdate(record.pc, record.taken)
+                .prediction;
+        ASSERT_EQ(expected, got) << "at step " << step;
+        if (++step > 4000) {
+            break;
+        }
+    }
+    EXPECT_EQ(splitProbe.registry().toJson().dump(2),
+              fusedProbe.registry().toJson().dump(2));
 }
 
 TEST_P(PredictorContract, WarmupNeverHurtsDeterminism)
