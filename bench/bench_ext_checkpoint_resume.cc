@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Extension: checkpoint/resume fidelity and the cost of losing
+ * predictor state.
+ *
+ * Splits each trace at the midpoint and finishes it three ways:
+ * uninterrupted, resumed from a snapshot taken at the split, and
+ * resumed cold (state discarded at the split). Snapshot resume must
+ * reproduce the uninterrupted misprediction count *exactly* — the
+ * bench exits nonzero otherwise, making it a CI gate for the
+ * snapshot format — while the cold restart shows how much accuracy
+ * a state-losing context switch costs each design.
+ */
+
+#include "bench_common.hh"
+
+#include <memory>
+#include <sstream>
+
+#include "sim/factory.hh"
+#include "sim/session.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace bpred;
+    using namespace bpred::bench;
+
+    init(argc, argv);
+
+    banner("Extension: checkpoint/resume",
+           "Mispredict % finishing each trace uninterrupted, from a "
+           "midpoint snapshot, and from a midpoint cold restart.");
+
+    const char *specs[] = {"gshare:14:12", "egskew:12:11"};
+
+    bool snapshot_faithful = true;
+    for (const char *spec : specs) {
+        TextTable table({"trace", "uninterrupted", "resumed",
+                         "cold resume", "snapshot bytes"});
+
+        for (const Trace &trace : suite()) {
+            const std::size_t half = trace.size() / 2;
+            const BranchRecord *records = trace.records().data();
+
+            auto straight = makePredictor(spec);
+            const SimResult uninterrupted =
+                simulate(*straight, trace);
+
+            // First half on a fresh predictor, snapshot at the
+            // split.
+            auto first = makePredictor(spec);
+            SimSession first_session(*first, SimOptions(),
+                                     trace.name());
+            first_session.feed(records, half);
+            const SimResult head = first_session.finish();
+
+            std::ostringstream checkpoint;
+            savePredictorState(*first, checkpoint);
+            const std::string state = checkpoint.str();
+
+            // Resume a fresh predictor from the snapshot.
+            auto resumed = makePredictor(spec);
+            std::istringstream restore(state);
+            loadPredictorState(*resumed, restore);
+            SimSession resumed_session(*resumed, SimOptions(),
+                                       trace.name());
+            resumed_session.feed(records + half,
+                                 trace.size() - half);
+            const SimResult resumed_tail = resumed_session.finish();
+
+            // Cold restart: the snapshot is lost, the second half
+            // starts from reset state.
+            auto cold = makePredictor(spec);
+            SimSession cold_session(*cold, SimOptions(),
+                                    trace.name());
+            cold_session.feed(records + half, trace.size() - half);
+            const SimResult cold_tail = cold_session.finish();
+
+            const u64 resumed_total =
+                head.mispredicts + resumed_tail.mispredicts;
+            const u64 cold_total =
+                head.mispredicts + cold_tail.mispredicts;
+            // Same evaluation order as mispredictPercent(), so
+            // equal counts render as equal percentages.
+            const auto percent = [&](u64 mispredicts) {
+                return static_cast<double>(mispredicts) /
+                    static_cast<double>(
+                        uninterrupted.conditionals) * 100.0;
+            };
+
+            table.row()
+                .cell(trace.name())
+                .percentCell(uninterrupted.mispredictPercent())
+                .percentCell(percent(resumed_total))
+                .percentCell(percent(cold_total))
+                .cell(state.size());
+
+            if (resumed_total != uninterrupted.mispredicts) {
+                std::cout << "MISMATCH: " << spec << " on "
+                          << trace.name() << ": resumed "
+                          << resumed_total << " mispredicts vs "
+                          << uninterrupted.mispredicts
+                          << " uninterrupted\n";
+                snapshot_faithful = false;
+            }
+        }
+        std::cout << "\n" << spec << ":\n";
+        emitTable(spec, table);
+    }
+
+    expectation(
+        "'resumed' equals 'uninterrupted' to the last misprediction "
+        "— a snapshot carries the complete predictor state. 'cold "
+        "resume' pays a visible re-warm penalty, larger for the "
+        "history-based designs than their table sizes alone would "
+        "suggest.");
+
+    const int status = finish();
+    return snapshot_faithful ? status : 1;
+}

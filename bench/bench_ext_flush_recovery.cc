@@ -36,10 +36,9 @@ main(int argc, char **argv)
 
     auto run = [&](Predictor &predictor, u64 interval) {
         predictor.reset();
-        if (interval == 0) {
-            return simulate(predictor, trace).mispredictPercent();
-        }
-        return simulateWithFlush(predictor, trace, interval)
+        SimOptions options;
+        options.flushInterval = interval; // 0 = never flush
+        return simulateWithOptions(predictor, trace, options)
             .mispredictPercent();
     };
 

@@ -3,6 +3,7 @@
 #include "core/skew.hh"
 #include "predictors/info_vector.hh"
 #include "support/logging.hh"
+#include "support/serialize.hh"
 #include "support/table.hh"
 
 namespace bpred
@@ -140,6 +141,44 @@ SharedHysteresisSkewedPredictor::storageBits() const
         total += bank.prediction.size() + bank.hysteresis.size();
     }
     return total;
+}
+
+void
+SharedHysteresisSkewedPredictor::saveState(std::ostream &os) const
+{
+    for (const Bank &bank : banks) {
+        putU64(os, bank.prediction.size());
+        putBytes(os, bank.prediction.data(), bank.prediction.size());
+        putU64(os, bank.hysteresis.size());
+        putBytes(os, bank.hysteresis.data(), bank.hysteresis.size());
+    }
+    putU64(os, history.raw());
+}
+
+void
+SharedHysteresisSkewedPredictor::loadState(std::istream &is)
+{
+    for (Bank &bank : banks) {
+        if (getU64(is) != bank.prediction.size()) {
+            fatal("gskewed-sh: snapshot geometry mismatch");
+        }
+        getBytes(is, bank.prediction.data(), bank.prediction.size());
+        if (getU64(is) != bank.hysteresis.size()) {
+            fatal("gskewed-sh: snapshot geometry mismatch");
+        }
+        getBytes(is, bank.hysteresis.data(), bank.hysteresis.size());
+        for (const u8 bit : bank.prediction) {
+            if (bit > 1) {
+                fatal("gskewed-sh: snapshot bit out of range");
+            }
+        }
+        for (const u8 bit : bank.hysteresis) {
+            if (bit > 1) {
+                fatal("gskewed-sh: snapshot bit out of range");
+            }
+        }
+    }
+    history.set(getU64(is));
 }
 
 void

@@ -49,6 +49,9 @@ class SharedHysteresisSkewedPredictor : public Predictor
     u64 storageBits() const override;
 
     void reset() override;
+    bool supportsSnapshot() const override { return true; }
+    void saveState(std::ostream &os) const override;
+    void loadState(std::istream &is) override;
 
     /** Entries per bank. */
     u64 entriesPerBank() const { return u64(1) << config.bankIndexBits; }

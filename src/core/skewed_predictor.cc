@@ -6,6 +6,7 @@
 #include "predictors/info_vector.hh"
 #include "support/logging.hh"
 #include "support/probe.hh"
+#include "support/serialize.hh"
 #include "support/table.hh"
 
 namespace bpred
@@ -262,6 +263,26 @@ SkewedPredictor::reset()
     }
     history.reset();
     bankWriteCount = 0;
+}
+
+void
+SkewedPredictor::saveState(std::ostream &os) const
+{
+    for (const auto &bank : banks) {
+        bank.saveState(os);
+    }
+    putU64(os, history.raw());
+    putU64(os, bankWriteCount);
+}
+
+void
+SkewedPredictor::loadState(std::istream &is)
+{
+    for (auto &bank : banks) {
+        bank.loadState(is);
+    }
+    history.set(getU64(is));
+    bankWriteCount = getU64(is);
 }
 
 SkewedPredictor::Config

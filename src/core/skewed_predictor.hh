@@ -109,6 +109,9 @@ class SkewedPredictor : public Predictor
     std::string name() const override;
     u64 storageBits() const override;
     void reset() override;
+    bool supportsSnapshot() const override { return true; }
+    void saveState(std::ostream &os) const override;
+    void loadState(std::istream &is) override;
 
     /** Number of banks. */
     unsigned numBanks() const { return config.numBanks; }

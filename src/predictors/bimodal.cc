@@ -81,4 +81,16 @@ BimodalPredictor::reset()
     table.reset();
 }
 
+void
+BimodalPredictor::saveState(std::ostream &os) const
+{
+    table.saveState(os);
+}
+
+void
+BimodalPredictor::loadState(std::istream &is)
+{
+    table.loadState(is);
+}
+
 } // namespace bpred

@@ -34,6 +34,9 @@ class BimodalPredictor : public Predictor
     std::string name() const override;
     u64 storageBits() const override { return table.storageBits(); }
     void reset() override;
+    bool supportsSnapshot() const override { return true; }
+    void saveState(std::ostream &os) const override;
+    void loadState(std::istream &is) override;
 
   private:
     u64 indexOf(Addr pc) const;

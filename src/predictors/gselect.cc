@@ -1,6 +1,7 @@
 #include "predictors/gselect.hh"
 
 #include "predictors/info_vector.hh"
+#include "support/serialize.hh"
 #include "support/table.hh"
 
 namespace bpred
@@ -62,6 +63,20 @@ GSelectPredictor::reset()
 {
     table.reset();
     history.reset();
+}
+
+void
+GSelectPredictor::saveState(std::ostream &os) const
+{
+    table.saveState(os);
+    putU64(os, history.raw());
+}
+
+void
+GSelectPredictor::loadState(std::istream &is)
+{
+    table.loadState(is);
+    history.set(getU64(is));
 }
 
 } // namespace bpred

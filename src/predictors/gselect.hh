@@ -38,6 +38,9 @@ class GSelectPredictor : public Predictor
     std::string name() const override;
     u64 storageBits() const override { return table.storageBits(); }
     void reset() override;
+    bool supportsSnapshot() const override { return true; }
+    void saveState(std::ostream &os) const override;
+    void loadState(std::istream &is) override;
 
     /** History length in bits. */
     unsigned historyBits() const { return historyBits_; }

@@ -2,6 +2,7 @@
 
 #include "predictors/info_vector.hh"
 #include "support/probe.hh"
+#include "support/serialize.hh"
 #include "support/table.hh"
 
 namespace bpred
@@ -92,6 +93,20 @@ GSharePredictor::reset()
 {
     table.reset();
     history.reset();
+}
+
+void
+GSharePredictor::saveState(std::ostream &os) const
+{
+    table.saveState(os);
+    putU64(os, history.raw());
+}
+
+void
+GSharePredictor::loadState(std::istream &is)
+{
+    table.loadState(is);
+    history.set(getU64(is));
 }
 
 } // namespace bpred

@@ -5,6 +5,7 @@
 #include "predictors/info_vector.hh"
 #include "support/logging.hh"
 #include "support/probe.hh"
+#include "support/serialize.hh"
 #include "support/table.hh"
 
 namespace bpred
@@ -121,6 +122,33 @@ HybridPredictor::reset()
     firstComponent->reset();
     secondComponent->reset();
     chooser.reset(2);
+    havePrediction = false;
+}
+
+bool
+HybridPredictor::supportsSnapshot() const
+{
+    return firstComponent->supportsSnapshot() &&
+        secondComponent->supportsSnapshot();
+}
+
+void
+HybridPredictor::saveState(std::ostream &os) const
+{
+    // Snapshots are taken at branch boundaries, where the cached
+    // component predictions are dead state — only the tables and
+    // chooser travel.
+    firstComponent->saveState(os);
+    secondComponent->saveState(os);
+    chooser.saveState(os);
+}
+
+void
+HybridPredictor::loadState(std::istream &is)
+{
+    firstComponent->loadState(is);
+    secondComponent->loadState(is);
+    chooser.loadState(is);
     havePrediction = false;
 }
 

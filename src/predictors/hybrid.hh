@@ -43,6 +43,11 @@ class HybridPredictor : public Predictor
     u64 storageBits() const override;
     void reset() override;
 
+    /** Snapshots compose: supported when both components support it. */
+    bool supportsSnapshot() const override;
+    void saveState(std::ostream &os) const override;
+    void loadState(std::istream &is) override;
+
   private:
     std::unique_ptr<Predictor> firstComponent;
     std::unique_ptr<Predictor> secondComponent;

@@ -6,6 +6,7 @@
 #ifndef BPRED_PREDICTORS_PREDICTOR_HH
 #define BPRED_PREDICTORS_PREDICTOR_HH
 
+#include <iosfwd>
 #include <string>
 
 #include "support/types.hh"
@@ -81,6 +82,35 @@ class Predictor
     virtual void reset() = 0;
 
     /**
+     * True when this predictor implements saveState()/loadState().
+     * Default: false (the base-class implementations throw).
+     */
+    virtual bool supportsSnapshot() const { return false; }
+
+    /**
+     * Serialize the complete mutable predictor state — counters,
+     * history registers, chooser state — to @p os so a later
+     * loadState() on an identically-configured instance reproduces
+     * every subsequent prediction exactly. This is the raw payload;
+     * callers wanting a self-describing on-disk artifact should use
+     * savePredictorState(), which frames it with a versioned magic
+     * and the configuration name.
+     *
+     * @throws FatalError when the predictor does not support
+     *         snapshotting (see supportsSnapshot()).
+     */
+    virtual void saveState(std::ostream &os) const;
+
+    /**
+     * Restore state written by saveState() on a predictor with the
+     * same configuration.
+     *
+     * @throws FatalError on unsupported predictors, geometry
+     *         mismatches or a corrupt stream.
+     */
+    virtual void loadState(std::istream &is);
+
+    /**
      * Attach a telemetry sink (see support/probe.hh); nullptr
      * detaches. Instrumented predictors publish per-prediction
      * events to the sink from update(); predictors without
@@ -106,6 +136,33 @@ class Predictor
      */
     ProbeSink *probeSink = nullptr;
 };
+
+/**
+ * Write a framed, self-describing snapshot of @p predictor: the
+ * "BPS1" magic, a format version, the predictor's configuration
+ * name, then the saveState() payload. The name doubles as a
+ * configuration fingerprint — loadPredictorState() refuses to
+ * restore into a predictor whose name differs.
+ *
+ * @throws FatalError when snapshotting is unsupported or on I/O
+ *         failure.
+ */
+void savePredictorState(const Predictor &predictor, std::ostream &os);
+
+/**
+ * Restore a snapshot written by savePredictorState().
+ *
+ * @throws FatalError on a bad magic, an unsupported version, a
+ *         configuration-name mismatch, or a corrupt payload.
+ */
+void loadPredictorState(Predictor &predictor, std::istream &is);
+
+/** savePredictorState() to a file. @throws FatalError on I/O error. */
+void savePredictorState(const Predictor &predictor,
+                        const std::string &path);
+
+/** loadPredictorState() from a file. @throws FatalError on error. */
+void loadPredictorState(Predictor &predictor, const std::string &path);
 
 } // namespace bpred
 

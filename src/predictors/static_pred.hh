@@ -38,6 +38,12 @@ class StaticPredictor : public Predictor
     u64 storageBits() const override { return 0; }
     void reset() override {}
 
+    // Stateless: a snapshot is trivially supported with an empty
+    // payload (the direction is configuration, carried by name()).
+    bool supportsSnapshot() const override { return true; }
+    void saveState(std::ostream &) const override {}
+    void loadState(std::istream &) override {}
+
   private:
     bool direction;
 };

@@ -2,9 +2,8 @@
 
 #include <cstdio>
 
+#include "sim/session.hh"
 #include "support/logging.hh"
-#include "support/probe.hh"
-#include "support/topk.hh"
 
 namespace bpred
 {
@@ -63,73 +62,12 @@ SimResult
 simulateWithOptions(Predictor &predictor, const Trace &trace,
                     const SimOptions &options)
 {
-    SimResult result;
-    result.predictorName = predictor.name();
-    result.traceName = trace.name();
-    result.storageBits = predictor.storageBits();
-    result.windowSize = options.windowSize;
-
-    ProbeSink *previous_probe = nullptr;
-    if (options.probe) {
-        previous_probe = predictor.attachProbe(options.probe);
-    }
-
-    TopKCounter sites(options.topSites > 0 ? options.topSites : 1);
-    WindowSample window;
-    u64 seen = 0;
-    u64 since_flush = 0;
-    for (const BranchRecord &record : trace) {
-        if (!record.conditional) {
-            predictor.notifyUnconditional(record.pc);
-            continue;
-        }
-        // Fused fast path: one virtual dispatch and one index
-        // computation per branch (contract-equivalent to
-        // predict() + update(); test_predictor_contract guards it).
-        const bool prediction =
-            predictor.predictAndUpdate(record.pc, record.taken)
-                .prediction;
-        ++seen;
-        if (options.flushInterval &&
-            ++since_flush == options.flushInterval) {
-            predictor.reset();
-            since_flush = 0;
-        }
-        if (seen <= options.warmupBranches) {
-            continue;
-        }
-        ++result.conditionals;
-        const bool wrong = prediction != record.taken;
-        if (wrong) {
-            ++result.mispredicts;
-            if (options.topSites > 0) {
-                sites.add(record.pc);
-            }
-        }
-        if (options.windowSize > 0) {
-            ++window.branches;
-            if (wrong) {
-                ++window.mispredicts;
-            }
-            if (window.branches == options.windowSize) {
-                result.windows.push_back(window);
-                window = WindowSample();
-            }
-        }
-    }
-    if (options.windowSize > 0 && window.branches > 0) {
-        result.windows.push_back(window);
-    }
-    if (options.topSites > 0) {
-        for (const TopKCounter::Item &item : sites.items()) {
-            result.topSites.push_back(
-                {item.key, item.count, item.overcount});
-        }
-    }
-    if (options.probe) {
-        predictor.attachProbe(previous_probe);
-    }
-    return result;
+    // The batch loop is a one-chunk streaming session: the hot loop
+    // itself lives in SimSession::feed() (sim/session.cc), so batch
+    // and streaming runs cannot diverge.
+    SimSession session(predictor, options, trace.name());
+    session.feed(trace);
+    return session.finish();
 }
 
 SimResult

@@ -155,7 +155,13 @@ SimResult simulate(Predictor &predictor, const Trace &trace);
 /**
  * As simulate(), but the first @p warmup_branches conditional
  * branches train the predictor without being scored.
+ *
+ * @deprecated Set SimOptions::warmupBranches and call
+ *             simulateWithOptions() instead; single-knob entry
+ *             points don't compose with the other options.
  */
+[[deprecated("set SimOptions::warmupBranches and call "
+             "simulateWithOptions()")]]
 SimResult simulateWithWarmup(Predictor &predictor, const Trace &trace,
                              u64 warmup_branches);
 
@@ -165,7 +171,13 @@ SimResult simulateWithWarmup(Predictor &predictor, const Trace &trace,
  * predictor-state loss on heavyweight context switches (the
  * motivation of Evers et al., cited in §1). All branches are
  * scored, including the cold restarts.
+ *
+ * @deprecated Set SimOptions::flushInterval and call
+ *             simulateWithOptions() instead (where 0 simply
+ *             disables flushing rather than being an error).
  */
+[[deprecated("set SimOptions::flushInterval and call "
+             "simulateWithOptions()")]]
 SimResult simulateWithFlush(Predictor &predictor, const Trace &trace,
                             u64 flush_interval);
 

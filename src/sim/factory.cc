@@ -1,7 +1,6 @@
 #include "sim/factory.hh"
 
 #include <sstream>
-#include <vector>
 
 #include "aliasing/falru_predictor.hh"
 #include "core/shared_hysteresis.hh"
@@ -25,6 +24,28 @@ namespace bpred
 namespace
 {
 
+constexpr bool kOpt = true;
+
+SpecFieldInfo
+num(std::string name, bool optional = false,
+    std::string default_value = "")
+{
+    return {std::move(name), SpecFieldKind::Number, optional,
+            std::move(default_value)};
+}
+
+SpecFieldInfo
+counterBits()
+{
+    return num("counter_bits", kOpt, "2");
+}
+
+SpecFieldInfo
+policy()
+{
+    return {"policy", SpecFieldKind::Policy, kOpt, "partial"};
+}
+
 std::vector<std::string>
 splitSpec(const std::string &spec)
 {
@@ -41,7 +62,12 @@ unsigned
 parseUnsigned(const std::string &text, const std::string &spec)
 {
     try {
-        const unsigned long value = std::stoul(text);
+        std::size_t consumed = 0;
+        const unsigned long value = std::stoul(text, &consumed);
+        if (consumed != text.size()) {
+            fatal("predictor spec '" + spec +
+                  "': bad numeric field '" + text + "'");
+        }
         if (value > 1'000'000'000UL) {
             fatal("predictor spec '" + spec + "': field too large");
         }
@@ -71,215 +97,350 @@ parsePolicy(const std::string &text, const std::string &spec)
           "'total'");
 }
 
-void
-requireFields(const std::vector<std::string> &fields, std::size_t lo,
-              std::size_t hi, const std::string &spec)
+} // namespace
+
+std::size_t
+SchemeInfo::requiredFields() const
 {
-    if (fields.size() < lo || fields.size() > hi) {
+    std::size_t required = 0;
+    for (const SpecFieldInfo &field : fields) {
+        if (!field.optional) {
+            ++required;
+        }
+    }
+    return required;
+}
+
+std::string
+SchemeInfo::usage() const
+{
+    std::string text = name;
+    for (const SpecFieldInfo &field : fields) {
+        if (field.kind == SpecFieldKind::Policy) {
+            text += field.optional ? "[:partial|partial-lazy|total]"
+                                   : ":partial|partial-lazy|total";
+        } else if (field.kind == SpecFieldKind::Direction) {
+            text += field.optional ? "[:taken|nottaken]"
+                                   : ":taken|nottaken";
+        } else if (field.optional) {
+            text += "[:<" + field.name + ">]";
+        } else {
+            text += ":<" + field.name + ">";
+        }
+    }
+    return text;
+}
+
+const std::vector<SchemeInfo> &
+listSchemes()
+{
+    static const std::vector<SchemeInfo> schemes = {
+        {"static", "fixed direction, no state",
+         {{"direction", SpecFieldKind::Direction, false, ""}},
+         "static:taken"},
+        {"bimodal", "PC-indexed counter table (paper section 2)",
+         {num("index_bits"), counterBits()}, "bimodal:14"},
+        {"gshare", "global history XOR PC index",
+         {num("index_bits"), num("history_bits"), counterBits()},
+         "gshare:14:12"},
+        {"gselect", "global history concatenated with PC bits",
+         {num("index_bits"), num("history_bits"), counterBits()},
+         "gselect:12:6"},
+        {"pag", "per-address history, global counter table",
+         {num("bht_index_bits"), num("local_history_bits"),
+          counterBits()},
+         "pag:10:8"},
+        {"agree", "gshare direction vs per-site bias bit",
+         {num("index_bits"), num("history_bits"),
+          num("bias_index_bits"), counterBits()},
+         "agree:14:10:12"},
+        {"bimode", "taken/not-taken banks + choice table",
+         {num("dir_index_bits"), num("history_bits"),
+          num("choice_index_bits"), counterBits()},
+         "bimode:13:10:12"},
+        {"yags", "tagged exception caches over a choice table",
+         {num("cache_index_bits"), num("history_bits"),
+          num("choice_index_bits"), num("tag_bits", kOpt, "6")},
+         "yags:10:8:11"},
+        {"hybrid", "gshare + bimodal with a chooser table",
+         {num("index_bits"), num("history_bits")}, "hybrid:14:12"},
+        {"gskewed", "skewed multi-bank with majority vote (section 4)",
+         {num("banks"), num("bank_index_bits"), num("history_bits"),
+          policy()},
+         "gskewed:3:12:8"},
+        {"egskew", "enhanced gskewed: bank 0 is PC-indexed (section 6)",
+         {num("bank_index_bits"), num("history_bits"), policy()},
+         "egskew:12:11"},
+        {"gskewedsh", "gskewed with shared hysteresis bits",
+         {num("banks"), num("bank_index_bits"), num("history_bits"),
+          policy()},
+         "gskewedsh:3:12:8"},
+        {"egskewsh", "e-gskew with shared hysteresis bits",
+         {num("bank_index_bits"), num("history_bits"), policy()},
+         "egskewsh:12:8"},
+        {"pskew", "per-address history into skewed banks",
+         {num("bht_index_bits"), num("local_history_bits"),
+          num("banks"), num("bank_index_bits"), policy()},
+         "pskew:10:8:3:12"},
+        {"falru", "fully-associative LRU tag store (conflict-free)",
+         {num("entries"), num("history_bits"), counterBits()},
+         "falru:4096:4"},
+        {"unaliased", "one counter per (site, history) — no aliasing",
+         {num("history_bits"), counterBits()}, "unaliased:12"},
+    };
+    return schemes;
+}
+
+const SchemeInfo *
+findScheme(const std::string &name)
+{
+    for (const SchemeInfo &scheme : listSchemes()) {
+        if (scheme.name == name) {
+            return &scheme;
+        }
+    }
+    return nullptr;
+}
+
+JsonValue
+schemesToJson()
+{
+    JsonValue result = JsonValue::array();
+    for (const SchemeInfo &scheme : listSchemes()) {
+        JsonValue entry = JsonValue::object();
+        entry["name"] = scheme.name;
+        entry["summary"] = scheme.summary;
+        entry["example"] = scheme.example;
+        JsonValue fields = JsonValue::array();
+        for (const SpecFieldInfo &field : scheme.fields) {
+            JsonValue item = JsonValue::object();
+            item["name"] = field.name;
+            switch (field.kind) {
+              case SpecFieldKind::Number:
+                item["kind"] = std::string("number");
+                break;
+              case SpecFieldKind::Policy:
+                item["kind"] = std::string("policy");
+                break;
+              case SpecFieldKind::Direction:
+                item["kind"] = std::string("direction");
+                break;
+            }
+            item["optional"] = field.optional;
+            if (field.optional) {
+                item["default"] = field.defaultValue;
+            }
+            fields.push(std::move(item));
+        }
+        entry["fields"] = std::move(fields);
+        result.push(std::move(entry));
+    }
+    return result;
+}
+
+std::string
+PredictorSpec::toString() const
+{
+    std::string text = scheme;
+    for (const std::string &field : fields) {
+        text += ':';
+        text += field;
+    }
+    return text;
+}
+
+PredictorSpec
+parseSpec(const std::string &spec)
+{
+    const std::vector<std::string> raw = splitSpec(spec);
+    if (raw.empty()) {
+        fatal("empty predictor spec");
+    }
+
+    const SchemeInfo *scheme = findScheme(raw[0]);
+    if (!scheme) {
+        fatal("predictor spec '" + spec + "': unknown scheme '" +
+              raw[0] + "'");
+    }
+
+    const std::size_t given = raw.size() - 1;
+    if (given < scheme->requiredFields() ||
+        given > scheme->fields.size()) {
         fatal("predictor spec '" + spec +
               "': wrong number of fields (see predictorSpecHelp())");
     }
+
+    PredictorSpec parsed;
+    parsed.scheme = scheme->name;
+    parsed.fields.reserve(given);
+    for (std::size_t i = 0; i < given; ++i) {
+        const SpecFieldInfo &info = scheme->fields[i];
+        const std::string &value = raw[i + 1];
+        switch (info.kind) {
+          case SpecFieldKind::Number:
+            // Canonicalize ("014" -> "14") so toString() output is
+            // stable under re-parsing.
+            parsed.fields.push_back(
+                std::to_string(parseUnsigned(value, spec)));
+            break;
+          case SpecFieldKind::Policy:
+            parsePolicy(value, spec);
+            parsed.fields.push_back(value);
+            break;
+          case SpecFieldKind::Direction:
+            if (value != "taken" && value != "nottaken") {
+                fatal("predictor spec '" + spec +
+                      "': expected 'taken' or 'nottaken'");
+            }
+            parsed.fields.push_back(value);
+            break;
+        }
+    }
+    return parsed;
+}
+
+namespace
+{
+
+// Accessors over a validated PredictorSpec: parseSpec() already
+// guaranteed field counts and formats, so these only convert.
+
+unsigned
+numberAt(const PredictorSpec &spec, std::size_t index)
+{
+    return parseUnsigned(spec.fields[index], spec.toString());
+}
+
+unsigned
+numberAt(const PredictorSpec &spec, std::size_t index,
+         unsigned fallback)
+{
+    return index < spec.fields.size() ? numberAt(spec, index)
+                                      : fallback;
+}
+
+UpdatePolicy
+policyAt(const PredictorSpec &spec, std::size_t index)
+{
+    return index < spec.fields.size()
+        ? parsePolicy(spec.fields[index], spec.toString())
+        : UpdatePolicy::Partial;
 }
 
 } // namespace
 
 std::unique_ptr<Predictor>
-makePredictor(const std::string &spec)
+makePredictor(const PredictorSpec &spec)
 {
-    const std::vector<std::string> fields = splitSpec(spec);
-    if (fields.empty()) {
-        fatal("empty predictor spec");
-    }
-    const std::string &scheme = fields[0];
+    const std::string &scheme = spec.scheme;
 
     if (scheme == "static") {
-        requireFields(fields, 2, 2, spec);
-        if (fields[1] == "taken") {
-            return std::make_unique<StaticPredictor>(true);
-        }
-        if (fields[1] == "nottaken") {
-            return std::make_unique<StaticPredictor>(false);
-        }
-        fatal("predictor spec '" + spec +
-              "': expected 'taken' or 'nottaken'");
+        return std::make_unique<StaticPredictor>(
+            spec.fields[0] == "taken");
     }
     if (scheme == "bimodal") {
-        requireFields(fields, 2, 3, spec);
-        const unsigned index_bits = parseUnsigned(fields[1], spec);
-        const unsigned counter_bits =
-            fields.size() > 2 ? parseUnsigned(fields[2], spec) : 2;
-        return std::make_unique<BimodalPredictor>(index_bits,
-                                                  counter_bits);
+        return std::make_unique<BimodalPredictor>(
+            numberAt(spec, 0), numberAt(spec, 1, 2));
     }
-    if (scheme == "gshare" || scheme == "gselect") {
-        requireFields(fields, 3, 4, spec);
-        const unsigned index_bits = parseUnsigned(fields[1], spec);
-        const unsigned history_bits = parseUnsigned(fields[2], spec);
-        const unsigned counter_bits =
-            fields.size() > 3 ? parseUnsigned(fields[3], spec) : 2;
-        if (scheme == "gshare") {
-            return std::make_unique<GSharePredictor>(
-                index_bits, history_bits, counter_bits);
-        }
+    if (scheme == "gshare") {
+        return std::make_unique<GSharePredictor>(
+            numberAt(spec, 0), numberAt(spec, 1),
+            numberAt(spec, 2, 2));
+    }
+    if (scheme == "gselect") {
         return std::make_unique<GSelectPredictor>(
-            index_bits, history_bits, counter_bits);
+            numberAt(spec, 0), numberAt(spec, 1),
+            numberAt(spec, 2, 2));
     }
     if (scheme == "agree") {
-        requireFields(fields, 4, 5, spec);
-        const unsigned index_bits = parseUnsigned(fields[1], spec);
-        const unsigned history_bits = parseUnsigned(fields[2], spec);
-        const unsigned bias_bits = parseUnsigned(fields[3], spec);
-        const unsigned counter_bits =
-            fields.size() > 4 ? parseUnsigned(fields[4], spec) : 2;
         return std::make_unique<AgreePredictor>(
-            index_bits, history_bits, bias_bits, counter_bits);
+            numberAt(spec, 0), numberAt(spec, 1), numberAt(spec, 2),
+            numberAt(spec, 3, 2));
     }
     if (scheme == "bimode") {
-        requireFields(fields, 4, 5, spec);
-        const unsigned dir_bits = parseUnsigned(fields[1], spec);
-        const unsigned history_bits = parseUnsigned(fields[2], spec);
-        const unsigned choice_bits = parseUnsigned(fields[3], spec);
-        const unsigned counter_bits =
-            fields.size() > 4 ? parseUnsigned(fields[4], spec) : 2;
         return std::make_unique<BiModePredictor>(
-            dir_bits, history_bits, choice_bits, counter_bits);
+            numberAt(spec, 0), numberAt(spec, 1), numberAt(spec, 2),
+            numberAt(spec, 3, 2));
     }
     if (scheme == "yags") {
-        requireFields(fields, 4, 6, spec);
-        const unsigned cache_bits = parseUnsigned(fields[1], spec);
-        const unsigned history_bits = parseUnsigned(fields[2], spec);
-        const unsigned choice_bits = parseUnsigned(fields[3], spec);
-        const unsigned tag_bits =
-            fields.size() > 4 ? parseUnsigned(fields[4], spec) : 6;
         return std::make_unique<YagsPredictor>(
-            cache_bits, history_bits, choice_bits, tag_bits);
+            numberAt(spec, 0), numberAt(spec, 1), numberAt(spec, 2),
+            numberAt(spec, 3, 6));
     }
     if (scheme == "pag") {
-        requireFields(fields, 3, 4, spec);
-        const unsigned bht_bits = parseUnsigned(fields[1], spec);
-        const unsigned local_bits = parseUnsigned(fields[2], spec);
-        const unsigned counter_bits =
-            fields.size() > 3 ? parseUnsigned(fields[3], spec) : 2;
         return std::make_unique<LocalTwoLevelPredictor>(
-            bht_bits, local_bits, counter_bits);
+            numberAt(spec, 0), numberAt(spec, 1),
+            numberAt(spec, 2, 2));
     }
     if (scheme == "hybrid") {
-        requireFields(fields, 3, 3, spec);
-        const unsigned index_bits = parseUnsigned(fields[1], spec);
-        const unsigned history_bits = parseUnsigned(fields[2], spec);
+        const unsigned index_bits = numberAt(spec, 0);
         return std::make_unique<HybridPredictor>(
-            std::make_unique<GSharePredictor>(index_bits, history_bits),
+            std::make_unique<GSharePredictor>(index_bits,
+                                              numberAt(spec, 1)),
             std::make_unique<BimodalPredictor>(index_bits),
             index_bits);
     }
-    if (scheme == "gskewed") {
-        requireFields(fields, 4, 5, spec);
+    if (scheme == "gskewed" || scheme == "gskewedsh") {
         SkewedPredictor::Config config;
-        config.numBanks = parseUnsigned(fields[1], spec);
-        config.bankIndexBits = parseUnsigned(fields[2], spec);
-        config.historyBits = parseUnsigned(fields[3], spec);
-        config.updatePolicy = fields.size() > 4
-            ? parsePolicy(fields[4], spec)
-            : UpdatePolicy::Partial;
-        return std::make_unique<SkewedPredictor>(config);
-    }
-    if (scheme == "egskew") {
-        requireFields(fields, 3, 4, spec);
-        SkewedPredictor::Config config = makeEnhancedConfig(
-            parseUnsigned(fields[1], spec),
-            parseUnsigned(fields[2], spec));
-        if (fields.size() > 3) {
-            config.updatePolicy = parsePolicy(fields[3], spec);
-        }
-        return std::make_unique<SkewedPredictor>(config);
-    }
-    if (scheme == "gskewedsh" || scheme == "egskewsh") {
-        // Shared-hysteresis encodings of gskewed / e-gskew.
-        SkewedPredictor::Config config;
+        config.numBanks = numberAt(spec, 0);
+        config.bankIndexBits = numberAt(spec, 1);
+        config.historyBits = numberAt(spec, 2);
+        config.updatePolicy = policyAt(spec, 3);
         if (scheme == "gskewedsh") {
-            requireFields(fields, 4, 5, spec);
-            config.numBanks = parseUnsigned(fields[1], spec);
-            config.bankIndexBits = parseUnsigned(fields[2], spec);
-            config.historyBits = parseUnsigned(fields[3], spec);
-            if (fields.size() > 4) {
-                config.updatePolicy = parsePolicy(fields[4], spec);
-            }
-        } else {
-            requireFields(fields, 3, 4, spec);
-            config = makeEnhancedConfig(
-                parseUnsigned(fields[1], spec),
-                parseUnsigned(fields[2], spec));
-            if (fields.size() > 3) {
-                config.updatePolicy = parsePolicy(fields[3], spec);
-            }
+            return std::make_unique<SharedHysteresisSkewedPredictor>(
+                config);
         }
-        return std::make_unique<SharedHysteresisSkewedPredictor>(
-            config);
+        return std::make_unique<SkewedPredictor>(config);
+    }
+    if (scheme == "egskew" || scheme == "egskewsh") {
+        SkewedPredictor::Config config = makeEnhancedConfig(
+            numberAt(spec, 0), numberAt(spec, 1));
+        config.updatePolicy = policyAt(spec, 2);
+        if (scheme == "egskewsh") {
+            return std::make_unique<SharedHysteresisSkewedPredictor>(
+                config);
+        }
+        return std::make_unique<SkewedPredictor>(config);
     }
     if (scheme == "pskew") {
-        requireFields(fields, 5, 6, spec);
-        const unsigned bht_bits = parseUnsigned(fields[1], spec);
-        const unsigned local_bits = parseUnsigned(fields[2], spec);
-        const unsigned num_banks = parseUnsigned(fields[3], spec);
-        const unsigned bank_bits = parseUnsigned(fields[4], spec);
-        const UpdatePolicy policy = fields.size() > 5
-            ? parsePolicy(fields[5], spec)
-            : UpdatePolicy::Partial;
         return std::make_unique<SkewedLocalPredictor>(
-            bht_bits, local_bits, num_banks, bank_bits, policy);
+            numberAt(spec, 0), numberAt(spec, 1), numberAt(spec, 2),
+            numberAt(spec, 3), policyAt(spec, 4));
     }
     if (scheme == "falru") {
-        requireFields(fields, 3, 4, spec);
-        const u64 entries = parseUnsigned(fields[1], spec);
-        const unsigned history_bits = parseUnsigned(fields[2], spec);
-        const unsigned counter_bits =
-            fields.size() > 3 ? parseUnsigned(fields[3], spec) : 2;
+        const u64 entries = numberAt(spec, 0);
         if (entries == 0) {
-            fatal("predictor spec '" + spec + "': zero entries");
+            fatal("predictor spec '" + spec.toString() +
+                  "': zero entries");
         }
-        return std::make_unique<FaLruPredictor>(entries, history_bits,
-                                                counter_bits);
+        return std::make_unique<FaLruPredictor>(
+            entries, numberAt(spec, 1), numberAt(spec, 2, 2));
     }
     if (scheme == "unaliased") {
-        requireFields(fields, 2, 3, spec);
-        const unsigned history_bits = parseUnsigned(fields[1], spec);
-        const unsigned counter_bits =
-            fields.size() > 2 ? parseUnsigned(fields[2], spec) : 2;
-        return std::make_unique<UnaliasedPredictor>(history_bits,
-                                                    counter_bits);
+        return std::make_unique<UnaliasedPredictor>(
+            numberAt(spec, 0), numberAt(spec, 1, 2));
     }
 
-    fatal("predictor spec '" + spec + "': unknown scheme '" + scheme +
-          "'");
+    // parseSpec() accepts exactly the schemes handled above, so a
+    // PredictorSpec built by hand is the only way to get here.
+    fatal("predictor spec '" + spec.toString() +
+          "': unknown scheme '" + scheme + "'");
+}
+
+std::unique_ptr<Predictor>
+makePredictor(const std::string &spec)
+{
+    return makePredictor(parseSpec(spec));
 }
 
 std::string
 predictorSpecHelp()
 {
-    return "predictor specs:\n"
-           "  static:taken|nottaken\n"
-           "  bimodal:<index_bits>[:<counter_bits>]\n"
-           "  gshare:<index_bits>:<history_bits>[:<counter_bits>]\n"
-           "  gselect:<index_bits>:<history_bits>[:<counter_bits>]\n"
-           "  pag:<bht_bits>:<local_history_bits>[:<counter_bits>]\n"
-           "  agree:<index_bits>:<history_bits>:<bias_index_bits>"
-           "[:<counter_bits>]\n"
-           "  bimode:<dir_index_bits>:<history_bits>"
-           ":<choice_index_bits>[:<counter_bits>]\n"
-           "  yags:<cache_index_bits>:<history_bits>"
-           ":<choice_index_bits>[:<tag_bits>]\n"
-           "  hybrid:<index_bits>:<history_bits>\n"
-           "  gskewed:<banks>:<bank_index_bits>:<history_bits>"
-           "[:partial|partial-lazy|total]\n"
-           "  egskew:<bank_index_bits>:<history_bits>"
-           "[:partial|partial-lazy|total]\n"
-           "  gskewedsh:<banks>:<bank_index_bits>:<history_bits>"
-           "[:policy]\n"
-           "  egskewsh:<bank_index_bits>:<history_bits>[:policy]\n"
-           "  pskew:<bht_bits>:<local_history_bits>:<banks>"
-           ":<bank_index_bits>[:policy]\n"
-           "  falru:<entries>:<history_bits>[:<counter_bits>]\n"
-           "  unaliased:<history_bits>[:<counter_bits>]";
+    std::string text = "predictor specs:";
+    for (const SchemeInfo &scheme : listSchemes()) {
+        text += "\n  " + scheme.usage();
+    }
+    return text;
 }
 
 } // namespace bpred

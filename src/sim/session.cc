@@ -1,0 +1,146 @@
+#include "sim/session.hh"
+
+#include <vector>
+
+#include "support/logging.hh"
+#include "support/probe.hh"
+
+namespace bpred
+{
+
+SimSession::SimSession(Predictor &predictor, const SimOptions &options,
+                       std::string trace_name)
+    : predictor(predictor), options(options),
+      sites(options.topSites > 0 ? options.topSites : 1)
+{
+    result.predictorName = predictor.name();
+    result.traceName = std::move(trace_name);
+    result.storageBits = predictor.storageBits();
+    result.windowSize = options.windowSize;
+    if (options.probe) {
+        previousProbe = predictor.attachProbe(options.probe);
+    }
+}
+
+SimSession::~SimSession()
+{
+    if (!finished_ && options.probe) {
+        predictor.attachProbe(previousProbe);
+    }
+}
+
+void
+SimSession::setTraceName(std::string trace_name)
+{
+    if (finished_) {
+        fatal("SimSession: setTraceName after finish");
+    }
+    result.traceName = std::move(trace_name);
+}
+
+void
+SimSession::feed(const BranchRecord *records, std::size_t count)
+{
+    if (finished_) {
+        fatal("SimSession: feed after finish");
+    }
+
+    // Hot counters live in locals for the duration of the chunk;
+    // member writes happen once per feed(), not once per branch, so
+    // the streaming path matches the batch loop's throughput.
+    Predictor &pred = predictor;
+    u64 seen_local = seen;
+    u64 since_flush = sinceFlush;
+    u64 conditionals = result.conditionals;
+    u64 mispredicts = result.mispredicts;
+    const u64 warmup = options.warmupBranches;
+    const u64 flush_interval = options.flushInterval;
+    const u64 window_size = options.windowSize;
+    const bool track_sites = options.topSites > 0;
+
+    for (std::size_t i = 0; i < count; ++i) {
+        const BranchRecord &record = records[i];
+        if (!record.conditional) {
+            pred.notifyUnconditional(record.pc);
+            continue;
+        }
+        // Fused fast path: one virtual dispatch and one index
+        // computation per branch (contract-equivalent to
+        // predict() + update(); test_predictor_contract guards it).
+        const bool prediction =
+            pred.predictAndUpdate(record.pc, record.taken).prediction;
+        ++seen_local;
+        if (flush_interval && ++since_flush == flush_interval) {
+            pred.reset();
+            since_flush = 0;
+        }
+        if (seen_local <= warmup) {
+            continue;
+        }
+        ++conditionals;
+        const bool wrong = prediction != record.taken;
+        if (wrong) {
+            ++mispredicts;
+            if (track_sites) {
+                sites.add(record.pc);
+            }
+        }
+        if (window_size > 0) {
+            ++window.branches;
+            if (wrong) {
+                ++window.mispredicts;
+            }
+            if (window.branches == window_size) {
+                result.windows.push_back(window);
+                window = WindowSample();
+            }
+        }
+    }
+
+    seen = seen_local;
+    sinceFlush = since_flush;
+    result.conditionals = conditionals;
+    result.mispredicts = mispredicts;
+}
+
+SimResult
+SimSession::finish()
+{
+    if (finished_) {
+        fatal("SimSession: finish called twice");
+    }
+    finished_ = true;
+
+    if (options.windowSize > 0 && window.branches > 0) {
+        result.windows.push_back(window);
+        window = WindowSample();
+    }
+    if (options.topSites > 0) {
+        for (const TopKCounter::Item &item : sites.items()) {
+            result.topSites.push_back(
+                {item.key, item.count, item.overcount});
+        }
+    }
+    if (options.probe) {
+        predictor.attachProbe(previousProbe);
+    }
+    return std::move(result);
+}
+
+SimResult
+simulateSource(Predictor &predictor, TraceSource &source,
+               const SimOptions &options, std::size_t chunk_records)
+{
+    if (chunk_records == 0) {
+        fatal("simulateSource: zero chunk size");
+    }
+    SimSession session(predictor, options, source.name());
+    std::vector<BranchRecord> chunk(chunk_records);
+    while (const std::size_t n = source.pull(chunk.data(),
+                                             chunk.size())) {
+        session.feed(chunk.data(), n);
+    }
+    return session.finish();
+}
+
+} // namespace bpred

@@ -2,6 +2,9 @@
 
 #include <vector>
 
+#include "support/logging.hh"
+#include "support/serialize.hh"
+
 namespace bpred
 {
 
@@ -21,6 +24,30 @@ SatCounterArray::reset(u8 initial)
 {
     assert(initial <= maxCounterValue);
     std::fill(values.begin(), values.end(), initial);
+}
+
+void
+SatCounterArray::saveState(std::ostream &os) const
+{
+    putU64(os, values.size());
+    putU8(os, width_);
+    putBytes(os, values.data(), values.size());
+}
+
+void
+SatCounterArray::loadState(std::istream &is)
+{
+    const u64 stored_size = getU64(is);
+    const u8 stored_width = getU8(is);
+    if (stored_size != values.size() || stored_width != width_) {
+        fatal("sat counter array: snapshot geometry mismatch");
+    }
+    getBytes(is, values.data(), values.size());
+    for (const u8 value : values) {
+        if (value > maxCounterValue) {
+            fatal("sat counter array: snapshot counter out of range");
+        }
+    }
 }
 
 } // namespace bpred

@@ -7,6 +7,7 @@
 #define BPRED_SUPPORT_SAT_COUNTER_HH
 
 #include <cassert>
+#include <iosfwd>
 #include <vector>
 
 #include "support/bitops.hh"
@@ -175,6 +176,22 @@ class SatCounterArray
 
     /** Reset every counter to @p initial. */
     void reset(u8 initial = 0);
+
+    /**
+     * Serialize geometry (entry count, width) and every counter
+     * value (see support/serialize.hh for the encoding).
+     */
+    void saveState(std::ostream &os) const;
+
+    /**
+     * Restore counter values from a saveState() stream. The stored
+     * geometry must match this array's; every restored value must
+     * be representable at this width.
+     *
+     * @throws FatalError on a geometry mismatch, an out-of-range
+     *         counter value, or truncation.
+     */
+    void loadState(std::istream &is);
 
   private:
     std::vector<u8> values;

@@ -1,0 +1,91 @@
+#include "support/serialize.hh"
+
+#include <istream>
+#include <ostream>
+
+#include "support/logging.hh"
+
+namespace bpred
+{
+
+void
+putU8(std::ostream &os, u8 value)
+{
+    os.put(static_cast<char>(value));
+}
+
+u8
+getU8(std::istream &is)
+{
+    const int byte = is.get();
+    if (byte == std::char_traits<char>::eof()) {
+        fatal("serialize: truncated stream");
+    }
+    return static_cast<u8>(byte);
+}
+
+void
+putU64(std::ostream &os, u64 value)
+{
+    char bytes[8];
+    for (unsigned i = 0; i < 8; ++i) {
+        bytes[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+    }
+    os.write(bytes, sizeof(bytes));
+}
+
+u64
+getU64(std::istream &is)
+{
+    char bytes[8];
+    is.read(bytes, sizeof(bytes));
+    if (!is) {
+        fatal("serialize: truncated stream");
+    }
+    u64 value = 0;
+    for (unsigned i = 0; i < 8; ++i) {
+        value |= static_cast<u64>(static_cast<u8>(bytes[i])) << (8 * i);
+    }
+    return value;
+}
+
+void
+putBytes(std::ostream &os, const void *data, std::size_t size)
+{
+    os.write(static_cast<const char *>(data),
+             static_cast<std::streamsize>(size));
+}
+
+void
+getBytes(std::istream &is, void *data, std::size_t size)
+{
+    is.read(static_cast<char *>(data),
+            static_cast<std::streamsize>(size));
+    if (!is) {
+        fatal("serialize: truncated stream");
+    }
+}
+
+void
+putString(std::ostream &os, const std::string &value)
+{
+    putU64(os, value.size());
+    putBytes(os, value.data(), value.size());
+}
+
+std::string
+getString(std::istream &is, std::size_t max_length)
+{
+    const u64 length = getU64(is);
+    if (length > max_length) {
+        fatal("serialize: unreasonable string length");
+    }
+    std::string value(static_cast<std::size_t>(length), '\0');
+    if (length > 0) {
+        getBytes(is, value.data(),
+                 static_cast<std::size_t>(length));
+    }
+    return value;
+}
+
+} // namespace bpred

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Tiny binary stream-serialization helpers.
+ *
+ * Shared by the predictor snapshot machinery (see
+ * predictors/predictor.hh) and any other component that persists
+ * state. All integers are fixed-width little-endian regardless of
+ * host byte order; readers throw FatalError on truncation so a
+ * corrupt checkpoint surfaces as a user error, never as silent
+ * garbage state.
+ */
+
+#ifndef BPRED_SUPPORT_SERIALIZE_HH
+#define BPRED_SUPPORT_SERIALIZE_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "support/types.hh"
+
+namespace bpred
+{
+
+/** Write one byte. */
+void putU8(std::ostream &os, u8 value);
+
+/** Read one byte. @throws FatalError on truncation. */
+u8 getU8(std::istream &is);
+
+/** Write a u64 as 8 little-endian bytes. */
+void putU64(std::ostream &os, u64 value);
+
+/** Read a little-endian u64. @throws FatalError on truncation. */
+u64 getU64(std::istream &is);
+
+/** Write @p size raw bytes. */
+void putBytes(std::ostream &os, const void *data, std::size_t size);
+
+/** Read exactly @p size raw bytes. @throws FatalError on truncation. */
+void getBytes(std::istream &is, void *data, std::size_t size);
+
+/** Write a length-prefixed string (u64 length + bytes). */
+void putString(std::ostream &os, const std::string &value);
+
+/**
+ * Read a length-prefixed string.
+ *
+ * @param max_length Sanity cap on the declared length.
+ * @throws FatalError on truncation or an unreasonable length.
+ */
+std::string getString(std::istream &is, std::size_t max_length = 4096);
+
+} // namespace bpred
+
+#endif // BPRED_SUPPORT_SERIALIZE_HH

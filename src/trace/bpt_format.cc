@@ -1,0 +1,140 @@
+#include "trace/bpt_format.hh"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+#include "support/logging.hh"
+
+namespace bpred::bpt
+{
+
+void
+writeVarint(std::ostream &os, u64 value)
+{
+    while (value >= 0x80) {
+        os.put(static_cast<char>((value & 0x7f) | 0x80));
+        value >>= 7;
+    }
+    os.put(static_cast<char>(value));
+}
+
+u64
+readVarint(std::istream &is)
+{
+    u64 value = 0;
+    unsigned shift = 0;
+    for (;;) {
+        const int byte = is.get();
+        if (byte == std::char_traits<char>::eof()) {
+            fatal("trace: truncated varint");
+        }
+        if (shift >= 64) {
+            fatal("trace: varint overflow");
+        }
+        value |= (static_cast<u64>(byte) & 0x7f) << shift;
+        if ((byte & 0x80) == 0) {
+            return value;
+        }
+        shift += 7;
+    }
+}
+
+u64
+zigZagEncode(i64 value)
+{
+    return (static_cast<u64>(value) << 1) ^
+        static_cast<u64>(value >> 63);
+}
+
+i64
+zigZagDecode(u64 value)
+{
+    return static_cast<i64>(value >> 1) ^ -static_cast<i64>(value & 1);
+}
+
+void
+writeHeader(std::ostream &os, const std::string &name, u64 count)
+{
+    os.write(magic, sizeof(magic));
+    writeVarint(os, name.size());
+    os.write(name.data(), static_cast<std::streamsize>(name.size()));
+    writeVarint(os, count);
+}
+
+Header
+readHeader(std::istream &is)
+{
+    char stored_magic[4] = {};
+    is.read(stored_magic, sizeof(stored_magic));
+    if (!is || !std::equal(stored_magic, stored_magic + 4, magic)) {
+        fatal("trace: bad magic (not a BPT1 trace)");
+    }
+
+    Header header;
+    const u64 name_len = readVarint(is);
+    if (name_len > 4096) {
+        fatal("trace: unreasonable name length");
+    }
+    header.name.assign(static_cast<std::size_t>(name_len), '\0');
+    is.read(header.name.data(),
+            static_cast<std::streamsize>(name_len));
+    if (!is) {
+        fatal("trace: truncated name");
+    }
+
+    header.count = readVarint(is);
+
+    // Every record costs at least two bytes (flag byte + one varint
+    // byte), so on a seekable stream the declared count is bounded
+    // by half the remaining length. A corrupt header claiming more
+    // is rejected here, before any caller sizes an allocation by it.
+    const std::istream::pos_type pos = is.tellg();
+    if (pos != std::istream::pos_type(-1)) {
+        is.seekg(0, std::ios::end);
+        const std::istream::pos_type end = is.tellg();
+        is.seekg(pos);
+        if (is && end != std::istream::pos_type(-1) && end >= pos) {
+            const u64 remaining = static_cast<u64>(end - pos);
+            if (header.count > remaining / 2) {
+                fatal("trace: header declares " +
+                      std::to_string(header.count) +
+                      " records but only " +
+                      std::to_string(remaining) +
+                      " bytes follow");
+            }
+            header.lengthValidated = true;
+        }
+    }
+    return header;
+}
+
+void
+writeRecord(std::ostream &os, const BranchRecord &record,
+            Addr &last_pc)
+{
+    const i64 delta = static_cast<i64>(record.pc) -
+        static_cast<i64>(last_pc);
+    const u8 flags = static_cast<u8>((record.taken ? 1 : 0) |
+                                     (record.conditional ? 2 : 0));
+    os.put(static_cast<char>(flags));
+    writeVarint(os, zigZagEncode(delta));
+    last_pc = record.pc;
+}
+
+BranchRecord
+readRecord(std::istream &is, Addr &last_pc)
+{
+    const int flags = is.get();
+    if (flags == std::char_traits<char>::eof()) {
+        fatal("trace: truncated record");
+    }
+    if ((flags & ~0x3) != 0) {
+        fatal("trace: bad record flags");
+    }
+    const i64 delta = zigZagDecode(readVarint(is));
+    last_pc = static_cast<Addr>(static_cast<i64>(last_pc) + delta);
+    return {last_pc, (flags & 1) != 0, (flags & 2) != 0};
+}
+
+} // namespace bpred::bpt

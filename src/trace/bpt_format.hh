@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Internal BPT1 wire-format primitives, shared by the batch
+ * serializer (trace_io) and the incremental decoder (stream).
+ *
+ * Layout: 4-byte magic "BPT1", varint name length, name bytes,
+ * varint record count, then per record a flag byte (bit 0 = taken,
+ * bit 1 = conditional) and a zigzag-varint PC delta from the
+ * previous record's PC.
+ *
+ * This header is library-internal: tools exchange traces through
+ * trace_io.hh / stream.hh, never by touching the encoding directly.
+ */
+
+#ifndef BPRED_TRACE_BPT_FORMAT_HH
+#define BPRED_TRACE_BPT_FORMAT_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "support/types.hh"
+#include "trace/branch_record.hh"
+
+namespace bpred::bpt
+{
+
+inline constexpr char magic[4] = {'B', 'P', 'T', '1'};
+
+/** Emit a LEB128 varint. */
+void writeVarint(std::ostream &os, u64 value);
+
+/** Decode a LEB128 varint. @throws FatalError on truncation. */
+u64 readVarint(std::istream &is);
+
+/** ZigZag encoding maps signed deltas to small unsigned values. */
+u64 zigZagEncode(i64 value);
+i64 zigZagDecode(u64 value);
+
+/** The decoded BPT1 stream header. */
+struct Header
+{
+    std::string name;
+
+    /** Declared record count. */
+    u64 count = 0;
+
+    /**
+     * True when the stream was seekable and @p count was verified
+     * to fit in the remaining byte length. When false (pipes,
+     * non-seekable sources) callers must bound allocations
+     * themselves and rely on per-record truncation checks.
+     */
+    bool lengthValidated = false;
+};
+
+/** Write magic, name and record count. */
+void writeHeader(std::ostream &os, const std::string &name, u64 count);
+
+/**
+ * Read and validate magic, name and record count. On seekable
+ * streams the declared count is checked against the remaining byte
+ * length (every record occupies at least two bytes), so a corrupt
+ * or hostile header cannot induce an absurd allocation downstream.
+ *
+ * @throws FatalError on bad magic, an unreasonable name, or a
+ *         record count exceeding the stream size.
+ */
+Header readHeader(std::istream &is);
+
+/**
+ * Append one record, delta-encoding the PC against @p last_pc
+ * (updated in place).
+ */
+void writeRecord(std::ostream &os, const BranchRecord &record,
+                 Addr &last_pc);
+
+/**
+ * Decode one record, resolving the PC delta against @p last_pc
+ * (updated in place).
+ *
+ * @throws FatalError on truncation or bad flags.
+ */
+BranchRecord readRecord(std::istream &is, Addr &last_pc);
+
+} // namespace bpred::bpt
+
+#endif // BPRED_TRACE_BPT_FORMAT_HH

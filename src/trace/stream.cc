@@ -1,0 +1,71 @@
+#include "trace/stream.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/logging.hh"
+#include "trace/bpt_format.hh"
+
+namespace bpred
+{
+
+std::size_t
+MemoryTraceSource::pull(BranchRecord *out, std::size_t max)
+{
+    const std::size_t available = trace_.size() - next;
+    const std::size_t produced = std::min(max, available);
+    const BranchRecord *begin = trace_.records().data() + next;
+    std::copy(begin, begin + produced, out);
+    next += produced;
+    return produced;
+}
+
+BinaryTraceSource::BinaryTraceSource(std::istream &is) : stream(&is)
+{
+    const bpt::Header header = bpt::readHeader(*stream);
+    name_ = header.name;
+    remaining_ = header.count;
+}
+
+BinaryTraceSource::BinaryTraceSource(const std::string &path)
+    : owned(std::make_unique<std::ifstream>(path, std::ios::binary)),
+      stream(owned.get())
+{
+    if (!*owned) {
+        fatal("trace: cannot open '" + path + "' for reading");
+    }
+    const bpt::Header header = bpt::readHeader(*stream);
+    name_ = header.name;
+    remaining_ = header.count;
+}
+
+std::size_t
+BinaryTraceSource::pull(BranchRecord *out, std::size_t max)
+{
+    const std::size_t produced = static_cast<std::size_t>(
+        std::min<u64>(max, remaining_));
+    for (std::size_t i = 0; i < produced; ++i) {
+        out[i] = bpt::readRecord(*stream, lastPc);
+    }
+    remaining_ -= produced;
+    return produced;
+}
+
+Trace
+drainSource(TraceSource &source, std::size_t chunk_records)
+{
+    if (chunk_records == 0) {
+        fatal("drainSource: zero chunk size");
+    }
+    Trace trace(source.name());
+    std::vector<BranchRecord> buffer(chunk_records);
+    while (const std::size_t n =
+               source.pull(buffer.data(), buffer.size())) {
+        for (std::size_t i = 0; i < n; ++i) {
+            trace.append(buffer[i]);
+        }
+    }
+    return trace;
+}
+
+} // namespace bpred

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Pull-based streaming trace sources.
+ *
+ * A TraceSource delivers a branch trace in bounded-memory chunks, so
+ * a SimSession (sim/session.hh) can consume traces far larger than
+ * memory — decoded incrementally from a BPT1 file, generated on the
+ * fly (workloads/stream_source.hh), or served from an in-memory
+ * Trace for the batch path. Sources are single-pass unless they
+ * document otherwise.
+ */
+
+#ifndef BPRED_TRACE_STREAM_HH
+#define BPRED_TRACE_STREAM_HH
+
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace bpred
+{
+
+/** A pull-based producer of branch records. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /** Benchmark name of the streamed trace. */
+    virtual const std::string &name() const = 0;
+
+    /**
+     * Copy up to @p max records into @p out, in trace order.
+     *
+     * @return Records produced; 0 means the stream is exhausted
+     *         (and every later call also returns 0).
+     */
+    virtual std::size_t pull(BranchRecord *out, std::size_t max) = 0;
+};
+
+/**
+ * A TraceSource view over an in-memory Trace (not owned; must
+ * outlive the source). Supports rewind(), so one materialized trace
+ * can feed many streaming runs.
+ */
+class MemoryTraceSource : public TraceSource
+{
+  public:
+    explicit MemoryTraceSource(const Trace &trace) : trace_(trace) {}
+
+    const std::string &name() const override { return trace_.name(); }
+    std::size_t pull(BranchRecord *out, std::size_t max) override;
+
+    /** Restart the stream from the first record. */
+    void rewind() { next = 0; }
+
+  private:
+    const Trace &trace_;
+    std::size_t next = 0;
+};
+
+/**
+ * Incremental BPT1 decoder: reads the header eagerly (validating
+ * the declared record count against the stream length, see
+ * trace/bpt_format.hh) and decodes records on demand, so a
+ * multi-gigabyte trace file is simulated without ever being
+ * materialized.
+ */
+class BinaryTraceSource : public TraceSource
+{
+  public:
+    /**
+     * Stream from @p is (not owned; must outlive the source and be
+     * positioned at the BPT1 magic).
+     *
+     * @throws FatalError on a malformed header.
+     */
+    explicit BinaryTraceSource(std::istream &is);
+
+    /**
+     * Open @p path and stream from it (the file handle is owned).
+     *
+     * @throws FatalError when the file cannot be opened or the
+     *         header is malformed.
+     */
+    explicit BinaryTraceSource(const std::string &path);
+
+    const std::string &name() const override { return name_; }
+    std::size_t pull(BranchRecord *out, std::size_t max) override;
+
+    /** Records not yet pulled. */
+    u64 remaining() const { return remaining_; }
+
+  private:
+    std::unique_ptr<std::ifstream> owned;
+    std::istream *stream;
+    std::string name_;
+    u64 remaining_ = 0;
+    Addr lastPc = 0;
+};
+
+/**
+ * Drain @p source to completion into an in-memory Trace, pulling
+ * @p chunk_records at a time.
+ */
+Trace drainSource(TraceSource &source, std::size_t chunk_records = 65536);
+
+} // namespace bpred
+
+#endif // BPRED_TRACE_STREAM_HH

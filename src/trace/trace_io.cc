@@ -7,80 +7,18 @@
 #include <sstream>
 
 #include "support/logging.hh"
+#include "trace/bpt_format.hh"
 
 namespace bpred
 {
 
-namespace
-{
-
-constexpr char binaryMagic[4] = {'B', 'P', 'T', '1'};
-
-void
-writeVarint(std::ostream &os, u64 value)
-{
-    while (value >= 0x80) {
-        os.put(static_cast<char>((value & 0x7f) | 0x80));
-        value >>= 7;
-    }
-    os.put(static_cast<char>(value));
-}
-
-u64
-readVarint(std::istream &is)
-{
-    u64 value = 0;
-    unsigned shift = 0;
-    for (;;) {
-        const int byte = is.get();
-        if (byte == std::char_traits<char>::eof()) {
-            fatal("trace: truncated varint");
-        }
-        if (shift >= 64) {
-            fatal("trace: varint overflow");
-        }
-        value |= (static_cast<u64>(byte) & 0x7f) << shift;
-        if ((byte & 0x80) == 0) {
-            return value;
-        }
-        shift += 7;
-    }
-}
-
-/** ZigZag encoding maps signed deltas to small unsigned values. */
-u64
-zigZagEncode(i64 value)
-{
-    return (static_cast<u64>(value) << 1) ^
-        static_cast<u64>(value >> 63);
-}
-
-i64
-zigZagDecode(u64 value)
-{
-    return static_cast<i64>(value >> 1) ^ -static_cast<i64>(value & 1);
-}
-
-} // namespace
-
 void
 writeBinaryTrace(std::ostream &os, const Trace &trace)
 {
-    os.write(binaryMagic, sizeof(binaryMagic));
-    writeVarint(os, trace.name().size());
-    os.write(trace.name().data(),
-             static_cast<std::streamsize>(trace.name().size()));
-    writeVarint(os, trace.size());
-
+    bpt::writeHeader(os, trace.name(), trace.size());
     Addr last_pc = 0;
     for (const BranchRecord &record : trace) {
-        const i64 delta = static_cast<i64>(record.pc) -
-            static_cast<i64>(last_pc);
-        const u8 flags = static_cast<u8>((record.taken ? 1 : 0) |
-                                         (record.conditional ? 2 : 0));
-        os.put(static_cast<char>(flags));
-        writeVarint(os, zigZagEncode(delta));
-        last_pc = record.pc;
+        bpt::writeRecord(os, record, last_pc);
     }
     if (!os) {
         fatal("trace: write failure");
@@ -90,42 +28,20 @@ writeBinaryTrace(std::ostream &os, const Trace &trace)
 Trace
 readBinaryTrace(std::istream &is)
 {
-    char magic[4] = {};
-    is.read(magic, sizeof(magic));
-    if (!is || !std::equal(magic, magic + 4, binaryMagic)) {
-        fatal("trace: bad magic (not a BPT1 trace)");
-    }
-
-    const u64 name_len = readVarint(is);
-    if (name_len > 4096) {
-        fatal("trace: unreasonable name length");
-    }
-    std::string name(name_len, '\0');
-    is.read(name.data(), static_cast<std::streamsize>(name_len));
-    if (!is) {
-        fatal("trace: truncated name");
-    }
-
-    const u64 count = readVarint(is);
-    Trace trace(name);
-    // A hostile or corrupt header can declare an absurd count;
-    // cap the up-front reservation and let the per-record reads
-    // hit the truncation check naturally.
-    trace.reserve(static_cast<std::size_t>(
-        std::min<u64>(count, u64(1) << 20)));
+    const bpt::Header header = bpt::readHeader(is);
+    Trace trace(header.name);
+    // readHeader() verified the count against the stream length on
+    // seekable input, so reserving it is safe; on non-seekable
+    // streams cap the up-front reservation and let the per-record
+    // reads hit the truncation check naturally.
+    const u64 reservation = header.lengthValidated
+        ? header.count
+        : std::min<u64>(header.count, u64(1) << 20);
+    trace.reserve(static_cast<std::size_t>(reservation));
 
     Addr last_pc = 0;
-    for (u64 i = 0; i < count; ++i) {
-        const int flags = is.get();
-        if (flags == std::char_traits<char>::eof()) {
-            fatal("trace: truncated record");
-        }
-        if ((flags & ~0x3) != 0) {
-            fatal("trace: bad record flags");
-        }
-        const i64 delta = zigZagDecode(readVarint(is));
-        last_pc = static_cast<Addr>(static_cast<i64>(last_pc) + delta);
-        trace.append({last_pc, (flags & 1) != 0, (flags & 2) != 0});
+    for (u64 i = 0; i < header.count; ++i) {
+        trace.append(bpt::readRecord(is, last_pc));
     }
     return trace;
 }

@@ -1,11 +1,9 @@
 #include "workloads/process_mix.hh"
 
-#include <algorithm>
+#include <vector>
 
-#include "support/logging.hh"
-#include "support/rng.hh"
 #include "workloads/interpreter.hh"
-#include "workloads/program_builder.hh"
+#include "workloads/stream_source.hh"
 
 namespace bpred
 {
@@ -13,23 +11,10 @@ namespace bpred
 Trace
 generateWorkload(const WorkloadParams &params)
 {
-    if (params.dynamicConditionalTarget == 0) {
-        fatal("generateWorkload: zero-length trace requested");
-    }
-
-    Rng scheduler_rng(params.seed ^ 0x5ced'01e5'0000'0001ULL);
-
-    ProgramParams user_params = params.user;
-    user_params.seed = params.seed * 2654435761ULL + 1;
-    const Program user_program = buildProgram(user_params);
-
-    const bool with_kernel = params.kernelShare > 0.0;
-    Program kernel_program;
-    if (with_kernel) {
-        ProgramParams kernel_params = params.kernel;
-        kernel_params.seed = params.seed * 0x9e3779b9ULL + 7;
-        kernel_program = buildProgram(kernel_params);
-    }
+    // One generator, two consumption modes: the batch trace is just
+    // the drained WorkloadStream, so it is byte-identical to what a
+    // streaming session sees.
+    WorkloadStream stream(params);
 
     Trace trace(params.name);
     // Pre-reserve from the scaled conditional target: records are
@@ -39,40 +24,12 @@ generateWorkload(const WorkloadParams &params)
     // regrowth copy of a multi-million-record vector.
     trace.reserve(params.dynamicConditionalTarget +
                   params.dynamicConditionalTarget / 2);
-    StreamContext context(trace);
 
-    Interpreter user(user_program, params.seed + 11);
-    Interpreter kernel_interp(
-        with_kernel ? kernel_program : user_program, params.seed + 23);
-
-    const double share =
-        std::clamp(params.kernelShare, 0.0, 0.9);
-    // Cap the quantum so short (scaled-down) traces still
-    // interleave: a full-length quantum would otherwise let the
-    // user process exhaust the whole trace before the kernel ever
-    // ran.
-    const u64 user_mean = std::clamp<u64>(
-        params.userQuantumMean, 1,
-        std::max<u64>(1, params.dynamicConditionalTarget / 10));
-    const u64 kernel_mean = with_kernel
-        ? std::max<u64>(1, static_cast<u64>(
-              static_cast<double>(user_mean) * share / (1.0 - share)))
-        : 0;
-
-    const u64 target = params.dynamicConditionalTarget;
-    while (context.conditionals() < target) {
-        const u64 remaining = target - context.conditionals();
-        u64 quantum = 1 + scheduler_rng.geometric(
-            1.0 / static_cast<double>(user_mean));
-        user.run(context, std::min(quantum, remaining));
-
-        if (with_kernel && context.conditionals() < target) {
-            const u64 kernel_remaining =
-                target - context.conditionals();
-            quantum = 1 + scheduler_rng.geometric(
-                1.0 / static_cast<double>(kernel_mean));
-            kernel_interp.run(context,
-                              std::min(quantum, kernel_remaining));
+    std::vector<BranchRecord> chunk(65536);
+    while (const std::size_t n = stream.pull(chunk.data(),
+                                             chunk.size())) {
+        for (std::size_t i = 0; i < n; ++i) {
+            trace.append(chunk[i]);
         }
     }
     trace.shrinkToFit();

@@ -1,0 +1,106 @@
+#include "workloads/stream_source.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+#include "workloads/program_builder.hh"
+
+namespace bpred
+{
+
+namespace
+{
+
+Program
+buildUserProgram(const WorkloadParams &params)
+{
+    ProgramParams user_params = params.user;
+    user_params.seed = params.seed * 2654435761ULL + 1;
+    return buildProgram(user_params);
+}
+
+Program
+buildKernelProgram(const WorkloadParams &params)
+{
+    ProgramParams kernel_params = params.kernel;
+    kernel_params.seed = params.seed * 0x9e3779b9ULL + 7;
+    return buildProgram(kernel_params);
+}
+
+} // namespace
+
+WorkloadStream::WorkloadStream(const WorkloadParams &params)
+    : name_(params.name),
+      target(params.dynamicConditionalTarget),
+      withKernel(params.kernelShare > 0.0),
+      schedulerRng(params.seed ^ 0x5ced'01e5'0000'0001ULL),
+      userProgram(buildUserProgram(params)),
+      kernelProgram(withKernel ? buildKernelProgram(params)
+                               : Program{}),
+      buffer(params.name),
+      context(buffer),
+      user(userProgram, params.seed + 11),
+      kernel(withKernel ? kernelProgram : userProgram,
+             params.seed + 23)
+{
+    if (target == 0) {
+        fatal("WorkloadStream: zero-length trace requested");
+    }
+
+    const double share = std::clamp(params.kernelShare, 0.0, 0.9);
+    // Cap the quantum so short (scaled-down) traces still
+    // interleave: a full-length quantum would otherwise let the
+    // user process exhaust the whole trace before the kernel ever
+    // ran.
+    userMean = std::clamp<u64>(params.userQuantumMean, 1,
+                               std::max<u64>(1, target / 10));
+    kernelMean = withKernel
+        ? std::max<u64>(1, static_cast<u64>(
+              static_cast<double>(userMean) * share / (1.0 - share)))
+        : 0;
+}
+
+void
+WorkloadStream::refill()
+{
+    buffer.clear();
+    served = 0;
+    if (context.conditionals() >= target) {
+        return;
+    }
+
+    const u64 remaining = target - context.conditionals();
+    u64 quantum = 1 + schedulerRng.geometric(
+        1.0 / static_cast<double>(userMean));
+    user.run(context, std::min(quantum, remaining));
+
+    if (withKernel && context.conditionals() < target) {
+        const u64 kernel_remaining = target - context.conditionals();
+        quantum = 1 + schedulerRng.geometric(
+            1.0 / static_cast<double>(kernelMean));
+        kernel.run(context, std::min(quantum, kernel_remaining));
+    }
+}
+
+std::size_t
+WorkloadStream::pull(BranchRecord *out, std::size_t max)
+{
+    std::size_t produced = 0;
+    while (produced < max) {
+        if (served == buffer.size()) {
+            refill();
+            if (buffer.empty()) {
+                break; // target reached; stream exhausted
+            }
+        }
+        const std::size_t n =
+            std::min(max - produced, buffer.size() - served);
+        const BranchRecord *begin = buffer.records().data() + served;
+        std::copy(begin, begin + n, out + produced);
+        served += n;
+        produced += n;
+    }
+    return produced;
+}
+
+} // namespace bpred

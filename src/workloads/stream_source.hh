@@ -1,0 +1,65 @@
+/**
+ * @file
+ * On-the-fly synthetic workload generation as a TraceSource.
+ */
+
+#ifndef BPRED_WORKLOADS_STREAM_SOURCE_HH
+#define BPRED_WORKLOADS_STREAM_SOURCE_HH
+
+#include <string>
+
+#include "support/rng.hh"
+#include "trace/stream.hh"
+#include "trace/trace.hh"
+#include "workloads/interpreter.hh"
+#include "workloads/params.hh"
+#include "workloads/program.hh"
+
+namespace bpred
+{
+
+/**
+ * Streams the exact record sequence generateWorkload() would
+ * materialize, one scheduler quantum at a time, so arbitrarily long
+ * synthetic workloads can be simulated in bounded memory.
+ *
+ * generateWorkload() is itself implemented by draining this source,
+ * so the two can never diverge.
+ */
+class WorkloadStream : public TraceSource
+{
+  public:
+    /**
+     * @param params Workload recipe; programs are built eagerly,
+     *        records are generated lazily.
+     * @throws FatalError on a zero conditional-branch target.
+     */
+    explicit WorkloadStream(const WorkloadParams &params);
+
+    const std::string &name() const override { return name_; }
+    std::size_t pull(BranchRecord *out, std::size_t max) override;
+
+    /** Conditional branches generated so far. */
+    u64 conditionalsEmitted() const { return context.conditionals(); }
+
+  private:
+    void refill();
+
+    std::string name_;
+    u64 target;
+    bool withKernel;
+    Rng schedulerRng;
+    Program userProgram;
+    Program kernelProgram;
+    Trace buffer;
+    StreamContext context;
+    Interpreter user;
+    Interpreter kernel;
+    u64 userMean = 1;
+    u64 kernelMean = 0;
+    std::size_t served = 0;
+};
+
+} // namespace bpred
+
+#endif // BPRED_WORKLOADS_STREAM_SOURCE_HH

@@ -55,11 +55,19 @@ TEST(Driver, BimodalConvergesOnBiasedTrace)
     EXPECT_LE(result.mispredicts, 4u);
 }
 
+SimResult
+runWithWarmup(Predictor &predictor, const Trace &trace, u64 warmup)
+{
+    SimOptions options;
+    options.warmupBranches = warmup;
+    return simulateWithOptions(predictor, trace, options);
+}
+
 TEST(Driver, WarmupExcludesEarlyBranches)
 {
     BimodalPredictor predictor(8);
     const SimResult result =
-        simulateWithWarmup(predictor, simpleTrace(), 10);
+        runWithWarmup(predictor, simpleTrace(), 10);
     EXPECT_EQ(result.conditionals, 190u);
     EXPECT_EQ(result.mispredicts, 0u);
 }
@@ -68,7 +76,7 @@ TEST(Driver, WarmupLargerThanTraceScoresNothing)
 {
     BimodalPredictor predictor(8);
     const SimResult result =
-        simulateWithWarmup(predictor, simpleTrace(), 100000);
+        runWithWarmup(predictor, simpleTrace(), 100000);
     EXPECT_EQ(result.conditionals, 0u);
     EXPECT_DOUBLE_EQ(result.mispredictRatio(), 0.0);
 }
@@ -89,11 +97,18 @@ TEST(Driver, FlushResetsStatePeriodically)
     EXPECT_EQ(no_flush.mispredicts, 2u);
 
     BimodalPredictor flushed(8);
+    SimOptions options;
+    options.flushInterval = 50;
     const SimResult with_flush =
-        simulateWithFlush(flushed, trace, 50);
+        simulateWithOptions(flushed, trace, options);
     EXPECT_EQ(with_flush.conditionals, 1000u);
     EXPECT_EQ(with_flush.mispredicts, 2u * (1000 / 50));
 }
+
+// The single-knob entry points are deprecated but must keep
+// working (and matching the options form) until they are removed.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 TEST(Driver, FlushRejectsZeroInterval)
 {
@@ -101,6 +116,30 @@ TEST(Driver, FlushRejectsZeroInterval)
     EXPECT_THROW(simulateWithFlush(predictor, Trace("x"), 0),
                  FatalError);
 }
+
+TEST(Driver, DeprecatedWrappersMatchOptionsForm)
+{
+    const Trace trace = simpleTrace();
+
+    BimodalPredictor a(8);
+    BimodalPredictor b(8);
+    const SimResult wrapped = simulateWithWarmup(a, trace, 10);
+    const SimResult direct = runWithWarmup(b, trace, 10);
+    EXPECT_EQ(wrapped.conditionals, direct.conditionals);
+    EXPECT_EQ(wrapped.mispredicts, direct.mispredicts);
+
+    BimodalPredictor c(8);
+    BimodalPredictor d(8);
+    SimOptions options;
+    options.flushInterval = 50;
+    const SimResult flush_wrapped = simulateWithFlush(c, trace, 50);
+    const SimResult flush_direct =
+        simulateWithOptions(d, trace, options);
+    EXPECT_EQ(flush_wrapped.conditionals, flush_direct.conditionals);
+    EXPECT_EQ(flush_wrapped.mispredicts, flush_direct.mispredicts);
+}
+
+#pragma GCC diagnostic pop
 
 TEST(Driver, EmptyTrace)
 {

@@ -118,5 +118,91 @@ TEST(Factory, HelpMentionsEveryScheme)
     }
 }
 
+TEST(Factory, ParseSpecRoundTripIsIdempotent)
+{
+    for (const char *text :
+         {"static:taken", "bimodal:10", "bimodal:10:3", "gshare:14:12",
+          "gselect:12:6:1", "pag:10:8", "agree:14:10:12",
+          "bimode:13:10:12", "yags:10:8:11:8", "hybrid:10:6",
+          "gskewed:3:12:8:total", "egskew:12:11",
+          "gskewedsh:3:12:8", "egskewsh:12:8:partial-lazy",
+          "pskew:10:8:3:12", "falru:64:4", "unaliased:12:1"}) {
+        const PredictorSpec parsed = parseSpec(text);
+        EXPECT_EQ(parsed.toString(), text) << text;
+        const PredictorSpec reparsed = parseSpec(parsed.toString());
+        EXPECT_EQ(reparsed.scheme, parsed.scheme) << text;
+        EXPECT_EQ(reparsed.fields, parsed.fields) << text;
+    }
+}
+
+TEST(Factory, ParseSpecCanonicalizesNumbers)
+{
+    // Leading zeros normalize away, so toString() is a stable key
+    // for result files and sweep configs.
+    EXPECT_EQ(parseSpec("gshare:014:012").toString(), "gshare:14:12");
+}
+
+TEST(Factory, ParseSpecRejectsTrailingGarbage)
+{
+    EXPECT_THROW(parseSpec("gshare:14x:12"), FatalError);
+}
+
+TEST(Factory, StructuredSpecBuildsSamePredictor)
+{
+    const PredictorSpec spec = parseSpec("gshare:10:6");
+    auto from_spec = makePredictor(spec);
+    auto from_text = makePredictor("gshare:10:6");
+    EXPECT_EQ(from_spec->name(), from_text->name());
+    EXPECT_EQ(from_spec->storageBits(), from_text->storageBits());
+}
+
+TEST(Factory, ListSchemesExamplesAllBuild)
+{
+    for (const SchemeInfo &scheme : listSchemes()) {
+        EXPECT_FALSE(scheme.summary.empty()) << scheme.name;
+        EXPECT_FALSE(scheme.fields.empty()) << scheme.name;
+        const PredictorSpec parsed = parseSpec(scheme.example);
+        EXPECT_EQ(parsed.scheme, scheme.name);
+        EXPECT_NE(makePredictor(parsed), nullptr) << scheme.example;
+    }
+}
+
+TEST(Factory, ListSchemesOptionalFieldsTrailRequired)
+{
+    // parseSpec() matches fields positionally, which is only sound
+    // when no required field follows an optional one.
+    for (const SchemeInfo &scheme : listSchemes()) {
+        bool seen_optional = false;
+        for (const SpecFieldInfo &field : scheme.fields) {
+            if (field.optional) {
+                seen_optional = true;
+            } else {
+                EXPECT_FALSE(seen_optional) << scheme.name;
+            }
+        }
+    }
+}
+
+TEST(Factory, FindSchemeLooksUpByName)
+{
+    const SchemeInfo *gshare = findScheme("gshare");
+    ASSERT_NE(gshare, nullptr);
+    EXPECT_EQ(gshare->name, "gshare");
+    EXPECT_EQ(gshare->requiredFields(), 2u);
+    EXPECT_EQ(findScheme("perceptron"), nullptr);
+}
+
+TEST(Factory, SchemesToJsonDescribesEveryScheme)
+{
+    const JsonValue json = schemesToJson();
+    EXPECT_EQ(json.size(), listSchemes().size());
+    const JsonValue *first = json.at(0);
+    ASSERT_NE(first, nullptr);
+    EXPECT_NE(first->find("name"), nullptr);
+    EXPECT_NE(first->find("summary"), nullptr);
+    EXPECT_NE(first->find("fields"), nullptr);
+    EXPECT_NE(first->find("example"), nullptr);
+}
+
 } // namespace
 } // namespace bpred

@@ -187,7 +187,7 @@ TEST(SweepRunner, HonoursSimOptions)
 
     GSharePredictor reference(8, 6);
     const SimResult serial =
-        simulateWithWarmup(reference, trace, 5000);
+        simulateWithOptions(reference, trace, options);
     ASSERT_EQ(results.size(), 1u);
     EXPECT_EQ(results[0].conditionals, serial.conditionals);
     EXPECT_EQ(results[0].mispredicts, serial.mispredicts);

@@ -228,8 +228,10 @@ TEST_P(PredictorContract, WarmupNeverHurtsDeterminism)
 {
     auto predictor = makePredictor(GetParam());
     const Trace trace = contractTrace(7);
+    SimOptions options;
+    options.warmupBranches = 5000;
     const SimResult warm =
-        simulateWithWarmup(*predictor, trace, 5000);
+        simulateWithOptions(*predictor, trace, options);
     EXPECT_LE(warm.conditionals,
               computeTraceStats(trace).dynamicConditional);
 }

@@ -1,0 +1,386 @@
+/**
+ * @file
+ * Tests for streaming simulation sessions: feed()-in-chunks must be
+ * indistinguishable from the batch loop for every scheme and every
+ * telemetry knob, trace sources must agree with their in-memory
+ * counterparts, and predictor snapshots must round-trip exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "predictors/gshare.hh"
+#include "sim/driver.hh"
+#include "sim/factory.hh"
+#include "sim/session.hh"
+#include "support/logging.hh"
+#include "support/probe.hh"
+#include "support/rng.hh"
+#include "trace/stream.hh"
+#include "trace/trace_io.hh"
+#include "workloads/process_mix.hh"
+#include "workloads/stream_source.hh"
+
+namespace bpred
+{
+namespace
+{
+
+Trace
+sessionTrace(u64 seed, int records = 20000)
+{
+    Trace trace("session");
+    Rng rng(seed);
+    for (int i = 0; i < records; ++i) {
+        const Addr pc = 0x2000 + 4 * rng.uniformInt(400);
+        if (rng.chance(0.2)) {
+            trace.appendUnconditional(pc + 0x20000);
+        } else {
+            const bool outcome = (pc >> 2) % 3 == 0
+                ? rng.chance(0.85)
+                : (i & 2) != 0;
+            trace.appendConditional(pc, outcome);
+        }
+    }
+    return trace;
+}
+
+SimOptions
+everyKnob()
+{
+    SimOptions options;
+    options.warmupBranches = 1000;
+    options.flushInterval = 3000;
+    options.windowSize = 512;
+    options.topSites = 4;
+    return options;
+}
+
+void
+expectSameResult(const SimResult &a, const SimResult &b)
+{
+    EXPECT_EQ(a.predictorName, b.predictorName);
+    EXPECT_EQ(a.traceName, b.traceName);
+    EXPECT_EQ(a.conditionals, b.conditionals);
+    EXPECT_EQ(a.mispredicts, b.mispredicts);
+    EXPECT_EQ(a.storageBits, b.storageBits);
+    EXPECT_EQ(a.windowSize, b.windowSize);
+    // toJson() covers windows and topSites element by element.
+    EXPECT_EQ(a.toJson().dump(2), b.toJson().dump(2));
+}
+
+std::vector<std::string>
+exampleSpecs()
+{
+    std::vector<std::string> specs;
+    for (const SchemeInfo &scheme : listSchemes()) {
+        specs.push_back(scheme.example);
+    }
+    return specs;
+}
+
+class SessionEquivalence
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(SessionEquivalence, PlainStreamingMatchesBatch)
+{
+    const Trace trace = sessionTrace(1);
+    auto batch_pred = makePredictor(GetParam());
+    auto stream_pred = makePredictor(GetParam());
+
+    const SimResult batch = simulate(*batch_pred, trace);
+    MemoryTraceSource source(trace);
+    const SimResult streamed =
+        simulateSource(*stream_pred, source, SimOptions(), 777);
+    expectSameResult(batch, streamed);
+}
+
+TEST_P(SessionEquivalence, AllKnobsStreamingMatchesBatch)
+{
+    const Trace trace = sessionTrace(2);
+    auto batch_pred = makePredictor(GetParam());
+    auto stream_pred = makePredictor(GetParam());
+
+    CountingProbe batch_probe;
+    SimOptions batch_options = everyKnob();
+    batch_options.probe = &batch_probe;
+    const SimResult batch =
+        simulateWithOptions(*batch_pred, trace, batch_options);
+
+    CountingProbe stream_probe;
+    SimOptions stream_options = everyKnob();
+    stream_options.probe = &stream_probe;
+    MemoryTraceSource source(trace);
+    const SimResult streamed =
+        simulateSource(*stream_pred, source, stream_options, 1009);
+
+    expectSameResult(batch, streamed);
+    EXPECT_EQ(batch_probe.registry().toJson().dump(2),
+              stream_probe.registry().toJson().dump(2));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, SessionEquivalence,
+    ::testing::ValuesIn(exampleSpecs()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &c : name) {
+            if (c == ':' || c == '-') {
+                c = '_';
+            }
+        }
+        return name;
+    });
+
+TEST(SimSession, ChunkBoundariesAreInvisible)
+{
+    const Trace trace = sessionTrace(3);
+    const SimOptions options = everyKnob();
+
+    auto reference_pred = makePredictor("gshare:10:8");
+    const SimResult reference =
+        simulateWithOptions(*reference_pred, trace, options);
+
+    // One record per feed() — every boundary there is.
+    auto drip_pred = makePredictor("gshare:10:8");
+    SimSession drip(*drip_pred, options, trace.name());
+    for (const BranchRecord &record : trace) {
+        drip.feed(&record, 1);
+    }
+    expectSameResult(reference, drip.finish());
+
+    // Randomized chunk sizes, including empty feeds.
+    auto random_pred = makePredictor("gshare:10:8");
+    SimSession random(*random_pred, options, trace.name());
+    Rng rng(99);
+    std::size_t at = 0;
+    while (at < trace.size()) {
+        const std::size_t n = std::min<std::size_t>(
+            rng.uniformInt(300), trace.size() - at);
+        random.feed(trace.records().data() + at, n);
+        at += n;
+    }
+    expectSameResult(reference, random.finish());
+}
+
+TEST(SimSession, FeedAfterFinishFatals)
+{
+    auto predictor = makePredictor("bimodal:8");
+    SimSession session(*predictor);
+    session.finish();
+    BranchRecord record{0x100, true, true};
+    EXPECT_THROW(session.feed(&record, 1), FatalError);
+}
+
+TEST(SimSession, DoubleFinishFatals)
+{
+    auto predictor = makePredictor("bimodal:8");
+    SimSession session(*predictor);
+    session.finish();
+    EXPECT_THROW(session.finish(), FatalError);
+}
+
+TEST(SimSession, AbandonedSessionRestoresProbe)
+{
+    GSharePredictor predictor(8, 6);
+    CountingProbe outer;
+    predictor.attachProbe(&outer);
+    {
+        CountingProbe inner;
+        SimOptions options;
+        options.probe = &inner;
+        SimSession session(predictor, options);
+        // Destroyed without finish(): the destructor must put the
+        // outer probe back.
+    }
+    const Trace trace = sessionTrace(4, 100);
+    simulate(predictor, trace);
+    EXPECT_FALSE(outer.registry().toJson().dump().empty());
+}
+
+TEST(SimSession, ConditionalsSeenCountsWarmup)
+{
+    Trace trace("warm");
+    for (int i = 0; i < 100; ++i) {
+        trace.appendConditional(0x100, true);
+    }
+    auto predictor = makePredictor("bimodal:8");
+    SimOptions options;
+    options.warmupBranches = 60;
+    SimSession session(*predictor, options, trace.name());
+    session.feed(trace);
+    EXPECT_EQ(session.conditionalsSeen(), 100u);
+    const SimResult result = session.finish();
+    EXPECT_EQ(result.conditionals, 40u);
+}
+
+TEST(TraceSources, BinaryStreamMatchesMemory)
+{
+    const Trace trace = sessionTrace(5);
+    std::stringstream encoded;
+    writeBinaryTrace(encoded, trace);
+
+    BinaryTraceSource source(encoded);
+    EXPECT_EQ(source.name(), trace.name());
+    EXPECT_EQ(source.remaining(), trace.size());
+
+    auto stream_pred = makePredictor("egskew:8:6");
+    const SimResult streamed =
+        simulateSource(*stream_pred, source, everyKnob(), 511);
+    EXPECT_EQ(source.remaining(), 0u);
+
+    auto batch_pred = makePredictor("egskew:8:6");
+    const SimResult batch =
+        simulateWithOptions(*batch_pred, trace, everyKnob());
+    expectSameResult(batch, streamed);
+}
+
+TEST(TraceSources, DrainRebuildsTheTrace)
+{
+    const Trace trace = sessionTrace(6, 5000);
+    MemoryTraceSource source(trace);
+    const Trace drained = drainSource(source, 97);
+    ASSERT_EQ(drained.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        ASSERT_EQ(drained[i], trace[i]) << "record " << i;
+    }
+}
+
+TEST(TraceSources, WorkloadStreamMatchesGenerateWorkload)
+{
+    WorkloadParams params;
+    params.name = "stream-check";
+    params.seed = 42;
+    params.dynamicConditionalTarget = 30'000;
+    params.userQuantumMean = 2'000;
+
+    const Trace batch = generateWorkload(params);
+
+    // Tiny pull size forces many refill boundaries mid-quantum.
+    WorkloadStream stream(params);
+    const Trace streamed = drainSource(stream, 113);
+    EXPECT_EQ(stream.conditionalsEmitted(),
+              params.dynamicConditionalTarget);
+
+    EXPECT_EQ(streamed.name(), batch.name());
+    ASSERT_EQ(streamed.size(), batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        ASSERT_EQ(streamed[i], batch[i]) << "record " << i;
+    }
+}
+
+class SnapshotRoundTrip
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(SnapshotRoundTrip, ResumeIsBitIdentical)
+{
+    auto original = makePredictor(GetParam());
+    if (!original->supportsSnapshot()) {
+        GTEST_SKIP() << GetParam() << " does not snapshot";
+    }
+
+    const Trace trace = sessionTrace(7);
+    const std::size_t half = trace.size() / 2;
+
+    // Train to the midpoint, checkpoint, resume in a fresh
+    // predictor; both must then predict the second half identically
+    // and from identical state.
+    SimSession first_half(*original);
+    first_half.feed(trace.records().data(), half);
+    first_half.finish();
+
+    std::stringstream checkpoint;
+    savePredictorState(*original, checkpoint);
+
+    auto resumed = makePredictor(GetParam());
+    loadPredictorState(*resumed, checkpoint);
+
+    std::stringstream original_state;
+    std::stringstream resumed_state;
+    savePredictorState(*original, original_state);
+    savePredictorState(*resumed, resumed_state);
+    EXPECT_EQ(original_state.str(), resumed_state.str());
+
+    SimSession original_rest(*original);
+    original_rest.feed(trace.records().data() + half,
+                       trace.size() - half);
+    const SimResult a = original_rest.finish();
+
+    SimSession resumed_rest(*resumed);
+    resumed_rest.feed(trace.records().data() + half,
+                      trace.size() - half);
+    const SimResult b = resumed_rest.finish();
+
+    EXPECT_EQ(a.conditionals, b.conditionals);
+    EXPECT_EQ(a.mispredicts, b.mispredicts);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, SnapshotRoundTrip,
+    ::testing::ValuesIn(exampleSpecs()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &c : name) {
+            if (c == ':' || c == '-') {
+                c = '_';
+            }
+        }
+        return name;
+    });
+
+TEST(Snapshot, CoreSchemesSupportIt)
+{
+    for (const char *spec :
+         {"static:taken", "bimodal:8", "gshare:8:6", "gselect:8:4",
+          "hybrid:8:6", "gskewed:3:8:6", "egskew:8:6",
+          "gskewedsh:3:8:6", "egskewsh:8:6"}) {
+        EXPECT_TRUE(makePredictor(spec)->supportsSnapshot()) << spec;
+    }
+}
+
+TEST(Snapshot, RejectsConfigurationMismatch)
+{
+    auto small = makePredictor("gshare:8:6");
+    auto large = makePredictor("gshare:10:6");
+    std::stringstream state;
+    savePredictorState(*small, state);
+    EXPECT_THROW(loadPredictorState(*large, state), FatalError);
+}
+
+TEST(Snapshot, RejectsBadMagic)
+{
+    auto predictor = makePredictor("gshare:8:6");
+    std::stringstream garbage("this is not a snapshot");
+    EXPECT_THROW(loadPredictorState(*predictor, garbage), FatalError);
+}
+
+TEST(Snapshot, RejectsTruncatedState)
+{
+    auto predictor = makePredictor("gshare:8:6");
+    std::stringstream state;
+    savePredictorState(*predictor, state);
+    std::string bytes = state.str();
+    bytes.resize(bytes.size() / 2);
+    auto fresh = makePredictor("gshare:8:6");
+    std::stringstream truncated(bytes);
+    EXPECT_THROW(loadPredictorState(*fresh, truncated), FatalError);
+}
+
+TEST(Snapshot, UnsupportedSchemeFatalsCleanly)
+{
+    auto predictor = makePredictor("falru:64:4");
+    ASSERT_FALSE(predictor->supportsSnapshot());
+    std::stringstream state;
+    EXPECT_THROW(savePredictorState(*predictor, state), FatalError);
+}
+
+} // namespace
+} // namespace bpred

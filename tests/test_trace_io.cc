@@ -11,6 +11,7 @@
 
 #include "support/logging.hh"
 #include "support/rng.hh"
+#include "trace/bpt_format.hh"
 #include "trace/trace_io.hh"
 
 namespace bpred
@@ -78,6 +79,39 @@ TEST(BinaryTraceIO, RejectsTruncated)
     bytes.resize(bytes.size() / 2);
     std::stringstream truncated(bytes);
     EXPECT_THROW(readBinaryTrace(truncated), FatalError);
+}
+
+TEST(BinaryTraceIO, RejectsOverdeclaredRecordCount)
+{
+    // Regression: a corrupt header declaring far more records than
+    // the stream holds must be rejected up front — before the
+    // declared count sizes an allocation — not after a giant
+    // reserve() followed by a truncation error mid-read.
+    std::stringstream buffer;
+    bpt::writeHeader(buffer, "bomb", u64(1) << 40);
+    buffer << "xx"; // two bytes of actual payload
+    EXPECT_THROW(readBinaryTrace(buffer), FatalError);
+}
+
+TEST(BinaryTraceIO, RejectsCountJustOverPayload)
+{
+    // Tight bound: each record needs at least two bytes, so a
+    // header declaring count > remaining/2 can never be satisfied.
+    std::stringstream buffer;
+    bpt::writeHeader(buffer, "tight", 3);
+    buffer << "xxxx"; // room for at most two records
+    EXPECT_THROW(readBinaryTrace(buffer), FatalError);
+}
+
+TEST(BinaryTraceIO, AcceptsExactlyFittingCount)
+{
+    Trace trace("fits");
+    trace.appendConditional(0x1000, true);
+    trace.appendConditional(0x1004, false);
+    std::stringstream buffer;
+    writeBinaryTrace(buffer, trace);
+    const Trace loaded = readBinaryTrace(buffer);
+    EXPECT_EQ(loaded.size(), 2u);
 }
 
 TEST(BinaryTraceIO, FileRoundTrip)
