@@ -26,8 +26,7 @@
  *   }
  */
 
-#ifndef BPRED_BENCH_BENCH_COMMON_HH
-#define BPRED_BENCH_BENCH_COMMON_HH
+#pragma once
 
 #include <iostream>
 #include <string>
@@ -111,4 +110,3 @@ double mispredictPercent(const std::string &spec, const Trace &trace);
 
 } // namespace bpred::bench
 
-#endif // BPRED_BENCH_BENCH_COMMON_HH

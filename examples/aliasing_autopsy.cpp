@@ -28,6 +28,7 @@
 #include "predictors/gshare.hh"
 #include "sim/driver.hh"
 #include "sim/timeline.hh"
+#include "support/parse.hh"
 #include "support/table.hh"
 #include "workloads/presets.hh"
 
@@ -37,7 +38,8 @@ main(int argc, char **argv)
     using namespace bpred;
 
     const std::string benchmark = argc > 1 ? argv[1] : "gs";
-    const double scale = argc > 2 ? std::atof(argv[2]) : 0.25;
+    const double scale =
+        argc > 2 ? bpred::parseDouble(argv[2], "scale") : 0.25;
     constexpr unsigned indexBits = 12; // the 4K-entry patient
     constexpr unsigned historyBits = 8;
 

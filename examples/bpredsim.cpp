@@ -30,6 +30,7 @@
 #include "sim/factory.hh"
 #include "sim/pipeline_model.hh"
 #include "sim/timeline.hh"
+#include "support/parse.hh"
 #include "support/table.hh"
 #include "trace/trace_io.hh"
 #include "workloads/presets.hh"
@@ -77,9 +78,9 @@ main(int argc, char **argv)
         } else if (arg == "--trace") {
             trace_path = next();
         } else if (arg == "--scale") {
-            scale = std::atof(next());
+            scale = parseDouble(next(), "--scale");
         } else if (arg == "--window") {
-            window = std::strtoull(next(), nullptr, 10);
+            window = parseU64(next(), "--window");
         } else if (arg == "--cpi") {
             with_cpi = true;
         } else if (arg == "--csv") {

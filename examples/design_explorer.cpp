@@ -21,6 +21,7 @@
 #include "core/skewed_predictor.hh"
 #include "predictors/gshare.hh"
 #include "sim/driver.hh"
+#include "support/parse.hh"
 #include "support/table.hh"
 #include "workloads/presets.hh"
 
@@ -30,7 +31,8 @@ main(int argc, char **argv)
     using namespace bpred;
 
     const std::string benchmark = argc > 1 ? argv[1] : "gs";
-    const double scale = argc > 2 ? std::atof(argv[2]) : 0.1;
+    const double scale =
+        argc > 2 ? bpred::parseDouble(argv[2], "scale") : 0.1;
 
     try {
         const Trace trace = makeIbsTrace(benchmark, scale);

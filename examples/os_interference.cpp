@@ -20,6 +20,7 @@
 #include "core/skewed_predictor.hh"
 #include "predictors/gshare.hh"
 #include "sim/driver.hh"
+#include "support/parse.hh"
 #include "support/table.hh"
 #include "workloads/presets.hh"
 #include "workloads/process_mix.hh"
@@ -29,7 +30,8 @@ main(int argc, char **argv)
 {
     using namespace bpred;
 
-    const double scale = argc > 1 ? std::atof(argv[1]) : 0.1;
+    const double scale =
+        argc > 1 ? bpred::parseDouble(argv[1], "scale") : 0.1;
 
     try {
         TextTable table({"kernel share", "conflict alias",

@@ -34,6 +34,7 @@
 #include "sim/driver.hh"
 #include "sim/factory.hh"
 #include "sim/session.hh"
+#include "support/parse.hh"
 #include "support/table.hh"
 #include "workloads/presets.hh"
 
@@ -64,10 +65,12 @@ main(int argc, char **argv)
 {
     using namespace bpred;
 
-    const double scale = argc > 1 ? std::atof(argv[1]) : 0.1;
+    const double scale =
+        argc > 1 ? bpred::parseDouble(argv[1], "scale") : 0.1;
     const std::size_t quantum =
-        argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2]))
-                 : 20000;
+        argc > 2
+        ? static_cast<std::size_t>(parseU64(argv[2], "quantum"))
+        : 20000;
     const std::string spec = argc > 3 ? argv[3] : "egskew:12:11";
 
     if (scale <= 0.0 || quantum == 0) {

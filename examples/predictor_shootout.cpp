@@ -19,6 +19,7 @@
 
 #include "sim/driver.hh"
 #include "sim/factory.hh"
+#include "support/parse.hh"
 #include "support/table.hh"
 #include "workloads/presets.hh"
 
@@ -32,7 +33,7 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (i == 1 && arg.find(':') == std::string::npos) {
-            scale = std::atof(argv[i]);
+            scale = parseDouble(argv[i], "scale");
             continue;
         }
         specs.push_back(arg);

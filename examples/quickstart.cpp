@@ -22,6 +22,7 @@
 #include "core/skewed_predictor.hh"
 #include "predictors/gshare.hh"
 #include "sim/driver.hh"
+#include "support/parse.hh"
 #include "support/table.hh"
 #include "workloads/presets.hh"
 
@@ -31,7 +32,8 @@ main(int argc, char **argv)
     using namespace bpred;
 
     const std::string benchmark = argc > 1 ? argv[1] : "groff";
-    const double scale = argc > 2 ? std::atof(argv[2]) : 0.1;
+    const double scale =
+        argc > 2 ? bpred::parseDouble(argv[2], "scale") : 0.1;
 
     try {
         std::cout << "Generating IBS-like trace '" << benchmark

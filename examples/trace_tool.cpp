@@ -15,6 +15,7 @@
 #include <iostream>
 #include <string>
 
+#include "support/parse.hh"
 #include "support/table.hh"
 #include "trace/trace_io.hh"
 #include "workloads/presets.hh"
@@ -49,7 +50,8 @@ main(int argc, char **argv)
     try {
         if (command == "gen" && argc == 5) {
             const Trace trace =
-                makeIbsTrace(argv[2], std::atof(argv[3]));
+                makeIbsTrace(argv[2],
+                             parseDouble(argv[3], "scale"));
             saveBinaryTrace(argv[4], trace);
             std::cout << "wrote " << formatCount(trace.size())
                       << " records to " << argv[4] << "\n";

@@ -8,8 +8,7 @@
  * hardware-realizable replacement policy the paper uses.
  */
 
-#ifndef BPRED_ALIASING_FA_LRU_TABLE_HH
-#define BPRED_ALIASING_FA_LRU_TABLE_HH
+#pragma once
 
 #include <cassert>
 #include <list>
@@ -78,4 +77,3 @@ class FullyAssociativeLruTable
 
 } // namespace bpred
 
-#endif // BPRED_ALIASING_FA_LRU_TABLE_HH

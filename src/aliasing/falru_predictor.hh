@@ -3,8 +3,7 @@
  * The fully-associative LRU *predictor* of Figure 8.
  */
 
-#ifndef BPRED_ALIASING_FALRU_PREDICTOR_HH
-#define BPRED_ALIASING_FALRU_PREDICTOR_HH
+#pragma once
 
 #include "aliasing/fa_lru_table.hh"
 #include "predictors/history.hh"
@@ -66,4 +65,3 @@ class FaLruPredictor : public Predictor
 
 } // namespace bpred
 
-#endif // BPRED_ALIASING_FALRU_PREDICTOR_HH

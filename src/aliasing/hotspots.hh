@@ -10,8 +10,7 @@
  * aggregate conflict percentages of Figures 1-2.
  */
 
-#ifndef BPRED_ALIASING_HOTSPOTS_HH
-#define BPRED_ALIASING_HOTSPOTS_HH
+#pragma once
 
 #include <vector>
 
@@ -56,4 +55,3 @@ findConflictHotspots(const Trace &trace, const IndexFunction &function,
 
 } // namespace bpred
 
-#endif // BPRED_ALIASING_HOTSPOTS_HH

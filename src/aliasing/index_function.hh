@@ -8,8 +8,7 @@
  * function as data.
  */
 
-#ifndef BPRED_ALIASING_INDEX_FUNCTION_HH
-#define BPRED_ALIASING_INDEX_FUNCTION_HH
+#pragma once
 
 #include <string>
 
@@ -52,4 +51,3 @@ struct IndexFunction
 
 } // namespace bpred
 
-#endif // BPRED_ALIASING_INDEX_FUNCTION_HH

@@ -4,8 +4,7 @@
  * (Young, Gloy & Smith's taxonomy, cited in §1 of the paper).
  */
 
-#ifndef BPRED_ALIASING_INTERFERENCE_HH
-#define BPRED_ALIASING_INTERFERENCE_HH
+#pragma once
 
 #include "aliasing/index_function.hh"
 #include "support/sat_counter.hh"
@@ -77,4 +76,3 @@ InterferenceResult classifyInterference(const Trace &trace,
 
 } // namespace bpred
 
-#endif // BPRED_ALIASING_INTERFERENCE_HH

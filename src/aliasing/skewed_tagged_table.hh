@@ -12,8 +12,7 @@
  * property the tag-less majority-vote predictor inherits.
  */
 
-#ifndef BPRED_ALIASING_SKEWED_TAGGED_TABLE_HH
-#define BPRED_ALIASING_SKEWED_TAGGED_TABLE_HH
+#pragma once
 
 #include <vector>
 
@@ -73,4 +72,3 @@ class SkewedTaggedTable
 
 } // namespace bpred
 
-#endif // BPRED_ALIASING_SKEWED_TAGGED_TABLE_HH

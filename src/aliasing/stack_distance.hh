@@ -9,8 +9,7 @@
  * O(log T) per reference with a Fenwick tree over timestamps.
  */
 
-#ifndef BPRED_ALIASING_STACK_DISTANCE_HH
-#define BPRED_ALIASING_STACK_DISTANCE_HH
+#pragma once
 
 #include <unordered_map>
 #include <vector>
@@ -68,4 +67,3 @@ class StackDistanceTracker
 
 } // namespace bpred
 
-#endif // BPRED_ALIASING_STACK_DISTANCE_HH

@@ -8,8 +8,7 @@
  * when the indexing pair is different from the stored pair."
  */
 
-#ifndef BPRED_ALIASING_TAGGED_TABLE_HH
-#define BPRED_ALIASING_TAGGED_TABLE_HH
+#pragma once
 
 #include <vector>
 
@@ -72,4 +71,3 @@ class TaggedDirectMappedTable
 
 } // namespace bpred
 
-#endif // BPRED_ALIASING_TAGGED_TABLE_HH

@@ -3,8 +3,7 @@
  * The three-Cs aliasing decomposition (§2-§3 of the paper).
  */
 
-#ifndef BPRED_ALIASING_THREE_C_HH
-#define BPRED_ALIASING_THREE_C_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -76,4 +75,3 @@ measureThreeCsMulti(const Trace &trace,
 
 } // namespace bpred
 
-#endif // BPRED_ALIASING_THREE_C_HH

@@ -13,8 +13,7 @@
  * (derived from e-gskew) later took.
  */
 
-#ifndef BPRED_CORE_SHARED_HYSTERESIS_HH
-#define BPRED_CORE_SHARED_HYSTERESIS_HH
+#pragma once
 
 #include <vector>
 
@@ -77,4 +76,3 @@ class SharedHysteresisSkewedPredictor : public Predictor
 
 } // namespace bpred
 
-#endif // BPRED_CORE_SHARED_HYSTERESIS_HH

@@ -34,24 +34,25 @@ skewHInverse(u64 y, unsigned n)
     return ((y << 1) & mask(n)) | low;
 }
 
-u64
+BankIndex
 skewIndex(unsigned bank, u64 v, unsigned n)
 {
     assert(n >= 1 && n < 32);
     const u64 v1 = v & mask(n);
     const u64 v2 = (v >> n) & mask(n);
+    const u64 bank_size = u64(1) << n;
 
     switch (bank) {
       case 0:
-        return skewH(v1, n) ^ skewHInverse(v2, n) ^ v2;
+        return {skewH(v1, n) ^ skewHInverse(v2, n) ^ v2, bank_size};
       case 1:
-        return skewH(v1, n) ^ skewHInverse(v2, n) ^ v1;
+        return {skewH(v1, n) ^ skewHInverse(v2, n) ^ v1, bank_size};
       case 2:
-        return skewHInverse(v1, n) ^ skewH(v2, n) ^ v2;
+        return {skewHInverse(v1, n) ^ skewH(v2, n) ^ v2, bank_size};
       case 3:
-        return skewHInverse(v1, n) ^ skewH(v2, n) ^ v1;
+        return {skewHInverse(v1, n) ^ skewH(v2, n) ^ v1, bank_size};
       case 4:
-        return skewH(v1, n) ^ skewH(v2, n) ^ v2;
+        return {skewH(v1, n) ^ skewH(v2, n) ^ v2, bank_size};
       default:
         panic("skewIndex: bank out of range");
     }

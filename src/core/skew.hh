@@ -27,9 +27,9 @@
  *   f4(V) = H(V1)    XOR H(V2)    XOR V2
  */
 
-#ifndef BPRED_CORE_SKEW_HH
-#define BPRED_CORE_SKEW_HH
+#pragma once
 
+#include "support/check.hh"
 #include "support/types.hh"
 
 namespace bpred
@@ -52,12 +52,16 @@ u64 skewHInverse(u64 y, unsigned n);
 /**
  * Bank-index function f_bank applied to information vector @p v.
  *
+ * The returned BankIndex is validated against the bank size 2^n in
+ * checked builds — a permutation bug that leaks a bit past the bank
+ * boundary panics instead of silently aliasing into a neighbour —
+ * and converts implicitly to u64 elsewhere.
+ *
  * @param bank Which function of the family (0 .. maxSkewBanks-1).
  * @param v The packed (address, history) information vector.
  * @param n Bank index width in bits; each bank has 2^n entries.
  */
-u64 skewIndex(unsigned bank, u64 v, unsigned n);
+BankIndex skewIndex(unsigned bank, u64 v, unsigned n);
 
 } // namespace bpred
 
-#endif // BPRED_CORE_SKEW_HH

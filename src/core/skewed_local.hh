@@ -12,8 +12,7 @@
  * majority vote with partial update.
  */
 
-#ifndef BPRED_CORE_SKEWED_LOCAL_HH
-#define BPRED_CORE_SKEWED_LOCAL_HH
+#pragma once
 
 #include <vector>
 
@@ -66,4 +65,3 @@ class SkewedLocalPredictor : public Predictor
 
 } // namespace bpred
 
-#endif // BPRED_CORE_SKEWED_LOCAL_HH

@@ -4,8 +4,7 @@
  * (e-gskew) — the paper's primary contribution.
  */
 
-#ifndef BPRED_CORE_SKEWED_PREDICTOR_HH
-#define BPRED_CORE_SKEWED_PREDICTOR_HH
+#pragma once
 
 #include <vector>
 
@@ -165,4 +164,3 @@ SkewedPredictor::Config makeEnhancedConfig(unsigned bank_index_bits,
 
 } // namespace bpred
 
-#endif // BPRED_CORE_SKEWED_PREDICTOR_HH

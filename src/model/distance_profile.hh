@@ -10,8 +10,7 @@
  * capacity aliasing no associativity can remove.
  */
 
-#ifndef BPRED_MODEL_DISTANCE_PROFILE_HH
-#define BPRED_MODEL_DISTANCE_PROFILE_HH
+#pragma once
 
 #include "support/stats.hh"
 #include "trace/trace.hh"
@@ -51,4 +50,3 @@ DistanceProfile profileDistances(const Trace &trace,
 
 } // namespace bpred
 
-#endif // BPRED_MODEL_DISTANCE_PROFILE_HH

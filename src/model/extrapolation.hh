@@ -3,8 +3,7 @@
  * Trace-driven extrapolation of the analytical model (Figure 11).
  */
 
-#ifndef BPRED_MODEL_EXTRAPOLATION_HH
-#define BPRED_MODEL_EXTRAPOLATION_HH
+#pragma once
 
 #include "trace/trace.hh"
 
@@ -84,4 +83,3 @@ extrapolateMispredictions(const Trace &trace, unsigned history_bits,
 
 } // namespace bpred
 
-#endif // BPRED_MODEL_EXTRAPOLATION_HH

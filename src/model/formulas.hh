@@ -3,8 +3,7 @@
  * Closed-form expressions of the paper's analytical model (§5.2).
  */
 
-#ifndef BPRED_MODEL_FORMULAS_HH
-#define BPRED_MODEL_FORMULAS_HH
+#pragma once
 
 #include "support/types.hh"
 
@@ -65,4 +64,3 @@ u64 skewedCrossoverDistance(u64 dm_entries, double b = 0.5);
 
 } // namespace bpred
 
-#endif // BPRED_MODEL_FORMULAS_HH

@@ -5,8 +5,7 @@
  * problem this paper solves with skewing.
  */
 
-#ifndef BPRED_PREDICTORS_AGREE_HH
-#define BPRED_PREDICTORS_AGREE_HH
+#pragma once
 
 #include <vector>
 
@@ -68,4 +67,3 @@ class AgreePredictor : public Predictor
 
 } // namespace bpred
 
-#endif // BPRED_PREDICTORS_AGREE_HH

@@ -4,8 +4,7 @@
  * counters.
  */
 
-#ifndef BPRED_PREDICTORS_BIMODAL_HH
-#define BPRED_PREDICTORS_BIMODAL_HH
+#pragma once
 
 #include "predictors/predictor.hh"
 #include "support/sat_counter.hh"
@@ -51,4 +50,3 @@ class BimodalPredictor : public Predictor
 
 } // namespace bpred
 
-#endif // BPRED_PREDICTORS_BIMODAL_HH

@@ -7,8 +7,7 @@
  * table are shared only by branches that mostly agree.
  */
 
-#ifndef BPRED_PREDICTORS_BIMODE_HH
-#define BPRED_PREDICTORS_BIMODE_HH
+#pragma once
 
 #include "predictors/history.hh"
 #include "predictors/predictor.hh"
@@ -60,4 +59,3 @@ class BiModePredictor : public Predictor
 
 } // namespace bpred
 
-#endif // BPRED_PREDICTORS_BIMODE_HH

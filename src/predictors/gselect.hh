@@ -3,8 +3,7 @@
  * gselect (GAs) global-history predictor.
  */
 
-#ifndef BPRED_PREDICTORS_GSELECT_HH
-#define BPRED_PREDICTORS_GSELECT_HH
+#pragma once
 
 #include "predictors/history.hh"
 #include "predictors/predictor.hh"
@@ -56,4 +55,3 @@ class GSelectPredictor : public Predictor
 
 } // namespace bpred
 
-#endif // BPRED_PREDICTORS_GSELECT_HH

@@ -3,8 +3,7 @@
  * gshare global-history predictor [McFarling '93].
  */
 
-#ifndef BPRED_PREDICTORS_GSHARE_HH
-#define BPRED_PREDICTORS_GSHARE_HH
+#pragma once
 
 #include "predictors/history.hh"
 #include "predictors/predictor.hh"
@@ -59,4 +58,3 @@ class GSharePredictor : public Predictor
 
 } // namespace bpred
 
-#endif // BPRED_PREDICTORS_GSHARE_HH

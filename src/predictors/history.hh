@@ -3,10 +3,10 @@
  * Global branch-history register.
  */
 
-#ifndef BPRED_PREDICTORS_HISTORY_HH
-#define BPRED_PREDICTORS_HISTORY_HH
+#pragma once
 
 #include "support/bitops.hh"
+#include "support/check.hh"
 #include "support/types.hh"
 
 namespace bpred
@@ -29,11 +29,16 @@ class GlobalHistory
         register_ = (register_ << 1) | (taken ? 1 : 0);
     }
 
-    /** The youngest @p num_bits outcomes, youngest in bit 0. */
+    /**
+     * The youngest @p num_bits outcomes, youngest in bit 0. The
+     * HistWidth parameter is implicitly constructible from
+     * unsigned; checked builds panic on widths over 64 (which
+     * mask() would silently fold).
+     */
     History
-    value(unsigned num_bits) const
+    value(HistWidth num_bits) const
     {
-        return register_ & mask(num_bits);
+        return register_ & mask(num_bits.get());
     }
 
     /** Full 64-outcome register. */
@@ -51,4 +56,3 @@ class GlobalHistory
 
 } // namespace bpred
 
-#endif // BPRED_PREDICTORS_HISTORY_HH

@@ -3,8 +3,7 @@
  * McFarling combining (hybrid) predictor.
  */
 
-#ifndef BPRED_PREDICTORS_HYBRID_HH
-#define BPRED_PREDICTORS_HYBRID_HH
+#pragma once
 
 #include <memory>
 
@@ -63,4 +62,3 @@ class HybridPredictor : public Predictor
 
 } // namespace bpred
 
-#endif // BPRED_PREDICTORS_HYBRID_HH

@@ -11,12 +11,12 @@
  * vector, so its packing lives here, in one place.
  */
 
-#ifndef BPRED_PREDICTORS_INFO_VECTOR_HH
-#define BPRED_PREDICTORS_INFO_VECTOR_HH
+#pragma once
 
 #include <cassert>
 
 #include "support/bitops.hh"
+#include "support/check.hh"
 #include "support/types.hh"
 
 namespace bpred
@@ -36,10 +36,12 @@ namespace bpred
  * @param history_bits Number of history bits k to include.
  */
 inline u64
-packInfoVector(Addr pc, History history, unsigned history_bits)
+packInfoVector(Addr pc, History history, HistWidth history_bits)
 {
-    assert(history_bits <= 44);
-    return ((pc >> 2) << history_bits) | (history & mask(history_bits));
+    BP_DCHECK(history_bits.get() <= 44,
+              "info vector history field overflows 64 bits");
+    return ((pc >> 2) << history_bits.get()) |
+        (history & mask(history_bits.get()));
 }
 
 /**
@@ -57,7 +59,7 @@ packInfoVector(Addr pc, History history, unsigned history_bits)
  * @param history_bits Number of history bits in use.
  * @param index_bits log2 of the table size.
  */
-inline u64
+inline BankIndex
 gshareIndex(Addr pc, History history, unsigned history_bits,
             unsigned index_bits)
 {
@@ -69,7 +71,7 @@ gshareIndex(Addr pc, History history, unsigned history_bits,
     } else {
         hist_part = xorFold(hist_part, index_bits);
     }
-    return addr_part ^ hist_part;
+    return {addr_part ^ hist_part, u64(1) << index_bits};
 }
 
 /**
@@ -80,27 +82,28 @@ gshareIndex(Addr pc, History history, unsigned history_bits,
  * degenerate case the paper highlights for 12-bit history and small
  * tables.
  */
-inline u64
+inline BankIndex
 gselectIndex(Addr pc, History history, unsigned history_bits,
              unsigned index_bits)
 {
     assert(index_bits >= 1 && index_bits < 64);
+    const u64 table_size = u64(1) << index_bits;
     if (history_bits >= index_bits) {
-        return history & mask(index_bits);
+        return {history & mask(index_bits), table_size};
     }
     const unsigned addr_bits = index_bits - history_bits;
     const u64 addr_part = (pc >> 2) & mask(addr_bits);
-    return ((history & mask(history_bits)) << addr_bits) | addr_part;
+    return {((history & mask(history_bits)) << addr_bits) | addr_part,
+            table_size};
 }
 
 /** Address-only bit-truncation index: (pc >> 2) mod 2^index_bits. */
-inline u64
+inline BankIndex
 addressIndex(Addr pc, unsigned index_bits)
 {
     assert(index_bits >= 1 && index_bits < 64);
-    return (pc >> 2) & mask(index_bits);
+    return {(pc >> 2) & mask(index_bits), u64(1) << index_bits};
 }
 
 } // namespace bpred
 
-#endif // BPRED_PREDICTORS_INFO_VECTOR_HH

@@ -3,8 +3,7 @@
  * Per-address two-level adaptive predictor (PAg) [Yeh & Patt].
  */
 
-#ifndef BPRED_PREDICTORS_LOCAL_TWO_LEVEL_HH
-#define BPRED_PREDICTORS_LOCAL_TWO_LEVEL_HH
+#pragma once
 
 #include <vector>
 
@@ -53,4 +52,3 @@ class LocalTwoLevelPredictor : public Predictor
 
 } // namespace bpred
 
-#endif // BPRED_PREDICTORS_LOCAL_TWO_LEVEL_HH

@@ -3,8 +3,7 @@
  * The abstract conditional-branch predictor interface.
  */
 
-#ifndef BPRED_PREDICTORS_PREDICTOR_HH
-#define BPRED_PREDICTORS_PREDICTOR_HH
+#pragma once
 
 #include <iosfwd>
 #include <string>
@@ -166,4 +165,3 @@ void loadPredictorState(Predictor &predictor, const std::string &path);
 
 } // namespace bpred
 
-#endif // BPRED_PREDICTORS_PREDICTOR_HH

@@ -3,8 +3,7 @@
  * Trivial static predictors: always-taken and always-not-taken.
  */
 
-#ifndef BPRED_PREDICTORS_STATIC_PRED_HH
-#define BPRED_PREDICTORS_STATIC_PRED_HH
+#pragma once
 
 #include "predictors/predictor.hh"
 
@@ -50,4 +49,3 @@ class StaticPredictor : public Predictor
 
 } // namespace bpred
 
-#endif // BPRED_PREDICTORS_STATIC_PRED_HH

@@ -4,8 +4,7 @@
  * dedicated counter per (address, history) pair.
  */
 
-#ifndef BPRED_PREDICTORS_UNALIASED_HH
-#define BPRED_PREDICTORS_UNALIASED_HH
+#pragma once
 
 #include <unordered_map>
 #include <unordered_set>
@@ -98,4 +97,3 @@ class UnaliasedPredictor : public Predictor
 
 } // namespace bpred
 
-#endif // BPRED_PREDICTORS_UNALIASED_HH

@@ -6,8 +6,7 @@
  * that disagree with their bias.
  */
 
-#ifndef BPRED_PREDICTORS_YAGS_HH
-#define BPRED_PREDICTORS_YAGS_HH
+#pragma once
 
 #include <vector>
 
@@ -70,4 +69,3 @@ class YagsPredictor : public Predictor
 
 } // namespace bpred
 
-#endif // BPRED_PREDICTORS_YAGS_HH

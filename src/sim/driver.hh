@@ -3,8 +3,7 @@
  * The trace-driven simulation loop.
  */
 
-#ifndef BPRED_SIM_DRIVER_HH
-#define BPRED_SIM_DRIVER_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -183,4 +182,3 @@ SimResult simulateWithFlush(Predictor &predictor, const Trace &trace,
 
 } // namespace bpred
 
-#endif // BPRED_SIM_DRIVER_HH

@@ -135,6 +135,8 @@ const std::vector<SchemeInfo> &
 listSchemes()
 {
     static const std::vector<SchemeInfo> schemes = {
+        // bp_lint: fingerprint(static)=always — StaticPredictor
+        // prints "always-taken"/"always-not-taken", not "static".
         {"static", "fixed direction, no state",
          {{"direction", SpecFieldKind::Direction, false, ""}},
          "static:taken"},

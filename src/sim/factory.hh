@@ -17,8 +17,7 @@
  * Examples: "gshare:14:12", "gskewed:3:12:8:partial", "egskew:12:11".
  */
 
-#ifndef BPRED_SIM_FACTORY_HH
-#define BPRED_SIM_FACTORY_HH
+#pragma once
 
 #include <memory>
 #include <string>
@@ -135,4 +134,3 @@ std::string predictorSpecHelp();
 
 } // namespace bpred
 
-#endif // BPRED_SIM_FACTORY_HH

@@ -28,8 +28,7 @@
  * std::thread::hardware_concurrency().
  */
 
-#ifndef BPRED_SIM_PARALLEL_HH
-#define BPRED_SIM_PARALLEL_HH
+#pragma once
 
 #include <cstddef>
 #include <functional>
@@ -150,4 +149,3 @@ class SweepRunner
 
 } // namespace bpred
 
-#endif // BPRED_SIM_PARALLEL_HH

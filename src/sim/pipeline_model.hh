@@ -14,8 +14,7 @@
  * misprediction ratio and penalty the refill depth in cycles.
  */
 
-#ifndef BPRED_SIM_PIPELINE_MODEL_HH
-#define BPRED_SIM_PIPELINE_MODEL_HH
+#pragma once
 
 #include "sim/driver.hh"
 
@@ -64,4 +63,3 @@ double halfStallMispredictRatio(const PipelineParams &params = {});
 
 } // namespace bpred
 
-#endif // BPRED_SIM_PIPELINE_MODEL_HH

@@ -9,8 +9,7 @@
  * entry points in sim/driver.hh are implemented on top of it.
  */
 
-#ifndef BPRED_SIM_SESSION_HH
-#define BPRED_SIM_SESSION_HH
+#pragma once
 
 #include <string>
 
@@ -114,4 +113,3 @@ SimResult simulateSource(Predictor &predictor, TraceSource &source,
 
 } // namespace bpred
 
-#endif // BPRED_SIM_SESSION_HH

@@ -8,8 +8,7 @@
  * into fixed-size windows and reports the ratio per window.
  */
 
-#ifndef BPRED_SIM_TIMELINE_HH
-#define BPRED_SIM_TIMELINE_HH
+#pragma once
 
 #include <vector>
 
@@ -53,4 +52,3 @@ TimelineResult runTimeline(Predictor &predictor, const Trace &trace,
 
 } // namespace bpred
 
-#endif // BPRED_SIM_TIMELINE_HH

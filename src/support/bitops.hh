@@ -3,8 +3,7 @@
  * Bit-manipulation helpers shared by indexing functions and predictors.
  */
 
-#ifndef BPRED_SUPPORT_BITOPS_HH
-#define BPRED_SUPPORT_BITOPS_HH
+#pragma once
 
 #include <bit>
 #include <cassert>
@@ -114,4 +113,3 @@ rotateLeft(u64 value, unsigned n, unsigned amount)
 
 } // namespace bpred
 
-#endif // BPRED_SUPPORT_BITOPS_HH

@@ -1,0 +1,18 @@
+#include "support/check.hh"
+
+#include <string>
+
+#include "support/logging.hh"
+
+namespace bpred
+{
+
+void
+checkFailed(const char *file, int line, const char *condition,
+            const char *message)
+{
+    panic(std::string("BP_CHECK failed at ") + file + ":" +
+          std::to_string(line) + ": " + condition + " — " + message);
+}
+
+} // namespace bpred

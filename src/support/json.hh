@@ -10,8 +10,7 @@
  * only ever writes JSON.
  */
 
-#ifndef BPRED_SUPPORT_JSON_HH
-#define BPRED_SUPPORT_JSON_HH
+#pragma once
 
 #include <ostream>
 #include <string>
@@ -106,4 +105,3 @@ std::string jsonFormatDouble(double value);
 
 } // namespace bpred
 
-#endif // BPRED_SUPPORT_JSON_HH

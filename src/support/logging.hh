@@ -7,8 +7,7 @@
  * panic() is for internal invariant violations and aborts.
  */
 
-#ifndef BPRED_SUPPORT_LOGGING_HH
-#define BPRED_SUPPORT_LOGGING_HH
+#pragma once
 
 #include <stdexcept>
 #include <string>
@@ -63,4 +62,3 @@ class QuietScope
 
 } // namespace bpred
 
-#endif // BPRED_SUPPORT_LOGGING_HH

@@ -1,0 +1,57 @@
+#include "support/parse.hh"
+
+#include <exception>
+
+#include "support/logging.hh"
+
+namespace bpred
+{
+
+namespace
+{
+
+[[noreturn]] void
+badNumber(const std::string &text, const std::string &what)
+{
+    fatal(what + ": '" + text + "' is not a valid number");
+}
+
+} // namespace
+
+double
+parseDouble(const std::string &text, const std::string &what)
+{
+    try {
+        std::size_t consumed = 0;
+        const double value = std::stod(text, &consumed);
+        if (consumed != text.size()) {
+            badNumber(text, what);
+        }
+        return value;
+    } catch (const FatalError &) {
+        throw;
+    } catch (const std::exception &) {
+        badNumber(text, what);
+    }
+}
+
+u64
+parseU64(const std::string &text, const std::string &what)
+{
+    try {
+        std::size_t consumed = 0;
+        const unsigned long long value =
+            std::stoull(text, &consumed);
+        if (consumed != text.size() ||
+            text.find('-') != std::string::npos) {
+            badNumber(text, what);
+        }
+        return value;
+    } catch (const FatalError &) {
+        throw;
+    } catch (const std::exception &) {
+        badNumber(text, what);
+    }
+}
+
+} // namespace bpred

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Validated command-line number parsing.
+ *
+ * The atoi/atof family silently returns 0 on garbage, which turns a
+ * typo'd `--scale O.1` into a zero-length experiment that "runs
+ * fine". These helpers parse strictly — the whole token must be
+ * consumed — and report failures through fatal(), so every binary
+ * front-end (examples, benches, tools) rejects malformed input the
+ * same way. bp_lint bans the atoi family tree-wide.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "support/types.hh"
+
+namespace bpred
+{
+
+/**
+ * Parse @p text as a double.
+ *
+ * @param what Context for the error message, e.g. "--scale".
+ * @throws FatalError when @p text is not entirely a number.
+ */
+double parseDouble(const std::string &text, const std::string &what);
+
+/**
+ * Parse @p text as an unsigned 64-bit integer.
+ *
+ * @param what Context for the error message.
+ * @throws FatalError when @p text is not entirely an unsigned
+ *         decimal number.
+ */
+u64 parseU64(const std::string &text, const std::string &what);
+
+} // namespace bpred

@@ -18,8 +18,7 @@
  *  - ChoiceEvent: the McFarling hybrid's chooser
  */
 
-#ifndef BPRED_SUPPORT_PROBE_HH
-#define BPRED_SUPPORT_PROBE_HH
+#pragma once
 
 #include <vector>
 
@@ -155,4 +154,3 @@ class CountingProbe : public ProbeSink
 
 } // namespace bpred
 
-#endif // BPRED_SUPPORT_PROBE_HH

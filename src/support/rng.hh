@@ -7,8 +7,7 @@
  * every experiment is exactly reproducible from a seed.
  */
 
-#ifndef BPRED_SUPPORT_RNG_HH
-#define BPRED_SUPPORT_RNG_HH
+#pragma once
 
 #include <cassert>
 #include <vector>
@@ -105,4 +104,3 @@ class Rng
 
 } // namespace bpred
 
-#endif // BPRED_SUPPORT_RNG_HH

@@ -15,14 +15,17 @@ SatCounterArray::SatCounterArray(u64 num_entries, unsigned width,
       maxCounterValue(static_cast<u8>(mask(width))),
       thresholdValue(static_cast<u8>(u8(1) << (width - 1)))
 {
-    assert(width >= 1 && width <= 8);
-    assert(initial <= maxCounterValue);
+    BP_CHECK(width >= 1 && width <= 8,
+             "counter width outside 1..8");
+    BP_CHECK(initial <= maxCounterValue,
+             "initial counter value exceeds its width");
 }
 
 void
 SatCounterArray::reset(u8 initial)
 {
-    assert(initial <= maxCounterValue);
+    BP_CHECK(initial <= maxCounterValue,
+             "reset counter value exceeds its width");
     std::fill(values.begin(), values.end(), initial);
 }
 

@@ -3,14 +3,14 @@
  * Saturating up/down counter automata used as branch predictors.
  */
 
-#ifndef BPRED_SUPPORT_SAT_COUNTER_HH
-#define BPRED_SUPPORT_SAT_COUNTER_HH
+#pragma once
 
 #include <cassert>
 #include <iosfwd>
 #include <vector>
 
 #include "support/bitops.hh"
+#include "support/check.hh"
 #include "support/types.hh"
 
 namespace bpred
@@ -136,7 +136,8 @@ class SatCounterArray
     bool
     predictTaken(u64 index) const
     {
-        assert(index < values.size());
+        BP_DCHECK(index < values.size(),
+                  "counter read out of range");
         return values[index] >= thresholdValue;
     }
 
@@ -144,7 +145,8 @@ class SatCounterArray
     u8
     value(u64 index) const
     {
-        assert(index < values.size());
+        BP_DCHECK(index < values.size(),
+                  "counter read out of range");
         return values[index];
     }
 
@@ -152,7 +154,8 @@ class SatCounterArray
     void
     update(u64 index, bool taken)
     {
-        assert(index < values.size());
+        BP_DCHECK(index < values.size(),
+                  "counter write out of range");
         u8 &v = values[index];
         if (taken) {
             if (v < maxCounterValue) {
@@ -169,8 +172,10 @@ class SatCounterArray
     void
     set(u64 index, u8 new_value)
     {
-        assert(index < values.size());
-        assert(new_value <= maxCounterValue);
+        BP_CHECK(index < values.size(),
+                 "counter write out of range");
+        BP_CHECK(new_value <= maxCounterValue,
+                 "counter value exceeds its width");
         values[index] = new_value;
     }
 
@@ -202,4 +207,3 @@ class SatCounterArray
 
 } // namespace bpred
 
-#endif // BPRED_SUPPORT_SAT_COUNTER_HH

@@ -10,8 +10,7 @@
  * garbage state.
  */
 
-#ifndef BPRED_SUPPORT_SERIALIZE_HH
-#define BPRED_SUPPORT_SERIALIZE_HH
+#pragma once
 
 #include <iosfwd>
 #include <string>
@@ -52,4 +51,3 @@ std::string getString(std::istream &is, std::size_t max_length = 4096);
 
 } // namespace bpred
 
-#endif // BPRED_SUPPORT_SERIALIZE_HH

@@ -14,8 +14,7 @@
  * be a counter if "bank0.disagree" exists — enforced with fatal()).
  */
 
-#ifndef BPRED_SUPPORT_STAT_REGISTRY_HH
-#define BPRED_SUPPORT_STAT_REGISTRY_HH
+#pragma once
 
 #include <map>
 #include <string>
@@ -90,4 +89,3 @@ class StatRegistry
 
 } // namespace bpred
 
-#endif // BPRED_SUPPORT_STAT_REGISTRY_HH

@@ -3,8 +3,7 @@
  * Lightweight statistics primitives for simulation results.
  */
 
-#ifndef BPRED_SUPPORT_STATS_HH
-#define BPRED_SUPPORT_STATS_HH
+#pragma once
 
 #include <cassert>
 #include <cstddef>
@@ -182,4 +181,3 @@ class Histogram
 
 } // namespace bpred
 
-#endif // BPRED_SUPPORT_STATS_HH

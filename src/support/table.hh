@@ -6,8 +6,7 @@
  * so the reproduced tables line up and can be diffed run-to-run.
  */
 
-#ifndef BPRED_SUPPORT_TABLE_HH
-#define BPRED_SUPPORT_TABLE_HH
+#pragma once
 
 #include <ostream>
 #include <string>
@@ -96,4 +95,3 @@ void printHeading(std::ostream &os, const std::string &title);
 
 } // namespace bpred
 
-#endif // BPRED_SUPPORT_TABLE_HH

@@ -12,8 +12,7 @@
  * count exceeds total/capacity is guaranteed to be present.
  */
 
-#ifndef BPRED_SUPPORT_TOPK_HH
-#define BPRED_SUPPORT_TOPK_HH
+#pragma once
 
 #include <unordered_map>
 #include <vector>
@@ -78,4 +77,3 @@ class TopKCounter
 
 } // namespace bpred
 
-#endif // BPRED_SUPPORT_TOPK_HH

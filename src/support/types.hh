@@ -3,8 +3,7 @@
  * Fixed-width integer aliases used throughout the library.
  */
 
-#ifndef BPRED_SUPPORT_TYPES_HH
-#define BPRED_SUPPORT_TYPES_HH
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -30,4 +29,3 @@ using History = u64;
 
 } // namespace bpred
 
-#endif // BPRED_SUPPORT_TYPES_HH

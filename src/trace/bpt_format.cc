@@ -4,6 +4,7 @@
 #include <istream>
 #include <ostream>
 
+#include "support/check.hh"
 #include "support/logging.hh"
 
 namespace bpred::bpt
@@ -82,6 +83,8 @@ readHeader(std::istream &is)
     if (!is) {
         fatal("trace: truncated name");
     }
+    BP_CHECK(is.gcount() == static_cast<std::streamsize>(name_len),
+             "header name read is not the declared length");
 
     header.count = readVarint(is);
 
@@ -113,8 +116,12 @@ void
 writeRecord(std::ostream &os, const BranchRecord &record,
             Addr &last_pc)
 {
-    const i64 delta = static_cast<i64>(record.pc) -
-        static_cast<i64>(last_pc);
+    // The PC delta is computed in u64 (defined wrap-around) and
+    // only then reinterpreted as signed for the zig-zag encoder;
+    // subtracting the raw pcs as i64 would be signed-overflow UB
+    // for branches more than 2^63 apart, yet produce the same bit
+    // pattern everywhere it is defined.
+    const i64 delta = static_cast<i64>(record.pc - last_pc);
     const u8 flags = static_cast<u8>((record.taken ? 1 : 0) |
                                      (record.conditional ? 2 : 0));
     os.put(static_cast<char>(flags));
@@ -132,8 +139,12 @@ readRecord(std::istream &is, Addr &last_pc)
     if ((flags & ~0x3) != 0) {
         fatal("trace: bad record flags");
     }
+    // Mirror of writeRecord(): apply the delta with u64 wrap-around
+    // arithmetic. An i64 add here is UB exactly when the encoder's
+    // i64 subtract would have been, and a hostile trace can pick
+    // deltas that overflow regardless of what the encoder produces.
     const i64 delta = zigZagDecode(readVarint(is));
-    last_pc = static_cast<Addr>(static_cast<i64>(last_pc) + delta);
+    last_pc += static_cast<Addr>(delta);
     return {last_pc, (flags & 1) != 0, (flags & 2) != 0};
 }
 

@@ -12,8 +12,7 @@
  * trace_io.hh / stream.hh, never by touching the encoding directly.
  */
 
-#ifndef BPRED_TRACE_BPT_FORMAT_HH
-#define BPRED_TRACE_BPT_FORMAT_HH
+#pragma once
 
 #include <iosfwd>
 #include <string>
@@ -84,4 +83,3 @@ BranchRecord readRecord(std::istream &is, Addr &last_pc);
 
 } // namespace bpred::bpt
 
-#endif // BPRED_TRACE_BPT_FORMAT_HH

@@ -3,8 +3,7 @@
  * The unit of a branch trace.
  */
 
-#ifndef BPRED_TRACE_BRANCH_RECORD_HH
-#define BPRED_TRACE_BRANCH_RECORD_HH
+#pragma once
 
 #include "support/types.hh"
 
@@ -42,4 +41,3 @@ struct BranchRecord
 
 } // namespace bpred
 
-#endif // BPRED_TRACE_BRANCH_RECORD_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "support/check.hh"
 #include "support/logging.hh"
 #include "trace/bpt_format.hh"
 
@@ -12,6 +13,8 @@ namespace bpred
 std::size_t
 MemoryTraceSource::pull(BranchRecord *out, std::size_t max)
 {
+    BP_DCHECK(next <= trace_.size(),
+              "trace cursor ran past the end");
     const std::size_t available = trace_.size() - next;
     const std::size_t produced = std::min(max, available);
     const BranchRecord *begin = trace_.records().data() + next;
@@ -61,6 +64,8 @@ drainSource(TraceSource &source, std::size_t chunk_records)
     std::vector<BranchRecord> buffer(chunk_records);
     while (const std::size_t n =
                source.pull(buffer.data(), buffer.size())) {
+        BP_CHECK(n <= buffer.size(),
+                 "TraceSource::pull produced more than requested");
         for (std::size_t i = 0; i < n; ++i) {
             trace.append(buffer[i]);
         }

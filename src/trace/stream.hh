@@ -10,8 +10,7 @@
  * document otherwise.
  */
 
-#ifndef BPRED_TRACE_STREAM_HH
-#define BPRED_TRACE_STREAM_HH
+#pragma once
 
 #include <fstream>
 #include <memory>
@@ -109,4 +108,3 @@ Trace drainSource(TraceSource &source, std::size_t chunk_records = 65536);
 
 } // namespace bpred
 
-#endif // BPRED_TRACE_STREAM_HH

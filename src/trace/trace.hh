@@ -3,8 +3,7 @@
  * In-memory branch trace container and summary statistics.
  */
 
-#ifndef BPRED_TRACE_TRACE_HH
-#define BPRED_TRACE_TRACE_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -55,7 +54,13 @@ class Trace
         records_.push_back({pc, true, false});
     }
 
-    /** Pre-allocate for @p n records. */
+    /**
+     * Pre-allocate for @p n records. Callers sizing this from a
+     * decoded header must validate first (readHeader() bounds the
+     * declared count by the stream length).
+     */
+    // bp_lint: allow(reserve-untrusted): pass-through API; decode
+    // paths validate before calling (see readBinaryTrace()).
     void reserve(std::size_t n) { records_.reserve(n); }
 
     /**
@@ -125,4 +130,3 @@ TraceStats computeTraceStats(const Trace &trace);
 
 } // namespace bpred
 
-#endif // BPRED_TRACE_TRACE_HH

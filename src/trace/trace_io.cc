@@ -37,6 +37,8 @@ readBinaryTrace(std::istream &is)
     const u64 reservation = header.lengthValidated
         ? header.count
         : std::min<u64>(header.count, u64(1) << 20);
+    // bp_lint: allow(reserve-untrusted): capped above by the
+    // validated stream length or the 1M fallback.
     trace.reserve(static_cast<std::size_t>(reservation));
 
     Addr last_pc = 0;

@@ -12,8 +12,7 @@
  *    traces by hand in tests and examples.
  */
 
-#ifndef BPRED_TRACE_TRACE_IO_HH
-#define BPRED_TRACE_TRACE_IO_HH
+#pragma once
 
 #include <iosfwd>
 #include <string>
@@ -51,4 +50,3 @@ Trace readTextTrace(std::istream &is, const std::string &name = "");
 
 } // namespace bpred
 
-#endif // BPRED_TRACE_TRACE_IO_HH

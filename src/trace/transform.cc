@@ -15,6 +15,8 @@ sliceTrace(const Trace &trace, std::size_t begin, std::size_t count)
         return result;
     }
     const std::size_t end = std::min(trace.size(), begin + count);
+    // bp_lint: allow(reserve-untrusted): count clamped to an
+    // in-memory trace's size above.
     result.reserve(end - begin);
     for (std::size_t i = begin; i < end; ++i) {
         result.append(trace[i]);
@@ -33,6 +35,8 @@ concatTraces(const std::vector<const Trace *> &traces)
     for (const Trace *trace : traces) {
         total += trace->size();
     }
+    // bp_lint: allow(reserve-untrusted): sum of in-memory
+    // trace sizes.
     result.reserve(total);
     for (const Trace *trace : traces) {
         for (const BranchRecord &record : *trace) {
@@ -57,6 +61,8 @@ interleaveTraces(const std::vector<const Trace *> &traces,
     for (const Trace *trace : traces) {
         total += trace->size();
     }
+    // bp_lint: allow(reserve-untrusted): sum of in-memory
+    // trace sizes.
     result.reserve(total);
 
     std::vector<std::size_t> cursors(traces.size(), 0);

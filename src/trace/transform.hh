@@ -7,8 +7,7 @@
  * kernel vs user) from a combined trace.
  */
 
-#ifndef BPRED_TRACE_TRANSFORM_HH
-#define BPRED_TRACE_TRANSFORM_HH
+#pragma once
 
 #include <vector>
 
@@ -43,4 +42,3 @@ Trace filterAddressRange(const Trace &trace, Addr lo, Addr hi);
 
 } // namespace bpred
 
-#endif // BPRED_TRACE_TRANSFORM_HH

@@ -3,8 +3,7 @@
  * Static branch-site behaviour models for synthetic workloads.
  */
 
-#ifndef BPRED_WORKLOADS_BRANCH_SITE_HH
-#define BPRED_WORKLOADS_BRANCH_SITE_HH
+#pragma once
 
 #include "support/types.hh"
 
@@ -88,4 +87,3 @@ struct BranchSite
 
 } // namespace bpred
 
-#endif // BPRED_WORKLOADS_BRANCH_SITE_HH

@@ -3,8 +3,7 @@
  * Resumable execution of synthetic programs.
  */
 
-#ifndef BPRED_WORKLOADS_INTERPRETER_HH
-#define BPRED_WORKLOADS_INTERPRETER_HH
+#pragma once
 
 #include <vector>
 
@@ -113,4 +112,3 @@ class Interpreter
 
 } // namespace bpred
 
-#endif // BPRED_WORKLOADS_INTERPRETER_HH

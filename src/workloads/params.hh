@@ -3,8 +3,7 @@
  * Tunable parameters of the synthetic workload generator.
  */
 
-#ifndef BPRED_WORKLOADS_PARAMS_HH
-#define BPRED_WORKLOADS_PARAMS_HH
+#pragma once
 
 #include <string>
 
@@ -104,4 +103,3 @@ struct WorkloadParams
 
 } // namespace bpred
 
-#endif // BPRED_WORKLOADS_PARAMS_HH

@@ -13,8 +13,7 @@
  * for the substitution argument.
  */
 
-#ifndef BPRED_WORKLOADS_PRESETS_HH
-#define BPRED_WORKLOADS_PRESETS_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -63,4 +62,3 @@ double effectiveTraceScale(double requested);
 
 } // namespace bpred
 
-#endif // BPRED_WORKLOADS_PRESETS_HH

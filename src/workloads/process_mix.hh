@@ -4,8 +4,7 @@
  * interleaved by a preemptive scheduler.
  */
 
-#ifndef BPRED_WORKLOADS_PROCESS_MIX_HH
-#define BPRED_WORKLOADS_PROCESS_MIX_HH
+#pragma once
 
 #include "trace/trace.hh"
 #include "workloads/params.hh"
@@ -40,4 +39,3 @@ Trace runProgramToTrace(const Program &program, u64 seed,
 
 } // namespace bpred
 
-#endif // BPRED_WORKLOADS_PROCESS_MIX_HH

@@ -4,8 +4,7 @@
  * whose execution emits a branch trace.
  */
 
-#ifndef BPRED_WORKLOADS_PROGRAM_HH
-#define BPRED_WORKLOADS_PROGRAM_HH
+#pragma once
 
 #include <vector>
 
@@ -96,4 +95,3 @@ ProgramShape analyzeProgram(const Program &program);
 
 } // namespace bpred
 
-#endif // BPRED_WORKLOADS_PROGRAM_HH

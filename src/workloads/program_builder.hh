@@ -3,8 +3,7 @@
  * Random generation of synthetic programs.
  */
 
-#ifndef BPRED_WORKLOADS_PROGRAM_BUILDER_HH
-#define BPRED_WORKLOADS_PROGRAM_BUILDER_HH
+#pragma once
 
 #include "support/rng.hh"
 #include "workloads/params.hh"
@@ -55,4 +54,3 @@ Program buildProgram(const ProgramParams &params);
 
 } // namespace bpred
 
-#endif // BPRED_WORKLOADS_PROGRAM_BUILDER_HH

@@ -3,8 +3,7 @@
  * On-the-fly synthetic workload generation as a TraceSource.
  */
 
-#ifndef BPRED_WORKLOADS_STREAM_SOURCE_HH
-#define BPRED_WORKLOADS_STREAM_SOURCE_HH
+#pragma once
 
 #include <string>
 
@@ -62,4 +61,3 @@ class WorkloadStream : public TraceSource
 
 } // namespace bpred
 
-#endif // BPRED_WORKLOADS_STREAM_SOURCE_HH

@@ -1,0 +1,25 @@
+#include <cstdlib>
+
+#include "dice.hh"
+
+int
+flagged(const char *text, Dice &dice)
+{
+    // Three real violations on the lines below.
+    const int a = std::atoi(text);
+    const int b = rand();
+    int *leak = new int(a + b);
+
+    // None of these are: member call, foreign qualifier, the word
+    // in a comment (rand), the word in a string.
+    const int c = dice.rand() + other::rand();
+    const char *prose = "call rand() here";
+    return a + b + c + *leak + (prose ? 1 : 0);
+}
+
+int
+suppressed()
+{
+    // Justified exception. bp_lint: allow(banned-identifier)
+    return rand();
+}

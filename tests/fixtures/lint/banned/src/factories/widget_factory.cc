@@ -1,0 +1,6 @@
+// Factories are the one place raw new is allowed.
+int *
+makeWidget()
+{
+    return new int(7);
+}

@@ -1,0 +1,21 @@
+#include <cstdint>
+#include <vector>
+
+std::vector<std::uint64_t>
+decode(std::uint64_t declared_count)
+{
+    std::vector<std::uint64_t> records;
+    // Sizing from a decoded count with no justification: flagged.
+    records.reserve(declared_count);
+    return records;
+}
+
+std::vector<std::uint64_t>
+decodeBounded(std::uint64_t declared_count)
+{
+    std::vector<std::uint64_t> records;
+    // The count was validated against the stream length upstream.
+    // bp_lint: allow(reserve-untrusted)
+    records.reserve(declared_count);
+    return records;
+}

@@ -1,0 +1,14 @@
+#include "util.hh"
+
+namespace fixture
+{
+
+int
+answer()
+{
+    // Digit separators must survive the lexer: 1'000 is not a char
+    // literal, and everything after it is still scanned.
+    return 42'000 / 1'000;
+}
+
+} // namespace fixture

@@ -1,0 +1,8 @@
+#pragma once
+
+namespace fixture
+{
+
+int answer();
+
+} // namespace fixture

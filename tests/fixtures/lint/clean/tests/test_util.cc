@@ -1,0 +1,7 @@
+// A registered test: cmake-registration finds its name in the
+// sibling CMakeLists.txt and stays quiet.
+int
+main()
+{
+    return 0;
+}

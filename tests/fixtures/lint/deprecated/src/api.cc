@@ -1,0 +1,20 @@
+#include "api.hh"
+
+namespace fixture
+{
+
+// The shim's own definition lives in the declaring header's
+// sibling .cc and is exempt.
+int
+runLegacy(int n)
+{
+    return runWithOptions(n);
+}
+
+int
+runWithOptions(int n)
+{
+    return n * 2;
+}
+
+} // namespace fixture

@@ -1,0 +1,11 @@
+#pragma once
+
+namespace fixture
+{
+
+[[deprecated("use runWithOptions() instead")]]
+int runLegacy(int n);
+
+int runWithOptions(int n);
+
+} // namespace fixture

@@ -1,0 +1,8 @@
+#include "api.hh"
+
+// Production code still on the deprecated shim: flagged.
+int
+stillLegacy()
+{
+    return fixture::runLegacy(3);
+}

@@ -1,0 +1,9 @@
+#include "api.hh"
+
+// Tests may pin the deprecated surface against its replacement.
+int
+main()
+{
+    return fixture::runLegacy(3) == fixture::runWithOptions(3)
+        ? 0 : 1;
+}

@@ -1,0 +1,8 @@
+#include "widget.hh"
+
+std::string
+Widget::name() const
+{
+    // 4'096 exercises digit separators inside a name() body.
+    return "widget-" + std::to_string(4'096 / 1'024) + "k";
+}

@@ -1,0 +1,18 @@
+#include "factory.hh"
+
+const std::vector<SchemeInfo> &
+listSchemes()
+{
+    static const std::vector<SchemeInfo> schemes = {
+        {"widget", "matched by the widget-4k literal",
+         {{"size", FieldKind::Number, false, ""}},
+         "widget:12"},
+        // bp_lint: fingerprint(alias)=widget legacy spelling kept
+        // for old spec files.
+        {"alias", "matched through the override above", {},
+         "alias"},
+        {"gizmo", "no predictor prints this one: flagged", {},
+         "gizmo:8"},
+    };
+    return schemes;
+}

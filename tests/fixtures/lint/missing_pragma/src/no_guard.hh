@@ -1,0 +1,2 @@
+// No include guard of any kind.
+int unguarded();

@@ -1,0 +1,8 @@
+#ifndef BPRED_FIXTURE_OLD_GUARD_HH
+#define BPRED_FIXTURE_OLD_GUARD_HH
+
+// Old-style guard: flagged once for the guard line and once for
+// the missing #pragma once.
+int guarded();
+
+#endif // BPRED_FIXTURE_OLD_GUARD_HH

@@ -1,0 +1,6 @@
+// A bench source in a directory with no CMakeLists.txt at all.
+int
+main()
+{
+    return 0;
+}

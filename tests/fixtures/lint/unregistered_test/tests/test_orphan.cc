@@ -1,0 +1,7 @@
+// Never named in the sibling CMakeLists.txt: builds on nobody's
+// machine, runs in nobody's CI.
+int
+main()
+{
+    return 0;
+}

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * bp_lint against golden fixture trees.
+ *
+ * Each fixture under tests/fixtures/lint/ is a miniature repository
+ * that either passes every rule (clean/) or violates exactly one.
+ * The tests pin both directions: the clean tree stays clean, and
+ * every rule still fires on the violation written for it. The
+ * fixture directory is compiled in as BPLINT_FIXTURE_DIR; the
+ * production lint walk skips any directory named "fixtures", so
+ * these intentional violations never fail the real-tree run.
+ */
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bp_lint/lint.hh"
+
+namespace
+{
+
+using bplint::Finding;
+using bplint::RepoTree;
+
+RepoTree
+fixture(const std::string &name)
+{
+    return bplint::loadTree(std::string(BPLINT_FIXTURE_DIR) + "/" +
+                            name);
+}
+
+std::vector<Finding>
+lintWith(const std::string &tree, const std::string &rule)
+{
+    return bplint::runLint(fixture(tree), {rule});
+}
+
+bool
+mentions(const Finding &finding, const std::string &text)
+{
+    return finding.message.find(text) != std::string::npos;
+}
+
+TEST(BpLint, CleanTreePassesEveryRule)
+{
+    const auto findings = bplint::runLint(fixture("clean"));
+    EXPECT_TRUE(findings.empty())
+        << findings.size() << " unexpected finding(s), first: "
+        << (findings.empty() ? std::string()
+                             : findings.front().file + ": " +
+                                   findings.front().message);
+}
+
+TEST(BpLint, UnregisteredSourcesAreFlagged)
+{
+    const auto findings =
+        lintWith("unregistered_test", "cmake-registration");
+    ASSERT_EQ(findings.size(), 2u);
+    EXPECT_EQ(findings[0].file, "bench/bench_lonely.cc");
+    EXPECT_TRUE(mentions(findings[0], "no CMakeLists.txt"));
+    EXPECT_EQ(findings[1].file, "tests/test_orphan.cc");
+    EXPECT_TRUE(mentions(findings[1], "not registered"));
+}
+
+TEST(BpLint, HeadersWithoutPragmaOnceAreFlagged)
+{
+    const auto findings =
+        lintWith("missing_pragma", "pragma-once");
+    ASSERT_EQ(findings.size(), 3u);
+    EXPECT_EQ(findings[0].file, "src/no_guard.hh");
+    EXPECT_TRUE(mentions(findings[0], "lacks #pragma once"));
+    EXPECT_EQ(findings[1].file, "src/old_guard.hh");
+    EXPECT_EQ(findings[1].line, 1u);
+    EXPECT_TRUE(mentions(findings[1], "BPRED_"));
+    EXPECT_EQ(findings[2].file, "src/old_guard.hh");
+    EXPECT_TRUE(mentions(findings[2], "lacks #pragma once"));
+}
+
+TEST(BpLint, BannedIdentifiersAreFlagged)
+{
+    const auto findings = lintWith("banned", "banned-identifier");
+    ASSERT_EQ(findings.size(), 4u);
+
+    EXPECT_EQ(findings[0].file, "src/bad_calls.cc");
+    EXPECT_EQ(findings[0].line, 9u);
+    EXPECT_TRUE(mentions(findings[0], "atoi"));
+    EXPECT_EQ(findings[1].line, 10u);
+    EXPECT_TRUE(mentions(findings[1], "rand"));
+    EXPECT_EQ(findings[2].line, 11u);
+    EXPECT_TRUE(mentions(findings[2], "raw new"));
+
+    // Member calls, foreign qualifiers, comments, strings, and the
+    // annotated rand() produced nothing for bad_calls.cc beyond
+    // the three above; the factory file's raw new is exempt; only
+    // the unannotated trace-layer reserve() remains.
+    EXPECT_EQ(findings[3].file, "src/trace/decode.cc");
+    EXPECT_EQ(findings[3].line, 9u);
+    EXPECT_TRUE(mentions(findings[3], "reserve"));
+}
+
+TEST(BpLint, DeprecatedCallOutsideTestsIsFlagged)
+{
+    const auto findings = lintWith("deprecated", "deprecated-call");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].file, "src/caller.cc");
+    EXPECT_EQ(findings[0].line, 7u);
+    EXPECT_TRUE(mentions(findings[0], "runLegacy"));
+}
+
+TEST(BpLint, FingerprintMismatchIsFlagged)
+{
+    const auto findings =
+        lintWith("fingerprint", "factory-fingerprint");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].file, "src/sim/factory.cc");
+    EXPECT_EQ(findings[0].line, 14u);
+    EXPECT_TRUE(mentions(findings[0], "gizmo"));
+}
+
+TEST(BpLint, StripKeepsPositionsAndDigitSeparators)
+{
+    const std::string stripped = bplint::stripCommentsAndStrings(
+        "int x = 1'000; // rand()\n"
+        "const char *s = \"atoi(\";\n"
+        "/* strcpy */ int y = x;\n");
+    EXPECT_NE(stripped.find("1'000"), std::string::npos);
+    EXPECT_EQ(stripped.find("rand"), std::string::npos);
+    EXPECT_EQ(stripped.find("atoi"), std::string::npos);
+    EXPECT_EQ(stripped.find("strcpy"), std::string::npos);
+    // Positions survive: 'y' stays at its original column within
+    // its own line.
+    const std::size_t y = stripped.find("int y");
+    ASSERT_NE(y, std::string::npos);
+    EXPECT_EQ(y - (stripped.rfind('\n', y) + 1),
+              std::string("/* strcpy */ ").size());
+    // Line structure survives.
+    EXPECT_EQ(std::count(stripped.begin(), stripped.end(), '\n'),
+              3);
+}
+
+TEST(BpLint, CanonicalFingerprintDropsPunctuation)
+{
+    EXPECT_EQ(bplint::canonicalFingerprint("e-gskew"), "egskew");
+    EXPECT_EQ(bplint::canonicalFingerprint("FA-LRU-2w"), "falru2w");
+    EXPECT_EQ(bplint::canonicalFingerprint("gskewed-sh 14"),
+              "gskewedsh14");
+}
+
+} // namespace

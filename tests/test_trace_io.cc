@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <limits>
 #include <sstream>
 
 #include "support/logging.hh"
@@ -52,6 +53,54 @@ TEST(BinaryTraceIO, RoundTrip)
     for (std::size_t i = 0; i < original.size(); ++i) {
         ASSERT_EQ(loaded[i], original[i]) << "record " << i;
     }
+}
+
+// Extreme PC jumps force deltas that overflow an i64: pcs in the
+// top half of the address space, and swings between the two ends.
+// The delta codec must round-trip them through u64 wrap-around
+// arithmetic — computing these deltas in i64 is signed-overflow UB
+// (the bug this test regression-guards, caught by UBSan).
+TEST(BinaryTraceIO, ExtremePcDeltasRoundTrip)
+{
+    Trace original("extremes");
+    original.appendConditional(0, true);
+    original.appendConditional(~Addr(0) & ~Addr(3), false);
+    original.appendConditional(4, true);
+    original.appendConditional(Addr(1) << 63, false);
+    original.appendUnconditional((Addr(1) << 63) - 4);
+    original.appendConditional(0x7fff'ffff'ffff'fffc, true);
+
+    std::stringstream buffer;
+    writeBinaryTrace(buffer, original);
+    const Trace loaded = readBinaryTrace(buffer);
+
+    ASSERT_EQ(loaded.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        ASSERT_EQ(loaded[i], original[i]) << "record " << i;
+    }
+}
+
+// The same property at the codec level, against fixed wire bytes:
+// a delta of exactly -2^63 (zig-zag 0xFFFF...FF) applied to pc 0
+// must wrap to 2^63, not trap.
+TEST(BinaryTraceIO, ZigZagExtremesDecode)
+{
+    EXPECT_EQ(bpt::zigZagEncode(std::numeric_limits<i64>::min()),
+              ~u64(0));
+    EXPECT_EQ(bpt::zigZagDecode(~u64(0)),
+              std::numeric_limits<i64>::min());
+    EXPECT_EQ(bpt::zigZagEncode(std::numeric_limits<i64>::max()),
+              ~u64(0) - 1);
+    EXPECT_EQ(bpt::zigZagDecode(~u64(0) - 1),
+              std::numeric_limits<i64>::max());
+
+    std::stringstream buffer;
+    Addr write_pc = 0;
+    bpt::writeRecord(buffer, {Addr(1) << 63, true, true}, write_pc);
+    Addr read_pc = 0;
+    const BranchRecord decoded = bpt::readRecord(buffer, read_pc);
+    EXPECT_EQ(decoded.pc, Addr(1) << 63);
+    EXPECT_EQ(read_pc, Addr(1) << 63);
 }
 
 TEST(BinaryTraceIO, EmptyTraceRoundTrip)

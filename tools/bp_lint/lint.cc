@@ -1,0 +1,300 @@
+#include "bp_lint/lint.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "bp_lint/rules.hh"
+
+namespace bplint
+{
+
+const std::vector<RuleInfo> &
+allRules()
+{
+    static const std::vector<RuleInfo> rules = {
+        {"cmake-registration",
+         "every test_*.cc/bench_*.cc is registered in its "
+         "CMakeLists.txt",
+         ruleCmakeRegistration},
+        {"pragma-once",
+         "headers use #pragma once, never BPRED_* guards",
+         rulePragmaOnce},
+        {"banned-identifier",
+         "no rand/strcpy/atoi-style calls, raw new outside "
+         "factories, or unannotated trace-layer reserve()",
+         ruleBannedIdentifier},
+        {"factory-fingerprint",
+         "factory scheme names match predictor name() "
+         "fingerprint literals",
+         ruleFactoryFingerprint},
+        {"deprecated-call",
+         "[[deprecated]] shims are only called from tests",
+         ruleDeprecatedCall},
+    };
+    return rules;
+}
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/**
+ * Directories never descended into: VCS state, build trees, editor
+ * state, and lint fixtures (which contain violations on purpose —
+ * test_bp_lint lints them explicitly).
+ */
+bool
+skipDirectory(const std::string &name)
+{
+    return name == ".git" || name == ".claude" ||
+        name == "fixtures" || name.rfind("build", 0) == 0;
+}
+
+bool
+hasSuffix(const std::string &text, const std::string &suffix)
+{
+    return text.size() >= suffix.size() &&
+        text.compare(text.size() - suffix.size(), suffix.size(),
+                     suffix) == 0;
+}
+
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::string line;
+    std::istringstream stream(text);
+    while (std::getline(stream, line)) {
+        lines.push_back(line);
+    }
+    return lines;
+}
+
+} // namespace
+
+std::string
+stripCommentsAndStrings(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+
+    enum class State
+    {
+        Code,
+        LineComment,
+        BlockComment,
+        String,
+        Char
+    };
+    State state = State::Code;
+
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+        switch (state) {
+          case State::Code:
+            if (c == '/' && next == '/') {
+                state = State::LineComment;
+                out += "  ";
+                ++i;
+            } else if (c == '/' && next == '*') {
+                state = State::BlockComment;
+                out += "  ";
+                ++i;
+            } else if (c == '"') {
+                state = State::String;
+                out += '"';
+            } else if (c == '\'') {
+                // An apostrophe directly after an identifier
+                // character is a digit separator (1'000'000), not
+                // a char literal.
+                const bool separator = !out.empty() &&
+                    (std::isalnum(static_cast<unsigned char>(
+                         out.back())) ||
+                     out.back() == '_');
+                if (separator) {
+                    out += '\'';
+                } else {
+                    state = State::Char;
+                    out += '\'';
+                }
+            } else {
+                out += c;
+            }
+            break;
+          case State::LineComment:
+            if (c == '\n') {
+                state = State::Code;
+                out += '\n';
+            } else {
+                out += ' ';
+            }
+            break;
+          case State::BlockComment:
+            if (c == '*' && next == '/') {
+                state = State::Code;
+                out += "  ";
+                ++i;
+            } else {
+                out += c == '\n' ? '\n' : ' ';
+            }
+            break;
+          case State::String:
+            if (c == '\\' && next != '\0' && next != '\n') {
+                out += "  ";
+                ++i;
+            } else if (c == '"') {
+                state = State::Code;
+                out += '"';
+            } else {
+                out += c == '\n' ? '\n' : ' ';
+            }
+            break;
+          case State::Char:
+            if (c == '\\' && next != '\0' && next != '\n') {
+                out += "  ";
+                ++i;
+            } else if (c == '\'') {
+                state = State::Code;
+                out += '\'';
+            } else {
+                out += c == '\n' ? '\n' : ' ';
+            }
+            break;
+        }
+    }
+    return out;
+}
+
+std::string
+canonicalFingerprint(const std::string &text)
+{
+    std::string canonical;
+    for (const char c : text) {
+        if (c >= 'a' && c <= 'z') {
+            canonical += c;
+        } else if (c >= 'A' && c <= 'Z') {
+            canonical += static_cast<char>(c - 'A' + 'a');
+        } else if (c >= '0' && c <= '9') {
+            canonical += c;
+        }
+    }
+    return canonical;
+}
+
+bool
+lineAllows(const SourceFile &file, std::size_t line,
+           const std::string &rule)
+{
+    const std::string needle = "bp_lint: allow(" + rule + ")";
+    if (line < 1 || line > file.lines.size()) {
+        return false;
+    }
+    if (file.lines[line - 1].find(needle) != std::string::npos) {
+        return true;
+    }
+    // Walk up through the contiguous comment block directly above
+    // the flagged line, so multi-line justifications work.
+    for (std::size_t i = line - 1; i >= 1; --i) {
+        const std::string &above = file.lines[i - 1];
+        const std::size_t text = above.find_first_not_of(" \t");
+        if (text == std::string::npos ||
+            (above.compare(text, 2, "//") != 0 &&
+             above.compare(text, 1, "*") != 0)) {
+            break;
+        }
+        if (above.find(needle) != std::string::npos) {
+            return true;
+        }
+    }
+    return false;
+}
+
+RepoTree
+loadTree(const fs::path &root)
+{
+    if (!fs::is_directory(root)) {
+        throw std::runtime_error("bp_lint: not a directory: " +
+                                 root.string());
+    }
+
+    RepoTree tree;
+    tree.root = fs::canonical(root);
+
+    auto options = fs::directory_options::skip_permission_denied;
+    for (auto it = fs::recursive_directory_iterator(tree.root,
+                                                    options);
+         it != fs::recursive_directory_iterator(); ++it) {
+        const fs::path &path = it->path();
+        if (it->is_directory()) {
+            if (skipDirectory(path.filename().string())) {
+                it.disable_recursion_pending();
+            }
+            continue;
+        }
+        if (!it->is_regular_file()) {
+            continue;
+        }
+        const std::string name = path.filename().string();
+        const bool is_cmake = name == "CMakeLists.txt";
+        const bool is_header =
+            hasSuffix(name, ".hh") || hasSuffix(name, ".hpp");
+        const bool is_source =
+            hasSuffix(name, ".cc") || hasSuffix(name, ".cpp");
+        if (!is_cmake && !is_header && !is_source) {
+            continue;
+        }
+
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream contents;
+        contents << in.rdbuf();
+        const std::string text = contents.str();
+
+        SourceFile file;
+        file.relative =
+            fs::relative(path, tree.root).generic_string();
+        file.name = name;
+        file.lines = splitLines(text);
+        file.isHeader = is_header;
+        file.isCpp = is_header || is_source;
+        if (file.isCpp) {
+            file.code = splitLines(stripCommentsAndStrings(text));
+            file.code.resize(file.lines.size());
+        }
+        file.inTests = file.relative.rfind("tests/", 0) == 0;
+        tree.files.push_back(std::move(file));
+    }
+
+    std::sort(tree.files.begin(), tree.files.end(),
+              [](const SourceFile &a, const SourceFile &b) {
+                  return a.relative < b.relative;
+              });
+    return tree;
+}
+
+std::vector<Finding>
+runLint(const RepoTree &tree)
+{
+    return runLint(tree, {});
+}
+
+std::vector<Finding>
+runLint(const RepoTree &tree, const std::vector<std::string> &rules)
+{
+    std::vector<Finding> findings;
+    for (const RuleInfo &rule : allRules()) {
+        if (!rules.empty() &&
+            std::find(rules.begin(), rules.end(), rule.name) ==
+                rules.end()) {
+            continue;
+        }
+        rule.run(tree, findings);
+    }
+    return findings;
+}
+
+} // namespace bplint

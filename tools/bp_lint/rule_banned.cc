@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Rule "banned-identifier": library calls that have no place on a
+ * deterministic, bounds-checked simulation path.
+ *
+ * - rand/srand: all randomness flows through bpred::Rng with
+ *   explicit seeds; hidden global RNG state breaks bit
+ *   reproducibility.
+ * - strcpy/strcat/sprintf/gets: unbounded C string writes.
+ * - atoi/atol/atof: silently return 0 on garbage — a malformed
+ *   spec must be a fatal() diagnostic, never a zero-sized table.
+ * - raw `new`: ownership outside factories and tests must flow
+ *   through std::make_unique so no error path leaks.
+ * - Trace-layer reserve(): sizing an allocation from a decoded
+ *   (untrusted) count is how a corrupt header becomes an OOM;
+ *   each call must carry a `bp_lint: allow(reserve-untrusted)`
+ *   annotation stating why its count is trusted or bounded.
+ *
+ * Matching runs over comment- and string-stripped code, so prose
+ * and literals never trip it.
+ */
+
+#include "bp_lint/lint.hh"
+
+namespace bplint
+{
+
+namespace
+{
+
+struct BannedCall
+{
+    const char *name;
+    const char *reason;
+};
+
+constexpr BannedCall bannedCalls[] = {
+    {"rand", "use bpred::Rng with an explicit seed"},
+    {"srand", "use bpred::Rng with an explicit seed"},
+    {"strcpy", "unbounded C string copy; use std::string"},
+    {"strcat", "unbounded C string append; use std::string"},
+    {"sprintf", "unbounded format write; use std::string streams"},
+    {"gets", "unbounded read; use std::getline"},
+    {"atoi", "returns 0 on garbage; parse with fatal() diagnostics"},
+    {"atol", "returns 0 on garbage; parse with fatal() diagnostics"},
+    {"atof", "returns 0 on garbage; parse with fatal() diagnostics"},
+};
+
+bool
+isIdentChar(char c)
+{
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+        (c >= '0' && c <= '9') || c == '_';
+}
+
+/**
+ * True when code[pos..] is a call of @p name: the identifier
+ * followed (after spaces) by '(' and not reached via member access
+ * or a non-std qualifier.
+ */
+bool
+isBannedCallAt(const std::string &code, std::size_t pos,
+               const std::string &name)
+{
+    // Identifier boundary on the left.
+    if (pos > 0 && isIdentChar(code[pos - 1])) {
+        return false;
+    }
+    // '(' after the identifier.
+    std::size_t after = pos + name.size();
+    while (after < code.size() &&
+           (code[after] == ' ' || code[after] == '\t')) {
+        ++after;
+    }
+    if (after >= code.size() || code[after] != '(') {
+        return false;
+    }
+    // Member access (x.rand(), x->rand()) is another type's method.
+    if (pos >= 1 && code[pos - 1] == '.') {
+        return false;
+    }
+    if (pos >= 2 && code[pos - 2] == '-' && code[pos - 1] == '>') {
+        return false;
+    }
+    // Qualified: only std:: (and global ::) forms are the banned
+    // libc functions; Other::rand() is unrelated.
+    if (pos >= 2 && code[pos - 2] == ':' && code[pos - 1] == ':') {
+        std::size_t qual_end = pos - 2;
+        std::size_t qual_begin = qual_end;
+        while (qual_begin > 0 && isIdentChar(code[qual_begin - 1])) {
+            --qual_begin;
+        }
+        const std::string qualifier =
+            code.substr(qual_begin, qual_end - qual_begin);
+        return qualifier.empty() || qualifier == "std";
+    }
+    return true;
+}
+
+/** True when code[pos..] starts a raw new-expression. */
+bool
+isRawNewAt(const std::string &code, std::size_t pos)
+{
+    if (pos > 0 && isIdentChar(code[pos - 1])) {
+        return false;
+    }
+    // "operator new" overloads are declarations, not allocations.
+    if (pos >= 9 &&
+        code.compare(pos - 9, 8, "operator") == 0) {
+        return false;
+    }
+    const std::size_t after = pos + 3;
+    if (after >= code.size() || isIdentChar(code[after])) {
+        return false;
+    }
+    // Require something allocatable after: an identifier or '('.
+    const std::size_t next =
+        code.find_first_not_of(" \t", after);
+    return next != std::string::npos &&
+        (isIdentChar(code[next]) || code[next] == '(');
+}
+
+} // namespace
+
+void
+ruleBannedIdentifier(const RepoTree &tree,
+                     std::vector<Finding> &findings)
+{
+    for (const SourceFile &file : tree.files) {
+        if (!file.isCpp) {
+            continue;
+        }
+        const bool new_exempt = file.inTests ||
+            file.relative.find("factory") != std::string::npos;
+        const bool trace_layer =
+            file.relative.rfind("src/trace/", 0) == 0;
+
+        for (std::size_t i = 0; i < file.code.size(); ++i) {
+            const std::string &code = file.code[i];
+            const std::size_t line_no = i + 1;
+
+            for (const BannedCall &banned : bannedCalls) {
+                std::size_t pos = 0;
+                while ((pos = code.find(banned.name, pos)) !=
+                       std::string::npos) {
+                    if (isBannedCallAt(code, pos, banned.name) &&
+                        !lineAllows(file, line_no,
+                                    "banned-identifier")) {
+                        findings.push_back(
+                            {"banned-identifier", file.relative,
+                             line_no,
+                             std::string("call to banned '") +
+                                 banned.name + "': " +
+                                 banned.reason});
+                    }
+                    pos += std::string(banned.name).size();
+                }
+            }
+
+            if (!new_exempt) {
+                std::size_t pos = 0;
+                while ((pos = code.find("new", pos)) !=
+                       std::string::npos) {
+                    if (isRawNewAt(code, pos) &&
+                        !lineAllows(file, line_no,
+                                    "banned-identifier")) {
+                        findings.push_back(
+                            {"banned-identifier", file.relative,
+                             line_no,
+                             "raw new outside factories/tests; "
+                             "use std::make_unique"});
+                    }
+                    pos += 3;
+                }
+            }
+
+            if (trace_layer &&
+                code.find(".reserve(") != std::string::npos &&
+                !lineAllows(file, line_no, "reserve-untrusted")) {
+                findings.push_back(
+                    {"banned-identifier", file.relative, line_no,
+                     "trace-layer reserve() without a "
+                     "'bp_lint: allow(reserve-untrusted)' "
+                     "annotation explaining why the count is "
+                     "trusted"});
+            }
+        }
+    }
+}
+
+} // namespace bplint

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Rule "cmake-registration": every test_*.cc and bench_*.cc must be
+ * named in the CMakeLists.txt of its own directory.
+ *
+ * An unregistered test compiles on nobody's machine and fails on
+ * nobody's CI — the suite silently shrinks. The registration
+ * convention is one bpred_add_test()/bpred_add_bench() line per
+ * binary, so a plain textual mention of the file name is the
+ * invariant checked here.
+ */
+
+#include "bp_lint/lint.hh"
+
+#include <map>
+
+namespace bplint
+{
+
+namespace
+{
+
+std::string
+directoryOf(const std::string &relative)
+{
+    const std::size_t slash = relative.rfind('/');
+    return slash == std::string::npos ? std::string()
+                                      : relative.substr(0, slash);
+}
+
+bool
+isRegistrable(const std::string &name)
+{
+    return (name.rfind("test_", 0) == 0 ||
+            name.rfind("bench_", 0) == 0) &&
+        name.size() > 3 &&
+        name.compare(name.size() - 3, 3, ".cc") == 0;
+}
+
+} // namespace
+
+void
+ruleCmakeRegistration(const RepoTree &tree,
+                      std::vector<Finding> &findings)
+{
+    // Directory -> its CMakeLists contents (if present).
+    std::map<std::string, const SourceFile *> cmake_by_dir;
+    for (const SourceFile &file : tree.files) {
+        if (file.name == "CMakeLists.txt") {
+            cmake_by_dir[directoryOf(file.relative)] = &file;
+        }
+    }
+
+    for (const SourceFile &file : tree.files) {
+        if (!isRegistrable(file.name)) {
+            continue;
+        }
+        const auto cmake =
+            cmake_by_dir.find(directoryOf(file.relative));
+        if (cmake == cmake_by_dir.end()) {
+            findings.push_back(
+                {"cmake-registration", file.relative, 0,
+                 "no CMakeLists.txt alongside this test/bench "
+                 "source"});
+            continue;
+        }
+        bool registered = false;
+        for (const std::string &line : cmake->second->lines) {
+            // A mention inside a CMake comment is not a
+            // registration.
+            const std::string code =
+                line.substr(0, line.find('#'));
+            if (code.find(file.name) != std::string::npos) {
+                registered = true;
+                break;
+            }
+        }
+        if (!registered) {
+            findings.push_back(
+                {"cmake-registration", file.relative, 0,
+                 "not registered in " + cmake->second->relative +
+                     " — the binary is never built or run"});
+        }
+    }
+}
+
+} // namespace bplint

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Rule "deprecated-call": functions declared [[deprecated]] may
+ * only be called from tests.
+ *
+ * Deprecated shims exist so tests can pin the old surface against
+ * the new one; production and bench code calling them means the
+ * migration regressed. The compiler's -Wdeprecated is a warning
+ * nobody reads in CI logs — this makes it a hard lint error
+ * outside tests/.
+ */
+
+#include "bp_lint/lint.hh"
+
+#include <map>
+
+namespace bplint
+{
+
+namespace
+{
+
+bool
+isIdentChar(char c)
+{
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+        (c >= '0' && c <= '9') || c == '_';
+}
+
+/**
+ * The declared function name following a [[deprecated...]]
+ * attribute at line @p attr_line: the identifier directly before
+ * the first '(' within the next few lines.
+ */
+std::string
+declaredName(const SourceFile &file, std::size_t attr_line)
+{
+    for (std::size_t i = attr_line; i < file.code.size() &&
+         i < attr_line + 6; ++i) {
+        std::string code = file.code[i];
+        if (i == attr_line) {
+            // Skip past the attribute itself (and its message).
+            const std::size_t close = code.find("]]");
+            if (close == std::string::npos) {
+                continue;
+            }
+            code = code.substr(close + 2);
+        }
+        const std::size_t paren = code.find('(');
+        if (paren == std::string::npos) {
+            continue;
+        }
+        std::size_t end = paren;
+        while (end > 0 &&
+               (code[end - 1] == ' ' || code[end - 1] == '\t')) {
+            --end;
+        }
+        std::size_t begin = end;
+        while (begin > 0 && isIdentChar(code[begin - 1])) {
+            --begin;
+        }
+        if (begin < end) {
+            return code.substr(begin, end - begin);
+        }
+    }
+    return {};
+}
+
+/** "src/sim/driver.hh" -> "driver". */
+std::string
+stemOf(const std::string &relative)
+{
+    const std::size_t slash = relative.rfind('/');
+    const std::size_t begin =
+        slash == std::string::npos ? 0 : slash + 1;
+    const std::size_t dot = relative.rfind('.');
+    return relative.substr(begin, dot - begin);
+}
+
+} // namespace
+
+void
+ruleDeprecatedCall(const RepoTree &tree,
+                   std::vector<Finding> &findings)
+{
+    // Deprecated function name -> stem of its declaring header
+    // (the sibling .cc defines the shim and is exempt).
+    std::map<std::string, std::string> deprecated;
+    for (const SourceFile &file : tree.files) {
+        if (!file.isHeader) {
+            continue;
+        }
+        for (std::size_t i = 0; i < file.code.size(); ++i) {
+            if (file.code[i].find("[[deprecated") ==
+                std::string::npos) {
+                continue;
+            }
+            const std::string name = declaredName(file, i);
+            if (!name.empty()) {
+                deprecated[name] = stemOf(file.relative);
+            }
+        }
+    }
+    if (deprecated.empty()) {
+        return;
+    }
+
+    for (const SourceFile &file : tree.files) {
+        if (!file.isCpp || file.isHeader || file.inTests) {
+            continue;
+        }
+        const std::string stem = stemOf(file.relative);
+        for (std::size_t i = 0; i < file.code.size(); ++i) {
+            const std::string &code = file.code[i];
+            for (const auto &[name, decl_stem] : deprecated) {
+                if (stem == decl_stem) {
+                    continue; // the shim's own definition
+                }
+                std::size_t pos = 0;
+                while ((pos = code.find(name, pos)) !=
+                       std::string::npos) {
+                    const bool bounded =
+                        (pos == 0 ||
+                         !isIdentChar(code[pos - 1])) &&
+                        (pos + name.size() >= code.size() ||
+                         !isIdentChar(code[pos + name.size()]));
+                    if (bounded &&
+                        !lineAllows(file, i + 1,
+                                    "deprecated-call")) {
+                        findings.push_back(
+                            {"deprecated-call", file.relative,
+                             i + 1,
+                             "call of deprecated '" + name +
+                                 "' outside tests — migrate to "
+                                 "the replacement named in its "
+                                 "[[deprecated]] message"});
+                    }
+                    pos += name.size();
+                }
+            }
+        }
+    }
+}
+
+} // namespace bplint

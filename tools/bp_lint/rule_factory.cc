@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Rule "factory-fingerprint": every scheme name in the factory's
+ * listSchemes() table must correspond to a predictor name()
+ * fingerprint string.
+ *
+ * The BPS1 snapshot format uses Predictor::name() as its
+ * configuration fingerprint, and the factory's scheme names are the
+ * user-facing spelling of the same configuration. If a scheme is
+ * renamed (or added) without a matching name() literal, snapshots
+ * and reports stop being attributable to specs — silently. The rule
+ * ties the two together: the canonical form of each scheme name
+ * (lowercase alphanumerics) must prefix the canonical form of some
+ * string literal inside a name() implementation.
+ *
+ * Schemes whose fingerprint legitimately differs (e.g. "static"
+ * prints "always-taken") declare it in factory.cc with a
+ * `bp_lint: fingerprint(<scheme>)=<prefix>` comment.
+ */
+
+#include "bp_lint/lint.hh"
+
+#include <cctype>
+#include <map>
+#include <set>
+
+namespace bplint
+{
+
+namespace
+{
+
+/** Extract string literals from stripped-code+raw line pairs. */
+std::vector<std::string>
+literalsInRange(const SourceFile &file, std::size_t begin_line,
+                std::size_t end_line)
+{
+    // The stripped code keeps quote characters but blanks literal
+    // bodies, so literal *positions* come from `code` and their
+    // text from `lines`.
+    std::vector<std::string> literals;
+    for (std::size_t i = begin_line; i < end_line &&
+         i < file.code.size(); ++i) {
+        const std::string &code = file.code[i];
+        const std::string &raw = file.lines[i];
+        std::size_t pos = 0;
+        while ((pos = code.find('"', pos)) != std::string::npos) {
+            const std::size_t close = code.find('"', pos + 1);
+            if (close == std::string::npos || close >= raw.size()) {
+                break;
+            }
+            literals.push_back(
+                raw.substr(pos + 1, close - pos - 1));
+            pos = close + 1;
+        }
+    }
+    return literals;
+}
+
+/**
+ * Find every `name() const` implementation in @p file and collect
+ * the string literals inside its body (up to the brace-matched
+ * end).
+ */
+void
+collectNameLiterals(const SourceFile &file,
+                    std::set<std::string> &out)
+{
+    for (std::size_t i = 0; i < file.code.size(); ++i) {
+        if (file.code[i].find("name() const") == std::string::npos) {
+            continue;
+        }
+        // Walk forward to the opening brace, then to its match.
+        int depth = 0;
+        bool opened = false;
+        for (std::size_t j = i; j < file.code.size(); ++j) {
+            for (const char c : file.code[j]) {
+                if (c == '{') {
+                    ++depth;
+                    opened = true;
+                } else if (c == '}') {
+                    --depth;
+                }
+            }
+            // Declarations (";" before any "{") have no body.
+            if (!opened &&
+                file.code[j].find(';') != std::string::npos) {
+                break;
+            }
+            if (opened && depth <= 0) {
+                for (const std::string &lit :
+                     literalsInRange(file, i, j + 1)) {
+                    out.insert(canonicalFingerprint(lit));
+                }
+                break;
+            }
+        }
+    }
+}
+
+} // namespace
+
+void
+ruleFactoryFingerprint(const RepoTree &tree,
+                       std::vector<Finding> &findings)
+{
+    const SourceFile *factory = nullptr;
+    for (const SourceFile &file : tree.files) {
+        if (file.relative == "src/sim/factory.cc") {
+            factory = &file;
+        }
+    }
+    if (!factory) {
+        return; // Fixture trees without a factory skip the rule.
+    }
+
+    // Scheme names: the first string literal of each top-level
+    // brace-entry inside the listSchemes() table. Brace depth is
+    // tracked so nested field-spec initializers (e.g.
+    // {{"direction", ...}}) are not mistaken for schemes.
+    std::map<std::string, std::size_t> schemes; // name -> line
+    bool armed = false;    // saw listSchemes()
+    bool in_table = false; // inside the initializer braces
+    bool done = false;
+    int depth = 0;
+    char prev = '\0'; // last non-space char before the table opens
+    for (std::size_t i = 0; i < factory->code.size() && !done; ++i) {
+        const std::string &code = factory->code[i];
+        const std::string &raw = factory->lines[i];
+        if (!armed) {
+            if (code.find("listSchemes()") == std::string::npos) {
+                continue;
+            }
+            armed = true;
+        }
+        for (std::size_t p = 0; p < code.size(); ++p) {
+            const char c = code[p];
+            if (!in_table) {
+                if (c == '{' && prev == '=') {
+                    in_table = true;
+                    depth = 0;
+                } else if (!std::isspace(
+                               static_cast<unsigned char>(c))) {
+                    prev = c;
+                }
+                continue;
+            }
+            if (c == '{') {
+                if (depth == 0 && p + 1 < code.size() &&
+                    code[p + 1] == '"') {
+                    const std::size_t close =
+                        code.find('"', p + 2);
+                    if (close != std::string::npos &&
+                        close < raw.size()) {
+                        schemes.emplace(
+                            raw.substr(p + 2, close - p - 2),
+                            i + 1);
+                    }
+                }
+                ++depth;
+            } else if (c == '}') {
+                if (depth == 0) {
+                    done = true; // table initializer closed
+                    break;
+                }
+                --depth;
+            }
+        }
+    }
+    if (schemes.empty()) {
+        findings.push_back(
+            {"factory-fingerprint", factory->relative, 0,
+             "could not locate the listSchemes() scheme table"});
+        return;
+    }
+
+    // Declared overrides: bp_lint: fingerprint(<scheme>)=<prefix>
+    std::map<std::string, std::string> overrides;
+    for (const std::string &line : factory->lines) {
+        const std::string marker = "bp_lint: fingerprint(";
+        const std::size_t at = line.find(marker);
+        if (at == std::string::npos) {
+            continue;
+        }
+        const std::size_t open = at + marker.size();
+        const std::size_t close = line.find(')', open);
+        const std::size_t eq = line.find('=', open);
+        if (close == std::string::npos || eq == std::string::npos ||
+            eq < close) {
+            continue;
+        }
+        // The prefix is a single token; anything after the first
+        // whitespace is free-form justification.
+        std::string prefix = line.substr(eq + 1);
+        const std::size_t end = prefix.find_first_of(" \t");
+        if (end != std::string::npos) {
+            prefix.resize(end);
+        }
+        overrides[line.substr(open, close - open)] = prefix;
+    }
+
+    // Fingerprints: canonical string literals inside every name()
+    // implementation in the tree.
+    std::set<std::string> fingerprints;
+    for (const SourceFile &file : tree.files) {
+        if (file.isCpp && !file.inTests) {
+            collectNameLiterals(file, fingerprints);
+        }
+    }
+
+    for (const auto &[scheme, line] : schemes) {
+        const auto override_it = overrides.find(scheme);
+        const std::string expected = canonicalFingerprint(
+            override_it != overrides.end() ? override_it->second
+                                           : scheme);
+        bool matched = false;
+        for (const std::string &fingerprint : fingerprints) {
+            if (fingerprint.rfind(expected, 0) == 0) {
+                matched = true;
+                break;
+            }
+        }
+        if (!matched) {
+            findings.push_back(
+                {"factory-fingerprint", factory->relative, line,
+                 "scheme '" + scheme +
+                     "' has no name() fingerprint literal "
+                     "starting with '" +
+                     expected +
+                     "' (or declare a bp_lint: fingerprint(" +
+                     scheme + ")=<prefix> override)"});
+        }
+    }
+}
+
+} // namespace bplint

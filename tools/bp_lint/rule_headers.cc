@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Rule "pragma-once": every header uses `#pragma once`, and none
+ * carries an old-style BPRED_* include guard.
+ *
+ * Mixed guard styles invite the classic copy-paste failure: a
+ * duplicated guard macro silently empties the second header it
+ * guards. One convention, machine-enforced, removes the class of
+ * bug entirely.
+ */
+
+#include "bp_lint/lint.hh"
+
+namespace bplint
+{
+
+namespace
+{
+
+bool
+isGuardIfndef(const std::string &line)
+{
+    // "#ifndef BPRED_..." (allowing leading/interior whitespace).
+    const std::size_t hash = line.find('#');
+    if (hash == std::string::npos) {
+        return false;
+    }
+    std::size_t pos = line.find_first_not_of(" \t", hash + 1);
+    if (pos == std::string::npos ||
+        line.compare(pos, 6, "ifndef") != 0) {
+        return false;
+    }
+    pos = line.find_first_not_of(" \t", pos + 6);
+    return pos != std::string::npos &&
+        line.compare(pos, 6, "BPRED_") == 0;
+}
+
+} // namespace
+
+void
+rulePragmaOnce(const RepoTree &tree, std::vector<Finding> &findings)
+{
+    for (const SourceFile &file : tree.files) {
+        if (!file.isHeader) {
+            continue;
+        }
+        // Scan stripped code, not raw text: "#pragma once" inside
+        // a comment must not satisfy the rule.
+        bool has_pragma = false;
+        for (std::size_t i = 0; i < file.code.size(); ++i) {
+            const std::string &line = file.code[i];
+            if (line.find("#pragma once") != std::string::npos) {
+                has_pragma = true;
+            }
+            if (isGuardIfndef(line)) {
+                findings.push_back(
+                    {"pragma-once", file.relative, i + 1,
+                     "old-style BPRED_* include guard; use "
+                     "#pragma once"});
+            }
+        }
+        if (!has_pragma) {
+            findings.push_back({"pragma-once", file.relative, 0,
+                                "header lacks #pragma once"});
+        }
+    }
+}
+
+} // namespace bplint

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Internal registry of lint rule entry points (one per rule_*.cc).
+ */
+
+#pragma once
+
+#include "bp_lint/lint.hh"
+
+namespace bplint
+{
+
+void ruleCmakeRegistration(const RepoTree &, std::vector<Finding> &);
+void rulePragmaOnce(const RepoTree &, std::vector<Finding> &);
+void ruleBannedIdentifier(const RepoTree &, std::vector<Finding> &);
+void ruleFactoryFingerprint(const RepoTree &,
+                            std::vector<Finding> &);
+void ruleDeprecatedCall(const RepoTree &, std::vector<Finding> &);
+
+} // namespace bplint
