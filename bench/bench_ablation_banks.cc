@@ -31,7 +31,7 @@ main(int argc, char **argv)
            "1-bank (gshare) vs 3-bank vs 5-bank skewed at similar "
            "total entries, h=8, partial update.");
 
-    SweepRunner runner(sweepThreads());
+    SweepRunner runner(sweepThreads(), blockRecords());
     for (const Trace &trace : suite()) {
         // ~12K single bank: nearest power of two is 16K; note it.
         runner.enqueue(

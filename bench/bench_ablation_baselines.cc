@@ -32,7 +32,7 @@ main(int argc, char **argv)
         "gskewed:3:12:10",  "egskew:12:10",
     };
 
-    SweepRunner runner(sweepThreads());
+    SweepRunner runner(sweepThreads(), blockRecords());
     for (const std::string &spec : specs) {
         for (const Trace &trace : suite()) {
             runner.enqueue(spec, trace);

@@ -42,7 +42,7 @@ main(int argc, char **argv)
     SkewedPredictor::Config identicalConfig = skewedConfig;
     identicalConfig.indexing = BankIndexing::IdenticalGshare;
 
-    SweepRunner runner(sweepThreads());
+    SweepRunner runner(sweepThreads(), blockRecords());
     for (const Trace &trace : suite()) {
         runner.enqueue(
             [skewedConfig] {

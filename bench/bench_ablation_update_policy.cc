@@ -29,7 +29,7 @@ main(int argc, char **argv)
 
     const std::vector<unsigned> bankBits = {10, 12};
 
-    SweepRunner runner(sweepThreads());
+    SweepRunner runner(sweepThreads(), blockRecords());
     for (const unsigned bits : bankBits) {
         for (const Trace &trace : suite()) {
             runner.enqueue(

@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "sim/factory.hh"
+#include "sim/gang.hh"
 #include "sim/parallel.hh"
 #include "support/json.hh"
 #include "support/logging.hh"
@@ -25,6 +26,7 @@ struct Report
     std::string benchName = "bench";
     std::string jsonPath;
     unsigned requestedThreads = 0;
+    std::size_t blockRecords = defaultReplayBlockRecords;
     Clock::time_point start = Clock::now();
     JsonValue sections = JsonValue::object();
 };
@@ -66,7 +68,7 @@ usage(const std::string &offending)
     // through main() into std::terminate.
     std::fprintf(stderr,
                  "usage: %s [--json <path>] [--threads <n>] "
-                 "(got '%s')\n",
+                 "[--block-size <records>] (got '%s')\n",
                  report().benchName.c_str(), offending.c_str());
     std::exit(2);
 }
@@ -83,6 +85,20 @@ parseThreads(const std::string &value)
         // fall through to usage
     }
     usage("--threads " + value);
+}
+
+std::size_t
+parseBlockSize(const std::string &value)
+{
+    try {
+        const unsigned long parsed = std::stoul(value);
+        if (parsed >= 1 && parsed <= (1ul << 24)) {
+            return static_cast<std::size_t>(parsed);
+        }
+    } catch (const std::exception &) {
+        // fall through to usage
+    }
+    usage("--block-size " + value);
 }
 
 } // namespace
@@ -105,6 +121,11 @@ init(int argc, char **argv)
         } else if (arg.rfind("--threads=", 0) == 0) {
             report().requestedThreads =
                 parseThreads(arg.substr(10));
+        } else if (arg == "--block-size" && i + 1 < argc) {
+            report().blockRecords = parseBlockSize(argv[++i]);
+        } else if (arg.rfind("--block-size=", 0) == 0) {
+            report().blockRecords =
+                parseBlockSize(arg.substr(13));
         } else {
             usage(arg);
         }
@@ -121,6 +142,12 @@ unsigned
 sweepThreads()
 {
     return report().requestedThreads;
+}
+
+std::size_t
+blockRecords()
+{
+    return report().blockRecords;
 }
 
 const std::vector<Trace> &
@@ -189,6 +216,7 @@ finish()
     document["trace_scale"] = effectiveTraceScale(defaultScale);
     document["threads"] =
         u64(resolveThreadCount(report().requestedThreads));
+    document["block_size"] = u64(report().blockRecords);
     document["elapsed_seconds"] =
         std::chrono::duration<double>(Clock::now() - report().start)
             .count();

@@ -28,6 +28,7 @@
 
 #pragma once
 
+#include <cstddef>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -45,8 +46,9 @@ constexpr double defaultScale = 1.0;
 
 /**
  * Parse bench command-line arguments (`--json <path>`,
- * `--threads <n>`); call first in main(). Prints usage and exits
- * with status 2 on unknown arguments.
+ * `--threads <n>`, `--block-size <records>`); call first in
+ * main(). Prints usage and exits with status 2 on unknown
+ * arguments.
  */
 void init(int argc, char **argv);
 
@@ -59,6 +61,15 @@ bool jsonEnabled();
  * hardware concurrency).
  */
 unsigned sweepThreads();
+
+/**
+ * Gang replay block size requested via `--block-size` (records per
+ * cache-resident block; defaults to defaultReplayBlockRecords =
+ * 8192). Pass to SweepRunner / GangSession. The resolved value is
+ * recorded as `block_size` in the `--json` report so perf
+ * artifacts are self-describing.
+ */
+std::size_t blockRecords();
 
 /**
  * Load the six-benchmark suite once per binary.

@@ -56,7 +56,7 @@ main(int argc, char **argv)
                            interleaveTraces({&a, &b}, quantum));
     }
 
-    SweepRunner runner(sweepThreads());
+    SweepRunner runner(sweepThreads(), blockRecords());
     std::vector<std::function<ThreeCsResult()>> aliasingCells;
     for (const auto &[label, trace] : mixes) {
         runner.enqueue(

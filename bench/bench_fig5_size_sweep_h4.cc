@@ -37,7 +37,7 @@ main(int argc, char **argv)
     const std::vector<unsigned> sizeBits = {10, 11, 12, 13,
                                             14, 15, 16};
 
-    SweepRunner runner(sweepThreads());
+    SweepRunner runner(sweepThreads(), blockRecords());
     for (const Trace &trace : suite()) {
         for (const unsigned bits : sizeBits) {
             runner.enqueue(

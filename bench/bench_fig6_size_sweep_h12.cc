@@ -31,7 +31,7 @@ main(int argc, char **argv)
     constexpr unsigned historyBits = 12;
     const std::vector<unsigned> sizeBits = {10, 12, 14, 16, 18};
 
-    SweepRunner runner(sweepThreads());
+    SweepRunner runner(sweepThreads(), blockRecords());
     for (const Trace &trace : suite()) {
         for (const unsigned bits : sizeBits) {
             runner.enqueue(

@@ -36,7 +36,7 @@ main(int argc, char **argv)
     const std::vector<unsigned> historyLengths = {0, 2,  4,  6,
                                                   8, 10, 12, 14};
 
-    SweepRunner runner(sweepThreads());
+    SweepRunner runner(sweepThreads(), blockRecords());
     for (const Trace &trace : suite()) {
         for (const unsigned history : historyLengths) {
             runner.enqueue(

@@ -1,26 +1,36 @@
 /**
  * @file
- * Microbenchmark: predictor lookup+update throughput
- * (google-benchmark). Not a paper artifact — a library quality
- * gauge: the simulation loops above run millions of events per
+ * Replay-kernel throughput gauge. Not a paper artifact — a library
+ * quality gauge: the simulation loops run millions of events per
  * configuration, so per-event cost matters.
  *
- * The default BM_* fixtures drive the fused predictAndUpdate()
- * fast path (what simulate() uses); the *Split variants keep the
- * old predict()+update() sequence so the fusion win stays
- * measurable. BM_SweepSerial vs BM_SweepParallel time the same
- * six-cell mini-sweep through a plain loop and through the
- * SweepRunner pool.
+ * Two sections:
+ *  - "throughput": per scheme, the four replay kernels side by
+ *    side — split predict()+update(), fused predictAndUpdate(),
+ *    the per-block replayBlock() batch kernel, and a 4-member
+ *    GangSession — in millions of records per second.
+ *  - "gang_sweep": a Figure-5-shaped size sweep (many cells, one
+ *    shared trace) run through SweepRunner twice at the same
+ *    thread count: once as the pre-gang per-cell engine
+ *    (BPRED_GANG_WIDTH=1 + options.scalarReplay, i.e. the scalar
+ *    fused loop) and once ganged through the block kernels. The
+ *    two passes must agree bit-for-bit; the gang pass is expected
+ *    to be >= 1.5x faster.
+ *
+ * With `--json <path>` both tables land in BENCH_perf.json, so CI
+ * keeps a scalar/fused/block/gang throughput trajectory per scheme.
  */
 
-#include <benchmark/benchmark.h>
+#include "bench_common.hh"
 
+#include <chrono>
+#include <cstdlib>
+#include <functional>
 #include <memory>
 
-#include "sim/driver.hh"
 #include "sim/factory.hh"
+#include "sim/gang.hh"
 #include "sim/parallel.hh"
-#include "support/probe.hh"
 #include "support/rng.hh"
 #include "trace/trace.hh"
 
@@ -28,13 +38,14 @@ namespace
 {
 
 using namespace bpred;
+using Clock = std::chrono::steady_clock;
 
 Trace
 makePerfTrace()
 {
     Trace trace("perf");
     Rng rng(1);
-    for (int i = 0; i < 1 << 16; ++i) {
+    for (int i = 0; i < 1 << 18; ++i) {
         const Addr pc = 0x1000 + 4 * rng.uniformInt(4096);
         if (rng.chance(0.25)) {
             trace.appendUnconditional(pc);
@@ -46,193 +57,244 @@ makePerfTrace()
     return trace;
 }
 
-const Trace &
-perfTrace()
+double
+secondsFor(const std::function<void()> &body)
 {
-    static const Trace trace = makePerfTrace();
-    return trace;
+    const Clock::time_point start = Clock::now();
+    body();
+    return std::chrono::duration<double>(Clock::now() - start)
+        .count();
 }
 
-/** Fused fast path: one virtual call per conditional branch. */
-void
-runPredictor(benchmark::State &state, const std::string &spec,
-             ProbeSink *probe = nullptr)
+/** Millions of records per second for @p records in @p seconds. */
+double
+mrps(double records, double seconds)
 {
-    const Trace &trace = perfTrace();
+    return seconds > 0 ? records / seconds / 1e6 : 0.0;
+}
+
+/** Split predict()+update() — the pre-fusion reference. */
+double
+runSplit(const std::string &spec, const Trace &trace, int reps)
+{
     auto predictor = makePredictor(spec);
-    predictor->attachProbe(probe);
-    for (auto _ : state) {
-        for (const BranchRecord &record : trace) {
-            if (!record.conditional) {
-                predictor->notifyUnconditional(record.pc);
-                continue;
+    u64 sink = 0;
+    const double seconds = secondsFor([&] {
+        for (int rep = 0; rep < reps; ++rep) {
+            for (const BranchRecord &record : trace) {
+                if (!record.conditional) {
+                    predictor->notifyUnconditional(record.pc);
+                    continue;
+                }
+                sink += predictor->predict(record.pc) ? 1 : 0;
+                predictor->update(record.pc, record.taken);
             }
-            benchmark::DoNotOptimize(
-                predictor->predictAndUpdate(record.pc, record.taken)
-                    .prediction);
         }
-    }
-    state.SetItemsProcessed(
-        static_cast<int64_t>(state.iterations()) *
-        static_cast<int64_t>(trace.size()));
+    });
+    // Keep the predictions observable so the loop cannot be elided.
+    volatile u64 guard = sink;
+    (void)guard;
+    return mrps(double(trace.size()) * reps, seconds);
 }
 
-/** Legacy split path, kept to measure the fusion win. */
-void
-runPredictorSplit(benchmark::State &state, const std::string &spec)
+/** Fused predictAndUpdate() — one virtual call per branch. */
+double
+runFused(const std::string &spec, const Trace &trace, int reps)
 {
-    const Trace &trace = perfTrace();
     auto predictor = makePredictor(spec);
-    for (auto _ : state) {
-        for (const BranchRecord &record : trace) {
-            if (!record.conditional) {
-                predictor->notifyUnconditional(record.pc);
-                continue;
+    u64 sink = 0;
+    const double seconds = secondsFor([&] {
+        for (int rep = 0; rep < reps; ++rep) {
+            for (const BranchRecord &record : trace) {
+                if (!record.conditional) {
+                    predictor->notifyUnconditional(record.pc);
+                    continue;
+                }
+                sink += predictor
+                            ->predictAndUpdate(record.pc,
+                                               record.taken)
+                            .prediction
+                    ? 1
+                    : 0;
             }
-            benchmark::DoNotOptimize(
-                predictor->predict(record.pc));
-            predictor->update(record.pc, record.taken);
         }
+    });
+    // Keep the predictions observable so the loop cannot be elided.
+    volatile u64 guard = sink;
+    (void)guard;
+    return mrps(double(trace.size()) * reps, seconds);
+}
+
+/** replayBlock() batch kernel — one virtual call per block. */
+double
+runBlock(const std::string &spec, const Trace &trace, int reps,
+         std::size_t block_records)
+{
+    auto predictor = makePredictor(spec);
+    ReplayCounters counters;
+    const double seconds = secondsFor([&] {
+        for (int rep = 0; rep < reps; ++rep) {
+            const BranchRecord *records = trace.records().data();
+            for (std::size_t at = 0; at < trace.size();
+                 at += block_records) {
+                const std::size_t n =
+                    std::min(block_records, trace.size() - at);
+                predictor->replayBlock(records + at, n, counters);
+            }
+        }
+    });
+    return mrps(double(trace.size()) * reps, seconds);
+}
+
+/** A 4-member gang: records x members per trace pass. */
+double
+runGang(const std::string &spec, const Trace &trace, int reps,
+        std::size_t block_records)
+{
+    constexpr std::size_t width = 4;
+    std::vector<std::unique_ptr<Predictor>> predictors;
+    std::vector<Predictor *> raw;
+    for (std::size_t i = 0; i < width; ++i) {
+        predictors.push_back(makePredictor(spec));
+        raw.push_back(predictors.back().get());
     }
-    state.SetItemsProcessed(
-        static_cast<int64_t>(state.iterations()) *
-        static_cast<int64_t>(trace.size()));
-}
-
-void BM_Bimodal(benchmark::State &state)
-{
-    runPredictor(state, "bimodal:14");
-}
-void BM_GShare(benchmark::State &state)
-{
-    runPredictor(state, "gshare:14:10");
-}
-void BM_GSelect(benchmark::State &state)
-{
-    runPredictor(state, "gselect:14:10");
-}
-void BM_Pag(benchmark::State &state)
-{
-    runPredictor(state, "pag:12:10");
-}
-void BM_Hybrid(benchmark::State &state)
-{
-    runPredictor(state, "hybrid:13:10");
-}
-void BM_Gskewed3(benchmark::State &state)
-{
-    runPredictor(state, "gskewed:3:12:10");
-}
-void BM_Gskewed5(benchmark::State &state)
-{
-    runPredictor(state, "gskewed:5:12:10");
-}
-void BM_EGskew(benchmark::State &state)
-{
-    runPredictor(state, "egskew:12:10");
-}
-void BM_FaLru(benchmark::State &state)
-{
-    runPredictor(state, "falru:4096:10");
-}
-
-// Split-path references for the fusion speedup (acceptance gauge:
-// the fused BM_GShare/BM_EGskew should beat these by >= 10%).
-void BM_GShareSplit(benchmark::State &state)
-{
-    runPredictorSplit(state, "gshare:14:10");
-}
-void BM_EGskewSplit(benchmark::State &state)
-{
-    runPredictorSplit(state, "egskew:12:10");
-}
-
-// Telemetry cost gauges: the same predictors with a CountingProbe
-// attached. Compare against the no-sink runs above — the no-sink
-// numbers must not regress (the probe hook is one null check), and
-// the probed numbers bound what full instrumentation costs.
-void BM_GShareProbed(benchmark::State &state)
-{
-    CountingProbe probe;
-    runPredictor(state, "gshare:14:10", &probe);
-}
-void BM_EGskewProbed(benchmark::State &state)
-{
-    CountingProbe probe;
-    runPredictor(state, "egskew:12:10", &probe);
-}
-
-// Sweep engine gauges: the same six-cell mini-sweep executed as a
-// plain serial loop and through the SweepRunner thread pool. On a
-// multi-core host the parallel fixture should approach
-// serial/threads; on one core it degenerates to the serial time
-// plus negligible pool overhead.
-const std::vector<std::string> &
-sweepSpecs()
-{
-    static const std::vector<std::string> specs = {
-        "gshare:12:8",     "gshare:14:8",  "gskewed:3:10:8",
-        "gskewed:3:12:8",  "egskew:10:8",  "egskew:12:8",
-    };
-    return specs;
-}
-
-void BM_SweepSerial(benchmark::State &state)
-{
-    const Trace &trace = perfTrace();
-    u64 mispredicts = 0;
-    for (auto _ : state) {
-        for (const std::string &spec : sweepSpecs()) {
-            auto predictor = makePredictor(spec);
-            mispredicts += simulate(*predictor, trace).mispredicts;
+    const double seconds = secondsFor([&] {
+        for (int rep = 0; rep < reps; ++rep) {
+            simulateGang(raw, trace, SimOptions(), block_records);
         }
+    });
+    return mrps(double(trace.size()) * reps * width, seconds);
+}
+
+/** Enqueue the Figure-5-shaped cell grid over @p trace. */
+void
+enqueueFig5Cells(SweepRunner &runner, const Trace &trace,
+                 const SimOptions &options)
+{
+    const std::vector<unsigned> sizeBits = {10, 11, 12, 13, 14};
+    for (const unsigned bits : sizeBits) {
+        runner.enqueue("gshare:" + std::to_string(bits) + ":4",
+                       trace, options);
+        runner.enqueue("gskewed:3:" + std::to_string(bits - 2) +
+                           ":4",
+                       trace, options);
+        runner.enqueue("gskewed:3:" + std::to_string(bits) + ":4",
+                       trace, options);
     }
-    benchmark::DoNotOptimize(mispredicts);
-    state.SetItemsProcessed(
-        static_cast<int64_t>(state.iterations()) *
-        static_cast<int64_t>(sweepSpecs().size()) *
-        static_cast<int64_t>(trace.size()));
-    state.counters["threads"] = 1;
 }
-
-void BM_SweepParallel(benchmark::State &state)
-{
-    const Trace &trace = perfTrace();
-    u64 mispredicts = 0;
-    SweepRunner runner;
-    for (auto _ : state) {
-        for (const std::string &spec : sweepSpecs()) {
-            runner.enqueue(spec, trace);
-        }
-        for (const SimResult &result : runner.run()) {
-            mispredicts += result.mispredicts;
-        }
-    }
-    benchmark::DoNotOptimize(mispredicts);
-    state.SetItemsProcessed(
-        static_cast<int64_t>(state.iterations()) *
-        static_cast<int64_t>(sweepSpecs().size()) *
-        static_cast<int64_t>(trace.size()));
-    state.counters["threads"] =
-        static_cast<double>(runner.threads());
-}
-
-BENCHMARK(BM_Bimodal);
-BENCHMARK(BM_GShare);
-BENCHMARK(BM_GSelect);
-BENCHMARK(BM_Pag);
-BENCHMARK(BM_Hybrid);
-BENCHMARK(BM_Gskewed3);
-BENCHMARK(BM_Gskewed5);
-BENCHMARK(BM_EGskew);
-BENCHMARK(BM_FaLru);
-BENCHMARK(BM_GShareSplit);
-BENCHMARK(BM_EGskewSplit);
-BENCHMARK(BM_GShareProbed);
-BENCHMARK(BM_EGskewProbed);
-BENCHMARK(BM_SweepSerial);
-BENCHMARK(BM_SweepParallel);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    using namespace bpred::bench;
+
+    init(argc, argv);
+    banner("replay kernel throughput",
+           "Split vs fused vs per-block vs gang replay, and a "
+           "fig5-shaped sweep per-cell vs ganged.");
+
+    const Trace trace = makePerfTrace();
+    const std::size_t block = blockRecords();
+    const int reps =
+        std::max<int>(1, int((u64(1) << 21) / trace.size()));
+    std::cout << "[perf] synthetic trace: " << trace.size()
+              << " records, " << reps << " reps/kernel, block "
+              << block << " records\n\n";
+
+    const std::vector<std::string> specs = {
+        "bimodal:14",      "gshare:14:10", "gselect:14:10",
+        "hybrid:13:10",    "gskewed:3:12:10", "egskew:12:10",
+    };
+
+    TextTable table({"scheme", "split Mrec/s", "fused Mrec/s",
+                     "block Mrec/s", "gang4 Mrec/s",
+                     "block/fused"});
+    for (const std::string &spec : specs) {
+        const double split = runSplit(spec, trace, reps);
+        const double fused = runFused(spec, trace, reps);
+        const double blocked = runBlock(spec, trace, reps, block);
+        const double ganged = runGang(spec, trace, reps, block);
+        table.row()
+            .cell(spec)
+            .cell(split, 1)
+            .cell(fused, 1)
+            .cell(blocked, 1)
+            .cell(ganged, 1)
+            .cell(fused > 0 ? blocked / fused : 0.0, 2);
+    }
+    emitTable("throughput", table);
+
+    // The acceptance gauge: the same fig5-shaped sweep (15 cells,
+    // one shared trace) through SweepRunner at the same thread
+    // count. The baseline pass is the pre-gang per-cell engine —
+    // one cell at a time (BPRED_GANG_WIDTH=1; the prior value is
+    // restored after) through the scalar fused loop
+    // (options.scalarReplay). The second pass is the gang engine
+    // with its devirtualized block kernels.
+    const char *prior = std::getenv("BPRED_GANG_WIDTH");
+    const std::string saved = prior ? prior : "";
+
+    SimOptions scalarOptions;
+    scalarOptions.scalarReplay = true;
+    SweepRunner percellRunner(sweepThreads(), block);
+    enqueueFig5Cells(percellRunner, trace, scalarOptions);
+    setenv("BPRED_GANG_WIDTH", "1", 1);
+    std::vector<SimResult> percell;
+    const double percellSeconds =
+        secondsFor([&] { percell = percellRunner.run(); });
+
+    if (prior) {
+        setenv("BPRED_GANG_WIDTH", saved.c_str(), 1);
+    } else {
+        unsetenv("BPRED_GANG_WIDTH");
+    }
+    SweepRunner gangRunner(sweepThreads(), block);
+    enqueueFig5Cells(gangRunner, trace, SimOptions());
+    std::vector<SimResult> ganged;
+    const double gangSeconds =
+        secondsFor([&] { ganged = gangRunner.run(); });
+
+    bool identical = percell.size() == ganged.size();
+    for (std::size_t i = 0; identical && i < percell.size(); ++i) {
+        identical = percell[i].mispredicts ==
+                ganged[i].mispredicts &&
+            percell[i].conditionals == ganged[i].conditionals &&
+            percell[i].predictorName == ganged[i].predictorName;
+    }
+
+    const double cells = double(percell.size());
+    const double sweepRecords = cells * double(trace.size());
+    TextTable sweep({"mode", "cells", "seconds", "Mrec/s",
+                     "speedup", "identical"});
+    sweep.row()
+        .cell(std::string("per-cell-scalar"))
+        .cell(u64(cells))
+        .cell(percellSeconds, 3)
+        .cell(mrps(sweepRecords, percellSeconds), 1)
+        .cell(1.0, 2)
+        .cell(std::string("-"));
+    sweep.row()
+        .cell(std::string("gang"))
+        .cell(u64(cells))
+        .cell(gangSeconds, 3)
+        .cell(mrps(sweepRecords, gangSeconds), 1)
+        .cell(gangSeconds > 0 ? percellSeconds / gangSeconds : 0.0,
+              2)
+        .cell(std::string(identical ? "yes" : "NO"));
+    emitTable("gang_sweep", sweep);
+
+    if (!identical) {
+        std::cout << "\n[FAIL] gang results diverged from the "
+                     "per-cell pass\n";
+        return 1;
+    }
+
+    expectation(
+        "block/fused >= 1 per scheme (devirtualized kernels never "
+        "lose), and the ganged fig5-shaped sweep runs >= 1.5x the "
+        "per-cell scalar fused-path engine at the same thread "
+        "count, bit-identically.");
+    return finish();
+}

@@ -29,7 +29,11 @@
 
 #pragma once
 
+#include <cassert>
+
+#include "support/bitops.hh"
 #include "support/check.hh"
+#include "support/logging.hh"
 #include "support/types.hh"
 
 namespace bpred
@@ -39,15 +43,54 @@ namespace bpred
 constexpr unsigned maxSkewBanks = 5;
 
 /**
+ * Out-of-line failure path for skewIndex(). Kept cold and
+ * non-inlined so the panic machinery (string construction) does not
+ * bloat skewIndex past the inliner's budget — a non-inlined
+ * skewIndex costs a register-clobbering call per bank per branch in
+ * the replay kernels.
+ */
+[[noreturn, gnu::cold, gnu::noinline]] inline void
+skewIndexBankPanic()
+{
+    panic("skewIndex: bank out of range");
+}
+
+/**
  * The mixing permutation H on the low @p n bits of @p y.
+ *
+ * Defined inline (like the whole family below): the skewed
+ * predictor evaluates these per bank per branch, so they must fold
+ * into the replay loops rather than cost a call each.
  *
  * @param y Input value; bits above n are ignored.
  * @param n Width in bits (1 <= n <= 63).
  */
-u64 skewH(u64 y, unsigned n);
+[[gnu::always_inline]] inline u64
+skewH(u64 y, unsigned n)
+{
+    assert(n >= 1 && n < 64);
+    y &= mask(n);
+    if (n == 1) {
+        return y;
+    }
+    const u64 top = bit(y, n - 1) ^ bit(y, 0);
+    return (y >> 1) | (top << (n - 1));
+}
 
 /** The inverse permutation H^-1 (skewH(skewHInverse(y)) == y). */
-u64 skewHInverse(u64 y, unsigned n);
+[[gnu::always_inline]] inline u64
+skewHInverse(u64 y, unsigned n)
+{
+    assert(n >= 1 && n < 64);
+    y &= mask(n);
+    if (n == 1) {
+        return y;
+    }
+    // From x = H(y): bits x_{n-1..1} are y_{n..2} and
+    // x_n = y_n XOR y_1, so y_1 = x_n XOR x_{n-1}.
+    const u64 low = bit(y, n - 1) ^ bit(y, n - 2);
+    return ((y << 1) & mask(n)) | low;
+}
 
 /**
  * Bank-index function f_bank applied to information vector @p v.
@@ -61,7 +104,29 @@ u64 skewHInverse(u64 y, unsigned n);
  * @param v The packed (address, history) information vector.
  * @param n Bank index width in bits; each bank has 2^n entries.
  */
-BankIndex skewIndex(unsigned bank, u64 v, unsigned n);
+[[gnu::always_inline]] inline BankIndex
+skewIndex(unsigned bank, u64 v, unsigned n)
+{
+    assert(n >= 1 && n < 32);
+    const u64 v1 = v & mask(n);
+    const u64 v2 = (v >> n) & mask(n);
+    const u64 bank_size = u64(1) << n;
+
+    switch (bank) {
+      case 0:
+        return {skewH(v1, n) ^ skewHInverse(v2, n) ^ v2, bank_size};
+      case 1:
+        return {skewH(v1, n) ^ skewHInverse(v2, n) ^ v1, bank_size};
+      case 2:
+        return {skewHInverse(v1, n) ^ skewH(v2, n) ^ v2, bank_size};
+      case 3:
+        return {skewHInverse(v1, n) ^ skewH(v2, n) ^ v1, bank_size};
+      case 4:
+        return {skewH(v1, n) ^ skewH(v2, n) ^ v2, bank_size};
+      default:
+        skewIndexBankPanic();
+    }
+}
 
 } // namespace bpred
 

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "core/skew.hh"
+#include "predictors/block_kernel.hh"
 #include "predictors/info_vector.hh"
 #include "support/logging.hh"
 #include "support/probe.hh"
@@ -11,6 +12,112 @@
 
 namespace bpred
 {
+
+namespace
+{
+
+/**
+ * Skewed-predictor hot state (see block_kernel.hh): per-bank counter
+ * views, a by-value Config, a by-value history register, and a local
+ * write tally, so the vote/update loop runs entirely out of
+ * registers and the (inlined) skewing hashes. The bank count is a
+ * template parameter — replayBlock() dispatches over the odd counts
+ * the skewing family admits — so the bank loops fully unroll and
+ * the skewH/skewHInverse subexpressions the f0/f1/f2 functions
+ * share are computed once per branch, not once per bank. step()
+ * computes the same result as SkewedPredictor::updateUnprobed() —
+ * the block-vs-scalar contract tests pin the two against each other
+ * for every policy, indexing mode, and the enhanced variant.
+ */
+template <unsigned NumBanks>
+struct SkewedBlockState
+{
+    static_assert(NumBanks >= 1 && NumBanks <= maxSkewBanks);
+
+    SatCounterArray::View banks[NumBanks];
+    SkewedPredictor::Config config;
+    GlobalHistory history;
+    u64 bankWrites = 0;
+    GlobalHistory *historyOut = nullptr;
+    u64 *bankWritesOut = nullptr;
+
+    u64
+    bankIndexOf(unsigned bank, Addr pc) const
+    {
+        if (config.indexing == BankIndexing::IdenticalGshare) {
+            return gshareIndex(pc, history.raw(), config.historyBits,
+                               config.bankIndexBits);
+        }
+        if (config.enhanced && bank == 0) {
+            // e-gskew: bank 0 sees the address alone (bit truncation).
+            return addressIndex(pc, config.bankIndexBits);
+        }
+        const u64 v =
+            packInfoVector(pc, history.raw(), config.historyBits);
+        return skewIndex(bank, v, config.bankIndexBits);
+    }
+
+    bool
+    step(Addr pc, bool taken)
+    {
+        unsigned votes_taken = 0;
+        u64 indices[NumBanks];
+        u8 values[NumBanks];
+        bool bank_predictions[NumBanks];
+        for (unsigned bank = 0; bank < NumBanks; ++bank) {
+            indices[bank] = bankIndexOf(bank, pc);
+            values[bank] = banks[bank].value(indices[bank]);
+            bank_predictions[bank] =
+                values[bank] >= banks[bank].threshold;
+            votes_taken += unsigned(bank_predictions[bank]);
+        }
+        const bool overall = votes_taken * 2 > NumBanks;
+        const bool overall_correct = overall == taken;
+
+        // The policy skips below are decided by data (the branch
+        // outcome and per-bank agreement), so they are computed as
+        // straight-line ALU arithmetic — bitwise bool combination,
+        // write-enable folded into the store multiplicatively — so
+        // the loop carries no data-dependent branch the host CPU
+        // could mispredict. A policy-skipped bank stores its old
+        // value back; bankWrites still counts exactly the updates
+        // the scalar updateUnprobed() performs.
+        const bool partial =
+            config.updatePolicy == UpdatePolicy::Partial ||
+            config.updatePolicy == UpdatePolicy::PartialLazy;
+        const bool lazy =
+            config.updatePolicy == UpdatePolicy::PartialLazy;
+        const u8 max = banks[0].max;
+        const u8 saturated = static_cast<u8>(max * int(taken));
+        for (unsigned bank = 0; bank < NumBanks; ++bank) {
+            const bool bank_correct = bank_predictions[bank] == taken;
+            const u8 value = values[bank];
+            const int skip_partial = int(partial) &
+                int(overall_correct) & int(!bank_correct);
+            const int skip_lazy = int(lazy) & int(bank_correct) &
+                int(value == saturated);
+            const int write = 1 & ~(skip_partial | skip_lazy);
+            const int up = int(taken) & int(value < max);
+            const int down = int(!taken) & int(value > 0);
+            banks[bank].values[indices[bank]] =
+                static_cast<u8>(value + write * (up - down));
+            bankWrites += u64(write);
+        }
+        history.shiftIn(taken);
+        return overall;
+    }
+
+    void unconditional(Addr) { history.shiftIn(true); }
+
+    void
+    commit()
+    {
+        *historyOut = history;
+        *bankWritesOut += bankWrites;
+    }
+};
+
+} // namespace
 
 SkewedPredictor::SkewedPredictor(const Config &cfg) : config(cfg)
 {
@@ -108,6 +215,47 @@ SkewedPredictor::predictAndUpdate(Addr pc, bool taken)
     // and vote, so the fused path skips predict()'s duplicate index
     // computation and bank reads entirely.
     return {updateUnprobed(pc, taken)};
+}
+
+void
+SkewedPredictor::replayBlock(const BranchRecord *records,
+                             std::size_t count,
+                             ReplayCounters &counters)
+{
+    if (probeSink) [[unlikely]] {
+        // Scalar delegation keeps the event stream bit-identical.
+        Predictor::replayBlock(records, count, counters);
+        return;
+    }
+    // Covers both gskewed and e-gskew (one kernel instantiation per
+    // bank count): the inlined fused step mirrors updateUnprobed(),
+    // so each bank index is computed once per branch and the loop
+    // carries no virtual calls at all.
+    const auto run = [&]<unsigned NumBanks>() {
+        SkewedBlockState<NumBanks> state{};
+        for (unsigned bank = 0; bank < NumBanks; ++bank) {
+            state.banks[bank] = banks[bank].view();
+        }
+        state.config = config;
+        state.history = history;
+        state.historyOut = &history;
+        state.bankWritesOut = &bankWriteCount;
+        replayBlockWithState(state, records, count, counters);
+    };
+    // The constructor admits only the family's odd bank counts.
+    switch (config.numBanks) {
+      case 1:
+        run.template operator()<1>();
+        break;
+      case 3:
+        run.template operator()<3>();
+        break;
+      case 5:
+        run.template operator()<5>();
+        break;
+      default:
+        panic("gskewed: bank count outside the skewing family");
+    }
 }
 
 bool

@@ -104,6 +104,8 @@ class SkewedPredictor : public Predictor
     bool predict(Addr pc) override;
     void update(Addr pc, bool taken) override;
     Outcome predictAndUpdate(Addr pc, bool taken) override;
+    void replayBlock(const BranchRecord *records, std::size_t count,
+                     ReplayCounters &counters) override;
     void notifyUnconditional(Addr pc) override;
     std::string name() const override;
     u64 storageBits() const override;

@@ -1,11 +1,40 @@
 #include "predictors/bimodal.hh"
 
+#include "predictors/block_kernel.hh"
 #include "predictors/info_vector.hh"
 #include "support/probe.hh"
 #include "support/table.hh"
 
 namespace bpred
 {
+
+namespace
+{
+
+/**
+ * Bimodal hot state lifted into locals (see block_kernel.hh): the
+ * raw counter view and index width live in registers for the whole
+ * block instead of being re-loaded after every counter store.
+ */
+struct BimodalBlockState
+{
+    SatCounterArray::View table;
+    unsigned indexBits;
+
+    bool
+    step(Addr pc, bool taken)
+    {
+        const u64 index = addressIndex(pc, indexBits);
+        const bool prediction = table.predictTaken(index);
+        table.update(index, taken);
+        return prediction;
+    }
+
+    void unconditional(Addr) {}
+    void commit() {}
+};
+
+} // namespace
 
 BimodalPredictor::BimodalPredictor(unsigned index_bits,
                                    unsigned counter_bits)
@@ -54,6 +83,20 @@ BimodalPredictor::predictAndUpdate(Addr pc, bool taken)
     const bool prediction = table.predictTaken(index);
     table.update(index, taken);
     return {prediction};
+}
+
+void
+BimodalPredictor::replayBlock(const BranchRecord *records,
+                              std::size_t count,
+                              ReplayCounters &counters)
+{
+    if (probeSink) [[unlikely]] {
+        // Scalar delegation keeps the event stream bit-identical.
+        Predictor::replayBlock(records, count, counters);
+        return;
+    }
+    replayBlockWithState(BimodalBlockState{table.view(), indexBits},
+                         records, count, counters);
 }
 
 void

@@ -1,11 +1,44 @@
 #include "predictors/gselect.hh"
 
+#include "predictors/block_kernel.hh"
 #include "predictors/info_vector.hh"
 #include "support/serialize.hh"
 #include "support/table.hh"
 
 namespace bpred
 {
+
+namespace
+{
+
+/**
+ * gselect hot state lifted into locals (see block_kernel.hh);
+ * mirrors GShareBlockState with the concatenating index function.
+ */
+struct GSelectBlockState
+{
+    SatCounterArray::View table;
+    GlobalHistory history;
+    unsigned historyBits;
+    unsigned indexBits;
+    GlobalHistory *historyOut;
+
+    bool
+    step(Addr pc, bool taken)
+    {
+        const u64 index =
+            gselectIndex(pc, history.raw(), historyBits, indexBits);
+        const bool prediction = table.predictTaken(index);
+        table.update(index, taken);
+        history.shiftIn(taken);
+        return prediction;
+    }
+
+    void unconditional(Addr) { history.shiftIn(true); }
+    void commit() { *historyOut = history; }
+};
+
+} // namespace
 
 GSelectPredictor::GSelectPredictor(unsigned index_bits,
                                    unsigned history_bits,
@@ -43,6 +76,22 @@ GSelectPredictor::predictAndUpdate(Addr pc, bool taken)
     table.update(index, taken);
     history.shiftIn(taken);
     return {prediction};
+}
+
+void
+GSelectPredictor::replayBlock(const BranchRecord *records,
+                              std::size_t count,
+                              ReplayCounters &counters)
+{
+    if (probeSink) [[unlikely]] {
+        // Scalar delegation keeps any future event stream identical.
+        Predictor::replayBlock(records, count, counters);
+        return;
+    }
+    replayBlockWithState(
+        GSelectBlockState{table.view(), history, historyBits_, indexBits,
+                          &history},
+        records, count, counters);
 }
 
 void

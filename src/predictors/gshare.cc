@@ -1,5 +1,6 @@
 #include "predictors/gshare.hh"
 
+#include "predictors/block_kernel.hh"
 #include "predictors/info_vector.hh"
 #include "support/probe.hh"
 #include "support/serialize.hh"
@@ -7,6 +8,40 @@
 
 namespace bpred
 {
+
+namespace
+{
+
+/**
+ * gshare hot state lifted into locals (see block_kernel.hh): the
+ * counter view, a by-value copy of the history register, and the
+ * index geometry stay in registers across the block; commit()
+ * publishes the advanced history back to the predictor.
+ */
+struct GShareBlockState
+{
+    SatCounterArray::View table;
+    GlobalHistory history;
+    unsigned historyBits;
+    unsigned indexBits;
+    GlobalHistory *historyOut;
+
+    bool
+    step(Addr pc, bool taken)
+    {
+        const u64 index =
+            gshareIndex(pc, history.raw(), historyBits, indexBits);
+        const bool prediction = table.predictTaken(index);
+        table.update(index, taken);
+        history.shiftIn(taken);
+        return prediction;
+    }
+
+    void unconditional(Addr) { history.shiftIn(true); }
+    void commit() { *historyOut = history; }
+};
+
+} // namespace
 
 GSharePredictor::GSharePredictor(unsigned index_bits,
                                  unsigned history_bits,
@@ -59,6 +94,22 @@ GSharePredictor::predictAndUpdate(Addr pc, bool taken)
     table.update(index, taken);
     history.shiftIn(taken);
     return {prediction};
+}
+
+void
+GSharePredictor::replayBlock(const BranchRecord *records,
+                             std::size_t count,
+                             ReplayCounters &counters)
+{
+    if (probeSink) [[unlikely]] {
+        // Scalar delegation keeps the event stream bit-identical.
+        Predictor::replayBlock(records, count, counters);
+        return;
+    }
+    replayBlockWithState(
+        GShareBlockState{table.view(), history, historyBits_, indexBits,
+                         &history},
+        records, count, counters);
 }
 
 void

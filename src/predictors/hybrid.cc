@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "predictors/block_kernel.hh"
 #include "predictors/info_vector.hh"
 #include "support/logging.hh"
 #include "support/probe.hh"
@@ -10,6 +11,60 @@
 
 namespace bpred
 {
+
+namespace
+{
+
+/**
+ * Hybrid hot state (see block_kernel.hh): the chooser view and its
+ * index width stay in registers; the type-erased components remain
+ * virtual calls — one dispatch per component per branch instead of
+ * two plus the driver's own. commit() clears the predictor's cached
+ * split-path prediction exactly when the scalar fused loop would
+ * have (i.e. only if a conditional was actually stepped).
+ */
+struct HybridBlockState
+{
+    SatCounterArray::View chooser;
+    unsigned chooserIndexBits;
+    Predictor *first;
+    Predictor *second;
+    bool *havePredictionOut;
+    bool steppedConditional = false;
+
+    bool
+    step(Addr pc, bool taken)
+    {
+        const u64 chooser_index = addressIndex(pc, chooserIndexBits);
+        const bool use_first = chooser.predictTaken(chooser_index);
+        const bool first_prediction =
+            first->predictAndUpdate(pc, taken).prediction;
+        const bool second_prediction =
+            second->predictAndUpdate(pc, taken).prediction;
+        if (first_prediction != second_prediction) {
+            chooser.update(chooser_index, first_prediction == taken);
+        }
+        steppedConditional = true;
+        return use_first ? first_prediction : second_prediction;
+    }
+
+    void
+    unconditional(Addr pc)
+    {
+        first->notifyUnconditional(pc);
+        second->notifyUnconditional(pc);
+    }
+
+    void
+    commit()
+    {
+        if (steppedConditional) {
+            *havePredictionOut = false;
+        }
+    }
+};
+
+} // namespace
 
 HybridPredictor::HybridPredictor(std::unique_ptr<Predictor> first,
                                  std::unique_ptr<Predictor> second,
@@ -93,6 +148,26 @@ HybridPredictor::predictAndUpdate(Addr pc, bool taken)
     }
     havePrediction = false;
     return {use_first ? first : second};
+}
+
+void
+HybridPredictor::replayBlock(const BranchRecord *records,
+                             std::size_t count,
+                             ReplayCounters &counters)
+{
+    if (probeSink) [[unlikely]] {
+        // Scalar delegation keeps the event stream bit-identical.
+        Predictor::replayBlock(records, count, counters);
+        return;
+    }
+    // The kernel devirtualizes the hybrid's own fused step (chooser
+    // read + train); the component calls inside it stay virtual —
+    // components are type-erased (see HybridBlockState).
+    replayBlockWithState(
+        HybridBlockState{chooser.view(), chooserIndexBits,
+                         firstComponent.get(), secondComponent.get(),
+                         &havePrediction},
+        records, count, counters);
 }
 
 void

@@ -33,6 +33,32 @@ Predictor::notifyUnconditional(Addr)
 }
 
 void
+Predictor::replayBlock(const BranchRecord *records, std::size_t count,
+                       ReplayCounters &counters)
+{
+    // Scalar reference path: one virtual fused step per branch.
+    // Overrides delegate here while a probe is attached, so this
+    // loop defines the observable behaviour of every block replay.
+    u64 conditionals = 0;
+    u64 mispredicts = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        const BranchRecord &record = records[i];
+        if (!record.conditional) {
+            notifyUnconditional(record.pc);
+            continue;
+        }
+        const bool prediction =
+            predictAndUpdate(record.pc, record.taken).prediction;
+        ++conditionals;
+        if (prediction != record.taken) {
+            ++mispredicts;
+        }
+    }
+    counters.conditionals += conditionals;
+    counters.mispredicts += mispredicts;
+}
+
+void
 Predictor::saveState(std::ostream &) const
 {
     fatal("predictor '" + name() + "': snapshot not supported");

@@ -5,10 +5,12 @@
 
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 
 #include "support/types.hh"
+#include "trace/branch_record.hh"
 
 namespace bpred
 {
@@ -20,6 +22,20 @@ struct Outcome
 {
     /** The direction predicted before the tables trained. */
     bool prediction = false;
+};
+
+/**
+ * Tallies accumulated by replayBlock(): everything the simulation
+ * loop needs per block when no per-branch attribution (top sites,
+ * probes) was requested.
+ */
+struct ReplayCounters
+{
+    /** Conditional branches resolved in the block. */
+    u64 conditionals = 0;
+
+    /** Mispredicted conditional branches among them. */
+    u64 mispredicts = 0;
 };
 
 /**
@@ -66,6 +82,25 @@ class Predictor
      * Global-history predictors shift in a taken outcome.
      */
     virtual void notifyUnconditional(Addr pc);
+
+    /**
+     * Resolve a whole block of records in trace order — conditional
+     * branches through the fused step, unconditional ones through
+     * notifyUnconditional() — adding the block's conditional and
+     * misprediction counts to @p counters.
+     *
+     * Must be observably identical to looping predictAndUpdate()
+     * over the block; the base default does exactly that. Hot
+     * schemes override it with a devirtualized kernel (see
+     * predictors/block_kernel.hh) so the inner loop costs one
+     * virtual dispatch per block instead of one per branch — the
+     * gang replay engine's fast path (sim/gang.hh). Overrides must
+     * delegate to this scalar default while a probe is attached so
+     * telemetry event streams stay bit-identical.
+     */
+    virtual void replayBlock(const BranchRecord *records,
+                             std::size_t count,
+                             ReplayCounters &counters);
 
     /** Short configuration name, e.g. "gshare-16K-h12". */
     virtual std::string name() const = 0;

@@ -85,6 +85,14 @@ struct SimOptions
      * leaves the predictor untouched.
      */
     ProbeSink *probe = nullptr;
+
+    /**
+     * Force the per-branch scalar loop instead of the replayBlock()
+     * batch kernel. Results are contract-identical either way; this
+     * exists so equivalence tests and throughput baselines can pin
+     * the legacy fused path explicitly.
+     */
+    bool scalarReplay = false;
 };
 
 /** Outcome of simulating one predictor over one trace. */

@@ -1,16 +1,49 @@
 #include "sim/parallel.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <exception>
 #include <stdexcept>
 #include <thread>
+#include <unordered_map>
+#include <utility>
 
 #include "sim/factory.hh"
+#include "sim/gang.hh"
 #include "support/logging.hh"
 
 namespace bpred
 {
+
+namespace
+{
+
+/**
+ * Cells per gang: BPRED_GANG_WIDTH when set (1 restores the
+ * per-cell path), else jobs/threads so every worker still owns at
+ * least one scheduling unit — ganging must never cost parallelism.
+ */
+std::size_t
+resolveGangWidth(std::size_t total_jobs, unsigned threads)
+{
+    if (const char *env = std::getenv("BPRED_GANG_WIDTH");
+        env != nullptr && *env != '\0') {
+        try {
+            const unsigned long parsed = std::stoul(env);
+            if (parsed >= 1 && parsed <= 4096) {
+                return static_cast<std::size_t>(parsed);
+            }
+        } catch (const std::exception &) {
+            // fall through to the warning
+        }
+        warn("ignoring invalid BPRED_GANG_WIDTH value");
+    }
+    const std::size_t workers = threads == 0 ? 1 : threads;
+    return std::max<std::size_t>(1, total_jobs / workers);
+}
+
+} // namespace
 
 unsigned
 resolveThreadCount(unsigned requested)
@@ -95,8 +128,10 @@ parallelForIndexed(std::size_t count,
 
 } // namespace detail
 
-SweepRunner::SweepRunner(unsigned threads)
-    : threadCount(resolveThreadCount(threads))
+SweepRunner::SweepRunner(unsigned threads, std::size_t block_records)
+    : threadCount(resolveThreadCount(threads)),
+      blockRecords_(block_records ? block_records
+                                  : defaultReplayBlockRecords)
 {
 }
 
@@ -125,10 +160,57 @@ SweepRunner::run()
     std::vector<Job> batch;
     batch.swap(jobs);
     std::vector<SimResult> results(batch.size());
+    std::vector<std::exception_ptr> errors(batch.size());
+
+    // Group submission-order runs of same-trace jobs into gangs of
+    // at most `width` cells. Each gang is one scheduling unit that
+    // streams its trace exactly once, every member replaying each
+    // cache-resident block in turn (sim/gang.hh).
+    const std::size_t width =
+        resolveGangWidth(batch.size(), threadCount);
+    std::vector<std::vector<std::size_t>> gangs;
+    std::unordered_map<const Trace *, std::size_t> open;
+    for (std::size_t index = 0; index < batch.size(); ++index) {
+        const Trace *trace = batch[index].trace;
+        const auto it = open.find(trace);
+        if (it == open.end() || gangs[it->second].size() >= width) {
+            open[trace] = gangs.size();
+            gangs.push_back({index});
+        } else {
+            gangs[it->second].push_back(index);
+        }
+    }
+
     detail::parallelForIndexed(
-        batch.size(),
-        [&](std::size_t index) {
-            const Job &job = batch[index];
+        gangs.size(),
+        [&](std::size_t gang) {
+            runGang(batch, gangs[gang], results, errors);
+        },
+        threadCount);
+
+    // runGang parks every failure under its job's index, so the
+    // lowest-index exception wins regardless of gang shape —
+    // exactly the pre-gang per-cell contract.
+    for (const std::exception_ptr &error : errors) {
+        if (error) {
+            std::rethrow_exception(error);
+        }
+    }
+    return results;
+}
+
+void
+SweepRunner::runGang(const std::vector<Job> &batch,
+                     const std::vector<std::size_t> &members,
+                     std::vector<SimResult> &results,
+                     std::vector<std::exception_ptr> &errors) const
+{
+    if (members.size() == 1) {
+        // Singleton gangs (width 1, or a trace with one cell) keep
+        // the plain per-cell path.
+        const std::size_t index = members.front();
+        const Job &job = batch[index];
+        try {
             std::unique_ptr<Predictor> predictor = job.factory();
             if (!predictor) {
                 fatal("SweepRunner: factory returned a null "
@@ -136,9 +218,49 @@ SweepRunner::run()
             }
             results[index] = simulateWithOptions(
                 *predictor, *job.trace, job.options);
-        },
-        threadCount);
-    return results;
+        } catch (...) {
+            errors[index] = std::current_exception();
+        }
+        return;
+    }
+
+    // Factories run here on the worker thread, like the per-cell
+    // path; a failed factory parks its error and drops that member,
+    // the rest of the gang replays on.
+    GangSession gang(blockRecords_);
+    std::vector<std::unique_ptr<Predictor>> predictors;
+    std::vector<std::size_t> enrolled;
+    predictors.reserve(members.size());
+    enrolled.reserve(members.size());
+    for (const std::size_t index : members) {
+        const Job &job = batch[index];
+        try {
+            std::unique_ptr<Predictor> predictor = job.factory();
+            if (!predictor) {
+                fatal("SweepRunner: factory returned a null "
+                      "predictor");
+            }
+            gang.add(*predictor, job.options, job.trace->name());
+            predictors.push_back(std::move(predictor));
+            enrolled.push_back(index);
+        } catch (...) {
+            errors[index] = std::current_exception();
+        }
+    }
+    if (enrolled.empty()) {
+        return;
+    }
+
+    gang.feed(*batch[members.front()].trace);
+    std::vector<SimResult> gangResults = gang.finish();
+    for (std::size_t slot = 0; slot < enrolled.size(); ++slot) {
+        const std::size_t index = enrolled[slot];
+        if (std::exception_ptr error = gang.memberError(slot)) {
+            errors[index] = error;
+        } else {
+            results[index] = std::move(gangResults[slot]);
+        }
+    }
 }
 
 } // namespace bpred

@@ -22,15 +22,25 @@
  *  - Workers self-schedule from a shared atomic cursor (the
  *    work-stealing-style distribution degenerates gracefully when
  *    cell costs are skewed: fast workers simply claim more cells).
+ *  - Queued cells that replay the SAME trace are grouped into gangs
+ *    (sim/gang.hh): one scheduling unit streams the trace once and
+ *    replays each cache-resident block through every member, instead
+ *    of each cell streaming the whole trace again from cold. Results
+ *    stay bit-identical to the per-cell path (GangSession contract),
+ *    so tables and --json reports do not change by a byte.
  *
  * Thread count resolution (resolveThreadCount): an explicit request
  * wins, then the BPRED_THREADS environment variable, then
- * std::thread::hardware_concurrency().
+ * std::thread::hardware_concurrency(). Gang width resolution: the
+ * BPRED_GANG_WIDTH environment variable when set (1 disables ganging
+ * and restores the per-cell path), else jobs/threads so every worker
+ * still owns at least one unit.
  */
 
 #pragma once
 
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <string>
@@ -104,8 +114,13 @@ class SweepRunner
     /** Builds one predictor; runs on the worker thread. */
     using PredictorFactory = std::function<std::unique_ptr<Predictor>()>;
 
-    /** @param threads Worker count; 0 resolves via resolveThreadCount. */
-    explicit SweepRunner(unsigned threads = 0);
+    /**
+     * @param threads Worker count; 0 resolves via resolveThreadCount.
+     * @param block_records Records per gang replay block; 0 picks
+     *        defaultReplayBlockRecords (sim/gang.hh).
+     */
+    explicit SweepRunner(unsigned threads = 0,
+                         std::size_t block_records = 0);
 
     /**
      * Queue one simulation of a factory-built predictor over
@@ -126,12 +141,17 @@ class SweepRunner
     /** The resolved worker-thread count. */
     unsigned threads() const { return threadCount; }
 
+    /** Records per gang replay block. */
+    std::size_t blockRecords() const { return blockRecords_; }
+
     /**
      * Execute every queued job and return their SimResults in
      * submission order (element-wise identical to calling
-     * simulateWithOptions serially, whatever the thread count).
-     * The queue is cleared even on failure; if jobs threw, the
-     * lowest-index exception is rethrown after all workers joined.
+     * simulateWithOptions serially, whatever the thread count or
+     * gang width — same-trace jobs are ganged, but GangSession is
+     * bit-identical to independent sessions). The queue is cleared
+     * even on failure; if jobs threw, the lowest-index exception is
+     * rethrown after all workers joined.
      */
     std::vector<SimResult> run();
 
@@ -143,8 +163,15 @@ class SweepRunner
         SimOptions options;
     };
 
+    /** Run one gang of same-trace jobs on the calling worker. */
+    void runGang(const std::vector<Job> &batch,
+                 const std::vector<std::size_t> &members,
+                 std::vector<SimResult> &results,
+                 std::vector<std::exception_ptr> &errors) const;
+
     std::vector<Job> jobs;
     unsigned threadCount;
+    std::size_t blockRecords_;
 };
 
 } // namespace bpred

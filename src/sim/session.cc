@@ -1,5 +1,6 @@
 #include "sim/session.hh"
 
+#include <algorithm>
 #include <vector>
 
 #include "support/logging.hh"
@@ -44,7 +45,88 @@ SimSession::feed(const BranchRecord *records, std::size_t count)
     if (finished_) {
         fatal("SimSession: feed after finish");
     }
+    // Top-site attribution needs the PC of every misprediction, so
+    // it keeps the per-branch loop (as does an explicit
+    // scalarReplay request). Everything else — including probed
+    // runs, whose overrides delegate to the scalar kernel
+    // internally — replays through the per-block batch kernel.
+    if (options.topSites > 0 || options.scalarReplay) {
+        feedScalar(records, count);
+    } else {
+        feedBlocks(records, count);
+    }
+}
 
+void
+SimSession::feedBlocks(const BranchRecord *records, std::size_t count)
+{
+    constexpr u64 unbounded = ~u64(0);
+    const u64 warmup = options.warmupBranches;
+    const u64 flush_interval = options.flushInterval;
+    const u64 window_size = options.windowSize;
+
+    std::size_t at = 0;
+    while (at < count) {
+        // The next segment may consume at most `limit` conditional
+        // branches: up to the next flush, the end of warmup, or the
+        // close of the open window — whichever comes first. Each
+        // bound is strictly positive (every boundary action below
+        // re-arms its counter), so the loop always advances.
+        const bool in_warmup = seen < warmup;
+        u64 limit = unbounded;
+        if (flush_interval) {
+            limit = std::min(limit, flush_interval - sinceFlush);
+        }
+        if (in_warmup) {
+            limit = std::min(limit, warmup - seen);
+        } else if (window_size) {
+            limit = std::min(limit, window_size - window.branches);
+        }
+
+        // Segment end: just past the limit-th conditional record,
+        // or the chunk end. Trailing unconditionals fall into the
+        // next segment, matching the scalar loop's ordering of
+        // boundary actions before their notifyUnconditional().
+        std::size_t end = count;
+        if (limit != unbounded) {
+            u64 conditionals = 0;
+            for (end = at; end < count && conditionals < limit;
+                 ++end) {
+                conditionals += records[end].conditional ? 1 : 0;
+            }
+        }
+
+        ReplayCounters tally;
+        predictor.replayBlock(records + at, end - at, tally);
+        at = end;
+
+        seen += tally.conditionals;
+        if (flush_interval) {
+            sinceFlush += tally.conditionals;
+            if (sinceFlush == flush_interval) {
+                predictor.reset();
+                sinceFlush = 0;
+            }
+        }
+        if (in_warmup) {
+            continue; // warmup segments train without scoring
+        }
+        result.conditionals += tally.conditionals;
+        result.mispredicts += tally.mispredicts;
+        if (window_size) {
+            window.branches += tally.conditionals;
+            window.mispredicts += tally.mispredicts;
+            if (window.branches == window_size) {
+                result.windows.push_back(window);
+                window = WindowSample();
+            }
+        }
+    }
+}
+
+void
+SimSession::feedScalar(const BranchRecord *records, std::size_t count)
+{
     // Hot counters live in locals for the duration of the chunk;
     // member writes happen once per feed(), not once per branch, so
     // the streaming path matches the batch loop's throughput.

@@ -62,6 +62,13 @@ class SimSession
      * boundaries are invisible to the result: any partition of a
      * trace into feed() calls yields the same SimResult.
      *
+     * Internally the chunk is resolved through the predictor's
+     * replayBlock() batch kernel — split at warmup, flush and
+     * window boundaries so per-segment tallies suffice — unless
+     * per-branch attribution (top sites) forces the scalar loop.
+     * The two paths are contract-equivalent (test_session /
+     * test_predictor_contract).
+     *
      * @throws FatalError when called after finish().
      */
     void feed(const BranchRecord *records, std::size_t count);
@@ -91,6 +98,12 @@ class SimSession
     void setTraceName(std::string trace_name);
 
   private:
+    /** The per-branch loop: needed for top-site attribution. */
+    void feedScalar(const BranchRecord *records, std::size_t count);
+
+    /** The replayBlock() path, segmented at bookkeeping boundaries. */
+    void feedBlocks(const BranchRecord *records, std::size_t count);
+
     Predictor &predictor;
     SimOptions options;
     SimResult result;

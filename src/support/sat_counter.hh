@@ -123,6 +123,58 @@ class SatCounterArray
      */
     SatCounterArray(u64 num_entries, unsigned width, u8 initial = 0);
 
+    /**
+     * A raw-pointer view for inlined replay kernels: the storage
+     * pointer and saturation bounds lifted into plain locals, so a
+     * block loop can keep them in registers instead of re-loading
+     * vector internals after every (char-typed, alias-everything)
+     * counter store. predictTaken()/update() mirror the array's
+     * methods exactly — the block-vs-scalar contract tests hold the
+     * two implementations together. The view borrows: it must not
+     * outlive the array or span a resize/reset.
+     */
+    struct View
+    {
+        u8 *values;
+        u8 max;
+        u8 threshold;
+
+        /** Predicted direction of counter @p index. */
+        bool
+        predictTaken(u64 index) const
+        {
+            return values[index] >= threshold;
+        }
+
+        /** Raw value of counter @p index. */
+        u8 value(u64 index) const { return values[index]; }
+
+        /**
+         * Train counter @p index toward @p taken. Same result as
+         * the array's update(), computed branchlessly: @p taken is
+         * data (not control) in replay loops, so a conditional
+         * increment would mispredict on every hard-to-predict
+         * branch — precisely the records a predictor study feeds.
+         */
+        void
+        update(u64 index, bool taken)
+        {
+            u8 &v = values[index];
+            // Bitwise (not short-circuit) combination: the whole
+            // expression is straight-line ALU arithmetic.
+            const int up = int(taken) & int(v < max);
+            const int down = int(!taken) & int(v > 0);
+            v = static_cast<u8>(v + up - down);
+        }
+    };
+
+    /** Borrow a kernel view of this array (see View). */
+    View
+    view()
+    {
+        return {values.data(), maxCounterValue, thresholdValue};
+    }
+
     /** Number of counters. */
     u64 size() const { return values.size(); }
 

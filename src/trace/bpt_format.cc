@@ -148,4 +148,40 @@ readRecord(std::istream &is, Addr &last_pc)
     return {last_pc, (flags & 1) != 0, (flags & 2) != 0};
 }
 
+std::size_t
+readRecord(const char *data, std::size_t size, BranchRecord &out,
+           Addr &last_pc)
+{
+    if (size == 0) {
+        return 0;
+    }
+    const u8 flags = static_cast<u8>(data[0]);
+    if ((flags & ~0x3) != 0) {
+        fatal("trace: bad record flags");
+    }
+    u64 value = 0;
+    unsigned shift = 0;
+    std::size_t at = 1;
+    for (;; ++at) {
+        // Overflow is checked before the length, so a hostile
+        // over-long varint is fatal even when the buffer ends on
+        // its 11th byte — a refill could never resolve it.
+        if (shift >= 64) {
+            fatal("trace: varint overflow");
+        }
+        if (at >= size) {
+            return 0;
+        }
+        const u8 byte = static_cast<u8>(data[at]);
+        value |= (static_cast<u64>(byte) & 0x7f) << shift;
+        if ((byte & 0x80) == 0) {
+            break;
+        }
+        shift += 7;
+    }
+    last_pc += static_cast<Addr>(zigZagDecode(value));
+    out = {last_pc, (flags & 1) != 0, (flags & 2) != 0};
+    return at + 1;
+}
+
 } // namespace bpred::bpt

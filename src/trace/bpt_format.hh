@@ -14,6 +14,7 @@
 
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 
@@ -80,6 +81,29 @@ void writeRecord(std::ostream &os, const BranchRecord &record,
  * @throws FatalError on truncation or bad flags.
  */
 BranchRecord readRecord(std::istream &is, Addr &last_pc);
+
+/**
+ * Upper bound on one encoded record: a flag byte plus a 10-byte
+ * varint (readVarint rejects an 11th continuation byte as
+ * overflow). Any buffer holding at least this many bytes always
+ * resolves the memory-decoding readRecord() below.
+ */
+inline constexpr std::size_t maxRecordBytes = 11;
+
+/**
+ * Decode one record from an in-memory buffer — the bulk-refill
+ * counterpart of the istream overload, so streaming decoders can
+ * read the file in block-sized slabs instead of byte-at-a-time
+ * stream gets.
+ *
+ * @return Bytes consumed (record written to @p out, @p last_pc
+ *         advanced), or 0 when the buffer ends mid-record with
+ *         nothing modified — refill and retry.
+ *
+ * @throws FatalError on bad flags or varint overflow.
+ */
+std::size_t readRecord(const char *data, std::size_t size,
+                       BranchRecord &out, Addr &last_pc);
 
 } // namespace bpred::bpt
 

@@ -23,16 +23,18 @@ MemoryTraceSource::pull(BranchRecord *out, std::size_t max)
     return produced;
 }
 
-BinaryTraceSource::BinaryTraceSource(std::istream &is) : stream(&is)
+BinaryTraceSource::BinaryTraceSource(std::istream &is)
+    : stream(&is), scratch(defaultScratchBytes)
 {
     const bpt::Header header = bpt::readHeader(*stream);
     name_ = header.name;
     remaining_ = header.count;
+    lengthValidated = header.lengthValidated;
 }
 
 BinaryTraceSource::BinaryTraceSource(const std::string &path)
     : owned(std::make_unique<std::ifstream>(path, std::ios::binary)),
-      stream(owned.get())
+      stream(owned.get()), scratch(defaultScratchBytes)
 {
     if (!*owned) {
         fatal("trace: cannot open '" + path + "' for reading");
@@ -40,6 +42,27 @@ BinaryTraceSource::BinaryTraceSource(const std::string &path)
     const bpt::Header header = bpt::readHeader(*stream);
     name_ = header.name;
     remaining_ = header.count;
+    lengthValidated = header.lengthValidated;
+}
+
+u64
+BinaryTraceSource::sizeHint() const
+{
+    return lengthValidated ? remaining_ : 0;
+}
+
+void
+BinaryTraceSource::setScratchBytes(std::size_t bytes)
+{
+    const std::size_t leftover = scratchEnd - scratchAt;
+    const std::size_t capacity =
+        std::max({bytes, leftover, bpt::maxRecordBytes});
+    std::vector<char> next(capacity);
+    std::copy(scratch.data() + scratchAt,
+              scratch.data() + scratchEnd, next.data());
+    scratch = std::move(next);
+    scratchAt = 0;
+    scratchEnd = leftover;
 }
 
 std::size_t
@@ -47,11 +70,47 @@ BinaryTraceSource::pull(BranchRecord *out, std::size_t max)
 {
     const std::size_t produced = static_cast<std::size_t>(
         std::min<u64>(max, remaining_));
-    for (std::size_t i = 0; i < produced; ++i) {
-        out[i] = bpt::readRecord(*stream, lastPc);
+    // Decode from the long-lived scratch slab: the stream is read
+    // in bulk slab-sized gulps, never byte-at-a-time, and no
+    // per-pull allocation happens after construction.
+    std::size_t done = 0;
+    while (done < produced) {
+        const std::size_t consumed = bpt::readRecord(
+            scratch.data() + scratchAt, scratchEnd - scratchAt,
+            out[done], lastPc);
+        if (consumed == 0) {
+            refill();
+            continue;
+        }
+        scratchAt += consumed;
+        ++done;
     }
     remaining_ -= produced;
     return produced;
+}
+
+void
+BinaryTraceSource::refill()
+{
+    // Slide the partial record to the front and top up with one
+    // bulk read. The scratch always holds at least maxRecordBytes,
+    // so a record that still does not resolve after a successful
+    // refill can only mean real truncation — detected below when
+    // the stream has nothing left to give.
+    const std::size_t leftover = scratchEnd - scratchAt;
+    std::copy(scratch.data() + scratchAt,
+              scratch.data() + scratchEnd, scratch.data());
+    scratchAt = 0;
+    scratchEnd = leftover;
+    stream->read(scratch.data() + scratchEnd,
+                 static_cast<std::streamsize>(scratch.size() -
+                                              scratchEnd));
+    const std::size_t got =
+        static_cast<std::size_t>(stream->gcount());
+    if (got == 0) {
+        fatal("trace: truncated record");
+    }
+    scratchEnd += got;
 }
 
 Trace
@@ -61,14 +120,19 @@ drainSource(TraceSource &source, std::size_t chunk_records)
         fatal("drainSource: zero chunk size");
     }
     Trace trace(source.name());
+    if (const u64 hint = source.sizeHint()) {
+        // bp_lint: allow(reserve-untrusted): sizeHint() contractually
+        // reports only validated counts (BinaryTraceSource returns 0
+        // unless readHeader() bounded the declared count by the
+        // stream length), so this cannot amplify a corrupt header.
+        trace.reserve(static_cast<std::size_t>(hint));
+    }
     std::vector<BranchRecord> buffer(chunk_records);
     while (const std::size_t n =
                source.pull(buffer.data(), buffer.size())) {
         BP_CHECK(n <= buffer.size(),
                  "TraceSource::pull produced more than requested");
-        for (std::size_t i = 0; i < n; ++i) {
-            trace.append(buffer[i]);
-        }
+        trace.append(buffer.data(), n);
     }
     return trace;
 }

@@ -15,6 +15,7 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "trace/trace.hh"
 
@@ -37,6 +38,15 @@ class TraceSource
      *         (and every later call also returns 0).
      */
     virtual std::size_t pull(BranchRecord *out, std::size_t max) = 0;
+
+    /**
+     * Records still to come, when the source knows it exactly from
+     * a TRUSTED or validated quantity; 0 means unknown. Consumers
+     * size allocations by this (drainSource pre-reserves), so an
+     * implementation must never report an unvalidated wire-format
+     * count — return 0 instead and let the consumer grow.
+     */
+    virtual u64 sizeHint() const { return 0; }
 };
 
 /**
@@ -51,6 +61,7 @@ class MemoryTraceSource : public TraceSource
 
     const std::string &name() const override { return trace_.name(); }
     std::size_t pull(BranchRecord *out, std::size_t max) override;
+    u64 sizeHint() const override { return trace_.size() - next; }
 
     /** Restart the stream from the first record. */
     void rewind() { next = 0; }
@@ -89,15 +100,40 @@ class BinaryTraceSource : public TraceSource
     const std::string &name() const override { return name_; }
     std::size_t pull(BranchRecord *out, std::size_t max) override;
 
+    /**
+     * The remaining record count, but only once readHeader() has
+     * verified the declared count against the stream length — a
+     * bare wire count must not size downstream allocations.
+     */
+    u64 sizeHint() const override;
+
     /** Records not yet pulled. */
     u64 remaining() const { return remaining_; }
 
+    /**
+     * Resize the decode scratch buffer (clamped to at least one
+     * maximal record plus any bytes already buffered). Exposed so
+     * tests can force refills to land mid-record; real consumers
+     * keep the default slab.
+     */
+    void setScratchBytes(std::size_t bytes);
+
   private:
+    /** Raw bytes buffered per bulk read (~64 KiB slab). */
+    static constexpr std::size_t defaultScratchBytes = 64 * 1024;
+
+    /** Compact the partial record and top the scratch up. */
+    void refill();
+
     std::unique_ptr<std::ifstream> owned;
     std::istream *stream;
     std::string name_;
     u64 remaining_ = 0;
     Addr lastPc = 0;
+    bool lengthValidated = false;
+    std::vector<char> scratch;
+    std::size_t scratchAt = 0;
+    std::size_t scratchEnd = 0;
 };
 
 /**

@@ -40,6 +40,13 @@ class Trace
         records_.push_back(record);
     }
 
+    /** Append @p count records in one insertion (bulk drains). */
+    void
+    append(const BranchRecord *records, std::size_t count)
+    {
+        records_.insert(records_.end(), records, records + count);
+    }
+
     /** Append a conditional branch. */
     void
     appendConditional(Addr pc, bool taken)

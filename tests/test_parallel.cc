@@ -230,6 +230,119 @@ TEST(SweepRunner, EmptyQueueRunsToEmptyResults)
     EXPECT_TRUE(runner.run().empty());
 }
 
+/** RAII guard restoring BPRED_GANG_WIDTH on scope exit. */
+class GangWidthEnvGuard
+{
+  public:
+    explicit GangWidthEnvGuard(const char *value)
+    {
+        const char *old = std::getenv("BPRED_GANG_WIDTH");
+        hadOld = old != nullptr;
+        if (hadOld) {
+            oldValue = old;
+        }
+        if (value == nullptr) {
+            unsetenv("BPRED_GANG_WIDTH");
+        } else {
+            setenv("BPRED_GANG_WIDTH", value, 1);
+        }
+    }
+
+    ~GangWidthEnvGuard()
+    {
+        if (hadOld) {
+            setenv("BPRED_GANG_WIDTH", oldValue.c_str(), 1);
+        } else {
+            unsetenv("BPRED_GANG_WIDTH");
+        }
+    }
+
+  private:
+    bool hadOld = false;
+    std::string oldValue;
+};
+
+TEST(SweepRunner, GangedSharedTraceMatchesPerCell)
+{
+    // Same-trace cells grouped into gangs must report exactly what
+    // a per-cell pass reports — with two traces interleaved in the
+    // queue so grouping has to keep gangs trace-pure while results
+    // stay in submission order.
+    const Trace first = parallelTrace(7);
+    const Trace second = parallelTrace(8);
+    const std::vector<std::string> specs = {
+        "gshare:8:6", "bimodal:8", "gskewed:3:8:6", "egskew:8:6"};
+    const auto enqueueAll = [&](SweepRunner &runner) {
+        for (const std::string &spec : specs) {
+            runner.enqueue(spec, first);
+            runner.enqueue(spec, second);
+        }
+    };
+
+    std::vector<SimResult> percell;
+    {
+        GangWidthEnvGuard guard("1");
+        SweepRunner runner(2);
+        enqueueAll(runner);
+        percell = runner.run();
+    }
+    std::vector<SimResult> ganged;
+    {
+        GangWidthEnvGuard guard("4");
+        SweepRunner runner(2);
+        enqueueAll(runner);
+        ganged = runner.run();
+    }
+
+    ASSERT_EQ(percell.size(), ganged.size());
+    for (std::size_t i = 0; i < percell.size(); ++i) {
+        EXPECT_EQ(percell[i].predictorName, ganged[i].predictorName);
+        EXPECT_EQ(percell[i].traceName, ganged[i].traceName);
+        EXPECT_EQ(percell[i].conditionals, ganged[i].conditionals);
+        EXPECT_EQ(percell[i].mispredicts, ganged[i].mispredicts);
+    }
+}
+
+TEST(SweepRunner, GangedFactoryErrorSparesOtherMembers)
+{
+    // A factory that explodes inside a gang must surface from
+    // run() without wedging the pool or poisoning its gang-mates.
+    GangWidthEnvGuard guard("4");
+    const Trace trace = parallelTrace(9);
+    SweepRunner runner(1);
+    runner.enqueue("gshare:8:6", trace);
+    runner.enqueue(
+        []() -> std::unique_ptr<Predictor> {
+            throw std::runtime_error("factory exploded");
+        },
+        trace);
+    runner.enqueue("bimodal:8", trace);
+    EXPECT_THROW(runner.run(), std::runtime_error);
+    EXPECT_EQ(runner.pending(), 0u);
+
+    runner.enqueue("gshare:8:6", trace);
+    const std::vector<SimResult> results = runner.run();
+    ASSERT_EQ(results.size(), 1u);
+    GSharePredictor reference(8, 6);
+    EXPECT_EQ(results[0].mispredicts,
+              simulate(reference, trace).mispredicts);
+}
+
+TEST(SweepRunner, JunkGangWidthFallsBackSafely)
+{
+    GangWidthEnvGuard guard("junk");
+    const Trace trace = parallelTrace(10);
+    SweepRunner runner(2);
+    runner.enqueue("gshare:8:6", trace);
+    runner.enqueue("gshare:8:6", trace);
+    const std::vector<SimResult> results = runner.run();
+    ASSERT_EQ(results.size(), 2u);
+    GSharePredictor reference(8, 6);
+    const u64 want = simulate(reference, trace).mispredicts;
+    EXPECT_EQ(results[0].mispredicts, want);
+    EXPECT_EQ(results[1].mispredicts, want);
+}
+
 TEST(ParallelMap, ReturnsResultsInSubmissionOrder)
 {
     std::vector<std::function<int()>> jobs;

@@ -7,9 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
+#include "predictors/predictor.hh"
 #include "sim/driver.hh"
 #include "sim/factory.hh"
 #include "support/probe.hh"
@@ -234,6 +236,144 @@ TEST_P(PredictorContract, WarmupNeverHurtsDeterminism)
         simulateWithOptions(*predictor, trace, options);
     EXPECT_LE(warm.conditionals,
               computeTraceStats(trace).dynamicConditional);
+}
+
+/**
+ * Replay @p trace through @p predictor's scalar fused loop — the
+ * reference semantics replayBlock() must reproduce.
+ */
+ReplayCounters
+replayScalar(Predictor &predictor, const Trace &trace)
+{
+    ReplayCounters counters;
+    for (const BranchRecord &record : trace) {
+        if (!record.conditional) {
+            predictor.notifyUnconditional(record.pc);
+            continue;
+        }
+        const bool prediction =
+            predictor.predictAndUpdate(record.pc, record.taken)
+                .prediction;
+        ++counters.conditionals;
+        counters.mispredicts += u64(prediction != record.taken);
+    }
+    return counters;
+}
+
+/**
+ * Replay @p trace through replayBlock() in deliberately uneven
+ * chunks (1, 3, 7, 15, ... records) so block boundaries land at
+ * arbitrary offsets, including mid-"natural" block.
+ */
+ReplayCounters
+replayBlocks(Predictor &predictor, const Trace &trace)
+{
+    ReplayCounters counters;
+    const BranchRecord *records = trace.records().data();
+    std::size_t at = 0;
+    std::size_t chunk = 1;
+    while (at < trace.size()) {
+        const std::size_t n = std::min(chunk, trace.size() - at);
+        predictor.replayBlock(records + at, n, counters);
+        at += n;
+        chunk = chunk * 2 + 1;
+    }
+    return counters;
+}
+
+TEST(ReplayBlockContract, BlockMatchesScalarForEveryScheme)
+{
+    // Every scheme the factory knows: same tallies from the block
+    // kernel as from the scalar fused loop, and — checked by a
+    // second fused pass over fresh records — the same trained
+    // state afterwards.
+    const Trace trace = contractTrace(10);
+    const Trace check = contractTrace(11);
+    for (const SchemeInfo &scheme : listSchemes()) {
+        SCOPED_TRACE(scheme.example);
+        auto scalar = makePredictor(scheme.example);
+        auto block = makePredictor(scheme.example);
+        const ReplayCounters want = replayScalar(*scalar, trace);
+        const ReplayCounters got = replayBlocks(*block, trace);
+        EXPECT_EQ(want.conditionals, got.conditionals);
+        EXPECT_EQ(want.mispredicts, got.mispredicts);
+
+        u64 step = 0;
+        for (const BranchRecord &record : check) {
+            if (!record.conditional) {
+                scalar->notifyUnconditional(record.pc);
+                block->notifyUnconditional(record.pc);
+                continue;
+            }
+            const bool expected =
+                scalar->predictAndUpdate(record.pc, record.taken)
+                    .prediction;
+            const bool actual =
+                block->predictAndUpdate(record.pc, record.taken)
+                    .prediction;
+            ASSERT_EQ(expected, actual)
+                << "trained state diverged by step " << step;
+            if (++step > 4000) {
+                break;
+            }
+        }
+    }
+}
+
+TEST(ReplayBlockContract, ProbedBlockMatchesScalarEventStream)
+{
+    // With a telemetry sink attached, replayBlock() must delegate
+    // to the scalar loop: identical tallies AND an identical event
+    // stream, for every scheme.
+    const Trace trace = contractTrace(12);
+    for (const SchemeInfo &scheme : listSchemes()) {
+        SCOPED_TRACE(scheme.example);
+        auto scalar = makePredictor(scheme.example);
+        auto block = makePredictor(scheme.example);
+        CountingProbe scalarProbe;
+        CountingProbe blockProbe;
+        scalar->attachProbe(&scalarProbe);
+        block->attachProbe(&blockProbe);
+        const ReplayCounters want = replayScalar(*scalar, trace);
+        const ReplayCounters got = replayBlocks(*block, trace);
+        EXPECT_EQ(want.conditionals, got.conditionals);
+        EXPECT_EQ(want.mispredicts, got.mispredicts);
+        EXPECT_EQ(scalarProbe.registry().toJson().dump(2),
+                  blockProbe.registry().toJson().dump(2));
+    }
+}
+
+TEST(ReplayBlockContract, SessionBlockPathMatchesScalarAtBoundaries)
+{
+    // The session-level block path must split correctly at warmup,
+    // flush and window boundaries that land mid-block: identical
+    // SimResult to the scalar engine (options.scalarReplay) with
+    // bookkeeping intervals chosen to straddle block boundaries.
+    const Trace trace = contractTrace(13);
+    SimOptions blockOptions;
+    blockOptions.warmupBranches = 1234;
+    blockOptions.flushInterval = 3456;
+    blockOptions.windowSize = 789;
+    SimOptions scalarOptions = blockOptions;
+    scalarOptions.scalarReplay = true;
+    for (const SchemeInfo &scheme : listSchemes()) {
+        SCOPED_TRACE(scheme.example);
+        auto blockSide = makePredictor(scheme.example);
+        auto scalarSide = makePredictor(scheme.example);
+        const SimResult a =
+            simulateWithOptions(*blockSide, trace, blockOptions);
+        const SimResult b =
+            simulateWithOptions(*scalarSide, trace, scalarOptions);
+        EXPECT_EQ(a.predictorName, b.predictorName);
+        EXPECT_EQ(a.conditionals, b.conditionals);
+        EXPECT_EQ(a.mispredicts, b.mispredicts);
+        ASSERT_EQ(a.windows.size(), b.windows.size());
+        for (std::size_t i = 0; i < a.windows.size(); ++i) {
+            EXPECT_EQ(a.windows[i].branches, b.windows[i].branches);
+            EXPECT_EQ(a.windows[i].mispredicts,
+                      b.windows[i].mispredicts);
+        }
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -16,6 +17,7 @@
 #include "predictors/gshare.hh"
 #include "sim/driver.hh"
 #include "sim/factory.hh"
+#include "sim/gang.hh"
 #include "sim/session.hh"
 #include "support/logging.hh"
 #include "support/probe.hh"
@@ -252,6 +254,51 @@ TEST(TraceSources, DrainRebuildsTheTrace)
     }
 }
 
+TEST(TraceSources, ScratchRefillBoundariesAreInvisible)
+{
+    // The binary source decodes from one reused scratch buffer.
+    // Shrinking it to barely more than one wire record forces a
+    // refill (and a partial-record compaction) every few records;
+    // the decoded stream must not change. Guards the chunk-boundary
+    // handling in BinaryTraceSource::pull()/refill().
+    const Trace trace = sessionTrace(7, 8000);
+    std::stringstream encoded;
+    writeBinaryTrace(encoded, trace);
+
+    for (const std::size_t scratch :
+         {std::size_t(1), std::size_t(13), std::size_t(64),
+          std::size_t(4096)}) {
+        encoded.clear();
+        encoded.seekg(0);
+        BinaryTraceSource source(encoded);
+        source.setScratchBytes(scratch);
+        const Trace drained = drainSource(source, 239);
+        ASSERT_EQ(drained.size(), trace.size())
+            << "scratch " << scratch;
+        for (std::size_t i = 0; i < trace.size(); ++i) {
+            ASSERT_EQ(drained[i], trace[i])
+                << "scratch " << scratch << " record " << i;
+        }
+    }
+}
+
+TEST(TraceSources, SizeHintOnlyWhenLengthValidated)
+{
+    // drainSource() pre-reserves from sizeHint(), which must report
+    // a validated count for seekable binary streams and the exact
+    // remainder for memory sources.
+    const Trace trace = sessionTrace(8, 300);
+    MemoryTraceSource memory(trace);
+    EXPECT_EQ(memory.sizeHint(), trace.size());
+
+    std::stringstream encoded;
+    writeBinaryTrace(encoded, trace);
+    BinaryTraceSource binary(encoded);
+    // A stringstream is seekable, so the header's record count is
+    // validated against the stream length.
+    EXPECT_EQ(binary.sizeHint(), trace.size());
+}
+
 TEST(TraceSources, WorkloadStreamMatchesGenerateWorkload)
 {
     WorkloadParams params;
@@ -380,6 +427,129 @@ TEST(Snapshot, UnsupportedSchemeFatalsCleanly)
     ASSERT_FALSE(predictor->supportsSnapshot());
     std::stringstream state;
     EXPECT_THROW(savePredictorState(*predictor, state), FatalError);
+}
+
+TEST(GangSession, MatchesIndependentSessionsBitForBit)
+{
+    // A gang over one trace must produce exactly the SimResults of
+    // N independent per-predictor sessions — including bookkeeping
+    // knobs that split blocks mid-way.
+    const Trace trace = sessionTrace(41);
+    const std::vector<std::string> specs = {
+        "bimodal:8", "gshare:8:6", "gskewed:3:8:6", "egskew:8:6"};
+    const SimOptions options = everyKnob();
+
+    std::vector<std::unique_ptr<Predictor>> solo;
+    std::vector<SimResult> want;
+    for (const std::string &spec : specs) {
+        solo.push_back(makePredictor(spec));
+        want.push_back(
+            simulateWithOptions(*solo.back(), trace, options));
+    }
+
+    std::vector<std::unique_ptr<Predictor>> ganged;
+    GangSession gang;
+    for (const std::string &spec : specs) {
+        ganged.push_back(makePredictor(spec));
+        gang.add(*ganged.back(), options, trace.name());
+    }
+    gang.feed(trace);
+    const std::vector<SimResult> got = gang.finish();
+
+    ASSERT_EQ(want.size(), got.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(want[i].predictorName, got[i].predictorName);
+        EXPECT_EQ(want[i].traceName, got[i].traceName);
+        EXPECT_EQ(want[i].conditionals, got[i].conditionals);
+        EXPECT_EQ(want[i].mispredicts, got[i].mispredicts);
+        ASSERT_EQ(want[i].windows.size(), got[i].windows.size());
+        for (std::size_t w = 0; w < want[i].windows.size(); ++w) {
+            EXPECT_EQ(want[i].windows[w].branches,
+                      got[i].windows[w].branches);
+            EXPECT_EQ(want[i].windows[w].mispredicts,
+                      got[i].windows[w].mispredicts);
+        }
+        ASSERT_EQ(want[i].topSites.size(), got[i].topSites.size());
+        for (std::size_t s = 0; s < want[i].topSites.size(); ++s) {
+            EXPECT_EQ(want[i].topSites[s].pc, got[i].topSites[s].pc);
+            EXPECT_EQ(want[i].topSites[s].mispredicts,
+                      got[i].topSites[s].mispredicts);
+        }
+    }
+}
+
+TEST(GangSession, ChunkedFeedsAndBlockSizesAreInvisible)
+{
+    // Feeding a gang in ragged chunks, at any block granularity,
+    // must not change any member's result.
+    const Trace trace = sessionTrace(42);
+    auto a1 = makePredictor("gshare:8:6");
+    auto a2 = makePredictor("gskewed:3:8:6");
+    GangSession reference;
+    reference.add(*a1);
+    reference.add(*a2);
+    reference.feed(trace);
+    const std::vector<SimResult> want = reference.finish();
+
+    for (const std::size_t block : {std::size_t(64),
+                                    std::size_t(1000)}) {
+        auto b1 = makePredictor("gshare:8:6");
+        auto b2 = makePredictor("gskewed:3:8:6");
+        GangSession gang(block);
+        gang.add(*b1);
+        gang.add(*b2);
+        const BranchRecord *records = trace.records().data();
+        std::size_t at = 0;
+        std::size_t chunk = 17;
+        while (at < trace.size()) {
+            const std::size_t n =
+                std::min(chunk, trace.size() - at);
+            gang.feed(records + at, n);
+            at += n;
+            chunk = chunk * 3 + 1;
+        }
+        const std::vector<SimResult> got = gang.finish();
+        ASSERT_EQ(want.size(), got.size());
+        for (std::size_t i = 0; i < want.size(); ++i) {
+            EXPECT_EQ(want[i].mispredicts, got[i].mispredicts)
+                << "block " << block << " member " << i;
+            EXPECT_EQ(want[i].conditionals, got[i].conditionals);
+        }
+    }
+}
+
+TEST(GangSession, SimulateGangMatchesSimulate)
+{
+    const Trace trace = sessionTrace(43);
+    auto solo1 = makePredictor("bimodal:8");
+    auto solo2 = makePredictor("hybrid:8:6");
+    const SimResult want1 = simulate(*solo1, trace);
+    const SimResult want2 = simulate(*solo2, trace);
+
+    auto g1 = makePredictor("bimodal:8");
+    auto g2 = makePredictor("hybrid:8:6");
+    const std::vector<SimResult> got =
+        simulateGang({g1.get(), g2.get()}, trace);
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(want1.mispredicts, got[0].mispredicts);
+    EXPECT_EQ(want2.mispredicts, got[1].mispredicts);
+    EXPECT_EQ(want1.conditionals, got[0].conditionals);
+    EXPECT_EQ(want2.conditionals, got[1].conditionals);
+}
+
+TEST(GangSession, LifecycleMisuseFatals)
+{
+    const Trace trace = sessionTrace(44, 2000);
+    auto predictor = makePredictor("gshare:8:6");
+    GangSession gang;
+    const std::size_t index = gang.add(*predictor);
+    gang.feed(trace);
+    auto late = makePredictor("bimodal:8");
+    EXPECT_THROW(gang.add(*late), FatalError);
+    gang.finish();
+    EXPECT_EQ(gang.memberError(index), nullptr);
+    EXPECT_THROW(gang.feed(trace), FatalError);
+    EXPECT_THROW(simulateGang({nullptr}, trace), FatalError);
 }
 
 } // namespace
