@@ -10,6 +10,8 @@
 #include "sim/parallel.hh"
 #include "support/json.hh"
 #include "support/logging.hh"
+#include "support/memmeter.hh"
+#include "support/tracing.hh"
 #include "workloads/presets.hh"
 
 namespace bpred::bench
@@ -25,6 +27,8 @@ struct Report
 {
     std::string benchName = "bench";
     std::string jsonPath;
+    std::string tracePath;
+    std::string statsPath;
     unsigned requestedThreads = 0;
     std::size_t blockRecords = defaultReplayBlockRecords;
     Clock::time_point start = Clock::now();
@@ -56,6 +60,96 @@ basenameOf(const std::string &path)
     return slash == std::string::npos ? path : path.substr(slash + 1);
 }
 
+/** Toolchain identity baked into every `--json` report header. */
+std::string
+compilerVersion()
+{
+#if defined(__clang__)
+    return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+    return std::string("gcc ") + __VERSION__;
+#else
+    return "unknown";
+#endif
+}
+
+/**
+ * Build provenance for the report header. The git SHA, build type
+ * and flag summary are stamped into bench_common at configure time
+ * (bench/CMakeLists.txt); the compiler string comes from the
+ * compiler itself, so artifacts stay attributable even when the
+ * tree was dirty or CMake cached a stale SHA.
+ */
+JsonValue
+buildMetadata()
+{
+    JsonValue node = JsonValue::object();
+#if defined(BPRED_GIT_SHA)
+    node["git_sha"] = std::string(BPRED_GIT_SHA);
+#else
+    node["git_sha"] = std::string("unknown");
+#endif
+    node["compiler"] = compilerVersion();
+#if defined(BPRED_BUILD_TYPE)
+    node["build_type"] = std::string(BPRED_BUILD_TYPE);
+#else
+    node["build_type"] = std::string("unknown");
+#endif
+#if defined(BPRED_CMAKE_FLAGS)
+    node["cmake_flags"] = std::string(BPRED_CMAKE_FLAGS);
+#else
+    node["cmake_flags"] = std::string("");
+#endif
+    return node;
+}
+
+/** Process memory footprint for report headers and --stats-out. */
+JsonValue
+memoryMetadata()
+{
+    JsonValue node = JsonValue::object();
+    const MemUsage usage = processMemUsage();
+    node["rss_bytes"] = u64(usage.valid ? usage.rssBytes : 0);
+    node["rss_peak_bytes"] =
+        u64(usage.valid ? usage.rssPeakBytes : 0);
+    node["tracked_alloc_bytes"] = u64(AllocGauge::current());
+    node["tracked_alloc_peak_bytes"] = u64(AllocGauge::peak());
+    return node;
+}
+
+/**
+ * Dump the process-wide engine metrics (sweep pool accounting,
+ * session feed phases — support/stat_registry.hh engineStats())
+ * plus the memory footprint to the `--stats-out` path. Returns
+ * false on I/O failure.
+ */
+bool
+writeStatsOut(const std::string &path)
+{
+    JsonValue document = JsonValue::object();
+    document["bench"] = report().benchName;
+    {
+        std::lock_guard<std::mutex> hold(engineStatsMutex());
+        document["engine"] = engineStats().toJson();
+    }
+    document["memory"] = memoryMetadata();
+    document["trace_events"] = u64(trace::eventCount());
+    document["trace_dropped"] = u64(trace::droppedCount());
+    std::ofstream out(path);
+    if (!out) {
+        warn("--stats-out: cannot open '" + path + "' for writing");
+        return false;
+    }
+    document.write(out, 2);
+    out << "\n";
+    if (!out.good()) {
+        warn("--stats-out: write to '" + path + "' failed");
+        return false;
+    }
+    inform("wrote engine stats to " + path);
+    return true;
+}
+
 } // namespace
 
 namespace
@@ -68,7 +162,8 @@ usage(const std::string &offending)
     // through main() into std::terminate.
     std::fprintf(stderr,
                  "usage: %s [--json <path>] [--threads <n>] "
-                 "[--block-size <records>] (got '%s')\n",
+                 "[--block-size <records>] [--trace-out <path>] "
+                 "[--stats-out <path>] (got '%s')\n",
                  report().benchName.c_str(), offending.c_str());
     std::exit(2);
 }
@@ -126,9 +221,21 @@ init(int argc, char **argv)
         } else if (arg.rfind("--block-size=", 0) == 0) {
             report().blockRecords =
                 parseBlockSize(arg.substr(13));
+        } else if (arg == "--trace-out" && i + 1 < argc) {
+            report().tracePath = argv[++i];
+        } else if (arg.rfind("--trace-out=", 0) == 0) {
+            report().tracePath = arg.substr(12);
+        } else if (arg == "--stats-out" && i + 1 < argc) {
+            report().statsPath = argv[++i];
+        } else if (arg.rfind("--stats-out=", 0) == 0) {
+            report().statsPath = arg.substr(12);
         } else {
             usage(arg);
         }
+    }
+    if (!report().tracePath.empty()) {
+        trace::setEnabled(true);
+        trace::setThreadName("main");
     }
 }
 
@@ -158,6 +265,7 @@ suite()
         std::cout << "[suite] generating 6 IBS-like traces at scale "
                   << scale << " (set BPRED_TRACE_SCALE to change, "
                   << "BPRED_TRACE_CACHE to cache)\n";
+        TRACE_SCOPE("tracegen", "ibs-suite");
         return ibsSuite(defaultScale);
     }();
     return traces;
@@ -208,11 +316,32 @@ emitStats(const std::string &section, const std::string &name,
 int
 finish()
 {
+    int status = 0;
+    // Trace first: the export quiesce point is here, after every
+    // SweepRunner::run() has joined its pool.
+    if (!report().tracePath.empty()) {
+        trace::setEnabled(false);
+        if (trace::writeChromeTrace(report().tracePath)) {
+            inform("wrote trace (" +
+                   std::to_string(trace::eventCount()) +
+                   " events) to " + report().tracePath);
+        } else {
+            warn("--trace-out: write to '" + report().tracePath +
+                 "' failed");
+            status = 1;
+        }
+    }
+    if (!report().statsPath.empty() &&
+        !writeStatsOut(report().statsPath)) {
+        status = 1;
+    }
     if (!jsonEnabled()) {
-        return 0;
+        return status;
     }
     JsonValue document = JsonValue::object();
     document["bench"] = report().benchName;
+    document["build"] = buildMetadata();
+    document["memory"] = memoryMetadata();
     document["trace_scale"] = effectiveTraceScale(defaultScale);
     document["threads"] =
         u64(resolveThreadCount(report().requestedThreads));
@@ -234,7 +363,7 @@ finish()
         return 1;
     }
     inform("wrote JSON report to " + report().jsonPath);
-    return 0;
+    return status;
 }
 
 double

@@ -31,6 +31,7 @@
 #include "sim/factory.hh"
 #include "sim/gang.hh"
 #include "sim/parallel.hh"
+#include "support/perfcount.hh"
 #include "support/rng.hh"
 #include "trace/trace.hh"
 
@@ -125,13 +126,28 @@ runFused(const std::string &spec, const Trace &trace, int reps)
     return mrps(double(trace.size()) * reps, seconds);
 }
 
-/** replayBlock() batch kernel — one virtual call per block. */
-double
+/** runBlock() outcome: throughput plus hardware counters. */
+struct BlockPerf
+{
+    double mrps = 0.0;
+    PerfSample sample;
+};
+
+/**
+ * replayBlock() batch kernel — one virtual call per block. The
+ * hardware counter group brackets exactly the timed region, so the
+ * sample answers "what does the host CPU do under replayBlock":
+ * simulator IPC and cache/branch misses per simulated kilo-record.
+ */
+BlockPerf
 runBlock(const std::string &spec, const Trace &trace, int reps,
          std::size_t block_records)
 {
     auto predictor = makePredictor(spec);
     ReplayCounters counters;
+    PerfCounterGroup group;
+    BlockPerf perf;
+    group.start();
     const double seconds = secondsFor([&] {
         for (int rep = 0; rep < reps; ++rep) {
             const BranchRecord *records = trace.records().data();
@@ -143,7 +159,9 @@ runBlock(const std::string &spec, const Trace &trace, int reps,
             }
         }
     });
-    return mrps(double(trace.size()) * reps, seconds);
+    perf.sample = group.stop();
+    perf.mrps = mrps(double(trace.size()) * reps, seconds);
+    return perf;
 }
 
 /** A 4-member gang: records x members per trace pass. */
@@ -208,21 +226,51 @@ main(int argc, char **argv)
         "hybrid:13:10",    "gskewed:3:12:10", "egskew:12:10",
     };
 
+    // IPC / MPKrec come from a perf_event group bracketing the
+    // block kernel; unavailable counters (containers, non-Linux)
+    // print "-" and are omitted from the JSON stats.
     TextTable table({"scheme", "split Mrec/s", "fused Mrec/s",
-                     "block Mrec/s", "gang4 Mrec/s",
-                     "block/fused"});
+                     "block Mrec/s", "gang4 Mrec/s", "block/fused",
+                     "IPC", "c-miss/Krec", "b-miss/Krec"});
+    const double blockRecordsTotal = double(trace.size()) * reps;
     for (const std::string &spec : specs) {
         const double split = runSplit(spec, trace, reps);
         const double fused = runFused(spec, trace, reps);
-        const double blocked = runBlock(spec, trace, reps, block);
+        const BlockPerf blocked = runBlock(spec, trace, reps, block);
         const double ganged = runGang(spec, trace, reps, block);
         table.row()
             .cell(spec)
             .cell(split, 1)
             .cell(fused, 1)
-            .cell(blocked, 1)
+            .cell(blocked.mrps, 1)
             .cell(ganged, 1)
-            .cell(fused > 0 ? blocked / fused : 0.0, 2);
+            .cell(fused > 0 ? blocked.mrps / fused : 0.0, 2);
+        const PerfSample &sample = blocked.sample;
+        if (sample.valid) {
+            table.cell(sample.ipc(), 2)
+                .cell(PerfSample::perKilo(sample.cacheMisses,
+                                          blockRecordsTotal),
+                      2)
+                .cell(PerfSample::perKilo(sample.branchMisses,
+                                          blockRecordsTotal),
+                      2);
+        } else {
+            table.cell(std::string("-"))
+                .cell(std::string("-"))
+                .cell(std::string("-"));
+        }
+        if (jsonEnabled() && sample.valid) {
+            StatRegistry hw;
+            hw.counter("perf.cycles") = sample.cycles;
+            hw.counter("perf.instructions") = sample.instructions;
+            hw.counter("perf.cache_misses") = sample.cacheMisses;
+            hw.counter("perf.branch_misses") = sample.branchMisses;
+            hw.running("perf.ipc").sample(sample.ipc());
+            hw.running("perf.branch_mpkr")
+                .sample(PerfSample::perKilo(sample.branchMisses,
+                                            blockRecordsTotal));
+            emitStats("throughput", spec, hw);
+        }
     }
     emitTable("throughput", table);
 

@@ -18,13 +18,24 @@
  * the aliasing-and-history-pollution experiment of the paper's
  * multiprogramming sections.
  *
- * Usage: prediction_server [scale] [quantum] [spec]
- *   scale:   trace-length multiplier (default 0.1 = 200k branches)
- *   quantum: records served per scheduling slice (default 20000)
- *   spec:    shared predictor spec (default egskew:12:11)
+ * Observability: with a fourth argument the server writes a JSON
+ * metrics snapshot after every full scheduling round (and once at
+ * the end) — per tenant: request/record counts, live accuracy, and
+ * checkpoint save/restore latency p50/p99 from the Histogram in
+ * support/stats.hh, plus the tenant session's own feed-phase
+ * metrics (SimOptions::metrics). The file is rewritten in place, so
+ * `watch python3 -m json.tool <file>` is a live dashboard.
+ *
+ * Usage: prediction_server [scale] [quantum] [spec] [metrics_out]
+ *   scale:       trace-length multiplier (default 0.1 = 200k branches)
+ *   quantum:     records served per scheduling slice (default 20000)
+ *   spec:        shared predictor spec (default egskew:12:11)
+ *   metrics_out: periodic JSON metrics snapshot path (default off)
  */
 
+#include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -34,12 +45,16 @@
 #include "sim/driver.hh"
 #include "sim/factory.hh"
 #include "sim/session.hh"
+#include "support/json.hh"
 #include "support/parse.hh"
+#include "support/stat_registry.hh"
 #include "support/table.hh"
 #include "workloads/presets.hh"
 
 namespace
 {
+
+using ServerClock = std::chrono::steady_clock;
 
 struct Tenant
 {
@@ -49,6 +64,9 @@ struct Tenant
     /** Serialized predictor state while the tenant is suspended. */
     std::string checkpoint;
 
+    /** Per-tenant server + session metrics (SimOptions::metrics). */
+    bpred::StatRegistry metrics;
+
     /** Next record to serve. */
     std::size_t at = 0;
 
@@ -57,6 +75,81 @@ struct Tenant
 
     bool done() const { return at >= trace.size(); }
 };
+
+/** Checkpoint latency in whole microseconds for the histograms. */
+bpred::u64
+elapsedUs(ServerClock::time_point start)
+{
+    return static_cast<bpred::u64>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            ServerClock::now() - start)
+            .count());
+}
+
+/** p50/p99/count summary of a latency histogram (µs keys). */
+bpred::JsonValue
+latencySummary(const bpred::Histogram &latency)
+{
+    bpred::JsonValue node = bpred::JsonValue::object();
+    node["count"] = latency.total();
+    node["p50_us"] =
+        latency.total() > 0 ? latency.percentile(0.5) : bpred::u64(0);
+    node["p99_us"] =
+        latency.total() > 0 ? latency.percentile(0.99) : bpred::u64(0);
+    return node;
+}
+
+/**
+ * Write one metrics snapshot covering every tenant. Writes to a
+ * temp-free single file (truncate + rewrite): each snapshot is a
+ * complete JSON document, so external tooling never sees a partial
+ * tail longer than one write.
+ */
+void
+writeMetricsSnapshot(const std::string &path, unsigned snapshotId,
+                     unsigned switches, double elapsed_seconds,
+                     std::vector<Tenant> &tenants)
+{
+    using bpred::JsonValue;
+    JsonValue document = JsonValue::object();
+    document["snapshot"] = bpred::u64(snapshotId);
+    document["elapsed_seconds"] = elapsed_seconds;
+    document["context_switches"] = bpred::u64(switches);
+    JsonValue &byTenant = document["tenants"];
+    byTenant = JsonValue::object();
+    for (Tenant &tenant : tenants) {
+        JsonValue node = JsonValue::object();
+        node["slices"] = bpred::u64(tenant.slices);
+        node["records_served"] = bpred::u64(tenant.at);
+        node["records_total"] = bpred::u64(tenant.trace.size());
+        const bpred::u64 scored =
+            tenant.session->scoredConditionals();
+        const bpred::u64 wrong = tenant.session->mispredictsSoFar();
+        node["conditionals"] = scored;
+        node["mispredicts"] = wrong;
+        node["accuracy"] = scored > 0
+            ? 1.0 - double(wrong) / double(scored)
+            : 0.0;
+        node["checkpoint_bytes"] =
+            bpred::u64(tenant.checkpoint.size());
+        node["save_latency"] = latencySummary(
+            tenant.metrics.histogram("checkpoint.save_us"));
+        node["restore_latency"] = latencySummary(
+            tenant.metrics.histogram("checkpoint.restore_us"));
+        // Session feed metrics and the raw latency histograms land
+        // in the same per-tenant registry (SimOptions::metrics).
+        node["metrics"] = tenant.metrics.toJson();
+        byTenant[tenant.trace.name()] = std::move(node);
+    }
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+        std::cerr << "warning: cannot write metrics snapshot to '"
+                  << path << "'\n";
+        return;
+    }
+    document.write(out, 2);
+    out << "\n";
+}
 
 } // namespace
 
@@ -72,10 +165,11 @@ main(int argc, char **argv)
         ? static_cast<std::size_t>(parseU64(argv[2], "quantum"))
         : 20000;
     const std::string spec = argc > 3 ? argv[3] : "egskew:12:11";
+    const std::string metricsPath = argc > 4 ? argv[4] : "";
 
     if (scale <= 0.0 || quantum == 0) {
         std::cerr << "usage: prediction_server [scale] [quantum] "
-                     "[spec]\n";
+                     "[spec] [metrics_out]\n";
         return 2;
     }
 
@@ -100,15 +194,24 @@ main(int argc, char **argv)
             tenants.push_back(std::move(tenant));
         }
         // Sessions bind to the shared predictor after the tenants
-        // vector stops reallocating.
+        // vector stops reallocating. Each session reports its
+        // feed-phase metrics into its tenant's registry, next to
+        // the server's own checkpoint latency histograms.
         for (Tenant &tenant : tenants) {
+            SimOptions options;
+            options.metrics = &tenant.metrics;
             tenant.session = std::make_unique<SimSession>(
-                *predictor, SimOptions(), tenant.trace.name());
+                *predictor, options, tenant.trace.name());
         }
 
         // Round-robin scheduler: restore, serve one quantum,
-        // checkpoint, move on.
+        // checkpoint, move on. After every full round the metrics
+        // snapshot (when requested) is rewritten, so an observer
+        // sees request counts, accuracy and checkpoint latency
+        // percentiles converge live.
+        const ServerClock::time_point started = ServerClock::now();
         unsigned switches = 0;
+        unsigned snapshotId = 0;
         for (bool any_ran = true; any_ran;) {
             any_ran = false;
             for (Tenant &tenant : tenants) {
@@ -119,11 +222,17 @@ main(int argc, char **argv)
                     // First slice: a tenant starts cold.
                     predictor->reset();
                 } else {
+                    const ServerClock::time_point t0 =
+                        ServerClock::now();
                     std::istringstream in(tenant.checkpoint);
                     loadPredictorState(*predictor, in);
+                    tenant.metrics
+                        .histogram("checkpoint.restore_us")
+                        .sample(elapsedUs(t0));
                 }
                 ++tenant.slices;
                 ++switches;
+                ++tenant.metrics.counter("server.requests");
 
                 const std::size_t n = std::min(
                     quantum, tenant.trace.size() - tenant.at);
@@ -131,10 +240,22 @@ main(int argc, char **argv)
                     tenant.trace.records().data() + tenant.at, n);
                 tenant.at += n;
 
+                const ServerClock::time_point t0 =
+                    ServerClock::now();
                 std::ostringstream out;
                 savePredictorState(*predictor, out);
                 tenant.checkpoint = out.str();
+                tenant.metrics.histogram("checkpoint.save_us")
+                    .sample(elapsedUs(t0));
                 any_ran = true;
+            }
+            if (!metricsPath.empty() && any_ran) {
+                writeMetricsSnapshot(
+                    metricsPath, snapshotId++, switches,
+                    std::chrono::duration<double>(
+                        ServerClock::now() - started)
+                        .count(),
+                    tenants);
             }
         }
 

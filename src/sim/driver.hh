@@ -16,6 +16,7 @@ namespace bpred
 {
 
 class ProbeSink;
+class StatRegistry;
 
 /** One fixed-size window of the misprediction time series. */
 struct WindowSample
@@ -93,6 +94,17 @@ struct SimOptions
      * the legacy fused path explicitly.
      */
     bool scalarReplay = false;
+
+    /**
+     * Session metrics sink: when set, the SimSession records its
+     * feed-phase accounting (feed calls, records consumed,
+     * per-feed seconds) under "session.*" in this registry. The
+     * registry is caller-owned and NOT thread-safe — never share
+     * one across concurrent sessions (give each sweep cell or
+     * served tenant its own). Null (the default) records nothing
+     * and costs one branch per feed() call.
+     */
+    StatRegistry *metrics = nullptr;
 };
 
 /** Outcome of simulating one predictor over one trace. */

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "support/logging.hh"
+#include "support/tracing.hh"
 
 namespace bpred
 {
@@ -40,17 +41,22 @@ GangSession::feed(const BranchRecord *records, std::size_t count)
     fedAny = true;
     for (std::size_t at = 0; at < count; at += blockRecords_) {
         const std::size_t n = std::min(blockRecords_, count - at);
+        TRACE_SCOPE("gang", "block", at / blockRecords_,
+                    members.size());
         // Every member replays this block while it is cache-hot;
         // only then does the gang advance to the next block.
-        for (Member &member : members) {
+        for (std::size_t slot = 0; slot < members.size(); ++slot) {
+            Member &member = members[slot];
             if (member.error) {
                 continue;
             }
             try {
+                TRACE_SCOPE("gang", "member-replay", slot, n);
                 member.session->feed(records + at, n);
             } catch (...) {
                 // Park the failure and keep the rest of the gang
                 // running — one bad cell never wedges a sweep.
+                TRACE_INSTANT("gang", "member-error");
                 member.error = std::current_exception();
             }
         }
@@ -63,6 +69,7 @@ GangSession::finish()
     if (finished_) {
         fatal("GangSession: finish called twice");
     }
+    TRACE_SCOPE("gang", "finish", 0, members.size());
     finished_ = true;
     std::vector<SimResult> results(members.size());
     for (std::size_t i = 0; i < members.size(); ++i) {

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <exception>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <unordered_map>
@@ -12,6 +14,7 @@
 #include "sim/factory.hh"
 #include "sim/gang.hh"
 #include "support/logging.hh"
+#include "support/tracing.hh"
 
 namespace bpred
 {
@@ -43,6 +46,43 @@ resolveGangWidth(std::size_t total_jobs, unsigned threads)
     return std::max<std::size_t>(1, total_jobs / workers);
 }
 
+u64
+steadyNowNs()
+{
+    return static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/**
+ * Rebuild a parked cell exception with the failing cell's identity
+ * (index, label, trace) and the worker that ran it prepended to the
+ * message. FatalError stays a FatalError and anything else derived
+ * from std::exception surfaces as std::runtime_error (FatalError
+ * IS-A runtime_error, so catch sites keyed on either type keep
+ * working); foreign exceptions pass through untouched.
+ */
+std::exception_ptr
+annotateCellError(std::exception_ptr error, std::size_t cell,
+                  const std::string &label, const std::string &trace)
+{
+    std::string where = "sweep cell #" + std::to_string(cell) + " [" +
+        (label.empty() ? "factory" : label) + " @ " + trace +
+        "] on worker " +
+        std::to_string(detail::currentWorkerIndex()) + ": ";
+    try {
+        std::rethrow_exception(error);
+    } catch (const FatalError &e) {
+        return std::make_exception_ptr(FatalError(where + e.what()));
+    } catch (const std::exception &e) {
+        return std::make_exception_ptr(
+            std::runtime_error(where + e.what()));
+    } catch (...) {
+        return error;
+    }
+}
+
 } // namespace
 
 unsigned
@@ -70,22 +110,58 @@ resolveThreadCount(unsigned requested)
 namespace detail
 {
 
+namespace
+{
+
+thread_local unsigned tlsWorkerIndex = 0;
+
+} // namespace
+
+unsigned
+currentWorkerIndex()
+{
+    return tlsWorkerIndex;
+}
+
 void
 parallelForIndexed(std::size_t count,
                    const std::function<void(std::size_t)> &body,
-                   unsigned threads)
+                   unsigned threads, PoolStats *stats)
 {
+    if (stats) {
+        *stats = PoolStats();
+    }
     if (count == 0) {
         return;
     }
     const std::size_t workers =
         std::min<std::size_t>(threads == 0 ? 1 : threads, count);
+    const u64 poolStart = stats ? steadyNowNs() : 0;
     if (workers <= 1) {
         // Degenerate pool: run inline, in order, on this thread.
+        if (stats) {
+            stats->workers = 1;
+            stats->busyNs.assign(1, 0);
+            stats->claimed.assign(1, 0);
+        }
         for (std::size_t index = 0; index < count; ++index) {
+            const u64 jobStart = stats ? steadyNowNs() : 0;
             body(index);
+            if (stats) {
+                stats->busyNs[0] += steadyNowNs() - jobStart;
+                ++stats->claimed[0];
+            }
+        }
+        if (stats) {
+            stats->wallNs = steadyNowNs() - poolStart;
         }
         return;
+    }
+
+    if (stats) {
+        stats->workers = static_cast<unsigned>(workers);
+        stats->busyNs.assign(workers, 0);
+        stats->claimed.assign(workers, 0);
     }
 
     // Self-scheduling work distribution: workers claim the next
@@ -93,13 +169,21 @@ parallelForIndexed(std::size_t count,
     // cost never strands work behind a slow static partition.
     std::atomic<std::size_t> cursor{0};
     std::vector<std::exception_ptr> errors(count);
-    auto worker = [&] {
+    auto worker = [&](std::size_t slot) {
+        tlsWorkerIndex = static_cast<unsigned>(slot);
+        if (trace::enabled()) {
+            trace::setThreadName("sweep-worker-" +
+                                 std::to_string(slot));
+        }
+        u64 busy = 0;
+        u64 claimed = 0;
         while (true) {
             const std::size_t index =
                 cursor.fetch_add(1, std::memory_order_relaxed);
             if (index >= count) {
-                return;
+                break;
             }
+            const u64 jobStart = stats ? steadyNowNs() : 0;
             try {
                 body(index);
             } catch (...) {
@@ -108,16 +192,28 @@ parallelForIndexed(std::size_t count,
                 // pool or starve the remaining jobs.
                 errors[index] = std::current_exception();
             }
+            if (stats) {
+                busy += steadyNowNs() - jobStart;
+                ++claimed;
+            }
         }
+        if (stats) {
+            stats->busyNs[slot] = busy;
+            stats->claimed[slot] = claimed;
+        }
+        tlsWorkerIndex = 0;
     };
 
     std::vector<std::thread> pool;
     pool.reserve(workers);
     for (std::size_t i = 0; i < workers; ++i) {
-        pool.emplace_back(worker);
+        pool.emplace_back(worker, i);
     }
     for (std::thread &thread : pool) {
         thread.join();
+    }
+    if (stats) {
+        stats->wallNs = steadyNowNs() - poolStart;
     }
     for (const std::exception_ptr &error : errors) {
         if (error) {
@@ -137,12 +233,13 @@ SweepRunner::SweepRunner(unsigned threads, std::size_t block_records)
 
 std::size_t
 SweepRunner::enqueue(PredictorFactory factory, const Trace &trace,
-                     SimOptions options)
+                     SimOptions options, std::string label)
 {
     if (!factory) {
         fatal("SweepRunner: empty predictor factory");
     }
-    jobs.push_back({std::move(factory), &trace, options});
+    jobs.push_back(
+        {std::move(factory), &trace, options, std::move(label)});
     return jobs.size() - 1;
 }
 
@@ -151,7 +248,7 @@ SweepRunner::enqueue(const std::string &spec, const Trace &trace,
                      SimOptions options)
 {
     return enqueue([spec] { return makePredictor(spec); }, trace,
-                   options);
+                   options, spec);
 }
 
 std::vector<SimResult>
@@ -159,6 +256,7 @@ SweepRunner::run()
 {
     std::vector<Job> batch;
     batch.swap(jobs);
+    TRACE_SCOPE("sweep", "run", 0, batch.size());
     std::vector<SimResult> results(batch.size());
     std::vector<std::exception_ptr> errors(batch.size());
 
@@ -181,12 +279,15 @@ SweepRunner::run()
         }
     }
 
+    detail::PoolStats pool;
     detail::parallelForIndexed(
         gangs.size(),
         [&](std::size_t gang) {
             runGang(batch, gangs[gang], results, errors);
         },
-        threadCount);
+        threadCount, &pool);
+
+    recordRunMetrics(batch, gangs, errors, pool);
 
     // runGang parks every failure under its job's index, so the
     // lowest-index exception wins regardless of gang shape —
@@ -200,11 +301,63 @@ SweepRunner::run()
 }
 
 void
+SweepRunner::recordRunMetrics(
+    const std::vector<Job> &batch,
+    const std::vector<std::vector<std::size_t>> &gangs,
+    const std::vector<std::exception_ptr> &errors,
+    const detail::PoolStats &pool)
+{
+    u64 failed = 0;
+    for (const std::exception_ptr &error : errors) {
+        failed += error ? 1 : 0;
+    }
+
+    // Fold this run's deltas into the runner-local registry and
+    // mirror them into the process-wide engineStats() registry;
+    // StatRegistry is not thread-safe, so the global copy happens
+    // under its companion mutex (run() itself executes on the one
+    // coordinating thread — the pool has already joined).
+    auto record = [&](StatRegistry &stats) {
+        ++stats.counter("sweep.runs");
+        stats.counter("sweep.cells") += batch.size();
+        stats.counter("sweep.gangs") += gangs.size();
+        stats.counter("sweep.errors") += failed;
+        Histogram &occupancy = stats.histogram("sweep.gang_occupancy");
+        for (const std::vector<std::size_t> &gang : gangs) {
+            occupancy.sample(gang.size());
+        }
+        stats.running("sweep.wall_seconds")
+            .sample(double(pool.wallNs) / 1e9);
+        RunningStat &busy = stats.running("sweep.worker_busy_seconds");
+        RunningStat &idle = stats.running("sweep.worker_idle_seconds");
+        RunningStat &share = stats.running("sweep.worker_busy_fraction");
+        RunningStat &claims = stats.running("sweep.gangs_claimed");
+        for (unsigned slot = 0; slot < pool.workers; ++slot) {
+            const u64 busyNs = pool.busyNs[slot];
+            const u64 idleNs =
+                pool.wallNs > busyNs ? pool.wallNs - busyNs : 0;
+            busy.sample(double(busyNs) / 1e9);
+            idle.sample(double(idleNs) / 1e9);
+            if (pool.wallNs > 0) {
+                share.sample(double(busyNs) / double(pool.wallNs));
+            }
+            claims.sample(double(pool.claimed[slot]));
+        }
+    };
+    record(metrics_);
+    {
+        std::lock_guard<std::mutex> hold(engineStatsMutex());
+        record(engineStats());
+    }
+}
+
+void
 SweepRunner::runGang(const std::vector<Job> &batch,
                      const std::vector<std::size_t> &members,
                      std::vector<SimResult> &results,
                      std::vector<std::exception_ptr> &errors) const
 {
+    TRACE_SCOPE("sweep", "gang", members.front(), members.size());
     if (members.size() == 1) {
         // Singleton gangs (width 1, or a trace with one cell) keep
         // the plain per-cell path.
@@ -219,7 +372,10 @@ SweepRunner::runGang(const std::vector<Job> &batch,
             results[index] = simulateWithOptions(
                 *predictor, *job.trace, job.options);
         } catch (...) {
-            errors[index] = std::current_exception();
+            TRACE_INSTANT("sweep", "cell-error");
+            errors[index] = annotateCellError(
+                std::current_exception(), index, job.label,
+                job.trace->name());
         }
         return;
     }
@@ -244,7 +400,10 @@ SweepRunner::runGang(const std::vector<Job> &batch,
             predictors.push_back(std::move(predictor));
             enrolled.push_back(index);
         } catch (...) {
-            errors[index] = std::current_exception();
+            TRACE_INSTANT("sweep", "cell-error");
+            errors[index] = annotateCellError(
+                std::current_exception(), index, job.label,
+                job.trace->name());
         }
     }
     if (enrolled.empty()) {
@@ -256,7 +415,10 @@ SweepRunner::runGang(const std::vector<Job> &batch,
     for (std::size_t slot = 0; slot < enrolled.size(); ++slot) {
         const std::size_t index = enrolled[slot];
         if (std::exception_ptr error = gang.memberError(slot)) {
-            errors[index] = error;
+            TRACE_INSTANT("sweep", "cell-error");
+            errors[index] = annotateCellError(
+                error, index, batch[index].label,
+                batch[index].trace->name());
         } else {
             results[index] = std::move(gangResults[slot]);
         }

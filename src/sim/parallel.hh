@@ -47,6 +47,7 @@
 #include <vector>
 
 #include "sim/driver.hh"
+#include "support/stat_registry.hh"
 #include "trace/trace.hh"
 
 namespace bpred
@@ -63,16 +64,50 @@ namespace detail
 {
 
 /**
+ * Per-worker accounting for one parallelForIndexed() execution,
+ * filled when a PoolStats out-param is passed: wall-clock of the
+ * whole pool, plus busy nanoseconds and indices claimed per worker
+ * slot (idle = wall - busy). The overhead is two steady_clock
+ * reads per claimed index — absorbed by any real job.
+ */
+struct PoolStats
+{
+    /** Worker slots the pool actually ran (1 for the inline path). */
+    unsigned workers = 0;
+
+    /** Wall-clock nanoseconds from first spawn to last join. */
+    u64 wallNs = 0;
+
+    /** Nanoseconds each worker spent executing job bodies. */
+    std::vector<u64> busyNs;
+
+    /** Indices each worker claimed from the shared cursor. */
+    std::vector<u64> claimed;
+};
+
+/**
  * Invoke @p body(index) for every index in [0, count) on a pool of
  * @p threads workers (capped at @p count; <= 1 runs inline on the
  * calling thread). Blocks until all indices have been processed.
  * When jobs throw, every remaining index is still executed and the
  * lowest-index exception is rethrown after the pool has joined —
  * one bad cell never wedges or poisons the pool.
+ *
+ * When @p stats is non-null it is overwritten with this
+ * execution's per-worker accounting. Worker threads label their
+ * trace lanes "sweep-worker-N" when tracing is recording.
  */
 void parallelForIndexed(std::size_t count,
                         const std::function<void(std::size_t)> &body,
-                        unsigned threads);
+                        unsigned threads,
+                        PoolStats *stats = nullptr);
+
+/**
+ * The pool slot of the calling thread while inside a
+ * parallelForIndexed() worker (0 on the inline path and outside
+ * any pool). Used to attribute failures and trace lanes.
+ */
+unsigned currentWorkerIndex();
 
 } // namespace detail
 
@@ -126,12 +161,17 @@ class SweepRunner
      * Queue one simulation of a factory-built predictor over
      * @p trace. The trace must stay alive and unmodified until
      * run() returns. Returns the job's index into run()'s result
-     * vector.
+     * vector. @p label names the cell in failure messages (a spec
+     * string, a figure coordinate); empty falls back to "factory".
      */
     std::size_t enqueue(PredictorFactory factory, const Trace &trace,
-                        SimOptions options = {});
+                        SimOptions options = {},
+                        std::string label = "");
 
-    /** As above with a factory spec string (sim/factory.hh). */
+    /**
+     * As above with a factory spec string (sim/factory.hh); the
+     * spec doubles as the cell label.
+     */
     std::size_t enqueue(const std::string &spec, const Trace &trace,
                         SimOptions options = {});
 
@@ -151,9 +191,21 @@ class SweepRunner
      * gang width — same-trace jobs are ganged, but GangSession is
      * bit-identical to independent sessions). The queue is cleared
      * even on failure; if jobs threw, the lowest-index exception is
-     * rethrown after all workers joined.
+     * rethrown after all workers joined — annotated with the cell
+     * index, its label, its trace, and the worker thread that ran
+     * it, so a failed sweep cell is attributable from the log
+     * alone.
      */
     std::vector<SimResult> run();
+
+    /**
+     * Accumulated engine metrics across every run() on this
+     * runner: cells/gangs executed, gang occupancy histogram, and
+     * per-worker busy/idle/claimed accounting ("sweep.*"). The
+     * same deltas are merged into the process-wide engineStats()
+     * registry, which `--stats-out` exports.
+     */
+    const StatRegistry &metrics() const { return metrics_; }
 
   private:
     struct Job
@@ -161,6 +213,7 @@ class SweepRunner
         PredictorFactory factory;
         const Trace *trace;
         SimOptions options;
+        std::string label;
     };
 
     /** Run one gang of same-trace jobs on the calling worker. */
@@ -169,9 +222,16 @@ class SweepRunner
                  std::vector<SimResult> &results,
                  std::vector<std::exception_ptr> &errors) const;
 
+    /** Fold one run()'s accounting into metrics_ and engineStats(). */
+    void recordRunMetrics(const std::vector<Job> &batch,
+                          const std::vector<std::vector<std::size_t>> &gangs,
+                          const std::vector<std::exception_ptr> &errors,
+                          const detail::PoolStats &pool);
+
     std::vector<Job> jobs;
     unsigned threadCount;
     std::size_t blockRecords_;
+    StatRegistry metrics_;
 };
 
 } // namespace bpred

@@ -1,10 +1,13 @@
 #include "sim/session.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <vector>
 
 #include "support/logging.hh"
 #include "support/probe.hh"
+#include "support/stat_registry.hh"
+#include "support/tracing.hh"
 
 namespace bpred
 {
@@ -45,6 +48,9 @@ SimSession::feed(const BranchRecord *records, std::size_t count)
     if (finished_) {
         fatal("SimSession: feed after finish");
     }
+    TRACE_SCOPE("session", "feed", seen, count);
+    const u64 feedStart =
+        options.metrics ? trace::nowNs() : 0;
     // Top-site attribution needs the PC of every misprediction, so
     // it keeps the per-branch loop (as does an explicit
     // scalarReplay request). Everything else — including probed
@@ -54,6 +60,13 @@ SimSession::feed(const BranchRecord *records, std::size_t count)
         feedScalar(records, count);
     } else {
         feedBlocks(records, count);
+    }
+    if (options.metrics) {
+        StatRegistry &metrics = *options.metrics;
+        ++metrics.counter("session.feeds");
+        metrics.counter("session.records") += count;
+        metrics.running("session.feed_seconds")
+            .sample(double(trace::nowNs() - feedStart) / 1e9);
     }
 }
 
@@ -104,11 +117,15 @@ SimSession::feedBlocks(const BranchRecord *records, std::size_t count)
         if (flush_interval) {
             sinceFlush += tally.conditionals;
             if (sinceFlush == flush_interval) {
+                TRACE_INSTANT("session", "flush");
                 predictor.reset();
                 sinceFlush = 0;
             }
         }
         if (in_warmup) {
+            if (seen >= warmup) {
+                TRACE_INSTANT("session", "warmup-complete");
+            }
             continue; // warmup segments train without scoring
         }
         result.conditionals += tally.conditionals;
@@ -153,10 +170,14 @@ SimSession::feedScalar(const BranchRecord *records, std::size_t count)
             pred.predictAndUpdate(record.pc, record.taken).prediction;
         ++seen_local;
         if (flush_interval && ++since_flush == flush_interval) {
+            TRACE_INSTANT("session", "flush");
             pred.reset();
             since_flush = 0;
         }
         if (seen_local <= warmup) {
+            if (seen_local == warmup) {
+                TRACE_INSTANT("session", "warmup-complete");
+            }
             continue;
         }
         ++conditionals;
@@ -191,7 +212,12 @@ SimSession::finish()
     if (finished_) {
         fatal("SimSession: finish called twice");
     }
+    TRACE_SCOPE("session", "finish");
     finished_ = true;
+
+    if (options.metrics) {
+        options.metrics->counter("session.conditionals") = seen;
+    }
 
     if (options.windowSize > 0 && window.branches > 0) {
         result.windows.push_back(window);
@@ -218,8 +244,16 @@ simulateSource(Predictor &predictor, TraceSource &source,
     }
     SimSession session(predictor, options, source.name());
     std::vector<BranchRecord> chunk(chunk_records);
-    while (const std::size_t n = source.pull(chunk.data(),
-                                             chunk.size())) {
+    while (true) {
+        std::size_t n = 0;
+        {
+            TRACE_SCOPE("session", "refill", session.conditionalsSeen(),
+                        chunk_records);
+            n = source.pull(chunk.data(), chunk.size());
+        }
+        if (n == 0) {
+            break;
+        }
         session.feed(chunk.data(), n);
     }
     return session.finish();

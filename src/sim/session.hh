@@ -94,6 +94,12 @@ class SimSession
     /** Conditional branches consumed so far (including warmup). */
     u64 conditionalsSeen() const { return seen; }
 
+    /** Scored conditionals so far (excludes warmup). */
+    u64 scoredConditionals() const { return result.conditionals; }
+
+    /** Mispredictions among the scored conditionals so far. */
+    u64 mispredictsSoFar() const { return result.mispredicts; }
+
     /** Late-bind the reported trace name (before finish()). */
     void setTraceName(std::string trace_name);
 

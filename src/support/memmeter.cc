@@ -1,0 +1,83 @@
+#include "support/memmeter.hh"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace bpred
+{
+
+std::atomic<u64> AllocGauge::current_{0};
+std::atomic<u64> AllocGauge::peak_{0};
+
+void
+AllocGauge::add(std::size_t bytes)
+{
+    const u64 now = current_.fetch_add(bytes,
+                                       std::memory_order_relaxed) +
+        bytes;
+    u64 seen = peak_.load(std::memory_order_relaxed);
+    while (now > seen &&
+           !peak_.compare_exchange_weak(seen, now,
+                                        std::memory_order_relaxed)) {
+        // seen reloaded by compare_exchange_weak; retry until the
+        // stored peak is at least `now`.
+    }
+}
+
+void
+AllocGauge::sub(std::size_t bytes)
+{
+    current_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+u64
+AllocGauge::current()
+{
+    return current_.load(std::memory_order_relaxed);
+}
+
+u64
+AllocGauge::peak()
+{
+    return peak_.load(std::memory_order_relaxed);
+}
+
+void
+AllocGauge::resetPeak()
+{
+    peak_.store(current(), std::memory_order_relaxed);
+}
+
+MemUsage
+processMemUsage()
+{
+    MemUsage usage;
+    std::ifstream status("/proc/self/status");
+    if (!status) {
+        return usage; // not Linux (or procfs unmounted): degrade
+    }
+    std::string line;
+    while (std::getline(status, line)) {
+        const bool rss = line.rfind("VmRSS:", 0) == 0;
+        const bool hwm = line.rfind("VmHWM:", 0) == 0;
+        if (!rss && !hwm) {
+            continue;
+        }
+        std::istringstream fields(line.substr(6));
+        u64 kb = 0;
+        fields >> kb;
+        if (!fields) {
+            continue;
+        }
+        if (rss) {
+            usage.rssBytes = kb * 1024;
+        } else {
+            usage.rssPeakBytes = kb * 1024;
+        }
+        usage.valid = true;
+    }
+    return usage;
+}
+
+} // namespace bpred

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Process memory gauges for the observability layer.
+ *
+ * Two complementary views:
+ *
+ *  - processMemUsage(): the kernel's resident-set numbers (VmRSS /
+ *    VmHWM from /proc/self/status). Cheap enough to read at report
+ *    time; the high-water mark is what BENCH_*.json artifacts
+ *    record so a perf trajectory also tracks footprint.
+ *
+ *  - AllocGauge + GaugedAllocator: an explicit counting-allocator
+ *    hook. Containers that opt in (the tracing layer's per-thread
+ *    event buffers do) report their live bytes into one process-
+ *    wide atomic gauge with a high-water mark, giving tests a way
+ *    to assert "this path allocated nothing" without interposing
+ *    on global operator new (which would tax every allocation in
+ *    every binary linking the library).
+ */
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+#include "support/types.hh"
+
+namespace bpred
+{
+
+/** Kernel-reported process memory numbers. */
+struct MemUsage
+{
+    /** Current resident set size in bytes. */
+    u64 rssBytes = 0;
+
+    /** Peak resident set size (VmHWM) in bytes. */
+    u64 rssPeakBytes = 0;
+
+    /** False when the platform offers no /proc/self/status. */
+    bool valid = false;
+};
+
+/**
+ * Read VmRSS / VmHWM for this process. On platforms without
+ * /proc/self/status the result has valid == false and zero sizes —
+ * callers degrade to omitting the numbers, never to failing.
+ */
+MemUsage processMemUsage();
+
+/**
+ * Process-wide counter of bytes held by opted-in containers.
+ * All operations are lock-free atomics; the peak is maintained
+ * with a CAS loop on allocation only.
+ */
+class AllocGauge
+{
+  public:
+    /** Record @p bytes allocated. */
+    static void add(std::size_t bytes);
+
+    /** Record @p bytes released. */
+    static void sub(std::size_t bytes);
+
+    /** Bytes currently held. */
+    static u64 current();
+
+    /** High-water mark of current() since start (or resetPeak). */
+    static u64 peak();
+
+    /** Reset the high-water mark to the current level. */
+    static void resetPeak();
+
+  private:
+    static std::atomic<u64> current_;
+    static std::atomic<u64> peak_;
+};
+
+/**
+ * A std-compatible allocator that reports every allocation and
+ * deallocation into AllocGauge. Drop-in for containers whose
+ * footprint should be visible in --stats-out reports and
+ * assertable in tests.
+ */
+template <typename T>
+struct GaugedAllocator
+{
+    using value_type = T;
+
+    GaugedAllocator() = default;
+
+    template <typename U>
+    GaugedAllocator(const GaugedAllocator<U> &)
+    {}
+
+    T *
+    allocate(std::size_t n)
+    {
+        AllocGauge::add(n * sizeof(T));
+        return static_cast<T *>(
+            ::operator new(n * sizeof(T)));
+    }
+
+    void
+    deallocate(T *p, std::size_t n)
+    {
+        AllocGauge::sub(n * sizeof(T));
+        ::operator delete(p);
+    }
+
+    template <typename U>
+    bool
+    operator==(const GaugedAllocator<U> &) const
+    {
+        return true;
+    }
+};
+
+} // namespace bpred

@@ -1,0 +1,176 @@
+#include "support/perfcount.hh"
+
+#if defined(__linux__) && __has_include(<linux/perf_event.h>)
+#define BPRED_HAVE_PERF_EVENT 1
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
+
+namespace bpred
+{
+
+#ifdef BPRED_HAVE_PERF_EVENT
+
+namespace
+{
+
+/** The hardware event measured in each slot, in slot order. */
+constexpr u32 slotConfig[] = {
+    PERF_COUNT_HW_CPU_CYCLES,
+    PERF_COUNT_HW_INSTRUCTIONS,
+    PERF_COUNT_HW_CACHE_MISSES,
+    PERF_COUNT_HW_BRANCH_MISSES,
+};
+
+int
+openCounter(u32 config, int group_fd)
+{
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.type = PERF_TYPE_HARDWARE;
+    attr.size = sizeof(attr);
+    attr.config = config;
+    // The group leader starts disabled and is enabled explicitly
+    // in start(); siblings follow the leader.
+    attr.disabled = group_fd == -1 ? 1 : 0;
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    attr.read_format = PERF_FORMAT_GROUP |
+        PERF_FORMAT_TOTAL_TIME_ENABLED |
+        PERF_FORMAT_TOTAL_TIME_RUNNING;
+    return static_cast<int>(syscall(SYS_perf_event_open, &attr, 0,
+                                    -1, group_fd, 0));
+}
+
+} // namespace
+
+PerfCounterGroup::PerfCounterGroup()
+{
+    // The leader (cycles) and instructions are required; the two
+    // miss counters are opened best-effort (VMs often lack them).
+    fds[0] = openCounter(slotConfig[0], -1);
+    if (fds[0] == -1) {
+        return;
+    }
+    fds[1] = openCounter(slotConfig[1], fds[0]);
+    if (fds[1] == -1) {
+        closeAll();
+        return;
+    }
+    for (std::size_t slot = 2; slot < numSlots; ++slot) {
+        fds[slot] = openCounter(slotConfig[slot], fds[0]);
+    }
+    available_ = true;
+}
+
+PerfCounterGroup::~PerfCounterGroup()
+{
+    closeAll();
+}
+
+void
+PerfCounterGroup::closeAll()
+{
+    for (std::size_t slot = 0; slot < numSlots; ++slot) {
+        if (fds[slot] != -1) {
+            close(fds[slot]);
+            fds[slot] = -1;
+        }
+    }
+    available_ = false;
+}
+
+void
+PerfCounterGroup::start()
+{
+    if (!available_) {
+        return;
+    }
+    ioctl(fds[0], PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+    ioctl(fds[0], PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+}
+
+PerfSample
+PerfCounterGroup::stop()
+{
+    PerfSample sample;
+    if (!available_) {
+        return sample;
+    }
+    ioctl(fds[0], PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+
+    // PERF_FORMAT_GROUP read layout: nr, time_enabled,
+    // time_running, then one value per *opened* group member in
+    // creation order.
+    struct
+    {
+        u64 nr;
+        u64 timeEnabled;
+        u64 timeRunning;
+        u64 values[numSlots];
+    } data;
+    const ssize_t bytes = read(fds[0], &data, sizeof(data));
+    if (bytes < static_cast<ssize_t>(3 * sizeof(u64)) ||
+        data.nr == 0) {
+        return sample;
+    }
+
+    // Scale for multiplexing the way perf(1) does. With at most
+    // four hardware counters the group normally runs unscaled.
+    const double scale =
+        (data.timeRunning > 0 && data.timeEnabled > data.timeRunning)
+        ? double(data.timeEnabled) / double(data.timeRunning)
+        : 1.0;
+    auto scaled = [&](u64 raw) {
+        return static_cast<u64>(double(raw) * scale);
+    };
+
+    // Map read values back to slots: members appear in creation
+    // order, skipping slots whose open failed.
+    u64 slotValues[numSlots] = {0, 0, 0, 0};
+    std::size_t member = 0;
+    for (std::size_t slot = 0;
+         slot < numSlots && member < data.nr; ++slot) {
+        if (fds[slot] != -1) {
+            slotValues[slot] = scaled(data.values[member++]);
+        }
+    }
+
+    sample.cycles = slotValues[0];
+    sample.instructions = slotValues[1];
+    sample.cacheMisses = slotValues[2];
+    sample.branchMisses = slotValues[3];
+    sample.valid = true;
+    return sample;
+}
+
+#else // !BPRED_HAVE_PERF_EVENT
+
+PerfCounterGroup::PerfCounterGroup() {}
+
+PerfCounterGroup::~PerfCounterGroup() {}
+
+void
+PerfCounterGroup::closeAll()
+{
+}
+
+void
+PerfCounterGroup::start()
+{
+}
+
+PerfSample
+PerfCounterGroup::stop()
+{
+    return PerfSample();
+}
+
+#endif // BPRED_HAVE_PERF_EVENT
+
+} // namespace bpred

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Hardware performance counters around simulation kernels.
+ *
+ * PerfCounterGroup opens one perf_event group (cycles,
+ * instructions, cache-misses, branch-misses) scoped to the calling
+ * thread, so a bench can answer "what does the *hardware* do under
+ * replayBlock" — IPC, cache-MPKI and branch-MPKI of the simulator
+ * itself — next to the wall-clock throughput numbers.
+ *
+ * Availability is best-effort by design: perf_event_open is
+ * routinely unavailable (non-Linux builds, containers without
+ * CAP_PERFMON, kernel.perf_event_paranoid >= 3, missing PMU in
+ * VMs). Every failure degrades to available() == false with
+ * start()/stop() as no-ops and invalid samples — callers print "-"
+ * instead of numbers and nothing else changes. Partial groups
+ * degrade per counter: a machine that exposes cycles/instructions
+ * but not cache-misses still reports IPC.
+ */
+
+#pragma once
+
+#include <cstddef>
+
+#include "support/types.hh"
+
+namespace bpred
+{
+
+/** One start()/stop() reading of the counter group. */
+struct PerfSample
+{
+    u64 cycles = 0;
+    u64 instructions = 0;
+    u64 cacheMisses = 0;
+    u64 branchMisses = 0;
+
+    /**
+     * True when cycles and instructions were measured (the leader
+     * pair every derived metric needs). cacheMisses/branchMisses
+     * may still be 0 on machines that do not expose them.
+     */
+    bool valid = false;
+
+    /** Instructions per cycle, 0 when invalid or cycles == 0. */
+    double
+    ipc() const
+    {
+        return (valid && cycles > 0)
+            ? double(instructions) / double(cycles)
+            : 0.0;
+    }
+
+    /** Events per thousand units of work (e.g. misses per kilo-record). */
+    static double
+    perKilo(u64 events, double units)
+    {
+        return units > 0 ? double(events) * 1000.0 / units : 0.0;
+    }
+};
+
+/**
+ * A group of hardware counters for the calling thread. Open once,
+ * then bracket each measured region with start()/stop():
+ *
+ *   PerfCounterGroup counters;
+ *   counters.start();
+ *   ... hot kernel ...
+ *   PerfSample sample = counters.stop();
+ *   if (sample.valid) { report(sample.ipc()); }
+ *
+ * The group is scheduled atomically (all counters count the same
+ * intervals); if the PMU multiplexed the group, readings are
+ * scaled by time_enabled/time_running like perf(1) does.
+ */
+class PerfCounterGroup
+{
+  public:
+    PerfCounterGroup();
+    ~PerfCounterGroup();
+
+    PerfCounterGroup(const PerfCounterGroup &) = delete;
+    PerfCounterGroup &operator=(const PerfCounterGroup &) = delete;
+
+    /** True when at least cycles + instructions opened. */
+    bool available() const { return available_; }
+
+    /** Reset and enable the group (no-op when unavailable). */
+    void start();
+
+    /**
+     * Disable the group and read it. The sample is invalid (all
+     * zeros) when the group is unavailable or the read failed.
+     */
+    PerfSample stop();
+
+  private:
+    /** Slot order: cycles, instructions, cache-, branch-misses. */
+    static constexpr std::size_t numSlots = 4;
+
+    int fds[numSlots] = {-1, -1, -1, -1};
+    bool available_ = false;
+
+    void closeAll();
+};
+
+} // namespace bpred

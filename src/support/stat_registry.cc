@@ -167,4 +167,18 @@ StatRegistry::toJson() const
     return root;
 }
 
+StatRegistry &
+engineStats()
+{
+    static StatRegistry instance;
+    return instance;
+}
+
+std::mutex &
+engineStatsMutex()
+{
+    static std::mutex instance;
+    return instance;
+}
+
 } // namespace bpred

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <variant>
 
@@ -86,6 +87,21 @@ class StatRegistry
 
     std::map<std::string, Stat> stats;
 };
+
+/**
+ * The process-wide engine-metrics registry: SweepRunner thread
+ * accounting, gang occupancy, and any other engine-level telemetry
+ * land here, and bench_common's `--stats-out` dumps it as JSON.
+ *
+ * StatRegistry itself is not thread-safe — hold engineStatsMutex()
+ * for every access. The engines only write from the coordinating
+ * thread (after worker pools have joined), so the lock is never
+ * contended on a hot path.
+ */
+StatRegistry &engineStats();
+
+/** The lock guarding engineStats(). */
+std::mutex &engineStatsMutex();
 
 } // namespace bpred
 

@@ -1,0 +1,333 @@
+#include "support/tracing.hh"
+
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+
+#include "support/json.hh"
+#include "support/logging.hh"
+#include "support/memmeter.hh"
+
+namespace bpred::trace
+{
+
+namespace detail
+{
+std::atomic<bool> recording{false};
+} // namespace detail
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/** Buffered events per thread before drops (setCapacityPerThread). */
+std::atomic<std::size_t> capacityPerThread{std::size_t(1) << 20};
+
+/**
+ * One thread's event lane. The owning thread appends without
+ * synchronization; everyone else only reads under the registry
+ * mutex and the quiescence contract (see tracing.hh).
+ */
+struct ThreadBuffer
+{
+    std::vector<TraceEvent, GaugedAllocator<TraceEvent>> events;
+    std::string name;
+    unsigned tid = 0;
+    u64 dropped = 0;
+};
+
+struct Registry
+{
+    std::mutex mutex;
+
+    /**
+     * Owns every lane ever registered. Lanes are never removed:
+     * worker threads die between SweepRunner batches, but their
+     * events must survive into the export, and live threads hold
+     * raw pointers into this vector via `tlsBuffer`.
+     */
+    std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+};
+
+Registry &
+registry()
+{
+    static Registry instance;
+    return instance;
+}
+
+thread_local ThreadBuffer *tlsBuffer = nullptr;
+
+/** The calling thread's lane, registered on first use. */
+ThreadBuffer &
+buffer()
+{
+    if (tlsBuffer == nullptr) {
+        Registry &reg = registry();
+        std::lock_guard<std::mutex> lock(reg.mutex);
+        auto owned = std::make_unique<ThreadBuffer>();
+        owned->tid = static_cast<unsigned>(reg.buffers.size());
+        owned->events.reserve(1024);
+        tlsBuffer = owned.get();
+        reg.buffers.push_back(std::move(owned));
+    }
+    return *tlsBuffer;
+}
+
+void
+append(const TraceEvent &event)
+{
+    ThreadBuffer &lane = buffer();
+    if (lane.events.size() >=
+        capacityPerThread.load(std::memory_order_relaxed)) {
+        ++lane.dropped;
+        return;
+    }
+    lane.events.push_back(event);
+}
+
+/** Append one Chrome trace-event object to @p os. */
+void
+writeEvent(std::ostream &os, unsigned tid, const TraceEvent &event)
+{
+    const double ts = double(event.startNs) / 1000.0;
+    switch (event.kind) {
+      case TraceEvent::Kind::span:
+        os << "{\"ph\":\"X\",\"pid\":0,\"tid\":" << tid
+           << ",\"cat\":\"" << jsonEscape(event.category)
+           << "\",\"name\":\"" << jsonEscape(event.name)
+           << "\",\"ts\":" << jsonFormatDouble(ts) << ",\"dur\":"
+           << jsonFormatDouble(double(event.durationNs) / 1000.0);
+        if (event.hasArgs) {
+            os << ",\"args\":{\"i\":" << event.argIndex
+               << ",\"n\":" << event.argCount << "}";
+        }
+        os << "}";
+        break;
+      case TraceEvent::Kind::instant:
+        os << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":" << tid
+           << ",\"cat\":\"" << jsonEscape(event.category)
+           << "\",\"name\":\"" << jsonEscape(event.name)
+           << "\",\"ts\":" << jsonFormatDouble(ts) << "}";
+        break;
+      case TraceEvent::Kind::counter:
+        os << "{\"ph\":\"C\",\"pid\":0,\"tid\":" << tid
+           << ",\"cat\":\"" << jsonEscape(event.category)
+           << "\",\"name\":\"" << jsonEscape(event.name)
+           << "\",\"ts\":" << jsonFormatDouble(ts)
+           << ",\"args\":{\"value\":"
+           << jsonFormatDouble(event.value) << "}}";
+        break;
+    }
+}
+
+} // namespace
+
+u64
+nowNs()
+{
+    // The epoch is pinned on the first call (thread-safe static
+    // init), so timestamps are small positive offsets and every
+    // lane shares one timebase.
+    static const Clock::time_point epoch = Clock::now();
+    return static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now() - epoch)
+            .count());
+}
+
+void
+setEnabled(bool on)
+{
+    if (on) {
+        nowNs(); // pin the epoch before the first event
+    }
+    detail::recording.store(on, std::memory_order_relaxed);
+}
+
+void
+Scope::begin(const char *category, const char *name, u64 arg_index,
+             u64 arg_count, bool has_args)
+{
+    category_ = category;
+    name_ = name;
+    argIndex = arg_index;
+    argCount = arg_count;
+    hasArgs = has_args;
+    start = nowNs();
+    live = true;
+}
+
+void
+Scope::end()
+{
+    // Emit even if recording was switched off mid-span: the buffer
+    // already exists and a truncated trace full of open spans is
+    // worse than one trailing event.
+    TraceEvent event;
+    event.kind = TraceEvent::Kind::span;
+    event.category = category_;
+    event.name = name_;
+    event.startNs = start;
+    event.durationNs = nowNs() - start;
+    event.argIndex = argIndex;
+    event.argCount = argCount;
+    event.hasArgs = hasArgs;
+    append(event);
+}
+
+namespace detail
+{
+
+void
+instantAlways(const char *category, const char *name)
+{
+    TraceEvent event;
+    event.kind = TraceEvent::Kind::instant;
+    event.category = category;
+    event.name = name;
+    event.startNs = nowNs();
+    append(event);
+}
+
+void
+counterAlways(const char *category, const char *name, double value)
+{
+    TraceEvent event;
+    event.kind = TraceEvent::Kind::counter;
+    event.category = category;
+    event.name = name;
+    event.startNs = nowNs();
+    event.value = value;
+    append(event);
+}
+
+} // namespace detail
+
+void
+setThreadName(const std::string &name)
+{
+    if (!enabled()) {
+        return;
+    }
+    buffer().name = name;
+}
+
+void
+setCapacityPerThread(std::size_t max_events)
+{
+    capacityPerThread.store(max_events == 0 ? 1 : max_events,
+                            std::memory_order_relaxed);
+}
+
+std::size_t
+threadCount()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    return reg.buffers.size();
+}
+
+std::size_t
+eventCount()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    std::size_t count = 0;
+    for (const auto &lane : reg.buffers) {
+        count += lane->events.size();
+    }
+    return count;
+}
+
+u64
+droppedCount()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    u64 dropped = 0;
+    for (const auto &lane : reg.buffers) {
+        dropped += lane->dropped;
+    }
+    return dropped;
+}
+
+void
+reset()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    for (const auto &lane : reg.buffers) {
+        lane->events.clear();
+        lane->dropped = 0;
+    }
+}
+
+std::vector<ThreadSnapshot>
+snapshot()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    std::vector<ThreadSnapshot> lanes;
+    lanes.reserve(reg.buffers.size());
+    for (const auto &lane : reg.buffers) {
+        ThreadSnapshot snap;
+        snap.tid = lane->tid;
+        snap.name = lane->name;
+        snap.events.assign(lane->events.begin(),
+                           lane->events.end());
+        snap.dropped = lane->dropped;
+        lanes.push_back(std::move(snap));
+    }
+    return lanes;
+}
+
+bool
+writeChromeTrace(std::ostream &os)
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    u64 dropped = 0;
+    for (const auto &lane : reg.buffers) {
+        dropped += lane->dropped;
+        // Lane label first, so Perfetto names the track before any
+        // of its events.
+        os << (first ? "\n" : ",\n");
+        first = false;
+        const std::string label = lane->name.empty()
+            ? "thread-" + std::to_string(lane->tid)
+            : lane->name;
+        os << "{\"ph\":\"M\",\"pid\":0,\"tid\":" << lane->tid
+           << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+           << jsonEscape(label) << "\"}}";
+        for (const TraceEvent &event : lane->events) {
+            os << ",\n";
+            writeEvent(os, lane->tid, event);
+        }
+    }
+    os << "\n],\"bpredDroppedEvents\":" << dropped << "}\n";
+    return os.good();
+}
+
+bool
+writeChromeTrace(const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out) {
+        warn("trace: cannot open '" + path + "' for writing");
+        return false;
+    }
+    if (!writeChromeTrace(out)) {
+        warn("trace: write to '" + path + "' failed");
+        return false;
+    }
+    return true;
+}
+
+} // namespace bpred::trace

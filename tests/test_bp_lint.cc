@@ -120,6 +120,25 @@ TEST(BpLint, FingerprintMismatchIsFlagged)
     EXPECT_TRUE(mentions(findings[0], "gizmo"));
 }
 
+TEST(BpLint, NonLiteralTraceArgumentsAreFlagged)
+{
+    const auto findings =
+        lintWith("trace_literal", "trace-literal");
+    ASSERT_EQ(findings.size(), 3u);
+
+    // Non-literal category, non-literal name, non-literal instant
+    // name — in line order. The literal and wrapped-literal calls,
+    // the allow()ed counter, the commented/string mentions, and the
+    // MY_TRACE_SCOPE lookalike all stay silent.
+    EXPECT_EQ(findings[0].file, "src/spans.cc");
+    EXPECT_EQ(findings[0].line, 14u);
+    EXPECT_TRUE(mentions(findings[0], "TRACE_SCOPE"));
+    EXPECT_EQ(findings[1].line, 15u);
+    EXPECT_TRUE(mentions(findings[1], "TRACE_SCOPE"));
+    EXPECT_EQ(findings[2].line, 16u);
+    EXPECT_TRUE(mentions(findings[2], "TRACE_INSTANT"));
+}
+
 TEST(BpLint, StripKeepsPositionsAndDigitSeparators)
 {
     const std::string stripped = bplint::stripCommentsAndStrings(

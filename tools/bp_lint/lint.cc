@@ -33,6 +33,10 @@ allRules()
         {"deprecated-call",
          "[[deprecated]] shims are only called from tests",
          ruleDeprecatedCall},
+        {"trace-literal",
+         "TRACE_SCOPE/TRACE_INSTANT/TRACE_COUNTER category and "
+         "name arguments are string literals",
+         ruleTraceLiteral},
     };
     return rules;
 }

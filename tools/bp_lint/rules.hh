@@ -16,5 +16,6 @@ void ruleBannedIdentifier(const RepoTree &, std::vector<Finding> &);
 void ruleFactoryFingerprint(const RepoTree &,
                             std::vector<Finding> &);
 void ruleDeprecatedCall(const RepoTree &, std::vector<Finding> &);
+void ruleTraceLiteral(const RepoTree &, std::vector<Finding> &);
 
 } // namespace bplint
