@@ -33,6 +33,9 @@ struct Report
     std::size_t blockRecords = defaultReplayBlockRecords;
     Clock::time_point start = Clock::now();
     JsonValue sections = JsonValue::object();
+
+    /** Extra top-level document fields (recordReportField). */
+    std::vector<std::pair<std::string, JsonValue>> extra;
 };
 
 Report &
@@ -287,6 +290,21 @@ expectation(const std::string &text)
 }
 
 void
+recordReportField(const std::string &key, JsonValue value)
+{
+    if (!jsonEnabled()) {
+        return;
+    }
+    for (auto &[existing, stored] : report().extra) {
+        if (existing == key) {
+            stored = std::move(value);
+            return;
+        }
+    }
+    report().extra.emplace_back(key, std::move(value));
+}
+
+void
 emitTable(const std::string &section, const TextTable &table)
 {
     table.print(std::cout);
@@ -346,6 +364,9 @@ finish()
     document["threads"] =
         u64(resolveThreadCount(report().requestedThreads));
     document["block_size"] = u64(report().blockRecords);
+    for (const auto &[key, value] : report().extra) {
+        document[key] = value;
+    }
     document["elapsed_seconds"] =
         std::chrono::duration<double>(Clock::now() - report().start)
             .count();

@@ -87,6 +87,14 @@ void banner(const std::string &artifact, const std::string &claim);
 void expectation(const std::string &text);
 
 /**
+ * Record an extra top-level field in the `--json` report document
+ * (e.g. "repetitions", "simd_mode"), so bench artifacts are
+ * self-describing. Later writes to the same key win. No-op when
+ * `--json` is inactive.
+ */
+void recordReportField(const std::string &key, JsonValue value);
+
+/**
  * Print @p table to stdout and, when `--json` is active, record it
  * in the report under @p section (typically the trace name; tables
  * within a section are kept in emission order).

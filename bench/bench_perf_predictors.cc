@@ -4,11 +4,17 @@
  * quality gauge: the simulation loops run millions of events per
  * configuration, so per-event cost matters.
  *
- * Two sections:
- *  - "throughput": per scheme, the four replay kernels side by
+ * Three sections:
+ *  - "throughput": per scheme, the five replay kernels side by
  *    side — split predict()+update(), fused predictAndUpdate(),
- *    the per-block replayBlock() batch kernel, and a 4-member
- *    GangSession — in millions of records per second.
+ *    the per-block replayBlock() batch kernel, the phase-split
+ *    SIMD path (replayBlock with an AVX2 ReplayScratch), and a
+ *    4-member GangSession — in millions of records per second,
+ *    each the median of several interleaved runs.
+ *  - "simd_identity": for every factory scheme, the phase-split
+ *    path is replayed against the fused scalar reference and must
+ *    match tallies and saveState() bytes exactly; any divergence
+ *    exits nonzero.
  *  - "gang_sweep": a Figure-5-shaped size sweep (many cells, one
  *    shared trace) run through SweepRunner twice at the same
  *    thread count: once as the pre-gang per-cell engine
@@ -23,16 +29,20 @@
 
 #include "bench_common.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <functional>
 #include <memory>
+#include <sstream>
 
+#include "predictors/replay_scratch.hh"
 #include "sim/factory.hh"
 #include "sim/gang.hh"
 #include "sim/parallel.hh"
 #include "support/perfcount.hh"
 #include "support/rng.hh"
+#include "support/simd.hh"
 #include "trace/trace.hh"
 
 namespace
@@ -40,6 +50,27 @@ namespace
 
 using namespace bpred;
 using Clock = std::chrono::steady_clock;
+
+/**
+ * Timing repetitions per kernel: each measurement below is the
+ * median of this many runs, so a single scheduler hiccup cannot
+ * poison a column. The repetitions of the different kernels are
+ * interleaved round-robin (one rep of each, then the next rep of
+ * each) so slow machine-wide drift — frequency steps, a noisy
+ * neighbour — hits every kernel's samples about equally and the
+ * between-kernel ratios stay meaningful; back-to-back batches per
+ * kernel would let minutes-apart drift masquerade as a kernel
+ * difference. Recorded as "repetitions" in the JSON report.
+ */
+constexpr int timingRepetitions = 5;
+
+/** Median of collected throughput samples. */
+double
+medianOfSamples(std::vector<double> samples)
+{
+    std::sort(samples.begin(), samples.end());
+    return samples[samples.size() / 2];
+}
 
 Trace
 makePerfTrace()
@@ -164,6 +195,98 @@ runBlock(const std::string &spec, const Trace &trace, int reps,
     return perf;
 }
 
+/** Median BlockPerf: the perf sample travels with the median run. */
+BlockPerf
+medianBlockPerf(std::vector<BlockPerf> samples)
+{
+    std::sort(samples.begin(), samples.end(),
+              [](const BlockPerf &a, const BlockPerf &b) {
+                  return a.mrps < b.mrps;
+              });
+    return samples[samples.size() / 2];
+}
+
+/**
+ * The phase-split vector path: replayBlock() with a ReplayScratch
+ * requesting AVX2 dispatch — what SimSession passes down when
+ * SimOptions::simd resolves to a vector mode. On a scalar-only
+ * build (or a non-AVX2 host) this degrades to the fused kernel and
+ * the simd/block column sits at ~1.
+ */
+double
+runSimd(const std::string &spec, const Trace &trace, int reps,
+        std::size_t block_records)
+{
+    auto predictor = makePredictor(spec);
+    ReplayCounters counters;
+    ReplayScratch scratch;
+    // Auto honours BPRED_SIMD, so CI can record this bench under
+    // both dispatch modes from one binary.
+    scratch.mode = SimdMode::Auto;
+    const double seconds = secondsFor([&] {
+        for (int rep = 0; rep < reps; ++rep) {
+            const BranchRecord *records = trace.records().data();
+            for (std::size_t at = 0; at < trace.size();
+                 at += block_records) {
+                const std::size_t n =
+                    std::min(block_records, trace.size() - at);
+                predictor->replayBlock(records + at, n, counters,
+                                       &scratch);
+            }
+        }
+    });
+    return mrps(double(trace.size()) * reps, seconds);
+}
+
+/**
+ * Byte-identity gate: replay @p trace blockwise through @p spec
+ * twice — the fused scalar reference (null scratch) and the
+ * phase-split AVX2 path — and demand identical tallies and, where
+ * snapshots are supported, identical saveState() bytes. Returns
+ * false (and reports) on any divergence.
+ */
+bool
+simdMatchesScalar(const std::string &spec, const Trace &trace,
+                  std::size_t block_records)
+{
+    auto scalar = makePredictor(spec);
+    auto simd = makePredictor(spec);
+    ReplayCounters scalarTally;
+    ReplayCounters simdTally;
+    ReplayScratch scratch;
+    scratch.mode = SimdMode::Auto;
+    const BranchRecord *records = trace.records().data();
+    for (std::size_t at = 0; at < trace.size(); at += block_records) {
+        const std::size_t n =
+            std::min(block_records, trace.size() - at);
+        scalar->replayBlock(records + at, n, scalarTally);
+        simd->replayBlock(records + at, n, simdTally, &scratch);
+    }
+    if (scalarTally.conditionals != simdTally.conditionals ||
+        scalarTally.mispredicts != simdTally.mispredicts) {
+        std::cout << "[FAIL] " << spec
+                  << ": simd tally diverged from scalar ("
+                  << simdTally.mispredicts << "/"
+                  << simdTally.conditionals << " vs "
+                  << scalarTally.mispredicts << "/"
+                  << scalarTally.conditionals << ")\n";
+        return false;
+    }
+    if (scalar->supportsSnapshot() && simd->supportsSnapshot()) {
+        std::ostringstream scalarState;
+        std::ostringstream simdState;
+        scalar->saveState(scalarState);
+        simd->saveState(simdState);
+        if (scalarState.str() != simdState.str()) {
+            std::cout << "[FAIL] " << spec
+                      << ": simd predictor state bytes diverged "
+                         "from scalar\n";
+            return false;
+        }
+    }
+    return true;
+}
+
 /** A 4-member gang: records x members per trace pass. */
 double
 runGang(const std::string &spec, const Trace &trace, int reps,
@@ -226,25 +349,58 @@ main(int argc, char **argv)
         "hybrid:13:10",    "gskewed:3:12:10", "egskew:12:10",
     };
 
+    // Every number is a median of timingRepetitions runs; the
+    // resolved dispatch and repetition count land in the JSON so
+    // perf artifacts are self-describing.
+    const SimdMode resolved = resolveSimdMode(SimdMode::Auto);
+    recordReportField("repetitions", u64(timingRepetitions));
+    recordReportField("simd_mode",
+                      std::string(simdModeName(resolved)));
+    std::cout << "[perf] simd dispatch resolves to "
+              << simdModeName(resolved) << ", median of "
+              << timingRepetitions << " runs per kernel\n\n";
+
     // IPC / MPKrec come from a perf_event group bracketing the
     // block kernel; unavailable counters (containers, non-Linux)
     // print "-" and are omitted from the JSON stats.
     TextTable table({"scheme", "split Mrec/s", "fused Mrec/s",
-                     "block Mrec/s", "gang4 Mrec/s", "block/fused",
-                     "IPC", "c-miss/Krec", "b-miss/Krec"});
+                     "block Mrec/s", "simd Mrec/s", "gang4 Mrec/s",
+                     "block/fused", "simd/block", "IPC",
+                     "c-miss/Krec", "b-miss/Krec"});
     const double blockRecordsTotal = double(trace.size()) * reps;
     for (const std::string &spec : specs) {
-        const double split = runSplit(spec, trace, reps);
-        const double fused = runFused(spec, trace, reps);
-        const BlockPerf blocked = runBlock(spec, trace, reps, block);
-        const double ganged = runGang(spec, trace, reps, block);
+        // Interleaved repetitions: one rep of every kernel per pass
+        // (see timingRepetitions) so the medians compare like with
+        // like under machine-wide throughput drift.
+        std::vector<double> splitSamples;
+        std::vector<double> fusedSamples;
+        std::vector<BlockPerf> blockSamples;
+        std::vector<double> simdSamples;
+        std::vector<double> gangSamples;
+        for (int i = 0; i < timingRepetitions; ++i) {
+            splitSamples.push_back(runSplit(spec, trace, reps));
+            fusedSamples.push_back(runFused(spec, trace, reps));
+            blockSamples.push_back(
+                runBlock(spec, trace, reps, block));
+            simdSamples.push_back(
+                runSimd(spec, trace, reps, block));
+            gangSamples.push_back(
+                runGang(spec, trace, reps, block));
+        }
+        const double split = medianOfSamples(splitSamples);
+        const double fused = medianOfSamples(fusedSamples);
+        const BlockPerf blocked = medianBlockPerf(blockSamples);
+        const double simd = medianOfSamples(simdSamples);
+        const double ganged = medianOfSamples(gangSamples);
         table.row()
             .cell(spec)
             .cell(split, 1)
             .cell(fused, 1)
             .cell(blocked.mrps, 1)
+            .cell(simd, 1)
             .cell(ganged, 1)
-            .cell(fused > 0 ? blocked.mrps / fused : 0.0, 2);
+            .cell(fused > 0 ? blocked.mrps / fused : 0.0, 2)
+            .cell(blocked.mrps > 0 ? simd / blocked.mrps : 0.0, 2);
         const PerfSample &sample = blocked.sample;
         if (sample.valid) {
             table.cell(sample.ipc(), 2)
@@ -273,6 +429,24 @@ main(int argc, char **argv)
         }
     }
     emitTable("throughput", table);
+
+    // Correctness gate for the phase-split path: every scheme the
+    // factory can build must produce tallies and predictor state
+    // byte-identical to the fused scalar reference. A divergence
+    // fails the whole bench (nonzero exit), so CI catches a broken
+    // vector kernel even when throughput looks healthy.
+    bool simdIdentical = true;
+    TextTable identity({"scheme", "spec", "identical"});
+    for (const SchemeInfo &scheme : listSchemes()) {
+        const bool ok = simdMatchesScalar(scheme.example, trace,
+                                          block);
+        identity.row()
+            .cell(scheme.name)
+            .cell(scheme.example)
+            .cell(std::string(ok ? "yes" : "NO"));
+        simdIdentical = simdIdentical && ok;
+    }
+    emitTable("simd_identity", identity);
 
     // The acceptance gauge: the same fig5-shaped sweep (15 cells,
     // one shared trace) through SweepRunner at the same thread
@@ -338,11 +512,19 @@ main(int argc, char **argv)
                      "per-cell pass\n";
         return 1;
     }
+    if (!simdIdentical) {
+        std::cout << "\n[FAIL] simd replay diverged from the scalar "
+                     "block path\n";
+        return 1;
+    }
 
     expectation(
         "block/fused >= 1 per scheme (devirtualized kernels never "
-        "lose), and the ganged fig5-shaped sweep runs >= 1.5x the "
-        "per-cell scalar fused-path engine at the same thread "
-        "count, bit-identically.");
+        "lose); simd/block >= 1.5 on gshare and egskew at the "
+        "default block size when AVX2 dispatch is live, "
+        "byte-identically to the scalar path for every scheme; and "
+        "the ganged fig5-shaped sweep runs >= 1.5x the per-cell "
+        "scalar fused-path engine at the same thread count, "
+        "bit-identically.");
     return finish();
 }

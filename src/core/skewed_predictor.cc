@@ -3,8 +3,10 @@
 #include <cassert>
 
 #include "core/skew.hh"
+#include "core/skewed_kernel_simd.hh"
 #include "predictors/block_kernel.hh"
 #include "predictors/info_vector.hh"
+#include "predictors/replay_scratch.hh"
 #include "support/logging.hh"
 #include "support/probe.hh"
 #include "support/serialize.hh"
@@ -99,7 +101,7 @@ struct SkewedBlockState
             const int write = 1 & ~(skip_partial | skip_lazy);
             const int up = int(taken) & int(value < max);
             const int down = int(!taken) & int(value > 0);
-            banks[bank].values[indices[bank]] =
+            banks[bank].at(indices[bank]) =
                 static_cast<u8>(value + write * (up - down));
             bankWrites += u64(write);
         }
@@ -119,7 +121,8 @@ struct SkewedBlockState
 
 } // namespace
 
-SkewedPredictor::SkewedPredictor(const Config &cfg) : config(cfg)
+const SkewedPredictor::Config &
+SkewedPredictor::validated(const Config &config)
 {
     if (config.numBanks % 2 == 0 || config.numBanks == 0 ||
         config.numBanks > maxSkewBanks) {
@@ -133,11 +136,14 @@ SkewedPredictor::SkewedPredictor(const Config &cfg) : config(cfg)
     if (config.counterBits < 1 || config.counterBits > 8) {
         fatal("gskewed: bad counter width");
     }
-    banks.reserve(config.numBanks);
-    for (unsigned bank = 0; bank < config.numBanks; ++bank) {
-        banks.emplace_back(u64(1) << config.bankIndexBits,
-                           config.counterBits);
-    }
+    return config;
+}
+
+SkewedPredictor::SkewedPredictor(const Config &cfg)
+    : config(validated(cfg)),
+      banks(config.numBanks, u64(1) << config.bankIndexBits,
+            config.counterBits, BankLayout::Interleaved)
+{
 }
 
 SkewedPredictor::SkewedPredictor(unsigned num_banks,
@@ -181,7 +187,7 @@ SkewedPredictor::predict(Addr pc)
 {
     unsigned votes_taken = 0;
     for (unsigned bank = 0; bank < config.numBanks; ++bank) {
-        if (banks[bank].predictTaken(bankIndexOf(bank, pc))) {
+        if (banks.predictTaken(bank, bankIndexOf(bank, pc))) {
             ++votes_taken;
         }
     }
@@ -220,21 +226,106 @@ SkewedPredictor::predictAndUpdate(Addr pc, bool taken)
 void
 SkewedPredictor::replayBlock(const BranchRecord *records,
                              std::size_t count,
-                             ReplayCounters &counters)
+                             ReplayCounters &counters,
+                             ReplayScratch *scratch)
 {
     if (probeSink) [[unlikely]] {
         // Scalar delegation keeps the event stream bit-identical.
         Predictor::replayBlock(records, count, counters);
         return;
     }
+    const bool phase_split = scratch &&
+        simdSkewGeometryOk(config.bankIndexBits, config.historyBits) &&
+        resolveSimdMode(scratch->mode) == SimdMode::Avx2;
     // Covers both gskewed and e-gskew (one kernel instantiation per
     // bank count): the inlined fused step mirrors updateUnprobed(),
     // so each bank index is computed once per branch and the loop
-    // carries no virtual calls at all.
+    // carries no virtual calls at all. The phase-split variant
+    // (skewed_kernel_simd.hh) precomputes every bank's indices for
+    // the block with the vectorized f0..f4 kernels first — exact,
+    // because history advances on outcomes, never predictions — and
+    // resolves fed by them with cross-bank prefetch.
     const auto run = [&]<unsigned NumBanks>() {
+        if (phase_split) {
+            const bool identical =
+                config.indexing == BankIndexing::IdenticalGshare;
+            const bool partial =
+                config.updatePolicy == UpdatePolicy::Partial ||
+                config.updatePolicy == UpdatePolicy::PartialLazy;
+            const bool lazy =
+                config.updatePolicy == UpdatePolicy::PartialLazy;
+            // One u8 counter per entry per bank: the group's total
+            // footprint decides whether the resolve pass prefetches.
+            const bool prefetch = simdWantsCounterPrefetch(
+                u64(NumBanks) << config.bankIndexBits);
+            const u64 history_out = replayTiled(
+                records, count, history.raw(), *scratch, NumBanks,
+                [&](std::size_t conditionals) {
+                    const u64 *pcs = scratch->pc.data();
+                    const u64 *hists = scratch->history.data();
+                    if (identical) {
+                        // Pure replication: one shared index set.
+                        fillGshareIndices(SimdMode::Avx2, pcs, hists,
+                                          conditionals,
+                                          config.historyBits,
+                                          config.bankIndexBits,
+                                          scratch->indices[0].data());
+                    } else {
+                        // One fused pass: the banks share the packed
+                        // vector and the four H permutation values,
+                        // and e-gskew's address-only bank 0 rides
+                        // along on the loaded pc lanes.
+                        u32 *outs[NumBanks];
+                        for (unsigned bank = 0; bank < NumBanks;
+                             ++bank) {
+                            outs[bank] = (config.enhanced && bank == 0)
+                                ? nullptr
+                                : scratch->indices[bank].data();
+                        }
+                        fillSkewIndexGroup(
+                            SimdMode::Avx2, pcs, hists, conditionals,
+                            config.historyBits, config.bankIndexBits,
+                            NumBanks, outs,
+                            config.enhanced
+                                ? scratch->indices[0].data()
+                                : nullptr);
+                    }
+                    SatCounterArray::View views[NumBanks];
+                    const u32 *idx[NumBanks];
+                    for (unsigned bank = 0; bank < NumBanks; ++bank) {
+                        views[bank] = banks.bankView(bank);
+                        idx[bank] = identical
+                            ? scratch->indices[0].data()
+                            : scratch->indices[bank].data();
+                    }
+                    resolveSkewedBanks(
+                        views, idx, scratch->taken.data(),
+                        conditionals, partial, lazy, prefetch,
+                        counters, bankWriteCount,
+                        [&](unsigned bank, std::size_t j) -> u64 {
+                            if (identical) {
+                                return u64(gshareIndex(
+                                    pcs[j], hists[j],
+                                    config.historyBits,
+                                    config.bankIndexBits));
+                            }
+                            if (config.enhanced && bank == 0) {
+                                return u64(addressIndex(
+                                    pcs[j], config.bankIndexBits));
+                            }
+                            return u64(skewIndex(
+                                bank,
+                                packInfoVector(pcs[j], hists[j],
+                                               config.historyBits),
+                                config.bankIndexBits));
+                        });
+                });
+            history.set(history_out);
+            return;
+        }
         SkewedBlockState<NumBanks> state{};
         for (unsigned bank = 0; bank < NumBanks; ++bank) {
-            state.banks[bank] = banks[bank].view();
+            state.banks[bank] = banks.bankView(bank);
         }
         state.config = config;
         state.history = history;
@@ -268,7 +359,8 @@ SkewedPredictor::updateUnprobed(Addr pc, bool taken)
     bool bank_predictions[maxSkewBanks];
     for (unsigned bank = 0; bank < config.numBanks; ++bank) {
         indices[bank] = bankIndexOf(bank, pc);
-        bank_predictions[bank] = banks[bank].predictTaken(indices[bank]);
+        bank_predictions[bank] =
+            banks.predictTaken(bank, indices[bank]);
         if (bank_predictions[bank]) {
             ++votes_taken;
         }
@@ -290,7 +382,7 @@ SkewedPredictor::updateUnprobed(Addr pc, bool taken)
             bank_correct) {
             // Skip the write when the counter is already saturated
             // toward the outcome; its value would not change.
-            const u8 value = banks[bank].value(indices[bank]);
+            const u8 value = banks.value(bank, indices[bank]);
             const u8 saturated = taken
                 ? static_cast<u8>(mask(config.counterBits))
                 : u8(0);
@@ -298,7 +390,7 @@ SkewedPredictor::updateUnprobed(Addr pc, bool taken)
                 continue;
             }
         }
-        banks[bank].update(indices[bank], taken);
+        banks.update(bank, indices[bank], taken);
         ++bankWriteCount;
     }
     history.shiftIn(taken);
@@ -316,7 +408,8 @@ SkewedPredictor::updateProbed(Addr pc, bool taken)
     bool bank_predictions[maxSkewBanks];
     for (unsigned bank = 0; bank < config.numBanks; ++bank) {
         indices[bank] = bankIndexOf(bank, pc);
-        bank_predictions[bank] = banks[bank].predictTaken(indices[bank]);
+        bank_predictions[bank] =
+            banks.predictTaken(bank, indices[bank]);
         if (bank_predictions[bank]) {
             ++votes_taken;
         }
@@ -342,7 +435,7 @@ SkewedPredictor::updateProbed(Addr pc, bool taken)
         }
         if (config.updatePolicy == UpdatePolicy::PartialLazy &&
             bank_correct) {
-            const u8 value = banks[bank].value(indices[bank]);
+            const u8 value = banks.value(bank, indices[bank]);
             const u8 saturated = taken
                 ? static_cast<u8>(mask(config.counterBits))
                 : u8(0);
@@ -352,9 +445,9 @@ SkewedPredictor::updateProbed(Addr pc, bool taken)
                 continue;
             }
         }
-        const u8 before = banks[bank].value(indices[bank]);
-        banks[bank].update(indices[bank], taken);
-        const u8 after = banks[bank].value(indices[bank]);
+        const u8 before = banks.value(bank, indices[bank]);
+        banks.update(bank, indices[bank], taken);
+        const u8 after = banks.value(bank, indices[bank]);
         if (before != after) {
             probeSink->onCounterWrite({bank, before, after});
         }
@@ -396,19 +489,13 @@ SkewedPredictor::name() const
 u64
 SkewedPredictor::storageBits() const
 {
-    u64 total = 0;
-    for (const auto &bank : banks) {
-        total += bank.storageBits();
-    }
-    return total;
+    return banks.storageBits();
 }
 
 void
 SkewedPredictor::reset()
 {
-    for (auto &bank : banks) {
-        bank.reset();
-    }
+    banks.reset();
     history.reset();
     bankWriteCount = 0;
 }
@@ -416,8 +503,10 @@ SkewedPredictor::reset()
 void
 SkewedPredictor::saveState(std::ostream &os) const
 {
-    for (const auto &bank : banks) {
-        bank.saveState(os);
+    // Bank-by-bank framing, byte-identical to the pre-bank-group
+    // stream of standalone SatCounterArray snapshots.
+    for (unsigned bank = 0; bank < config.numBanks; ++bank) {
+        banks.saveBankState(bank, os);
     }
     putU64(os, history.raw());
     putU64(os, bankWriteCount);
@@ -426,8 +515,8 @@ SkewedPredictor::saveState(std::ostream &os) const
 void
 SkewedPredictor::loadState(std::istream &is)
 {
-    for (auto &bank : banks) {
-        bank.loadState(is);
+    for (unsigned bank = 0; bank < config.numBanks; ++bank) {
+        banks.loadBankState(bank, is);
     }
     history.set(getU64(is));
     bankWriteCount = getU64(is);

@@ -105,7 +105,8 @@ class SkewedPredictor : public Predictor
     void update(Addr pc, bool taken) override;
     Outcome predictAndUpdate(Addr pc, bool taken) override;
     void replayBlock(const BranchRecord *records, std::size_t count,
-                     ReplayCounters &counters) override;
+                     ReplayCounters &counters,
+                     ReplayScratch *scratch) override;
     void notifyUnconditional(Addr pc) override;
     std::string name() const override;
     u64 storageBits() const override;
@@ -139,6 +140,13 @@ class SkewedPredictor : public Predictor
     u64 bankWrites() const { return bankWriteCount; }
 
   private:
+    /**
+     * Validate @p config (fatal() on a bad bank count / geometry)
+     * and pass it through — runs in the member-initializer list so
+     * the checks precede the bank-group construction.
+     */
+    static const Config &validated(const Config &config);
+
     u64 bankIndexOf(unsigned bank, Addr pc) const;
 
     /**
@@ -154,7 +162,15 @@ class SkewedPredictor : public Predictor
     void updateProbed(Addr pc, bool taken);
 
     Config config;
-    std::vector<SatCounterArray> banks;
+
+    /**
+     * All banks in one interleaved allocation (entry-major): the
+     * counters the majority vote reads for one branch sit near each
+     * other, and the phase-split resolve prefetches whole lines that
+     * serve every bank. Per-bank snapshot framing is preserved by
+     * saveBankState()/loadBankState().
+     */
+    SatCounterBankGroup banks;
     GlobalHistory history;
     u64 bankWriteCount = 0;
 };

@@ -1,7 +1,9 @@
 #include "predictors/bimodal.hh"
 
 #include "predictors/block_kernel.hh"
+#include "predictors/block_kernel_simd.hh"
 #include "predictors/info_vector.hh"
+#include "predictors/replay_scratch.hh"
 #include "support/probe.hh"
 #include "support/table.hh"
 
@@ -88,11 +90,34 @@ BimodalPredictor::predictAndUpdate(Addr pc, bool taken)
 void
 BimodalPredictor::replayBlock(const BranchRecord *records,
                               std::size_t count,
-                              ReplayCounters &counters)
+                              ReplayCounters &counters,
+                              ReplayScratch *scratch)
 {
     if (probeSink) [[unlikely]] {
         // Scalar delegation keeps the event stream bit-identical.
         Predictor::replayBlock(records, count, counters);
+        return;
+    }
+    if (scratch && simdIndexWidthOk(indexBits) &&
+        resolveSimdMode(scratch->mode) == SimdMode::Avx2) {
+        // Phase-split path (block_kernel_simd.hh): the address index
+        // has no history dependence at all, so each tile's indices
+        // vectorize up front.
+        const bool prefetch = simdWantsCounterPrefetch(table.size());
+        replayTiled(
+            records, count, 0, *scratch, 1,
+            [&](std::size_t conditionals) {
+                fillAddressIndices(SimdMode::Avx2, scratch->pc.data(),
+                                   conditionals, indexBits,
+                                   scratch->indices[0].data());
+                resolveSingleTable(
+                    table.view(), scratch->indices[0].data(),
+                    scratch->taken.data(), conditionals, prefetch,
+                    counters, [&](std::size_t j) {
+                        return u64(addressIndex(scratch->pc[j],
+                                                indexBits));
+                    });
+            });
         return;
     }
     replayBlockWithState(BimodalBlockState{table.view(), indexBits},

@@ -1,7 +1,9 @@
 #include "predictors/gselect.hh"
 
 #include "predictors/block_kernel.hh"
+#include "predictors/block_kernel_simd.hh"
 #include "predictors/info_vector.hh"
+#include "predictors/replay_scratch.hh"
 #include "support/serialize.hh"
 #include "support/table.hh"
 
@@ -81,11 +83,38 @@ GSelectPredictor::predictAndUpdate(Addr pc, bool taken)
 void
 GSelectPredictor::replayBlock(const BranchRecord *records,
                               std::size_t count,
-                              ReplayCounters &counters)
+                              ReplayCounters &counters,
+                              ReplayScratch *scratch)
 {
     if (probeSink) [[unlikely]] {
         // Scalar delegation keeps any future event stream identical.
         Predictor::replayBlock(records, count, counters);
+        return;
+    }
+    if (scratch && simdIndexWidthOk(indexBits) &&
+        resolveSimdMode(scratch->mode) == SimdMode::Avx2) {
+        // Phase-split path (block_kernel_simd.hh); see gshare.cc for
+        // why the speculative history advance is exact.
+        const bool prefetch = simdWantsCounterPrefetch(table.size());
+        const u64 history_out = replayTiled(
+            records, count, history.raw(), *scratch, 1,
+            [&](std::size_t conditionals) {
+                fillGselectIndices(SimdMode::Avx2, scratch->pc.data(),
+                                   scratch->history.data(),
+                                   conditionals, historyBits_,
+                                   indexBits,
+                                   scratch->indices[0].data());
+                resolveSingleTable(
+                    table.view(), scratch->indices[0].data(),
+                    scratch->taken.data(), conditionals, prefetch,
+                    counters, [&](std::size_t j) {
+                        return u64(gselectIndex(scratch->pc[j],
+                                                scratch->history[j],
+                                                historyBits_,
+                                                indexBits));
+                    });
+            });
+        history.set(history_out);
         return;
     }
     replayBlockWithState(

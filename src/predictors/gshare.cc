@@ -1,7 +1,9 @@
 #include "predictors/gshare.hh"
 
 #include "predictors/block_kernel.hh"
+#include "predictors/block_kernel_simd.hh"
 #include "predictors/info_vector.hh"
+#include "predictors/replay_scratch.hh"
 #include "support/probe.hh"
 #include "support/serialize.hh"
 #include "support/table.hh"
@@ -99,11 +101,39 @@ GSharePredictor::predictAndUpdate(Addr pc, bool taken)
 void
 GSharePredictor::replayBlock(const BranchRecord *records,
                              std::size_t count,
-                             ReplayCounters &counters)
+                             ReplayCounters &counters,
+                             ReplayScratch *scratch)
 {
     if (probeSink) [[unlikely]] {
         // Scalar delegation keeps the event stream bit-identical.
         Predictor::replayBlock(records, count, counters);
+        return;
+    }
+    if (scratch && simdIndexWidthOk(indexBits) &&
+        resolveSimdMode(scratch->mode) == SimdMode::Avx2) {
+        // Phase-split path (block_kernel_simd.hh): history is
+        // outcome-determined, so compaction's speculative advance is
+        // exact and each tile's indices vectorize up front.
+        const bool prefetch = simdWantsCounterPrefetch(table.size());
+        const u64 history_out = replayTiled(
+            records, count, history.raw(), *scratch, 1,
+            [&](std::size_t conditionals) {
+                fillGshareIndices(SimdMode::Avx2, scratch->pc.data(),
+                                  scratch->history.data(),
+                                  conditionals, historyBits_,
+                                  indexBits,
+                                  scratch->indices[0].data());
+                resolveSingleTable(
+                    table.view(), scratch->indices[0].data(),
+                    scratch->taken.data(), conditionals, prefetch,
+                    counters, [&](std::size_t j) {
+                        return u64(gshareIndex(scratch->pc[j],
+                                               scratch->history[j],
+                                               historyBits_,
+                                               indexBits));
+                    });
+            });
+        history.set(history_out);
         return;
     }
     replayBlockWithState(

@@ -3,7 +3,9 @@
 #include <cassert>
 
 #include "predictors/block_kernel.hh"
+#include "predictors/block_kernel_simd.hh"
 #include "predictors/info_vector.hh"
+#include "predictors/replay_scratch.hh"
 #include "support/logging.hh"
 #include "support/probe.hh"
 #include "support/serialize.hh"
@@ -153,11 +155,97 @@ HybridPredictor::predictAndUpdate(Addr pc, bool taken)
 void
 HybridPredictor::replayBlock(const BranchRecord *records,
                              std::size_t count,
-                             ReplayCounters &counters)
+                             ReplayCounters &counters,
+                             ReplayScratch *scratch)
 {
     if (probeSink) [[unlikely]] {
         // Scalar delegation keeps the event stream bit-identical.
         Predictor::replayBlock(records, count, counters);
+        return;
+    }
+    if (scratch && simdIndexWidthOk(chooserIndexBits) &&
+        resolveSimdMode(scratch->mode) == SimdMode::Avx2 &&
+        simdWantsCounterPrefetch(chooser.size())) {
+        // Phase-split pays for itself here only through the chooser
+        // prefetch: the address index is one shift-and-mask, so for
+        // an L1-resident chooser the staging pass is pure overhead
+        // on top of the dominant virtual component calls — those
+        // configurations take the fused kernel below instead.
+        // Phase-split for the chooser only: its address index has no
+        // history dependence, so the chooser indices vectorize up
+        // front, one L1-resident tile at a time (staging the whole
+        // block would stream ~20x the tile through the scratch
+        // arrays). The type-erased components still resolve per
+        // branch (their virtual fused step dominates here), so the
+        // resolve walks the tile's original records with a cursor
+        // into the precomputed indices.
+        SatCounterArray::View chooser_view = chooser.view();
+        u64 conditionals = 0;
+        u64 mispredicts = 0;
+        for (std::size_t tile = 0; tile < count;
+             tile += simdTileRecords) {
+            const std::size_t tile_count =
+                std::min(simdTileRecords, count - tile);
+            const BranchRecord *tile_records = records + tile;
+            scratch->ensure(tile_count, 1);
+            u64 history_out = 0;
+            const std::size_t chooser_count = compactConditionals(
+                tile_records, tile_count, 0, *scratch, &history_out);
+            fillAddressIndices(SimdMode::Avx2, scratch->pc.data(),
+                               chooser_count, chooserIndexBits,
+                               scratch->indices[0].data());
+            const u32 *chooser_idx = scratch->indices[0].data();
+            std::size_t cursor = 0;
+            for (std::size_t i = 0; i < tile_count; ++i) {
+                const BranchRecord &record = tile_records[i];
+                if (!record.conditional) {
+                    firstComponent->notifyUnconditional(record.pc);
+                    secondComponent->notifyUnconditional(record.pc);
+                    continue;
+                }
+                if (cursor + simdPrefetchDistance < chooser_count) {
+                    __builtin_prefetch(
+                        &chooser_view.at(
+                            chooser_idx[cursor +
+                                        simdPrefetchDistance]),
+                        1);
+                }
+                u64 chooser_index = chooser_idx[cursor];
+#ifdef BPRED_CHECKED
+                const u64 expected =
+                    u64(addressIndex(record.pc, chooserIndexBits));
+                if (chooser_index != expected) [[unlikely]] {
+                    noteIndexRepair();
+                    chooser_index = expected;
+                }
+#endif
+                const bool use_first =
+                    chooser_view.predictTaken(chooser_index);
+                const bool first_prediction =
+                    firstComponent
+                        ->predictAndUpdate(record.pc, record.taken)
+                        .prediction;
+                const bool second_prediction =
+                    secondComponent
+                        ->predictAndUpdate(record.pc, record.taken)
+                        .prediction;
+                if (first_prediction != second_prediction) {
+                    chooser_view.update(chooser_index,
+                                        first_prediction ==
+                                            record.taken);
+                }
+                const bool prediction =
+                    use_first ? first_prediction : second_prediction;
+                ++conditionals;
+                mispredicts += u64(prediction != record.taken);
+                ++cursor;
+            }
+        }
+        if (conditionals != 0) {
+            havePrediction = false;
+        }
+        counters.conditionals += conditionals;
+        counters.mispredicts += mispredicts;
         return;
     }
     // The kernel devirtualizes the hybrid's own fused step (chooser

@@ -38,7 +38,8 @@ class HybridPredictor : public Predictor
     void update(Addr pc, bool taken) override;
     Outcome predictAndUpdate(Addr pc, bool taken) override;
     void replayBlock(const BranchRecord *records, std::size_t count,
-                     ReplayCounters &counters) override;
+                     ReplayCounters &counters,
+                     ReplayScratch *scratch) override;
     void notifyUnconditional(Addr pc) override;
     std::string name() const override;
     u64 storageBits() const override;

@@ -34,7 +34,7 @@ Predictor::notifyUnconditional(Addr)
 
 void
 Predictor::replayBlock(const BranchRecord *records, std::size_t count,
-                       ReplayCounters &counters)
+                       ReplayCounters &counters, ReplayScratch *)
 {
     // Scalar reference path: one virtual fused step per branch.
     // Overrides delegate here while a probe is attached, so this

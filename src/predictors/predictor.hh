@@ -16,6 +16,7 @@ namespace bpred
 {
 
 class ProbeSink;
+struct ReplayScratch;
 
 /** Result of a fused predict-and-train step (predictAndUpdate()). */
 struct Outcome
@@ -97,10 +98,19 @@ class Predictor
      * gang replay engine's fast path (sim/gang.hh). Overrides must
      * delegate to this scalar default while a probe is attached so
      * telemetry event streams stay bit-identical.
+     *
+     * @p scratch, when non-null, lends the session's SoA staging
+     * buffers (predictors/replay_scratch.hh) and carries the
+     * requested SimdMode: schemes with a phase-split kernel may then
+     * precompute the block's table indices with the vectorized
+     * index pass and resolve fed by them — still byte-identical to
+     * the fused path. A null scratch always runs the fused/scalar
+     * reference kernels.
      */
     virtual void replayBlock(const BranchRecord *records,
                              std::size_t count,
-                             ReplayCounters &counters);
+                             ReplayCounters &counters,
+                             ReplayScratch *scratch = nullptr);
 
     /** Short configuration name, e.g. "gshare-16K-h12". */
     virtual std::string name() const = 0;

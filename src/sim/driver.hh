@@ -10,6 +10,7 @@
 
 #include "predictors/predictor.hh"
 #include "support/json.hh"
+#include "support/simd.hh"
 #include "trace/trace.hh"
 
 namespace bpred
@@ -94,6 +95,16 @@ struct SimOptions
      * the legacy fused path explicitly.
      */
     bool scalarReplay = false;
+
+    /**
+     * Index/hash kernel dispatch for the block replay path (see
+     * support/simd.hh): Auto defers to the BPRED_SIMD environment
+     * variable and then the CPU probe; Avx2 requests the phase-split
+     * vector kernels; Scalar pins the fused block kernel — the
+     * reference the vector path is byte-identical to. Ignored by the
+     * scalar per-branch loop (scalarReplay / topSites / probes).
+     */
+    SimdMode simd = SimdMode::Auto;
 
     /**
      * Session metrics sink: when set, the SimSession records its

@@ -28,6 +28,7 @@ GangSession::add(Predictor &predictor, const SimOptions &options,
     Member member;
     member.session = std::make_unique<SimSession>(
         predictor, options, std::move(trace_name));
+    member.session->useSharedScratch(&sharedScratch);
     members.push_back(std::move(member));
     return members.size() - 1;
 }

@@ -118,6 +118,16 @@ class GangSession
     };
 
     std::vector<Member> members;
+
+    /**
+     * One phase-split staging scratch shared by every member
+     * session (SimSession::useSharedScratch): the gang replays the
+     * same block through each member back to back, so the staging
+     * arrays stay hot and are allocated once per gang, not once per
+     * cell.
+     */
+    ReplayScratch sharedScratch;
+
     std::size_t blockRecords_;
     bool fedAny = false;
     bool finished_ = false;

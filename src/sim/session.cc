@@ -4,6 +4,8 @@
 #include <chrono>
 #include <vector>
 
+#include "support/aligned.hh"
+#include "support/check.hh"
 #include "support/logging.hh"
 #include "support/probe.hh"
 #include "support/stat_registry.hh"
@@ -43,6 +45,12 @@ SimSession::setTraceName(std::string trace_name)
 }
 
 void
+SimSession::useSharedScratch(ReplayScratch *shared)
+{
+    scratch = shared ? shared : &ownScratch;
+}
+
+void
 SimSession::feed(const BranchRecord *records, std::size_t count)
 {
     if (finished_) {
@@ -78,6 +86,10 @@ SimSession::feedBlocks(const BranchRecord *records, std::size_t count)
     const u64 flush_interval = options.flushInterval;
     const u64 window_size = options.windowSize;
 
+    // Re-stamped every feed: a gang-shared scratch is passed through
+    // members whose SimOptions::simd may differ.
+    scratch->mode = options.simd;
+
     std::size_t at = 0;
     while (at < count) {
         // The next segment may consume at most `limit` conditional
@@ -110,7 +122,7 @@ SimSession::feedBlocks(const BranchRecord *records, std::size_t count)
         }
 
         ReplayCounters tally;
-        predictor.replayBlock(records + at, end - at, tally);
+        predictor.replayBlock(records + at, end - at, tally, scratch);
         at = end;
 
         seen += tally.conditionals;
@@ -243,7 +255,11 @@ simulateSource(Predictor &predictor, TraceSource &source,
         fatal("simulateSource: zero chunk size");
     }
     SimSession session(predictor, options, source.name());
-    std::vector<BranchRecord> chunk(chunk_records);
+    // Cache-line aligned so the block kernels' prefetch/vector
+    // passes never straddle a line at the chunk head.
+    AlignedVector<BranchRecord> chunk(chunk_records);
+    BP_DCHECK(isCacheAligned(chunk.data()),
+              "simulateSource: chunk buffer not cache aligned");
     while (true) {
         std::size_t n = 0;
         {

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "predictors/predictor.hh"
+#include "predictors/replay_scratch.hh"
 #include "sim/driver.hh"
 #include "support/topk.hh"
 #include "trace/stream.hh"
@@ -103,6 +104,17 @@ class SimSession
     /** Late-bind the reported trace name (before finish()). */
     void setTraceName(std::string trace_name);
 
+    /**
+     * Borrow a caller-owned ReplayScratch instead of this session's
+     * own — a GangSession shares one scratch across all members so
+     * the gang carries one set of phase-split staging arrays, not
+     * one per member. Null restores the private scratch. The scratch
+     * must outlive the session (or its replacement call); its mode
+     * is re-stamped from this session's options on every feed, so
+     * members with different SimOptions::simd can share safely.
+     */
+    void useSharedScratch(ReplayScratch *shared);
+
   private:
     /** The per-branch loop: needed for top-site attribution. */
     void feedScalar(const BranchRecord *records, std::size_t count);
@@ -112,6 +124,15 @@ class SimSession
 
     Predictor &predictor;
     SimOptions options;
+
+    /** Phase-split staging arrays for replayBlock() (reused across
+     * feeds; see predictors/replay_scratch.hh). */
+    ReplayScratch ownScratch;
+
+    /** The scratch feedBlocks() passes down: ownScratch unless a
+     * gang installed a shared one via useSharedScratch(). */
+    ReplayScratch *scratch = &ownScratch;
+
     SimResult result;
     TopKCounter sites;
     WindowSample window;

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Cache-line-aligned storage for vectorized replay buffers.
+ *
+ * The phase-split block kernels (predictors/block_kernel_simd.hh)
+ * issue 256-bit loads over per-block scratch arrays, and the
+ * streaming layer hands out BranchRecord blocks that those kernels
+ * walk. Aligning every such buffer to the 64-byte cache line means
+ * a vector load of consecutive elements never splits a line (a
+ * 16-byte BranchRecord packs exactly four per line) and the
+ * software-prefetch pass never pulls a line it will not use.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace bpred
+{
+
+/** The alignment every replay-path buffer is allocated at. */
+constexpr std::size_t cacheLineBytes = 64;
+
+/** True when @p pointer sits on a cache-line boundary. */
+inline bool
+isCacheAligned(const void *pointer)
+{
+    return reinterpret_cast<std::uintptr_t>(pointer) %
+        cacheLineBytes == 0;
+}
+
+/**
+ * A minimal std allocator handing out cache-line-aligned blocks via
+ * the aligned operator new. Equality is universal (the allocator is
+ * stateless), so containers can splice/swap freely.
+ */
+template <typename T>
+struct CacheAlignedAllocator
+{
+    using value_type = T;
+
+    CacheAlignedAllocator() = default;
+
+    template <typename U>
+    CacheAlignedAllocator(const CacheAlignedAllocator<U> &)
+    {
+    }
+
+    T *
+    allocate(std::size_t count)
+    {
+        return static_cast<T *>(::operator new(
+            count * sizeof(T), std::align_val_t(cacheLineBytes)));
+    }
+
+    void
+    deallocate(T *pointer, std::size_t)
+    {
+        ::operator delete(pointer, std::align_val_t(cacheLineBytes));
+    }
+
+    template <typename U>
+    bool
+    operator==(const CacheAlignedAllocator<U> &) const
+    {
+        return true;
+    }
+};
+
+/**
+ * A std::vector whose storage starts on a cache-line boundary. The
+ * replay layers use it for every buffer a vector load or prefetch
+ * walks: BPT1 decode scratch, drain/stream chunk buffers, and the
+ * ReplayScratch index/history arrays.
+ */
+template <typename T>
+using AlignedVector = std::vector<T, CacheAlignedAllocator<T>>;
+
+} // namespace bpred

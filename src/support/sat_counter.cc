@@ -53,4 +53,90 @@ SatCounterArray::loadState(std::istream &is)
     }
 }
 
+SatCounterBankGroup::SatCounterBankGroup(unsigned num_banks,
+                                         u64 entries_per_bank,
+                                         unsigned width,
+                                         BankLayout layout, u8 initial)
+    : values(u64(num_banks) * entries_per_bank, initial),
+      entriesPerBank_(entries_per_bank),
+      numBanks_(num_banks),
+      layout_(layout),
+      width_(static_cast<u8>(width)),
+      maxCounterValue(static_cast<u8>(mask(width))),
+      thresholdValue(static_cast<u8>(u8(1) << (width - 1)))
+{
+    BP_CHECK(num_banks >= 1, "bank group needs at least one bank");
+    BP_CHECK(width >= 1 && width <= 8,
+             "counter width outside 1..8");
+    BP_CHECK(initial <= maxCounterValue,
+             "initial counter value exceeds its width");
+}
+
+SatCounterArray::View
+SatCounterBankGroup::bankView(unsigned bank)
+{
+    BP_CHECK(bank < numBanks_, "bank view out of range");
+    if (layout_ == BankLayout::Planar) {
+        return {values.data() + u64(bank) * entriesPerBank_,
+                maxCounterValue, thresholdValue, 1};
+    }
+    return {values.data() + bank, maxCounterValue, thresholdValue,
+            numBanks_};
+}
+
+void
+SatCounterBankGroup::set(unsigned bank, u64 index, u8 new_value)
+{
+    BP_CHECK(bank < numBanks_ && index < entriesPerBank_,
+             "bank counter write out of range");
+    BP_CHECK(new_value <= maxCounterValue,
+             "counter value exceeds its width");
+    values[offsetOf(bank, index)] = new_value;
+}
+
+void
+SatCounterBankGroup::reset(u8 initial)
+{
+    BP_CHECK(initial <= maxCounterValue,
+             "reset counter value exceeds its width");
+    std::fill(values.begin(), values.end(), initial);
+}
+
+void
+SatCounterBankGroup::saveBankState(unsigned bank,
+                                   std::ostream &os) const
+{
+    BP_CHECK(bank < numBanks_, "bank save out of range");
+    putU64(os, entriesPerBank_);
+    putU8(os, width_);
+    // Gather the (possibly strided) bank into the flat run of bytes
+    // SatCounterArray::saveState() would have written.
+    std::vector<u8> flat(entriesPerBank_);
+    for (u64 index = 0; index < entriesPerBank_; ++index) {
+        flat[index] = values[offsetOf(bank, index)];
+    }
+    putBytes(os, flat.data(), flat.size());
+}
+
+void
+SatCounterBankGroup::loadBankState(unsigned bank, std::istream &is)
+{
+    BP_CHECK(bank < numBanks_, "bank load out of range");
+    const u64 stored_size = getU64(is);
+    const u8 stored_width = getU8(is);
+    if (stored_size != entriesPerBank_ || stored_width != width_) {
+        fatal("sat counter bank: snapshot geometry mismatch");
+    }
+    std::vector<u8> flat(entriesPerBank_);
+    getBytes(is, flat.data(), flat.size());
+    for (const u8 value : flat) {
+        if (value > maxCounterValue) {
+            fatal("sat counter bank: snapshot counter out of range");
+        }
+    }
+    for (u64 index = 0; index < entriesPerBank_; ++index) {
+        values[offsetOf(bank, index)] = flat[index];
+    }
+}
+
 } // namespace bpred

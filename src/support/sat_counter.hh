@@ -9,6 +9,7 @@
 #include <iosfwd>
 #include <vector>
 
+#include "support/aligned.hh"
 #include "support/bitops.hh"
 #include "support/check.hh"
 #include "support/types.hh"
@@ -132,22 +133,32 @@ class SatCounterArray
      * methods exactly — the block-vs-scalar contract tests hold the
      * two implementations together. The view borrows: it must not
      * outlive the array or span a resize/reset.
+     *
+     * The stride widens the view over banked layouts: counter
+     * @p index lives at values[index * stride], so the same kernel
+     * code walks a flat array (stride 1) or one bank of an
+     * interleaved SatCounterBankGroup (stride = bank count) without
+     * a layout branch.
      */
     struct View
     {
         u8 *values;
         u8 max;
         u8 threshold;
+        u32 stride = 1;
+
+        /** Storage slot of counter @p index under this stride. */
+        u8 &at(u64 index) const { return values[index * stride]; }
 
         /** Predicted direction of counter @p index. */
         bool
         predictTaken(u64 index) const
         {
-            return values[index] >= threshold;
+            return at(index) >= threshold;
         }
 
         /** Raw value of counter @p index. */
-        u8 value(u64 index) const { return values[index]; }
+        u8 value(u64 index) const { return at(index); }
 
         /**
          * Train counter @p index toward @p taken. Same result as
@@ -159,7 +170,7 @@ class SatCounterArray
         void
         update(u64 index, bool taken)
         {
-            u8 &v = values[index];
+            u8 &v = at(index);
             // Bitwise (not short-circuit) combination: the whole
             // expression is straight-line ALU arithmetic.
             const int up = int(taken) & int(v < max);
@@ -172,7 +183,7 @@ class SatCounterArray
     View
     view()
     {
-        return {values.data(), maxCounterValue, thresholdValue};
+        return {values.data(), maxCounterValue, thresholdValue, 1};
     }
 
     /** Number of counters. */
@@ -252,6 +263,147 @@ class SatCounterArray
 
   private:
     std::vector<u8> values;
+    u8 width_;
+    u8 maxCounterValue;
+    u8 thresholdValue;
+};
+
+/** Memory order of a SatCounterBankGroup. */
+enum class BankLayout : u8
+{
+    /** Bank-major: each bank's counters contiguous (classic). */
+    Planar,
+
+    /**
+     * Entry-major: counter (bank, index) lives at
+     * index * numBanks + bank, so the banks' counters for one entry
+     * share a cache line — the layout multi-bank probes (e-gskew's
+     * per-branch 3-bank read) want when bank indices correlate, and
+     * the one the phase-split replay kernels prefetch against.
+     */
+    Interleaved,
+};
+
+/**
+ * All banks of a multi-bank predictor in one contiguous,
+ * cache-line-aligned allocation, in either Planar or Interleaved
+ * order (see BankLayout). Every bank shares one counter width.
+ *
+ * The layout is invisible to behaviour: per-bank access mirrors a
+ * vector of SatCounterArray exactly (the skewed-predictor contract
+ * tests pin the two), bank views carry the layout in View::stride so
+ * replay kernels are layout-blind, and saveBankState() writes the
+ * same byte stream SatCounterArray::saveState() would — snapshots
+ * taken before this class existed restore into it unchanged.
+ */
+class SatCounterBankGroup
+{
+  public:
+    /**
+     * @param num_banks Number of banks (>= 1).
+     * @param entries_per_bank Counters per bank.
+     * @param width Bits per counter (1..8), shared by all banks.
+     * @param layout Memory order (see BankLayout).
+     * @param initial Initial value for every counter.
+     */
+    SatCounterBankGroup(unsigned num_banks, u64 entries_per_bank,
+                        unsigned width, BankLayout layout,
+                        u8 initial = 0);
+
+    /** Number of banks. */
+    unsigned numBanks() const { return numBanks_; }
+
+    /** Counters per bank. */
+    u64 entriesPerBank() const { return entriesPerBank_; }
+
+    /** Bits per counter. */
+    unsigned width() const { return width_; }
+
+    /** The memory order counters are stored in. */
+    BankLayout layout() const { return layout_; }
+
+    /** Total storage cost in bits across all banks. */
+    u64
+    storageBits() const
+    {
+        return u64(numBanks_) * entriesPerBank_ * width_;
+    }
+
+    /**
+     * Borrow a kernel view of bank @p bank; the view's stride
+     * encodes the layout (1 for Planar, numBanks for Interleaved).
+     */
+    SatCounterArray::View bankView(unsigned bank);
+
+    /** Predicted direction of counter @p index in bank @p bank. */
+    bool
+    predictTaken(unsigned bank, u64 index) const
+    {
+        return values[offsetOf(bank, index)] >= thresholdValue;
+    }
+
+    /** Raw value of counter @p index in bank @p bank. */
+    u8
+    value(unsigned bank, u64 index) const
+    {
+        return values[offsetOf(bank, index)];
+    }
+
+    /** Train counter @p index of bank @p bank toward @p taken. */
+    void
+    update(unsigned bank, u64 index, bool taken)
+    {
+        u8 &v = values[offsetOf(bank, index)];
+        if (taken) {
+            if (v < maxCounterValue) {
+                ++v;
+            }
+        } else {
+            if (v > 0) {
+                --v;
+            }
+        }
+    }
+
+    /** Set counter @p index of bank @p bank to an explicit value. */
+    void set(unsigned bank, u64 index, u8 new_value);
+
+    /** Reset every counter in every bank to @p initial. */
+    void reset(u8 initial = 0);
+
+    /**
+     * Serialize bank @p bank exactly as a standalone
+     * SatCounterArray of the same geometry would (entry count,
+     * width, raw values) — the BPS1 snapshot format predates this
+     * class and must not change.
+     */
+    void saveBankState(unsigned bank, std::ostream &os) const;
+
+    /**
+     * Restore bank @p bank from a SatCounterArray::saveState()
+     * stream.
+     *
+     * @throws FatalError on a geometry mismatch, an out-of-range
+     *         counter value, or truncation.
+     */
+    void loadBankState(unsigned bank, std::istream &is);
+
+  private:
+    /** Storage slot of (bank, index) under the active layout. */
+    u64
+    offsetOf(unsigned bank, u64 index) const
+    {
+        BP_DCHECK(bank < numBanks_ && index < entriesPerBank_,
+                  "bank counter access out of range");
+        return layout_ == BankLayout::Planar
+            ? u64(bank) * entriesPerBank_ + index
+            : index * numBanks_ + bank;
+    }
+
+    AlignedVector<u8> values;
+    u64 entriesPerBank_;
+    unsigned numBanks_;
+    BankLayout layout_;
     u8 width_;
     u8 maxCounterValue;
     u8 thresholdValue;

@@ -1,0 +1,94 @@
+#include "support/simd.hh"
+
+#include <cstdlib>
+#include <string>
+
+#include "support/logging.hh"
+
+namespace bpred
+{
+
+const char *
+simdModeName(SimdMode mode)
+{
+    switch (mode) {
+      case SimdMode::Auto:
+        return "auto";
+      case SimdMode::Avx2:
+        return "avx2";
+      case SimdMode::Scalar:
+        return "scalar";
+    }
+    return "scalar";
+}
+
+bool
+simdAvx2Available()
+{
+#if BPRED_HAVE_AVX2
+    static const bool available = __builtin_cpu_supports("avx2");
+    return available;
+#else
+    return false;
+#endif
+}
+
+namespace
+{
+
+/** BPRED_SIMD from the environment, or Auto when unset/garbled. */
+SimdMode
+environmentMode()
+{
+    const char *raw = std::getenv("BPRED_SIMD");
+    if (!raw) {
+        return SimdMode::Auto;
+    }
+    const std::string value(raw);
+    if (value == "avx2") {
+        return SimdMode::Avx2;
+    }
+    if (value == "scalar") {
+        return SimdMode::Scalar;
+    }
+    if (value != "auto" && !value.empty()) {
+        warn("BPRED_SIMD='" + value +
+             "' is not auto|avx2|scalar; treating as auto");
+    }
+    return SimdMode::Auto;
+}
+
+/** Warn once per process about an unsatisfiable avx2 request. */
+void
+warnAvx2Unavailable()
+{
+    static const bool once = [] {
+        warn("BPRED_SIMD=avx2 requested but AVX2 is "
+             "unavailable in this build/CPU; using the scalar "
+             "kernels (results are identical)");
+        return true;
+    }();
+    static_cast<void>(once);
+}
+
+} // namespace
+
+SimdMode
+resolveSimdMode(SimdMode requested)
+{
+    SimdMode mode = requested;
+    if (mode == SimdMode::Auto) {
+        mode = environmentMode();
+    }
+    if (mode == SimdMode::Auto) {
+        return simdAvx2Available() ? SimdMode::Avx2
+                                   : SimdMode::Scalar;
+    }
+    if (mode == SimdMode::Avx2 && !simdAvx2Available()) {
+        warnAvx2Unavailable();
+        return SimdMode::Scalar;
+    }
+    return mode;
+}
+
+} // namespace bpred

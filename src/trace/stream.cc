@@ -26,6 +26,8 @@ MemoryTraceSource::pull(BranchRecord *out, std::size_t max)
 BinaryTraceSource::BinaryTraceSource(std::istream &is)
     : stream(&is), scratch(defaultScratchBytes)
 {
+    BP_DCHECK(isCacheAligned(scratch.data()),
+              "trace: decode scratch not cache aligned");
     const bpt::Header header = bpt::readHeader(*stream);
     name_ = header.name;
     remaining_ = header.count;
@@ -39,6 +41,8 @@ BinaryTraceSource::BinaryTraceSource(const std::string &path)
     if (!*owned) {
         fatal("trace: cannot open '" + path + "' for reading");
     }
+    BP_DCHECK(isCacheAligned(scratch.data()),
+              "trace: decode scratch not cache aligned");
     const bpt::Header header = bpt::readHeader(*stream);
     name_ = header.name;
     remaining_ = header.count;
@@ -57,12 +61,14 @@ BinaryTraceSource::setScratchBytes(std::size_t bytes)
     const std::size_t leftover = scratchEnd - scratchAt;
     const std::size_t capacity =
         std::max({bytes, leftover, bpt::maxRecordBytes});
-    std::vector<char> next(capacity);
+    AlignedVector<char> next(capacity);
     std::copy(scratch.data() + scratchAt,
               scratch.data() + scratchEnd, next.data());
     scratch = std::move(next);
     scratchAt = 0;
     scratchEnd = leftover;
+    BP_DCHECK(isCacheAligned(scratch.data()),
+              "trace: decode scratch not cache aligned");
 }
 
 std::size_t
@@ -127,7 +133,7 @@ drainSource(TraceSource &source, std::size_t chunk_records)
         // stream length), so this cannot amplify a corrupt header.
         trace.reserve(static_cast<std::size_t>(hint));
     }
-    std::vector<BranchRecord> buffer(chunk_records);
+    AlignedVector<BranchRecord> buffer(chunk_records);
     while (const std::size_t n =
                source.pull(buffer.data(), buffer.size())) {
         BP_CHECK(n <= buffer.size(),

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "support/aligned.hh"
 #include "trace/trace.hh"
 
 namespace bpred
@@ -131,7 +132,9 @@ class BinaryTraceSource : public TraceSource
     u64 remaining_ = 0;
     Addr lastPc = 0;
     bool lengthValidated = false;
-    std::vector<char> scratch;
+
+    /** Cache-line aligned so bulk decode reads start on a line. */
+    AlignedVector<char> scratch;
     std::size_t scratchAt = 0;
     std::size_t scratchEnd = 0;
 };

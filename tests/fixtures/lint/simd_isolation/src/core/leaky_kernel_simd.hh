@@ -1,0 +1,20 @@
+/** A *_simd file whose intrinsics escape the BPRED_HAVE_AVX2 gate. */
+
+#pragma once
+
+#include <immintrin.h>
+
+inline __m256i
+leakyAdd(__m256i a, __m256i b)
+{
+    return _mm256_add_epi64(a, b);
+}
+
+#if BPRED_HAVE_AVX2
+/** Properly guarded: not a violation. */
+inline __m256i
+guardedAdd(__m256i a, __m256i b)
+{
+    return _mm256_add_epi64(a, b);
+}
+#endif

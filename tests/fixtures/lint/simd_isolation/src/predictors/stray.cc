@@ -1,0 +1,11 @@
+/** Intrinsics in a plain translation unit: two violations. */
+
+#include <immintrin.h>
+
+int
+strayLane()
+{
+    // _mm256_extract_epi32 in a comment is not a violation.
+    const __m128i lanes = _mm_set1_epi32(7);
+    return _mm_cvtsi128_si32(lanes);
+}

@@ -139,6 +139,30 @@ TEST(BpLint, NonLiteralTraceArgumentsAreFlagged)
     EXPECT_TRUE(mentions(findings[2], "TRACE_INSTANT"));
 }
 
+TEST(BpLint, SimdIsolationViolationsAreFlagged)
+{
+    const auto findings =
+        lintWith("simd_isolation", "simd-isolation");
+    ASSERT_EQ(findings.size(), 7u);
+
+    // The *_simd header: an unguarded include, two unguarded
+    // __m256i mentions, one unguarded intrinsic call — while the
+    // #if BPRED_HAVE_AVX2 copy of the same code stays silent.
+    EXPECT_EQ(findings[0].file, "src/core/leaky_kernel_simd.hh");
+    EXPECT_EQ(findings[0].line, 5u);
+    EXPECT_TRUE(mentions(findings[0], "BPRED_HAVE_AVX2"));
+    EXPECT_EQ(findings[3].line, 10u);
+    EXPECT_TRUE(mentions(findings[3], "intrinsic"));
+
+    // The plain translation unit: intrinsics are banned outright,
+    // guarded or not; comment mentions stay silent.
+    EXPECT_EQ(findings[4].file, "src/predictors/stray.cc");
+    EXPECT_EQ(findings[4].line, 3u);
+    EXPECT_TRUE(mentions(findings[4], "outside a *_simd file"));
+    EXPECT_EQ(findings[5].line, 9u);
+    EXPECT_EQ(findings[6].line, 10u);
+}
+
 TEST(BpLint, StripKeepsPositionsAndDigitSeparators)
 {
     const std::string stripped = bplint::stripCommentsAndStrings(

@@ -9,13 +9,17 @@
 
 #include <algorithm>
 #include <memory>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "predictors/predictor.hh"
+#include "predictors/replay_scratch.hh"
 #include "sim/driver.hh"
 #include "sim/factory.hh"
 #include "support/probe.hh"
 #include "support/rng.hh"
+#include "support/simd.hh"
 #include "trace/trace.hh"
 
 namespace bpred
@@ -365,6 +369,104 @@ TEST(ReplayBlockContract, SessionBlockPathMatchesScalarAtBoundaries)
         const SimResult b =
             simulateWithOptions(*scalarSide, trace, scalarOptions);
         EXPECT_EQ(a.predictorName, b.predictorName);
+        EXPECT_EQ(a.conditionals, b.conditionals);
+        EXPECT_EQ(a.mispredicts, b.mispredicts);
+        ASSERT_EQ(a.windows.size(), b.windows.size());
+        for (std::size_t i = 0; i < a.windows.size(); ++i) {
+            EXPECT_EQ(a.windows[i].branches, b.windows[i].branches);
+            EXPECT_EQ(a.windows[i].mispredicts,
+                      b.windows[i].mispredicts);
+        }
+    }
+}
+
+/**
+ * Replay @p trace through replayBlock() in fixed @p block_records
+ * chunks, passing @p scratch down (null = fused reference kernel).
+ */
+ReplayCounters
+replayBlocksFixed(Predictor &predictor, const Trace &trace,
+                  std::size_t block_records, ReplayScratch *scratch)
+{
+    ReplayCounters counters;
+    const BranchRecord *records = trace.records().data();
+    for (std::size_t at = 0; at < trace.size(); at += block_records) {
+        const std::size_t n =
+            std::min(block_records, trace.size() - at);
+        predictor.replayBlock(records + at, n, counters, scratch);
+    }
+    return counters;
+}
+
+/** saveState() bytes, or "" for schemes without snapshot support. */
+std::string
+snapshotBytes(const Predictor &predictor)
+{
+    if (!predictor.supportsSnapshot()) {
+        return {};
+    }
+    std::ostringstream os;
+    predictor.saveState(os);
+    return os.str();
+}
+
+TEST(ReplayBlockContract, SimdMatchesScalarAcrossBlockSizesAndModes)
+{
+    // The phase-split path must be byte-identical to the fused
+    // reference for every scheme, at every block size (including
+    // size 1, where the vector fill degenerates to its scalar tail)
+    // and under both dispatch modes — Scalar exercises the
+    // bit-identical fallback kernels, Avx2 the vector fills where
+    // the build and host support them. Tallies AND trained state
+    // (snapshot bytes) must match.
+    const Trace trace = contractTrace(14);
+    const std::size_t blockSizes[] = {1, 7, 64, 8192};
+    const SimdMode modes[] = {SimdMode::Scalar, SimdMode::Avx2};
+    for (const SchemeInfo &scheme : listSchemes()) {
+        for (const std::size_t block : blockSizes) {
+            for (const SimdMode mode : modes) {
+                SCOPED_TRACE(std::string(scheme.example) + " block=" +
+                             std::to_string(block) + " mode=" +
+                             std::string(simdModeName(mode)));
+                auto reference = makePredictor(scheme.example);
+                auto simd = makePredictor(scheme.example);
+                ReplayScratch scratch;
+                scratch.mode = mode;
+                const ReplayCounters want = replayBlocksFixed(
+                    *reference, trace, block, nullptr);
+                const ReplayCounters got =
+                    replayBlocksFixed(*simd, trace, block, &scratch);
+                EXPECT_EQ(want.conditionals, got.conditionals);
+                EXPECT_EQ(want.mispredicts, got.mispredicts);
+                EXPECT_EQ(snapshotBytes(*reference),
+                          snapshotBytes(*simd));
+            }
+        }
+    }
+}
+
+TEST(ReplayBlockContract, SessionSimdPathMatchesScalarAtBoundaries)
+{
+    // Session-level dispatch: SimOptions::simd = Avx2 against the
+    // forced-scalar engine, with warmup / flush / window intervals
+    // chosen to straddle block boundaries so the phase-split kernel
+    // sees partial blocks at every bookkeeping edge.
+    const Trace trace = contractTrace(15);
+    SimOptions simdOptions;
+    simdOptions.warmupBranches = 1234;
+    simdOptions.flushInterval = 3456;
+    simdOptions.windowSize = 789;
+    simdOptions.simd = SimdMode::Avx2;
+    SimOptions scalarOptions = simdOptions;
+    scalarOptions.simd = SimdMode::Scalar;
+    for (const SchemeInfo &scheme : listSchemes()) {
+        SCOPED_TRACE(scheme.example);
+        auto simdSide = makePredictor(scheme.example);
+        auto scalarSide = makePredictor(scheme.example);
+        const SimResult a =
+            simulateWithOptions(*simdSide, trace, simdOptions);
+        const SimResult b =
+            simulateWithOptions(*scalarSide, trace, scalarOptions);
         EXPECT_EQ(a.conditionals, b.conditionals);
         EXPECT_EQ(a.mispredicts, b.mispredicts);
         ASSERT_EQ(a.windows.size(), b.windows.size());

@@ -37,6 +37,10 @@ allRules()
          "TRACE_SCOPE/TRACE_INSTANT/TRACE_COUNTER category and "
          "name arguments are string literals",
          ruleTraceLiteral},
+        {"simd-isolation",
+         "vector intrinsics only in *_simd files, under "
+         "#if BPRED_HAVE_AVX2",
+         ruleSimdIsolation},
     };
     return rules;
 }

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Rule "simd-isolation": <immintrin.h> and the _mm / __m128-256-512
+ * intrinsics are confined to *_simd translation units, and inside
+ * those they must sit under a #if BPRED_HAVE_AVX2 guard.
+ *
+ * The build compiles no file with -mavx2; vector code is emitted
+ * per-function via [[gnu::target("avx2")]] inside the *_simd
+ * headers, and every other translation unit must stay buildable on
+ * a scalar-only target (BPRED_SIMD_SCALAR_ONLY). An intrinsic that
+ * leaks outside that boundary compiles fine on the CI host and
+ * breaks the scalar build — exactly the class of rot a compiler
+ * cannot flag on the host that introduces it.
+ *
+ * Matching runs over comment- and string-stripped code, so prose
+ * (and the "avx2" literal inside the target attribute) never trips
+ * it.
+ */
+
+#include "bp_lint/lint.hh"
+
+namespace bplint
+{
+
+namespace
+{
+
+bool
+isIdentChar(char c)
+{
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+        (c >= '0' && c <= '9') || c == '_';
+}
+
+/** True when the file stem ends in "_simd" (kernel_simd.hh, ...). */
+bool
+isSimdFile(const std::string &name)
+{
+    const std::size_t dot = name.rfind('.');
+    const std::string stem =
+        dot == std::string::npos ? name : name.substr(0, dot);
+    static const std::string suffix = "_simd";
+    return stem.size() >= suffix.size() &&
+        stem.compare(stem.size() - suffix.size(), suffix.size(),
+                     suffix) == 0;
+}
+
+/** True when the (stripped) line includes <immintrin.h>. */
+bool
+includesImmintrin(const std::string &code)
+{
+    return code.find("#include") != std::string::npos &&
+        code.find("immintrin.h") != std::string::npos;
+}
+
+/**
+ * First intrinsic identifier on the line: an _mm... call/constant
+ * or a __m128/__m256/__m512 vector type, at an identifier boundary.
+ * Returns its position, or npos.
+ */
+std::size_t
+findIntrinsic(const std::string &code)
+{
+    static const char *const prefixes[] = {"_mm", "__m128", "__m256",
+                                           "__m512"};
+    std::size_t best = std::string::npos;
+    for (const char *prefix : prefixes) {
+        std::size_t pos = 0;
+        while ((pos = code.find(prefix, pos)) != std::string::npos) {
+            if (pos == 0 || !isIdentChar(code[pos - 1])) {
+                best = std::min(best, pos);
+                break;
+            }
+            ++pos;
+        }
+    }
+    return best;
+}
+
+/**
+ * Preprocessor-conditional tracker: enough #if/#else/#endif
+ * bookkeeping to answer "is this line inside a BPRED_HAVE_AVX2
+ * guard". An #else flips the top of the stack to unguarded (it is
+ * the scalar side of the gate); #elif re-evaluates its own
+ * condition.
+ */
+class GuardStack
+{
+  public:
+    void
+    observe(const std::string &code)
+    {
+        std::size_t at = code.find_first_not_of(" \t");
+        if (at == std::string::npos || code[at] != '#') {
+            return;
+        }
+        at = code.find_first_not_of(" \t", at + 1);
+        if (at == std::string::npos) {
+            return;
+        }
+        const std::string rest = code.substr(at);
+        const bool mentions_gate =
+            rest.find("BPRED_HAVE_AVX2") != std::string::npos;
+        if (rest.rfind("ifdef", 0) == 0 ||
+            rest.rfind("ifndef", 0) == 0 ||
+            rest.rfind("if", 0) == 0) {
+            stack_.push_back(mentions_gate);
+        } else if (rest.rfind("elif", 0) == 0) {
+            if (!stack_.empty()) {
+                stack_.back() = mentions_gate;
+            }
+        } else if (rest.rfind("else", 0) == 0) {
+            if (!stack_.empty()) {
+                stack_.back() = false;
+            }
+        } else if (rest.rfind("endif", 0) == 0) {
+            if (!stack_.empty()) {
+                stack_.pop_back();
+            }
+        }
+    }
+
+    bool
+    guarded() const
+    {
+        for (const bool gate : stack_) {
+            if (gate) {
+                return true;
+            }
+        }
+        return false;
+    }
+
+  private:
+    std::vector<bool> stack_;
+};
+
+} // namespace
+
+void
+ruleSimdIsolation(const RepoTree &tree,
+                  std::vector<Finding> &findings)
+{
+    for (const SourceFile &file : tree.files) {
+        if (!file.isCpp) {
+            continue;
+        }
+        const bool simd_file = isSimdFile(file.name);
+        GuardStack guards;
+        for (std::size_t i = 0; i < file.code.size(); ++i) {
+            const std::string &code = file.code[i];
+            const std::size_t line_no = i + 1;
+            guards.observe(code);
+            const bool has_include = includesImmintrin(code);
+            const bool has_intrinsic =
+                findIntrinsic(code) != std::string::npos;
+            if (!has_include && !has_intrinsic) {
+                continue;
+            }
+            if (lineAllows(file, line_no, "simd-isolation")) {
+                continue;
+            }
+            if (!simd_file) {
+                findings.push_back(
+                    {"simd-isolation", file.relative, line_no,
+                     std::string(has_include
+                                     ? "<immintrin.h> included"
+                                     : "vector intrinsic used") +
+                         " outside a *_simd file; keep intrinsics "
+                         "in the *_simd kernels behind the SimdMode "
+                         "dispatch"});
+            } else if (!guards.guarded()) {
+                findings.push_back(
+                    {"simd-isolation", file.relative, line_no,
+                     std::string(has_include ? "<immintrin.h> include"
+                                             : "vector intrinsic") +
+                         " not under #if BPRED_HAVE_AVX2; the "
+                         "scalar-only build must compile this "
+                         "file"});
+            }
+        }
+    }
+}
+
+} // namespace bplint

@@ -17,5 +17,6 @@ void ruleFactoryFingerprint(const RepoTree &,
                             std::vector<Finding> &);
 void ruleDeprecatedCall(const RepoTree &, std::vector<Finding> &);
 void ruleTraceLiteral(const RepoTree &, std::vector<Finding> &);
+void ruleSimdIsolation(const RepoTree &, std::vector<Finding> &);
 
 } // namespace bplint
