@@ -201,8 +201,11 @@ parseBlockSize(const std::string &value)
 
 } // namespace
 
+namespace
+{
+
 void
-init(int argc, char **argv)
+initImpl(int argc, char **argv, std::vector<std::string> *extra)
 {
     if (argc > 0) {
         report().benchName = basenameOf(argv[0]);
@@ -232,6 +235,8 @@ init(int argc, char **argv)
             report().statsPath = argv[++i];
         } else if (arg.rfind("--stats-out=", 0) == 0) {
             report().statsPath = arg.substr(12);
+        } else if (extra != nullptr) {
+            extra->push_back(arg);
         } else {
             usage(arg);
         }
@@ -240,6 +245,22 @@ init(int argc, char **argv)
         trace::setEnabled(true);
         trace::setThreadName("main");
     }
+}
+
+} // namespace
+
+void
+init(int argc, char **argv)
+{
+    initImpl(argc, argv, nullptr);
+}
+
+std::vector<std::string>
+initWithExtraArgs(int argc, char **argv)
+{
+    std::vector<std::string> extra;
+    initImpl(argc, argv, &extra);
+    return extra;
 }
 
 bool

@@ -52,6 +52,15 @@ constexpr double defaultScale = 1.0;
  */
 void init(int argc, char **argv);
 
+/**
+ * As init(), but arguments the common layer does not recognise are
+ * returned to the caller (in order) instead of aborting — for
+ * benches with their own flags on top of the shared ones (e.g.
+ * bench_serve_loadgen's --tenants). The caller owns rejecting
+ * whatever it does not understand either.
+ */
+std::vector<std::string> initWithExtraArgs(int argc, char **argv);
+
 /** True when `--json` capture is active. */
 bool jsonEnabled();
 

@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Serving-layer load generator: tens of thousands of tenants
+ * through one PredictorPool.
+ *
+ * Each simulated tenant streams slices of one of the six suite
+ * traces (per-tenant start offsets decorrelate the streams) into a
+ * sharded PredictorPool. Traffic comes in two phases: a cold sweep
+ * that touches every tenant once — so the per-tenant accuracy
+ * export covers the whole population — followed by a traffic phase
+ * whose tenant-popularity distribution is a preset:
+ *
+ *   hot    Zipf-skewed popularity: a small working set dominates,
+ *          the LRU TenantCache mostly hits.
+ *   cold   uniform popularity over all tenants: nearly every
+ *          request restores a checkpointed tenant (worst case).
+ *   mixed  half hot, half cold traffic, interleaved (default).
+ *
+ * Reported: aggregate throughput (records/s across submit+drain),
+ * p50/p99 submit-to-completion request latency, checkpoint traffic
+ * and — in the `--json` report — a per-tenant accuracy array plus
+ * the full ServeStats export. This is the capacity-planning view
+ * of the paper's aliasing question: how much serving state can
+ * share one pool before checkpoint churn dominates latency.
+ *
+ * Extra flags on top of the common bench set:
+ *   --tenants <n>    simulated tenant count (default 10000)
+ *   --requests <n>   traffic-phase requests (default = tenants)
+ *   --quantum <n>    records per request (default 256)
+ *   --spec <spec>    predictor spec (default egskew:10:8)
+ *   --shards <n>     pool worker shards (default 4)
+ *   --capacity <n>   resident predictors per shard (default 256)
+ *   --preset <p>     hot | cold | mixed (default mixed)
+ *   --zipf <s>       hot-phase Zipf exponent (default 1.2)
+ *   --spill-dir <d>  spill checkpoints under directory d
+ *   --seed <n>       traffic RNG seed (default 1997)
+ */
+
+#include "bench_common.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "serve/predictor_pool.hh"
+#include "serve/serve_stats.hh"
+#include "sim/factory.hh"
+#include "support/parse.hh"
+#include "support/rng.hh"
+
+namespace
+{
+
+struct LoadgenConfig
+{
+    bpred::u64 tenants = 10000;
+    bpred::u64 requests = 0; // 0: one traffic request per tenant
+    std::size_t quantum = 256;
+    std::string spec = "egskew:10:8";
+    unsigned shards = 4;
+    std::size_t capacity = 256;
+    std::string preset = "mixed";
+    double zipf = 1.2;
+    std::string spillDir;
+    bpred::u64 seed = 1997;
+};
+
+[[noreturn]] void
+loadgenUsage(const std::string &offending)
+{
+    std::fprintf(stderr,
+                 "bench_serve_loadgen: unknown argument '%s'\n"
+                 "extra flags: --tenants <n> --requests <n> "
+                 "--quantum <n> --spec <spec> --shards <n> "
+                 "--capacity <n> --preset hot|cold|mixed "
+                 "--zipf <s> --spill-dir <dir> --seed <n>\n",
+                 offending.c_str());
+    std::exit(2);
+}
+
+LoadgenConfig
+parseLoadgenArgs(const std::vector<std::string> &args)
+{
+    LoadgenConfig config;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        const auto value = [&]() -> const std::string & {
+            if (i + 1 >= args.size()) {
+                loadgenUsage(arg + " (missing value)");
+            }
+            return args[++i];
+        };
+        if (arg == "--tenants") {
+            config.tenants = bpred::parseU64(value(), "--tenants");
+        } else if (arg == "--requests") {
+            config.requests = bpred::parseU64(value(), "--requests");
+        } else if (arg == "--quantum") {
+            config.quantum = static_cast<std::size_t>(
+                bpred::parseU64(value(), "--quantum"));
+        } else if (arg == "--spec") {
+            config.spec = value();
+        } else if (arg == "--shards") {
+            config.shards = static_cast<unsigned>(
+                bpred::parseU64(value(), "--shards"));
+        } else if (arg == "--capacity") {
+            config.capacity = static_cast<std::size_t>(
+                bpred::parseU64(value(), "--capacity"));
+        } else if (arg == "--preset") {
+            config.preset = value();
+        } else if (arg == "--zipf") {
+            config.zipf = bpred::parseDouble(value(), "--zipf");
+        } else if (arg == "--spill-dir") {
+            config.spillDir = value();
+        } else if (arg == "--seed") {
+            config.seed = bpred::parseU64(value(), "--seed");
+        } else {
+            loadgenUsage(arg);
+        }
+    }
+    if (config.tenants == 0 || config.quantum == 0 ||
+        config.shards == 0 || config.capacity == 0) {
+        loadgenUsage("zero-valued size parameter");
+    }
+    if (config.preset != "hot" && config.preset != "cold" &&
+        config.preset != "mixed") {
+        loadgenUsage("--preset " + config.preset);
+    }
+    return config;
+}
+
+/** Per-tenant cursor into its base trace. */
+struct TenantCursor
+{
+    std::size_t trace = 0;
+    std::size_t at = 0;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace bpred;
+    using namespace bpred::bench;
+    using LoadClock = std::chrono::steady_clock;
+
+    const LoadgenConfig config =
+        parseLoadgenArgs(initWithExtraArgs(argc, argv));
+    const u64 trafficRequests =
+        config.requests > 0 ? config.requests : config.tenants;
+
+    banner("Serving load generator",
+           "one PredictorPool, " + std::to_string(config.tenants) +
+               " tenants, '" + config.preset +
+               "' traffic: throughput, request latency tails and "
+               "checkpoint churn at pool scale.");
+
+    const std::vector<Trace> &traces = suite();
+
+    // Per-tenant stream cursors: tenant t replays trace t mod 6
+    // starting at a decorrelated offset.
+    std::vector<TenantCursor> cursors(config.tenants);
+    for (u64 tenant = 0; tenant < config.tenants; ++tenant) {
+        TenantCursor &cursor = cursors[tenant];
+        cursor.trace = tenant % traces.size();
+        const std::size_t size = traces[cursor.trace].size();
+        cursor.at = size > config.quantum
+            ? (tenant * 7919) % (size - config.quantum)
+            : 0;
+    }
+
+    PredictorPool::Options options;
+    options.shards = config.shards;
+    options.tenantCapacity = config.capacity;
+    options.spillDir = config.spillDir;
+    PredictorPool pool(parseSpec(config.spec), options);
+
+    const auto submitOne = [&](u64 tenant) {
+        TenantCursor &cursor = cursors[tenant];
+        const Trace &trace = traces[cursor.trace];
+        if (cursor.at >= trace.size()) {
+            cursor.at = 0;
+        }
+        PredictRequest request;
+        request.tenant = tenant;
+        request.records = trace.records().data() + cursor.at;
+        request.count =
+            std::min(config.quantum, trace.size() - cursor.at);
+        cursor.at += request.count;
+        pool.submit(request);
+    };
+
+    const LoadClock::time_point started = LoadClock::now();
+
+    // Phase 1: cold sweep — every tenant exists and has an
+    // accuracy row afterwards.
+    for (u64 tenant = 0; tenant < config.tenants; ++tenant) {
+        submitOne(tenant);
+    }
+    pool.drain();
+
+    // Phase 2: preset-shaped traffic. Zipf rank r maps to tenant
+    // (r * prime) mod tenants so popular tenants spread over all
+    // shards instead of clustering at low ids.
+    Rng rng(config.seed);
+    const auto hotTenant = [&]() {
+        return rng.zipf(config.tenants, config.zipf) * 7919 %
+            config.tenants;
+    };
+    const auto coldTenant = [&]() {
+        return rng.uniformInt(config.tenants);
+    };
+    for (u64 i = 0; i < trafficRequests; ++i) {
+        const bool hot = config.preset == "hot" ||
+            (config.preset == "mixed" && i % 2 == 0);
+        submitOne(hot ? hotTenant() : coldTenant());
+    }
+    pool.drain();
+
+    const double elapsed =
+        std::chrono::duration<double>(LoadClock::now() - started)
+            .count();
+
+    const PoolCounters totals = pool.counters();
+    const Histogram latency = pool.requestLatencyUs();
+    const u64 p50 =
+        latency.total() > 0 ? latency.percentile(0.5) : 0;
+    const u64 p99 =
+        latency.total() > 0 ? latency.percentile(0.99) : 0;
+    const double throughput =
+        elapsed > 0.0 ? double(totals.records) / elapsed : 0.0;
+    const double accuracy = totals.conditionals > 0
+        ? 1.0 -
+            double(totals.mispredicts) / double(totals.conditionals)
+        : 0.0;
+
+    TextTable table({"tenants", "requests", "records",
+                     "records/s", "p50 us", "p99 us", "evictions",
+                     "restores", "accuracy"});
+    table.row()
+        .cell(formatCount(config.tenants))
+        .cell(formatCount(totals.requests))
+        .cell(formatCount(totals.records))
+        .cell(formatCount(u64(throughput)))
+        .cell(p50)
+        .cell(p99)
+        .cell(formatCount(totals.cache.evictions))
+        .cell(formatCount(totals.cache.restores))
+        .percentCell(100.0 * accuracy);
+    emitTable("loadgen", table);
+
+    recordReportField("serve_spec", config.spec);
+    recordReportField("preset", config.preset);
+    recordReportField("tenants", config.tenants);
+    recordReportField("requests", totals.requests);
+    recordReportField("records", totals.records);
+    recordReportField("shards", u64(config.shards));
+    recordReportField("capacity_per_shard", u64(config.capacity));
+    recordReportField("quantum_records", u64(config.quantum));
+    recordReportField("elapsed_serving_seconds", elapsed);
+    recordReportField("throughput_records_per_s", throughput);
+    recordReportField("latency_p50_us", p50);
+    recordReportField("latency_p99_us", p99);
+
+    // Full pool/cache/latency export, plus one accuracy row per
+    // tenant — the telemetry a serving fleet would scrape.
+    StatRegistry serveStats;
+    exportServeStats(pool, serveStats, 0);
+    emitStats("loadgen", "serve", serveStats);
+
+    JsonValue perTenant = JsonValue::array();
+    for (const TenantSummary &summary : pool.tenantSummaries()) {
+        JsonValue node = JsonValue::object();
+        node["tenant"] = summary.tenant;
+        node["requests"] = summary.requests;
+        node["conditionals"] = summary.conditionals;
+        node["accuracy"] = summary.accuracy();
+        perTenant.push(std::move(node));
+    }
+    recordReportField("tenant_accuracy", std::move(perTenant));
+
+    expectation(
+        "hot traffic should hold p99 near p50 (the popular tenants "
+        "stay resident); cold traffic pays a checkpoint "
+        "save+restore on nearly every request, and the gap between "
+        "the two is the price of tenant-state aliasing in the "
+        "cache.");
+
+    return finish();
+}

@@ -1,145 +1,213 @@
 /**
  * @file
- * Multi-tenant prediction serving on one predictor instance.
+ * Multi-tenant prediction serving over the src/serve pool API.
  *
- * Three traces ("tenants") share a single hardware predictor, the
- * way co-scheduled processes share one branch predictor. The server
- * round-robins between them in fixed-size quanta; on every context
- * switch it checkpoints the outgoing tenant's predictor state to an
- * in-memory buffer (savePredictorState) and restores the incoming
- * tenant's (loadPredictorState). Each tenant's streaming SimSession
- * keeps its own scores across suspensions.
+ * Each tenant is an IBS-like trace served through a PredictorPool:
+ * sharded worker threads, batched PredictRequests resolved by the
+ * replayBlock() kernel, and an LRU TenantCache that checkpoints
+ * cold tenants to BPS1 buffers and restores them on demand. The
+ * default capacity is deliberately scarce, so tenants thrash
+ * through at least one evict/restore cycle per scheduling round —
+ * the serving-layer descendant of the original round-robin
+ * context-switch experiment.
  *
  * Because snapshots carry the complete predictor state, every
- * tenant must end with exactly the misprediction count it would get
- * running alone on a private predictor — the program verifies this
- * against a standalone batch run per tenant and exits nonzero on
- * any difference. Dropping the save/restore pair turns this into
- * the aliasing-and-history-pollution experiment of the paper's
- * multiprogramming sections.
+ * tenant must end bit-identical to a standalone run on a private
+ * predictor: same misprediction counts AND the same BPS1 snapshot
+ * bytes. The program verifies both and exits nonzero on any
+ * difference, which makes it CI's end-to-end gate on the serve
+ * stack.
  *
- * Observability: with a fourth argument the server writes a JSON
- * metrics snapshot after every full scheduling round (and once at
- * the end) — per tenant: request/record counts, live accuracy, and
- * checkpoint save/restore latency p50/p99 from the Histogram in
- * support/stats.hh, plus the tenant session's own feed-phase
- * metrics (SimOptions::metrics). The file is rewritten in place, so
- * `watch python3 -m json.tool <file>` is a live dashboard.
+ * Observability: with --metrics-out the server rewrites a JSON
+ * snapshot after every scheduling round — the ServeStats export
+ * (pool/cache/latency plus per-tenant request and accuracy rows)
+ * wrapped with round progress. Each snapshot is a complete JSON
+ * document, so `watch python3 -m json.tool <file>` is a live
+ * dashboard.
  *
- * Usage: prediction_server [scale] [quantum] [spec] [metrics_out]
- *   scale:       trace-length multiplier (default 0.1 = 200k branches)
- *   quantum:     records served per scheduling slice (default 20000)
- *   spec:        shared predictor spec (default egskew:12:11)
- *   metrics_out: periodic JSON metrics snapshot path (default off)
+ * Usage: prediction_server [options] [scale [quantum [spec [metrics_out]]]]
+ *   --scale X        trace-length multiplier (default 0.1)
+ *   --quantum N      records per request (default 20000)
+ *   --spec S         predictor spec (default egskew:12:11)
+ *   --tenants N      tenant count, cycling the IBS suite (default 3)
+ *   --rounds N       stop after N scheduling rounds (default: run
+ *                    every stream to completion)
+ *   --shards N       pool worker shards (default 2)
+ *   --capacity N     resident predictors per shard (default sized
+ *                    to force checkpoint churn)
+ *   --spill-dir D    spill evicted checkpoints under directory D
+ *   --metrics-out F  rewrite a JSON metrics snapshot every round
+ *
+ * The positional form ([scale] [quantum] [spec] [metrics_out]) is
+ * kept as a fallback so existing smoke invocations keep working:
+ *   prediction_server 0.02 5000 egskew:10:8
  */
 
-#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
-#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "serve/predictor_pool.hh"
+#include "serve/serve_stats.hh"
 #include "sim/driver.hh"
 #include "sim/factory.hh"
-#include "sim/session.hh"
 #include "support/json.hh"
 #include "support/parse.hh"
-#include "support/stat_registry.hh"
 #include "support/table.hh"
 #include "workloads/presets.hh"
 
 namespace
 {
 
-using ServerClock = std::chrono::steady_clock;
-
-struct Tenant
+struct ServerConfig
 {
-    bpred::Trace trace;
-    std::unique_ptr<bpred::SimSession> session;
-
-    /** Serialized predictor state while the tenant is suspended. */
-    std::string checkpoint;
-
-    /** Per-tenant server + session metrics (SimOptions::metrics). */
-    bpred::StatRegistry metrics;
-
-    /** Next record to serve. */
-    std::size_t at = 0;
-
-    /** Context switches into this tenant. */
-    unsigned slices = 0;
-
-    bool done() const { return at >= trace.size(); }
+    double scale = 0.1;
+    std::size_t quantum = 20000;
+    std::string spec = "egskew:12:11";
+    std::string metricsPath;
+    bpred::u64 tenants = 3;
+    bpred::u64 rounds = 0; // 0: serve every stream to completion
+    unsigned shards = 2;
+    std::size_t capacity = 0; // 0: derive a churn-forcing default
+    std::string spillDir;
 };
 
-/** Checkpoint latency in whole microseconds for the histograms. */
-bpred::u64
-elapsedUs(ServerClock::time_point start)
+void
+printUsage(std::ostream &os)
 {
-    return static_cast<bpred::u64>(
-        std::chrono::duration_cast<std::chrono::microseconds>(
-            ServerClock::now() - start)
-            .count());
-}
-
-/** p50/p99/count summary of a latency histogram (µs keys). */
-bpred::JsonValue
-latencySummary(const bpred::Histogram &latency)
-{
-    bpred::JsonValue node = bpred::JsonValue::object();
-    node["count"] = latency.total();
-    node["p50_us"] =
-        latency.total() > 0 ? latency.percentile(0.5) : bpred::u64(0);
-    node["p99_us"] =
-        latency.total() > 0 ? latency.percentile(0.99) : bpred::u64(0);
-    return node;
+    os << "usage: prediction_server [options] "
+          "[scale [quantum [spec [metrics_out]]]]\n"
+          "  --scale X        trace-length multiplier (default 0.1)\n"
+          "  --quantum N      records per request (default 20000)\n"
+          "  --spec S         predictor spec (default egskew:12:11)\n"
+          "  --tenants N      tenant count over the IBS suite "
+          "(default 3)\n"
+          "  --rounds N       stop after N scheduling rounds\n"
+          "  --shards N       pool worker shards (default 2)\n"
+          "  --capacity N     resident predictors per shard\n"
+          "  --spill-dir D    spill checkpoints under directory D\n"
+          "  --metrics-out F  rewrite JSON metrics every round\n";
 }
 
 /**
- * Write one metrics snapshot covering every tenant. Writes to a
- * temp-free single file (truncate + rewrite): each snapshot is a
- * complete JSON document, so external tooling never sees a partial
- * tail longer than one write.
+ * Flag-style parsing with the historic positional form as a
+ * fallback: bare tokens fill scale, quantum, spec, metrics_out in
+ * order.
  */
+bool
+parseArgs(int argc, char **argv, ServerConfig &config)
+{
+    int positional = 0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&](const char *what) -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "error: " << what
+                          << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            printUsage(std::cout);
+            std::exit(0);
+        } else if (arg == "--scale") {
+            config.scale =
+                bpred::parseDouble(value("--scale"), "--scale");
+        } else if (arg == "--quantum") {
+            config.quantum = static_cast<std::size_t>(
+                bpred::parseU64(value("--quantum"), "--quantum"));
+        } else if (arg == "--spec") {
+            config.spec = value("--spec");
+        } else if (arg == "--tenants") {
+            config.tenants =
+                bpred::parseU64(value("--tenants"), "--tenants");
+        } else if (arg == "--rounds") {
+            config.rounds =
+                bpred::parseU64(value("--rounds"), "--rounds");
+        } else if (arg == "--shards") {
+            config.shards = static_cast<unsigned>(
+                bpred::parseU64(value("--shards"), "--shards"));
+        } else if (arg == "--capacity") {
+            config.capacity = static_cast<std::size_t>(
+                bpred::parseU64(value("--capacity"), "--capacity"));
+        } else if (arg == "--spill-dir") {
+            config.spillDir = value("--spill-dir");
+        } else if (arg == "--metrics-out") {
+            config.metricsPath = value("--metrics-out");
+        } else if (arg.rfind("--", 0) == 0) {
+            std::cerr << "error: unknown option '" << arg << "'\n";
+            return false;
+        } else {
+            switch (positional++) {
+              case 0:
+                config.scale = bpred::parseDouble(arg, "scale");
+                break;
+              case 1:
+                config.quantum = static_cast<std::size_t>(
+                    bpred::parseU64(arg, "quantum"));
+                break;
+              case 2:
+                config.spec = arg;
+                break;
+              case 3:
+                config.metricsPath = arg;
+                break;
+              default:
+                std::cerr << "error: too many positional "
+                             "arguments\n";
+                return false;
+            }
+        }
+    }
+    if (config.scale <= 0.0 || config.quantum == 0 ||
+        config.tenants == 0 || config.shards == 0) {
+        return false;
+    }
+    return true;
+}
+
+struct TenantStream
+{
+    bpred::u64 id = 0;
+
+    /** Index into the shared benchmark trace list. */
+    std::size_t benchmark = 0;
+
+    /** Next record to serve. */
+    std::size_t at = 0;
+};
+
+/** Rewrite the per-round metrics snapshot (a complete document). */
 void
-writeMetricsSnapshot(const std::string &path, unsigned snapshotId,
-                     unsigned switches, double elapsed_seconds,
-                     std::vector<Tenant> &tenants)
+writeMetricsSnapshot(const std::string &path,
+                     const bpred::PredictorPool &pool,
+                     bpred::u64 round, bpred::u64 roundsServed,
+                     const std::vector<TenantStream> &streams,
+                     const std::vector<bpred::Trace> &traces)
 {
     using bpred::JsonValue;
     JsonValue document = JsonValue::object();
-    document["snapshot"] = bpred::u64(snapshotId);
-    document["elapsed_seconds"] = elapsed_seconds;
-    document["context_switches"] = bpred::u64(switches);
-    JsonValue &byTenant = document["tenants"];
-    byTenant = JsonValue::object();
-    for (Tenant &tenant : tenants) {
+    document["round"] = round;
+    document["rounds_served"] = roundsServed;
+    document["serve"] = serveStatsToJson(pool, streams.size());
+    JsonValue &progress = document["tenants"];
+    progress = JsonValue::object();
+    for (const TenantStream &stream : streams) {
         JsonValue node = JsonValue::object();
-        node["slices"] = bpred::u64(tenant.slices);
-        node["records_served"] = bpred::u64(tenant.at);
-        node["records_total"] = bpred::u64(tenant.trace.size());
-        const bpred::u64 scored =
-            tenant.session->scoredConditionals();
-        const bpred::u64 wrong = tenant.session->mispredictsSoFar();
-        node["conditionals"] = scored;
-        node["mispredicts"] = wrong;
-        node["accuracy"] = scored > 0
-            ? 1.0 - double(wrong) / double(scored)
-            : 0.0;
-        node["checkpoint_bytes"] =
-            bpred::u64(tenant.checkpoint.size());
-        node["save_latency"] = latencySummary(
-            tenant.metrics.histogram("checkpoint.save_us"));
-        node["restore_latency"] = latencySummary(
-            tenant.metrics.histogram("checkpoint.restore_us"));
-        // Session feed metrics and the raw latency histograms land
-        // in the same per-tenant registry (SimOptions::metrics).
-        node["metrics"] = tenant.metrics.toJson();
-        byTenant[tenant.trace.name()] = std::move(node);
+        node["benchmark"] = traces[stream.benchmark].name();
+        node["records_served"] = bpred::u64(stream.at);
+        node["records_total"] =
+            bpred::u64(traces[stream.benchmark].size());
+        const bpred::TenantSummary summary =
+            pool.tenantSummary(stream.id);
+        node["requests"] = summary.requests;
+        node["accuracy"] = summary.accuracy();
+        progress["tenant_" + std::to_string(stream.id)] =
+            std::move(node);
     }
     std::ofstream out(path, std::ios::trunc);
     if (!out) {
@@ -158,135 +226,136 @@ main(int argc, char **argv)
 {
     using namespace bpred;
 
-    const double scale =
-        argc > 1 ? bpred::parseDouble(argv[1], "scale") : 0.1;
-    const std::size_t quantum =
-        argc > 2
-        ? static_cast<std::size_t>(parseU64(argv[2], "quantum"))
-        : 20000;
-    const std::string spec = argc > 3 ? argv[3] : "egskew:12:11";
-    const std::string metricsPath = argc > 4 ? argv[4] : "";
-
-    if (scale <= 0.0 || quantum == 0) {
-        std::cerr << "usage: prediction_server [scale] [quantum] "
-                     "[spec] [metrics_out]\n";
+    ServerConfig config;
+    if (!parseArgs(argc, argv, config)) {
+        printUsage(std::cerr);
         return 2;
     }
 
     try {
-        auto predictor = makePredictor(spec);
-        if (!predictor->supportsSnapshot()) {
-            std::cerr << "error: '" << spec
-                      << "' does not support snapshots; pick a "
-                         "snapshot-capable scheme (e.g. gshare, "
-                         "egskew, bimodal)\n";
-            return 2;
+        const PredictorSpec spec = parseSpec(config.spec);
+
+        // Tenant t serves benchmark t mod |suite|; the traces are
+        // generated once and shared (each tenant still gets its own
+        // predictor, which is the whole point).
+        const std::vector<std::string> &names = ibsBenchmarkNames();
+        const std::size_t distinct = std::min<std::size_t>(
+            config.tenants, names.size());
+        std::vector<Trace> traces;
+        for (std::size_t i = 0; i < distinct; ++i) {
+            traces.push_back(makeIbsTrace(names[i], config.scale));
+        }
+        std::vector<TenantStream> streams;
+        for (u64 tenant = 0; tenant < config.tenants; ++tenant) {
+            streams.push_back(
+                {tenant, std::size_t(tenant) % distinct, 0});
         }
 
-        std::cout << "Serving 3 tenants on one '"
-                  << predictor->name() << "' (quantum " << quantum
+        PredictorPool::Options options;
+        options.shards = config.shards;
+        // Default capacity: about half the tenants a shard serves,
+        // so every round forces checkpoint churn (the serving
+        // analogue of a context switch per quantum).
+        const std::size_t perShard =
+            (config.tenants + config.shards - 1) / config.shards;
+        options.tenantCapacity = config.capacity > 0
+            ? config.capacity
+            : std::max<std::size_t>(1, perShard / 2);
+        options.spillDir = config.spillDir;
+        PredictorPool pool(spec, options);
+
+        std::cout << "Serving " << config.tenants
+                  << " tenants over '" << spec.toString() << "' ("
+                  << config.shards << " shard"
+                  << (config.shards == 1 ? "" : "s") << ", capacity "
+                  << options.tenantCapacity
+                  << " residents/shard, quantum " << config.quantum
                   << " records)\n";
 
-        std::vector<Tenant> tenants;
-        for (const char *benchmark : {"groff", "gs", "nroff"}) {
-            Tenant tenant;
-            tenant.trace = makeIbsTrace(benchmark, scale);
-            tenants.push_back(std::move(tenant));
-        }
-        // Sessions bind to the shared predictor after the tenants
-        // vector stops reallocating. Each session reports its
-        // feed-phase metrics into its tenant's registry, next to
-        // the server's own checkpoint latency histograms.
-        for (Tenant &tenant : tenants) {
-            SimOptions options;
-            options.metrics = &tenant.metrics;
-            tenant.session = std::make_unique<SimSession>(
-                *predictor, options, tenant.trace.name());
-        }
-
-        // Round-robin scheduler: restore, serve one quantum,
-        // checkpoint, move on. After every full round the metrics
-        // snapshot (when requested) is rewritten, so an observer
-        // sees request counts, accuracy and checkpoint latency
-        // percentiles converge live.
-        const ServerClock::time_point started = ServerClock::now();
-        unsigned switches = 0;
-        unsigned snapshotId = 0;
-        for (bool any_ran = true; any_ran;) {
+        // Round-robin scheduler: every round each unfinished tenant
+        // submits one quantum; drain() is the round barrier so the
+        // metrics snapshot below reads quiesced totals.
+        u64 round = 0;
+        for (bool any_ran = true; any_ran; ) {
+            if (config.rounds > 0 && round == config.rounds) {
+                break;
+            }
             any_ran = false;
-            for (Tenant &tenant : tenants) {
-                if (tenant.done()) {
+            for (TenantStream &stream : streams) {
+                const Trace &trace = traces[stream.benchmark];
+                if (stream.at >= trace.size()) {
                     continue;
                 }
-                if (tenant.slices == 0) {
-                    // First slice: a tenant starts cold.
-                    predictor->reset();
-                } else {
-                    const ServerClock::time_point t0 =
-                        ServerClock::now();
-                    std::istringstream in(tenant.checkpoint);
-                    loadPredictorState(*predictor, in);
-                    tenant.metrics
-                        .histogram("checkpoint.restore_us")
-                        .sample(elapsedUs(t0));
-                }
-                ++tenant.slices;
-                ++switches;
-                ++tenant.metrics.counter("server.requests");
-
-                const std::size_t n = std::min(
-                    quantum, tenant.trace.size() - tenant.at);
-                tenant.session->feed(
-                    tenant.trace.records().data() + tenant.at, n);
-                tenant.at += n;
-
-                const ServerClock::time_point t0 =
-                    ServerClock::now();
-                std::ostringstream out;
-                savePredictorState(*predictor, out);
-                tenant.checkpoint = out.str();
-                tenant.metrics.histogram("checkpoint.save_us")
-                    .sample(elapsedUs(t0));
+                PredictRequest request;
+                request.tenant = stream.id;
+                request.records =
+                    trace.records().data() + stream.at;
+                request.count = std::min(
+                    config.quantum, trace.size() - stream.at);
+                pool.submit(request);
+                stream.at += request.count;
                 any_ran = true;
             }
-            if (!metricsPath.empty() && any_ran) {
-                writeMetricsSnapshot(
-                    metricsPath, snapshotId++, switches,
-                    std::chrono::duration<double>(
-                        ServerClock::now() - started)
-                        .count(),
-                    tenants);
+            if (!any_ran) {
+                break;
+            }
+            pool.drain();
+            ++round;
+            if (!config.metricsPath.empty()) {
+                writeMetricsSnapshot(config.metricsPath, pool,
+                                     round, round, streams, traces);
             }
         }
+        pool.drain();
 
         // Every tenant must match a standalone run on a private
-        // predictor bit for bit.
+        // predictor bit for bit: identical scores AND identical
+        // final snapshot bytes. References are computed once per
+        // distinct benchmark slice actually served.
         bool isolated = true;
-        TextTable table({"tenant", "records", "slices", "served",
-                         "standalone", "checkpoint bytes"});
-        for (Tenant &tenant : tenants) {
-            const SimResult served = tenant.session->finish();
+        TextTable table({"tenant", "benchmark", "records", "requests",
+                         "served", "standalone", "snapshot"});
+        for (const TenantStream &stream : streams) {
+            const Trace &trace = traces[stream.benchmark];
 
-            auto reference = makePredictor(spec);
-            const SimResult standalone =
-                simulate(*reference, tenant.trace);
+            auto reference = makePredictor(spec.toString());
+            Trace slice(trace.name());
+            slice.append(trace.records().data(), stream.at);
+            const SimResult standalone = simulate(*reference, slice);
+            std::ostringstream expected;
+            savePredictorState(*reference, expected);
 
+            const TenantSummary served =
+                pool.tenantSummary(stream.id);
+            const bool bytesMatch =
+                pool.exportTenant(stream.id) == expected.str();
+            const bool scoresMatch =
+                served.mispredicts == standalone.mispredicts &&
+                served.conditionals == standalone.conditionals;
+
+            const double servedPct = served.conditionals == 0
+                ? 0.0
+                : 100.0 * double(served.mispredicts) /
+                    double(served.conditionals);
             table.row()
-                .cell(tenant.trace.name())
-                .cell(formatCount(tenant.trace.size()))
-                .cell(static_cast<u64>(tenant.slices))
-                .percentCell(served.mispredictPercent())
+                .cell("tenant_" + std::to_string(stream.id))
+                .cell(trace.name())
+                .cell(formatCount(stream.at))
+                .cell(served.requests)
+                .percentCell(servedPct)
                 .percentCell(standalone.mispredictPercent())
-                .cell(tenant.checkpoint.size());
+                .cell(bytesMatch ? "match" : "DIFF");
 
-            if (served.mispredicts != standalone.mispredicts ||
-                served.conditionals != standalone.conditionals) {
-                std::cout << "ISOLATION FAILURE: "
-                          << tenant.trace.name() << " served "
+            if (!scoresMatch || !bytesMatch) {
+                std::cout << "ISOLATION FAILURE: tenant "
+                          << stream.id << " served "
                           << served.mispredicts << "/"
                           << served.conditionals << " vs standalone "
                           << standalone.mispredicts << "/"
-                          << standalone.conditionals << "\n";
+                          << standalone.conditionals
+                          << (bytesMatch ? ""
+                                         : " (snapshot bytes differ)")
+                          << "\n";
                 isolated = false;
             }
         }
@@ -295,8 +364,11 @@ main(int argc, char **argv)
         if (!isolated) {
             return 1;
         }
-        std::cout << "\n" << switches
-                  << " context switches; every tenant matched its "
+        const PoolCounters totals = pool.counters();
+        std::cout << "\n" << totals.requests << " requests, "
+                  << totals.cache.evictions << " evictions, "
+                  << totals.cache.restores
+                  << " restores; every tenant matched its "
                      "standalone run exactly — checkpoints carry "
                      "the complete predictor state.\n";
         return 0;

@@ -1,5 +1,8 @@
 #include "aliasing/fa_lru_table.hh"
 
+#include "support/logging.hh"
+#include "support/serialize.hh"
+
 namespace bpred
 {
 
@@ -52,6 +55,53 @@ FullyAssociativeLruTable::reset()
     lruList.clear();
     entries.clear();
     misses.reset();
+}
+
+void
+FullyAssociativeLruTable::saveState(std::ostream &os) const
+{
+    putU64(os, capacity_);
+    putU64(os, lruList.size());
+    for (const Entry &entry : lruList) {
+        putU64(os, entry.key);
+        putU8(os, entry.payload);
+    }
+    putU64(os, misses.events());
+    putU64(os, misses.total());
+}
+
+void
+FullyAssociativeLruTable::loadState(std::istream &is)
+{
+    const u64 stored_capacity = getU64(is);
+    if (stored_capacity != capacity_) {
+        fatal("fa-lru snapshot: capacity mismatch (stored " +
+              std::to_string(stored_capacity) + ", table has " +
+              std::to_string(capacity_) + ")");
+    }
+    const u64 count = getU64(is);
+    if (count > capacity_) {
+        fatal("fa-lru snapshot: entry count exceeds capacity");
+    }
+    std::list<Entry> restored;
+    std::unordered_map<u64, std::list<Entry>::iterator> index;
+    index.reserve(static_cast<std::size_t>(count));
+    for (u64 i = 0; i < count; ++i) {
+        const u64 key = getU64(is);
+        const u8 payload = getU8(is);
+        restored.push_back({key, payload});
+        if (!index.emplace(key, std::prev(restored.end())).second) {
+            fatal("fa-lru snapshot: duplicate key");
+        }
+    }
+    const u64 miss_events = getU64(is);
+    const u64 miss_total = getU64(is);
+    if (miss_events > miss_total) {
+        fatal("fa-lru snapshot: inconsistent miss tallies");
+    }
+    lruList = std::move(restored);
+    entries = std::move(index);
+    misses.restore(miss_events, miss_total);
 }
 
 } // namespace bpred

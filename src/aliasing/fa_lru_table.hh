@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cassert>
+#include <iosfwd>
 #include <list>
 #include <unordered_map>
 
@@ -60,6 +61,24 @@ class FullyAssociativeLruTable
 
     /** Drop all entries and statistics. */
     void reset();
+
+    /**
+     * Serialize capacity, the resident entries in MRU-to-LRU order,
+     * and the miss statistics. The recency order is part of the
+     * observable state (it decides future victims), so the byte
+     * stream is canonical: two tables that saw the same reference
+     * sequence serialize identically.
+     */
+    void saveState(std::ostream &os) const;
+
+    /**
+     * Restore a saveState() stream into this table.
+     *
+     * @throws FatalError on a capacity mismatch, an entry count
+     *         over capacity, a duplicate key, inconsistent miss
+     *         tallies, or truncation.
+     */
+    void loadState(std::istream &is);
 
   private:
     struct Entry

@@ -1,6 +1,7 @@
 #include "aliasing/falru_predictor.hh"
 
 #include "predictors/info_vector.hh"
+#include "support/serialize.hh"
 
 namespace bpred
 {
@@ -75,6 +76,20 @@ FaLruPredictor::reset()
 {
     table.reset();
     history.reset();
+}
+
+void
+FaLruPredictor::saveState(std::ostream &os) const
+{
+    table.saveState(os);
+    putU64(os, history.raw());
+}
+
+void
+FaLruPredictor::loadState(std::istream &is)
+{
+    table.loadState(is);
+    history.set(getU64(is));
 }
 
 } // namespace bpred

@@ -5,6 +5,7 @@
 #include "core/skew.hh"
 #include "predictors/info_vector.hh"
 #include "support/logging.hh"
+#include "support/serialize.hh"
 #include "support/table.hh"
 
 namespace bpred
@@ -121,6 +122,41 @@ SkewedLocalPredictor::reset()
     for (auto &bank : banks) {
         bank.reset();
     }
+}
+
+void
+SkewedLocalPredictor::saveState(std::ostream &os) const
+{
+    putU64(os, historyTable.size());
+    for (const u16 entry : historyTable) {
+        putU16(os, entry);
+    }
+    for (const auto &bank : banks) {
+        bank.saveState(os);
+    }
+}
+
+void
+SkewedLocalPredictor::loadState(std::istream &is)
+{
+    const u64 count = getU64(is);
+    if (count != historyTable.size()) {
+        fatal("pskew snapshot: history table size mismatch (stored " +
+              std::to_string(count) + ", predictor has " +
+              std::to_string(historyTable.size()) + ")");
+    }
+    std::vector<u16> restored(historyTable.size());
+    for (u16 &entry : restored) {
+        entry = getU16(is);
+        if (entry > mask(localHistoryBits)) {
+            fatal("pskew snapshot: local history exceeds " +
+                  std::to_string(localHistoryBits) + " bits");
+        }
+    }
+    for (auto &bank : banks) {
+        bank.loadState(is);
+    }
+    historyTable = std::move(restored);
 }
 
 } // namespace bpred

@@ -51,6 +51,9 @@ class SkewedLocalPredictor : public Predictor
     std::string name() const override;
     u64 storageBits() const override;
     void reset() override;
+    bool supportsSnapshot() const override { return true; }
+    void saveState(std::ostream &os) const override;
+    void loadState(std::istream &is) override;
 
   private:
     u64 bankIndexOf(unsigned bank, Addr pc, u16 local_history) const;

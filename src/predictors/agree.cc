@@ -1,7 +1,9 @@
 #include "predictors/agree.hh"
 
 #include "predictors/info_vector.hh"
+#include "support/logging.hh"
 #include "support/probe.hh"
+#include "support/serialize.hh"
 #include "support/table.hh"
 
 namespace bpred
@@ -118,6 +120,38 @@ AgreePredictor::reset()
         static_cast<u8>(u8(1) << (agreeTable.width() - 1)));
     std::fill(biasTable.begin(), biasTable.end(), biasUnset);
     history.reset();
+}
+
+void
+AgreePredictor::saveState(std::ostream &os) const
+{
+    agreeTable.saveState(os);
+    putU64(os, biasTable.size());
+    for (const u8 entry : biasTable) {
+        putU8(os, entry);
+    }
+    putU64(os, history.raw());
+}
+
+void
+AgreePredictor::loadState(std::istream &is)
+{
+    agreeTable.loadState(is);
+    const u64 count = getU64(is);
+    if (count != biasTable.size()) {
+        fatal("agree snapshot: bias table size mismatch (stored " +
+              std::to_string(count) + ", predictor has " +
+              std::to_string(biasTable.size()) + ")");
+    }
+    std::vector<u8> restored(biasTable.size());
+    for (u8 &entry : restored) {
+        entry = getU8(is);
+        if (entry > biasUnset) {
+            fatal("agree snapshot: invalid bias value");
+        }
+    }
+    biasTable = std::move(restored);
+    history.set(getU64(is));
 }
 
 } // namespace bpred

@@ -1,6 +1,7 @@
 #include "predictors/bimode.hh"
 
 #include "predictors/info_vector.hh"
+#include "support/serialize.hh"
 #include "support/table.hh"
 
 namespace bpred
@@ -92,6 +93,24 @@ BiModePredictor::reset()
     choiceTable.reset(
         static_cast<u8>(u8(1) << (choiceTable.width() - 1)));
     history.reset();
+}
+
+void
+BiModePredictor::saveState(std::ostream &os) const
+{
+    takenTable.saveState(os);
+    notTakenTable.saveState(os);
+    choiceTable.saveState(os);
+    putU64(os, history.raw());
+}
+
+void
+BiModePredictor::loadState(std::istream &is)
+{
+    takenTable.loadState(is);
+    notTakenTable.loadState(is);
+    choiceTable.loadState(is);
+    history.set(getU64(is));
 }
 
 } // namespace bpred

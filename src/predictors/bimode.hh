@@ -44,6 +44,9 @@ class BiModePredictor : public Predictor
     std::string name() const override;
     u64 storageBits() const override;
     void reset() override;
+    bool supportsSnapshot() const override { return true; }
+    void saveState(std::ostream &os) const override;
+    void loadState(std::istream &is) override;
 
   private:
     u64 directionIndexOf(Addr pc) const;

@@ -3,6 +3,8 @@
 #include <cassert>
 
 #include "predictors/info_vector.hh"
+#include "support/logging.hh"
+#include "support/serialize.hh"
 #include "support/table.hh"
 
 namespace bpred
@@ -61,6 +63,37 @@ LocalTwoLevelPredictor::reset()
 {
     std::fill(historyTable.begin(), historyTable.end(), 0);
     patternTable.reset();
+}
+
+void
+LocalTwoLevelPredictor::saveState(std::ostream &os) const
+{
+    putU64(os, historyTable.size());
+    for (const u16 entry : historyTable) {
+        putU16(os, entry);
+    }
+    patternTable.saveState(os);
+}
+
+void
+LocalTwoLevelPredictor::loadState(std::istream &is)
+{
+    const u64 count = getU64(is);
+    if (count != historyTable.size()) {
+        fatal("pag snapshot: history table size mismatch (stored " +
+              std::to_string(count) + ", predictor has " +
+              std::to_string(historyTable.size()) + ")");
+    }
+    std::vector<u16> restored(historyTable.size());
+    for (u16 &entry : restored) {
+        entry = getU16(is);
+        if (entry > mask(localHistoryBits)) {
+            fatal("pag snapshot: local history exceeds " +
+                  std::to_string(localHistoryBits) + " bits");
+        }
+    }
+    patternTable.loadState(is);
+    historyTable = std::move(restored);
 }
 
 } // namespace bpred

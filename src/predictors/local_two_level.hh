@@ -40,6 +40,9 @@ class LocalTwoLevelPredictor : public Predictor
     std::string name() const override;
     u64 storageBits() const override;
     void reset() override;
+    bool supportsSnapshot() const override { return true; }
+    void saveState(std::ostream &os) const override;
+    void loadState(std::istream &is) override;
 
   private:
     u64 bhtIndexOf(Addr pc) const;

@@ -1,6 +1,12 @@
 #include "predictors/unaliased.hh"
 
+#include <algorithm>
+#include <vector>
+
 #include "predictors/info_vector.hh"
+#include "support/logging.hh"
+#include "support/serialize.hh"
+#include "support/table.hh"
 
 namespace bpred
 {
@@ -84,6 +90,89 @@ UnaliasedPredictor::reset()
     warmMispredicts.reset();
     dynamicCount = 0;
     compulsoryCount = 0;
+    lastPredictionValid = false;
+}
+
+void
+UnaliasedPredictor::saveState(std::ostream &os) const
+{
+    std::vector<std::pair<u64, u8>> sorted_counters;
+    sorted_counters.reserve(counters.size());
+    for (const auto &[key, counter] : counters) {
+        sorted_counters.emplace_back(key, counter.value());
+    }
+    std::sort(sorted_counters.begin(), sorted_counters.end());
+    putU64(os, sorted_counters.size());
+    for (const auto &[key, value] : sorted_counters) {
+        putU64(os, key);
+        putU8(os, value);
+    }
+
+    std::vector<Addr> sorted_branches(staticBranches.begin(),
+                                      staticBranches.end());
+    std::sort(sorted_branches.begin(), sorted_branches.end());
+    putU64(os, sorted_branches.size());
+    for (const Addr pc : sorted_branches) {
+        putU64(os, pc);
+    }
+
+    putU64(os, warmMispredicts.events());
+    putU64(os, warmMispredicts.total());
+    putU64(os, dynamicCount);
+    putU64(os, compulsoryCount);
+    putU64(os, history.raw());
+}
+
+void
+UnaliasedPredictor::loadState(std::istream &is)
+{
+    const u64 counter_count = getU64(is);
+    std::unordered_map<u64, SatCounter> restored_counters;
+    restored_counters.reserve(
+        static_cast<std::size_t>(counter_count));
+    for (u64 i = 0; i < counter_count; ++i) {
+        const u64 key = getU64(is);
+        const u8 value = getU8(is);
+        if (value > mask(counterBits)) {
+            fatal("unaliased snapshot: counter value exceeds " +
+                  std::to_string(counterBits) + " bits");
+        }
+        const bool inserted =
+            restored_counters.emplace(key, SatCounter(counterBits, value))
+                .second;
+        if (!inserted) {
+            fatal("unaliased snapshot: duplicate counter key");
+        }
+    }
+
+    const u64 branch_count = getU64(is);
+    std::unordered_set<Addr> restored_branches;
+    restored_branches.reserve(
+        static_cast<std::size_t>(branch_count));
+    for (u64 i = 0; i < branch_count; ++i) {
+        if (!restored_branches.insert(getU64(is)).second) {
+            fatal("unaliased snapshot: duplicate branch address");
+        }
+    }
+
+    const u64 warm_events = getU64(is);
+    const u64 warm_total = getU64(is);
+    if (warm_events > warm_total) {
+        fatal("unaliased snapshot: inconsistent misprediction "
+              "tallies");
+    }
+    const u64 dynamic_count = getU64(is);
+    const u64 compulsory_count = getU64(is);
+    const u64 history_raw = getU64(is);
+
+    counters = std::move(restored_counters);
+    staticBranches = std::move(restored_branches);
+    warmMispredicts.restore(warm_events, warm_total);
+    dynamicCount = dynamic_count;
+    compulsoryCount = compulsory_count;
+    history.set(history_raw);
+    // The predict()/update() latch does not survive a checkpoint
+    // boundary; update() recomputes when unpaired.
     lastPredictionValid = false;
 }
 

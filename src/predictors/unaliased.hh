@@ -56,6 +56,16 @@ class UnaliasedPredictor : public Predictor
 
     void reset() override;
 
+    bool supportsSnapshot() const override { return true; }
+
+    /**
+     * Serialize counters and static-branch addresses in sorted key
+     * order so the byte stream is independent of the hash tables'
+     * internal layout (which depends on insertion history).
+     */
+    void saveState(std::ostream &os) const override;
+    void loadState(std::istream &is) override;
+
     /** Distinct (address, history) pairs seen. */
     u64 numSubstreams() const { return counters.size(); }
 

@@ -1,6 +1,8 @@
 #include "predictors/yags.hh"
 
 #include "predictors/info_vector.hh"
+#include "support/logging.hh"
+#include "support/serialize.hh"
 #include "support/table.hh"
 
 namespace bpred
@@ -116,6 +118,48 @@ YagsPredictor::reset()
               CacheEntry{});
     choiceTable.reset(2);
     history.reset();
+}
+
+void
+YagsPredictor::saveState(std::ostream &os) const
+{
+    for (const auto *cache : {&takenCache, &notTakenCache}) {
+        putU64(os, cache->size());
+        for (const CacheEntry &entry : *cache) {
+            putU16(os, entry.tag);
+            putU8(os, entry.counter);
+            putU8(os, entry.valid ? 1 : 0);
+        }
+    }
+    choiceTable.saveState(os);
+    putU64(os, history.raw());
+}
+
+void
+YagsPredictor::loadState(std::istream &is)
+{
+    for (auto *cache : {&takenCache, &notTakenCache}) {
+        const u64 count = getU64(is);
+        if (count != cache->size()) {
+            fatal("yags snapshot: cache size mismatch (stored " +
+                  std::to_string(count) + ", predictor has " +
+                  std::to_string(cache->size()) + ")");
+        }
+        std::vector<CacheEntry> restored(cache->size());
+        for (CacheEntry &entry : restored) {
+            entry.tag = getU16(is);
+            entry.counter = getU8(is);
+            const u8 valid = getU8(is);
+            if (entry.tag > mask(tagBits) || entry.counter > 3 ||
+                valid > 1) {
+                fatal("yags snapshot: invalid cache entry");
+            }
+            entry.valid = valid != 0;
+        }
+        *cache = std::move(restored);
+    }
+    choiceTable.loadState(is);
+    history.set(getU64(is));
 }
 
 } // namespace bpred

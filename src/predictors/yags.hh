@@ -45,6 +45,9 @@ class YagsPredictor : public Predictor
     std::string name() const override;
     u64 storageBits() const override;
     void reset() override;
+    bool supportsSnapshot() const override { return true; }
+    void saveState(std::ostream &os) const override;
+    void loadState(std::istream &is) override;
 
   private:
     struct CacheEntry

@@ -1,0 +1,330 @@
+#include "serve/predictor_pool.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/logging.hh"
+
+namespace bpred
+{
+
+namespace
+{
+
+using SteadyClock = std::chrono::steady_clock;
+
+void
+mergeHistogram(Histogram &into, const Histogram &from)
+{
+    for (const auto &[key, count] : from.sorted()) {
+        into.sampleN(key, count);
+    }
+}
+
+} // namespace
+
+PredictorPool::PredictorPool(PredictorSpec spec, Options options)
+    : spec_(std::move(spec)),
+      blockRecords_(options.blockRecords == 0
+                        ? defaultReplayBlockRecords
+                        : options.blockRecords),
+      maxQueued(options.maxQueuedRequests)
+{
+    if (options.shards == 0) {
+        fatal("predictor pool: zero shards");
+    }
+    if (maxQueued == 0) {
+        fatal("predictor pool: zero inbox bound");
+    }
+
+    shardList.reserve(options.shards);
+    for (unsigned i = 0; i < options.shards; ++i) {
+        auto shard = std::make_unique<Shard>();
+        TenantCache::Options cache_options;
+        cache_options.capacity = options.tenantCapacity;
+        if (!options.spillDir.empty()) {
+            // Per-shard subdirectories keep spill files disjoint
+            // without coordinating file names across workers.
+            cache_options.spillDir =
+                options.spillDir + "/shard-" + std::to_string(i);
+        }
+        shard->cache =
+            std::make_unique<TenantCache>(spec_, cache_options);
+        shardList.push_back(std::move(shard));
+    }
+    for (auto &shard : shardList) {
+        Shard *raw = shard.get();
+        shard->worker =
+            std::thread([this, raw] { runShard(*raw); });
+    }
+}
+
+PredictorPool::~PredictorPool()
+{
+    for (auto &shard : shardList) {
+        {
+            std::lock_guard<std::mutex> lock(shard->inboxMutex);
+            shard->stopping = true;
+        }
+        shard->notEmpty.notify_all();
+    }
+    for (auto &shard : shardList) {
+        if (shard->worker.joinable()) {
+            shard->worker.join();
+        }
+    }
+}
+
+void
+PredictorPool::submit(const PredictRequest &request)
+{
+    if (request.count == 0) {
+        fatal("predictor pool: empty request");
+    }
+    if (request.records == nullptr) {
+        fatal("predictor pool: null records");
+    }
+
+    Shard &shard = *shardList[shardOf(request.tenant)];
+    InboxEntry entry;
+    entry.request = request;
+    entry.enqueued = SteadyClock::now();
+    {
+        std::unique_lock<std::mutex> lock(shard.inboxMutex);
+        shard.notFull.wait(lock, [&] {
+            return shard.queue.size() < maxQueued;
+        });
+        shard.queue.push_back(entry);
+    }
+    shard.notEmpty.notify_one();
+}
+
+void
+PredictorPool::drain()
+{
+    for (auto &shard : shardList) {
+        std::unique_lock<std::mutex> lock(shard->inboxMutex);
+        shard->idle.wait(lock, [&] {
+            return shard->queue.empty() && !shard->inflight;
+        });
+    }
+    for (auto &shard : shardList) {
+        std::exception_ptr error;
+        {
+            std::lock_guard<std::mutex> lock(shard->stateMutex);
+            error = std::exchange(shard->error, nullptr);
+        }
+        if (error) {
+            std::rethrow_exception(error);
+        }
+    }
+}
+
+unsigned
+PredictorPool::shards() const
+{
+    return static_cast<unsigned>(shardList.size());
+}
+
+unsigned
+PredictorPool::shardOf(u64 tenant) const
+{
+    return static_cast<unsigned>(tenant % shardList.size());
+}
+
+TenantSummary
+PredictorPool::tenantSummary(u64 tenant) const
+{
+    const Shard &shard = *shardList[shardOf(tenant)];
+    std::lock_guard<std::mutex> lock(shard.stateMutex);
+    TenantSummary summary;
+    summary.tenant = tenant;
+    const auto it = shard.tallies.find(tenant);
+    if (it != shard.tallies.end()) {
+        summary.requests = it->second.requests;
+        summary.conditionals = it->second.counters.conditionals;
+        summary.mispredicts = it->second.counters.mispredicts;
+    }
+    return summary;
+}
+
+std::vector<TenantSummary>
+PredictorPool::tenantSummaries() const
+{
+    std::vector<TenantSummary> summaries;
+    for (const auto &shard : shardList) {
+        std::lock_guard<std::mutex> lock(shard->stateMutex);
+        for (const auto &[tenant, tally] : shard->tallies) {
+            TenantSummary summary;
+            summary.tenant = tenant;
+            summary.requests = tally.requests;
+            summary.conditionals = tally.counters.conditionals;
+            summary.mispredicts = tally.counters.mispredicts;
+            summaries.push_back(summary);
+        }
+    }
+    std::sort(summaries.begin(), summaries.end(),
+              [](const TenantSummary &a, const TenantSummary &b) {
+                  return a.tenant < b.tenant;
+              });
+    return summaries;
+}
+
+std::string
+PredictorPool::exportTenant(u64 tenant) const
+{
+    const Shard &shard = *shardList[shardOf(tenant)];
+    std::lock_guard<std::mutex> lock(shard.stateMutex);
+    return shard.cache->exportTenant(tenant);
+}
+
+void
+PredictorPool::importTenant(u64 tenant, const std::string &bytes)
+{
+    Shard &shard = *shardList[shardOf(tenant)];
+    std::lock_guard<std::mutex> lock(shard.stateMutex);
+    shard.cache->importTenant(tenant, bytes);
+}
+
+bool
+PredictorPool::evictTenant(u64 tenant)
+{
+    Shard &shard = *shardList[shardOf(tenant)];
+    std::lock_guard<std::mutex> lock(shard.stateMutex);
+    return shard.cache->evict(tenant);
+}
+
+PoolCounters
+PredictorPool::counters() const
+{
+    PoolCounters total;
+    for (const auto &shard : shardList) {
+        std::lock_guard<std::mutex> lock(shard->stateMutex);
+        total.requests += shard->requests;
+        total.records += shard->records;
+        for (const auto &[tenant, tally] : shard->tallies) {
+            total.conditionals += tally.counters.conditionals;
+            total.mispredicts += tally.counters.mispredicts;
+        }
+        const TenantCacheCounters &cache = shard->cache->counters();
+        total.cache.hits += cache.hits;
+        total.cache.constructions += cache.constructions;
+        total.cache.evictions += cache.evictions;
+        total.cache.restores += cache.restores;
+        total.cache.spills += cache.spills;
+        total.residentTenants += shard->cache->resident();
+        total.residentCapacity += shard->cache->capacity();
+        total.knownTenants += shard->cache->knownTenants();
+        total.checkpointBytes += shard->cache->checkpointBytes();
+    }
+    return total;
+}
+
+Histogram
+PredictorPool::requestLatencyUs() const
+{
+    Histogram merged;
+    for (const auto &shard : shardList) {
+        std::lock_guard<std::mutex> lock(shard->stateMutex);
+        mergeHistogram(merged, shard->requestLatency);
+    }
+    return merged;
+}
+
+Histogram
+PredictorPool::checkpointSaveLatencyUs() const
+{
+    Histogram merged;
+    for (const auto &shard : shardList) {
+        std::lock_guard<std::mutex> lock(shard->stateMutex);
+        mergeHistogram(merged, shard->cache->saveLatencyUs());
+    }
+    return merged;
+}
+
+Histogram
+PredictorPool::checkpointRestoreLatencyUs() const
+{
+    Histogram merged;
+    for (const auto &shard : shardList) {
+        std::lock_guard<std::mutex> lock(shard->stateMutex);
+        mergeHistogram(merged, shard->cache->restoreLatencyUs());
+    }
+    return merged;
+}
+
+void
+PredictorPool::runShard(Shard &shard)
+{
+    // Shard-local staging arrays: requests replay back to back on
+    // this worker, so the scratch stays hot across tenants exactly
+    // like a gang's shared scratch (sim/gang.hh).
+    ReplayScratch scratch;
+
+    for (;;) {
+        InboxEntry entry;
+        {
+            std::unique_lock<std::mutex> lock(shard.inboxMutex);
+            shard.notEmpty.wait(lock, [&] {
+                return shard.stopping || !shard.queue.empty();
+            });
+            if (shard.queue.empty()) {
+                // stopping, backlog drained
+                break;
+            }
+            entry = shard.queue.front();
+            shard.queue.pop_front();
+            shard.inflight = true;
+        }
+        shard.notFull.notify_one();
+
+        processEntry(shard, entry, scratch);
+
+        {
+            std::lock_guard<std::mutex> lock(shard.inboxMutex);
+            shard.inflight = false;
+            if (shard.queue.empty()) {
+                shard.idle.notify_all();
+            }
+        }
+    }
+}
+
+void
+PredictorPool::processEntry(Shard &shard, const InboxEntry &entry,
+                            ReplayScratch &scratch)
+{
+    std::lock_guard<std::mutex> lock(shard.stateMutex);
+    try {
+        Predictor &predictor =
+            shard.cache->acquire(entry.request.tenant);
+        TenantTally &tally = shard.tallies[entry.request.tenant];
+
+        const BranchRecord *records = entry.request.records;
+        std::size_t remaining = entry.request.count;
+        while (remaining > 0) {
+            const std::size_t block =
+                std::min(remaining, blockRecords_);
+            predictor.replayBlock(records, block, tally.counters,
+                                  &scratch);
+            records += block;
+            remaining -= block;
+        }
+
+        ++tally.requests;
+        ++shard.requests;
+        shard.records += entry.request.count;
+        shard.requestLatency.sample(static_cast<u64>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                SteadyClock::now() - entry.enqueued)
+                .count()));
+    } catch (...) {
+        // Park the first failure for drain(); later requests keep
+        // flowing so one bad tenant cannot wedge the shard.
+        if (!shard.error) {
+            shard.error = std::current_exception();
+        }
+    }
+}
+
+} // namespace bpred

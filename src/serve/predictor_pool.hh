@@ -1,0 +1,272 @@
+/**
+ * @file
+ * A sharded multi-tenant predictor-serving pool.
+ *
+ * The serving API: N shards, each owning a worker thread, a bounded
+ * inbox of batched PredictRequests, and a TenantCache of live
+ * predictors. A tenant maps to exactly one shard (tenant % shards),
+ * so one worker resolves each tenant's requests in submission
+ * order — per-tenant FIFO without any cross-shard coordination.
+ *
+ * The hot path is the same devirtualized replayBlock() kernel the
+ * gang replay engine uses (sim/gang.hh): a request's records are
+ * resolved in cache-resident blocks through one virtual dispatch
+ * per block, with a shard-local ReplayScratch lending the SoA
+ * staging arrays. With default simulation semantics (no warmup,
+ * flush or windowing — serving scores every branch) this is
+ * bit-identical to feeding the same records to a dedicated
+ * SimSession, which is the pooled-vs-dedicated invariant test_serve
+ * enforces for every scheme. The pool deliberately does not hold
+ * SimSessions per tenant: a session binds its predictor reference
+ * for life, while pooled tenants are destroyed and rebuilt on every
+ * evict/restore cycle; raw replayBlock() plus per-tenant
+ * ReplayCounters tallies survive those cycles trivially.
+ *
+ * Threading: submit() touches only a shard's inbox lock; the worker
+ * holds a separate state lock while replaying, so producers never
+ * block behind predictor table work and stats readers see a
+ * consistent shard snapshot.
+ */
+
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "predictors/replay_scratch.hh"
+#include "serve/tenant_cache.hh"
+#include "sim/gang.hh"
+#include "support/stats.hh"
+
+namespace bpred
+{
+
+/**
+ * One batch of branch records for one tenant. The records are NOT
+ * copied: the caller must keep them alive until the request has
+ * been processed (drain() is the barrier).
+ */
+struct PredictRequest
+{
+    u64 tenant = 0;
+    const BranchRecord *records = nullptr;
+    std::size_t count = 0;
+};
+
+/** Per-tenant serving tallies. */
+struct TenantSummary
+{
+    u64 tenant = 0;
+
+    /** Requests processed. */
+    u64 requests = 0;
+
+    /** Conditional branches resolved. */
+    u64 conditionals = 0;
+
+    /** Mispredicted conditionals among them. */
+    u64 mispredicts = 0;
+
+    /** Correct-prediction fraction (0 when nothing resolved). */
+    double
+    accuracy() const
+    {
+        return conditionals == 0
+            ? 0.0
+            : 1.0 -
+                static_cast<double>(mispredicts) /
+                static_cast<double>(conditionals);
+    }
+};
+
+/** Pool-wide tallies aggregated over all shards. */
+struct PoolCounters
+{
+    u64 requests = 0;
+    u64 records = 0;
+    u64 conditionals = 0;
+    u64 mispredicts = 0;
+
+    /** TenantCache traffic summed over shards. */
+    TenantCacheCounters cache;
+
+    /** Live predictors right now, over all shards. */
+    std::size_t residentTenants = 0;
+
+    /** Sum of shard residency capacities. */
+    std::size_t residentCapacity = 0;
+
+    /** Distinct tenants with any state. */
+    std::size_t knownTenants = 0;
+
+    /** In-memory checkpoint bytes held. */
+    u64 checkpointBytes = 0;
+};
+
+/**
+ * The serving pool. Construct, submit() batches, drain() to
+ * quiesce, read stats / export tenants while quiesced.
+ */
+class PredictorPool
+{
+  public:
+    struct Options
+    {
+        /** Worker shards (> 0). */
+        unsigned shards = 1;
+
+        /** Resident-predictor bound per shard (> 0). */
+        std::size_t tenantCapacity = 64;
+
+        /** Records per replayBlock() call; 0 picks the default. */
+        std::size_t blockRecords = 0;
+
+        /** Inbox bound per shard; submit() blocks when full (> 0). */
+        std::size_t maxQueuedRequests = 1024;
+
+        /** When non-empty, tenant checkpoints spill to this dir. */
+        std::string spillDir;
+    };
+
+    /**
+     * @param spec Parsed spec every tenant predictor is built from.
+     * @throws FatalError on zero shards/capacity/queue bound.
+     */
+    PredictorPool(PredictorSpec spec, Options options);
+
+    PredictorPool(const PredictorPool &) = delete;
+    PredictorPool &operator=(const PredictorPool &) = delete;
+
+    /** Stops the workers after the queued backlog has drained. */
+    ~PredictorPool();
+
+    /**
+     * Enqueue @p request on its tenant's shard. Blocks while the
+     * shard inbox is full (backpressure). Thread-safe.
+     *
+     * @throws FatalError on an empty request or a null record
+     *         pointer with a non-zero count.
+     */
+    void submit(const PredictRequest &request);
+
+    /**
+     * Block until every submitted request has been processed, then
+     * rethrow the first parked worker error, if any (clearing it).
+     */
+    void drain();
+
+    /** Worker shard count. */
+    unsigned shards() const;
+
+    /** The shard serving @p tenant. */
+    unsigned shardOf(u64 tenant) const;
+
+    /**
+     * Serving tallies for @p tenant (zeroes when never seen).
+     * Call while quiesced for exact totals.
+     */
+    TenantSummary tenantSummary(u64 tenant) const;
+
+    /** Tallies for every tenant seen, sorted by tenant id. */
+    std::vector<TenantSummary> tenantSummaries() const;
+
+    /**
+     * The framed BPS1 snapshot bytes of @p tenant's current state.
+     * drain() first: in-flight requests for the tenant would race
+     * the export.
+     *
+     * @throws FatalError for an unknown tenant.
+     */
+    std::string exportTenant(u64 tenant) const;
+
+    /**
+     * Adopt @p bytes as @p tenant's state (see
+     * TenantCache::importTenant). drain() first.
+     */
+    void importTenant(u64 tenant, const std::string &bytes);
+
+    /**
+     * Force a checkpoint of @p tenant (it restores on next use).
+     * @return True when the tenant was resident.
+     */
+    bool evictTenant(u64 tenant);
+
+    /** Aggregated pool tallies (consistent per shard). */
+    PoolCounters counters() const;
+
+    /**
+     * Submit-to-completion request latency in microseconds, merged
+     * over shards.
+     */
+    Histogram requestLatencyUs() const;
+
+    /** Checkpoint-save latency in microseconds, merged over shards. */
+    Histogram checkpointSaveLatencyUs() const;
+
+    /** Checkpoint-restore latency in microseconds, merged. */
+    Histogram checkpointRestoreLatencyUs() const;
+
+    /** The spec tenants are built from. */
+    const PredictorSpec &spec() const { return spec_; }
+
+  private:
+    struct InboxEntry
+    {
+        PredictRequest request;
+        std::chrono::steady_clock::time_point enqueued;
+    };
+
+    struct TenantTally
+    {
+        u64 requests = 0;
+        ReplayCounters counters;
+    };
+
+    /**
+     * One worker shard. inboxMutex guards the queue and inflight
+     * flag (producers + worker); stateMutex guards the cache,
+     * tallies and histograms (worker during replay, readers any
+     * time). The worker never holds both at once.
+     */
+    struct Shard
+    {
+        std::mutex inboxMutex;
+        std::condition_variable notEmpty;
+        std::condition_variable notFull;
+        std::condition_variable idle;
+        std::deque<InboxEntry> queue;
+        bool inflight = false;
+        bool stopping = false;
+
+        mutable std::mutex stateMutex;
+        std::unique_ptr<TenantCache> cache;
+        std::unordered_map<u64, TenantTally> tallies;
+        Histogram requestLatency;
+        u64 requests = 0;
+        u64 records = 0;
+        std::exception_ptr error;
+
+        std::thread worker;
+    };
+
+    /** Worker loop: pop, replay, tally, repeat until stopped. */
+    void runShard(Shard &shard);
+
+    /** Resolve one request inside the shard's state lock. */
+    void processEntry(Shard &shard, const InboxEntry &entry,
+                      ReplayScratch &scratch);
+
+    PredictorSpec spec_;
+    std::size_t blockRecords_;
+    std::size_t maxQueued;
+    std::vector<std::unique_ptr<Shard>> shardList;
+};
+
+} // namespace bpred

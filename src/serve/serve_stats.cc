@@ -1,0 +1,82 @@
+#include "serve/serve_stats.hh"
+
+namespace bpred
+{
+
+namespace
+{
+
+void
+fillHistogram(Histogram &into, const Histogram &from)
+{
+    for (const auto &[key, count] : from.sorted()) {
+        into.sampleN(key, count);
+    }
+}
+
+} // namespace
+
+void
+exportServeStats(const PredictorPool &pool, StatRegistry &registry,
+                 std::size_t tenant_limit)
+{
+    const PoolCounters totals = pool.counters();
+
+    registry.counter("serve.pool.shards") = pool.shards();
+    registry.counter("serve.pool.tenants") = totals.knownTenants;
+    registry.counter("serve.pool.requests") = totals.requests;
+    registry.counter("serve.pool.records") = totals.records;
+    registry.ratio("serve.pool.mispredict")
+        .restore(totals.mispredicts, totals.conditionals);
+
+    registry.counter("serve.cache.resident") = totals.residentTenants;
+    registry.counter("serve.cache.capacity") =
+        totals.residentCapacity;
+    // Occupancy as a ratio stat: resident over capacity.
+    registry.ratio("serve.cache.occupancy")
+        .restore(totals.residentTenants, totals.residentCapacity);
+    registry.counter("serve.cache.hits") = totals.cache.hits;
+    registry.counter("serve.cache.constructions") =
+        totals.cache.constructions;
+    registry.counter("serve.cache.evictions") =
+        totals.cache.evictions;
+    registry.counter("serve.cache.restores") = totals.cache.restores;
+    registry.counter("serve.cache.spills") = totals.cache.spills;
+    registry.counter("serve.cache.checkpoint_bytes") =
+        totals.checkpointBytes;
+
+    fillHistogram(registry.histogram("serve.latency.request_us"),
+                  pool.requestLatencyUs());
+    fillHistogram(
+        registry.histogram("serve.latency.checkpoint_save_us"),
+        pool.checkpointSaveLatencyUs());
+    fillHistogram(
+        registry.histogram("serve.latency.checkpoint_restore_us"),
+        pool.checkpointRestoreLatencyUs());
+
+    if (tenant_limit == 0) {
+        return;
+    }
+    std::size_t exported = 0;
+    for (const TenantSummary &tenant : pool.tenantSummaries()) {
+        if (exported == tenant_limit) {
+            break;
+        }
+        const std::string prefix =
+            "serve.tenant." + std::to_string(tenant.tenant);
+        registry.counter(prefix + ".requests") = tenant.requests;
+        registry.ratio(prefix + ".mispredict")
+            .restore(tenant.mispredicts, tenant.conditionals);
+        ++exported;
+    }
+}
+
+JsonValue
+serveStatsToJson(const PredictorPool &pool, std::size_t tenant_limit)
+{
+    StatRegistry registry;
+    exportServeStats(pool, registry, tenant_limit);
+    return registry.toJson();
+}
+
+} // namespace bpred

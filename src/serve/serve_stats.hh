@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Stats export for the serving pool.
+ *
+ * Publishes a PredictorPool's tallies through the dot-named
+ * StatRegistry (support/stat_registry.hh) so serving runs plug into
+ * the same --stats-out JSON plumbing the benches and probes use:
+ *
+ *   serve.pool.*      shard count, tenants, requests, records,
+ *                     mispredict ratio
+ *   serve.cache.*     residency/occupancy, constructions, hits,
+ *                     evictions, restores, spills, checkpoint bytes
+ *   serve.latency.*   request / checkpoint-save / checkpoint-restore
+ *                     latency histograms (microseconds)
+ *   serve.tenant.<id>.*  per-tenant requests and mispredict ratio,
+ *                     for the first @p tenant_limit tenants by id
+ *
+ * Per-tenant entries are capped because a registry row per tenant
+ * does not scale to loadgen-sized pools (tens of thousands);
+ * bench_serve_loadgen emits the full per-tenant accuracy array in
+ * its own report instead.
+ */
+
+#pragma once
+
+#include <cstddef>
+
+#include "serve/predictor_pool.hh"
+#include "support/stat_registry.hh"
+
+namespace bpred
+{
+
+/**
+ * Snapshot @p pool's tallies into @p registry under the "serve."
+ * prefix. @p tenant_limit bounds the per-tenant rows (0 = none).
+ * Call on a quiesced pool (after drain()) for exact totals.
+ */
+void exportServeStats(const PredictorPool &pool,
+                      StatRegistry &registry,
+                      std::size_t tenant_limit = 0);
+
+/**
+ * The "serve." registry subtree as a standalone JSON document —
+ * exportServeStats() into a fresh registry, rendered with
+ * StatRegistry::toJson().
+ */
+JsonValue serveStatsToJson(const PredictorPool &pool,
+                           std::size_t tenant_limit = 0);
+
+} // namespace bpred

@@ -1,0 +1,248 @@
+#include "serve/tenant_cache.hh"
+
+#include <cassert>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "support/logging.hh"
+
+namespace bpred
+{
+
+namespace
+{
+
+using SteadyClock = std::chrono::steady_clock;
+
+u64
+elapsedUs(SteadyClock::time_point since)
+{
+    return static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            SteadyClock::now() - since)
+            .count());
+}
+
+} // namespace
+
+TenantCache::TenantCache(PredictorSpec spec, Options options)
+    : spec_(std::move(spec)),
+      capacity_(options.capacity),
+      spillDir(std::move(options.spillDir))
+{
+    if (capacity_ == 0) {
+        fatal("tenant cache: zero capacity");
+    }
+}
+
+Predictor &
+TenantCache::acquire(u64 tenant)
+{
+    const auto it = residents.find(tenant);
+    if (it != residents.end()) {
+        // Touch to MRU.
+        lru.splice(lru.begin(), lru, it->second.lruIt);
+        ++counters_.hits;
+        return *it->second.predictor;
+    }
+
+    const bool has_checkpoint = checkpoints.count(tenant) != 0 ||
+        spilledTenants.count(tenant) != 0;
+    if (!has_checkpoint) {
+        makeRoom();
+        ++counters_.constructions;
+        return install(tenant, makePredictor(spec_));
+    }
+
+    // Restore: validate the checkpoint into a fresh predictor
+    // before touching any cache state, so a corrupt buffer leaves
+    // the cache exactly as it was.
+    const auto started = SteadyClock::now();
+    const std::string bytes = loadCheckpoint(tenant);
+    std::unique_ptr<Predictor> predictor = makePredictor(spec_);
+    std::istringstream stream(bytes);
+    loadPredictorState(*predictor, stream);
+
+    makeRoom();
+    const auto memory_it = checkpoints.find(tenant);
+    if (memory_it != checkpoints.end()) {
+        checkpointBytes_ -= memory_it->second.size();
+        checkpoints.erase(memory_it);
+    } else {
+        spilledTenants.erase(tenant);
+        std::remove(spillPath(tenant).c_str());
+    }
+    ++counters_.restores;
+    restoreLatency.sample(elapsedUs(started));
+    return install(tenant, std::move(predictor));
+}
+
+bool
+TenantCache::evict(u64 tenant)
+{
+    if (residents.count(tenant) == 0) {
+        return false;
+    }
+    evictResident(tenant);
+    return true;
+}
+
+void
+TenantCache::evictAll()
+{
+    while (!lru.empty()) {
+        evictResident(lru.back());
+    }
+}
+
+std::string
+TenantCache::exportTenant(u64 tenant) const
+{
+    const auto it = residents.find(tenant);
+    if (it != residents.end()) {
+        std::ostringstream os;
+        savePredictorState(*it->second.predictor, os);
+        return std::move(os).str();
+    }
+    if (checkpoints.count(tenant) != 0 ||
+        spilledTenants.count(tenant) != 0) {
+        return loadCheckpoint(tenant);
+    }
+    fatal("tenant cache: export of unknown tenant " +
+          std::to_string(tenant));
+}
+
+void
+TenantCache::importTenant(u64 tenant, const std::string &bytes)
+{
+    // Validate first; only adopt state the current spec accepts.
+    std::unique_ptr<Predictor> predictor = makePredictor(spec_);
+    std::istringstream stream(bytes);
+    loadPredictorState(*predictor, stream);
+
+    // Drop whatever state the tenant had before.
+    const auto it = residents.find(tenant);
+    if (it != residents.end()) {
+        lru.erase(it->second.lruIt);
+        residents.erase(it);
+    }
+    const auto memory_it = checkpoints.find(tenant);
+    if (memory_it != checkpoints.end()) {
+        checkpointBytes_ -= memory_it->second.size();
+        checkpoints.erase(memory_it);
+    }
+    if (spilledTenants.erase(tenant) != 0) {
+        std::remove(spillPath(tenant).c_str());
+    }
+
+    makeRoom();
+    install(tenant, std::move(predictor));
+}
+
+std::size_t
+TenantCache::knownTenants() const
+{
+    return residents.size() + checkpoints.size() +
+        spilledTenants.size();
+}
+
+bool
+TenantCache::isResident(u64 tenant) const
+{
+    return residents.count(tenant) != 0;
+}
+
+void
+TenantCache::makeRoom()
+{
+    while (residents.size() >= capacity_) {
+        evictResident(lru.back());
+    }
+}
+
+void
+TenantCache::evictResident(u64 tenant)
+{
+    const auto it = residents.find(tenant);
+    assert(it != residents.end());
+
+    const auto started = SteadyClock::now();
+    std::ostringstream os;
+    savePredictorState(*it->second.predictor, os);
+    std::string bytes = std::move(os).str();
+
+    if (!spillDir.empty()) {
+        if (!spillDirReady) {
+            std::error_code error;
+            std::filesystem::create_directories(spillDir, error);
+            if (error) {
+                fatal("tenant cache: cannot create spill dir '" +
+                      spillDir + "': " + error.message());
+            }
+            spillDirReady = true;
+        }
+        const std::string path = spillPath(tenant);
+        std::ofstream file(path, std::ios::binary);
+        file.write(bytes.data(),
+                   static_cast<std::streamsize>(bytes.size()));
+        if (!file) {
+            fatal("tenant cache: cannot write spill file '" + path +
+                  "'");
+        }
+        spilledTenants.insert(tenant);
+        ++counters_.spills;
+    } else {
+        checkpointBytes_ += bytes.size();
+        checkpoints.emplace(tenant, std::move(bytes));
+    }
+
+    lru.erase(it->second.lruIt);
+    residents.erase(it);
+    ++counters_.evictions;
+    saveLatency.sample(elapsedUs(started));
+}
+
+std::string
+TenantCache::spillPath(u64 tenant) const
+{
+    return spillDir + "/tenant-" + std::to_string(tenant) + ".bps1";
+}
+
+std::string
+TenantCache::loadCheckpoint(u64 tenant) const
+{
+    const auto it = checkpoints.find(tenant);
+    if (it != checkpoints.end()) {
+        return it->second;
+    }
+    const std::string path = spillPath(tenant);
+    std::ifstream file(path, std::ios::binary);
+    if (!file) {
+        fatal("tenant cache: cannot open spill file '" + path + "'");
+    }
+    std::ostringstream contents;
+    contents << file.rdbuf();
+    if (!file.good() && !file.eof()) {
+        fatal("tenant cache: cannot read spill file '" + path + "'");
+    }
+    return std::move(contents).str();
+}
+
+Predictor &
+TenantCache::install(u64 tenant,
+                     std::unique_ptr<Predictor> predictor)
+{
+    lru.push_front(tenant);
+    Resident entry;
+    entry.predictor = std::move(predictor);
+    entry.lruIt = lru.begin();
+    Predictor &result = *entry.predictor;
+    residents.emplace(tenant, std::move(entry));
+    return result;
+}
+
+} // namespace bpred

@@ -3,7 +3,6 @@
 #include <cstdio>
 
 #include "sim/session.hh"
-#include "support/logging.hh"
 
 namespace bpred
 {
@@ -74,27 +73,6 @@ SimResult
 simulate(Predictor &predictor, const Trace &trace)
 {
     return simulateWithOptions(predictor, trace, SimOptions());
-}
-
-SimResult
-simulateWithWarmup(Predictor &predictor, const Trace &trace,
-                   u64 warmup_branches)
-{
-    SimOptions options;
-    options.warmupBranches = warmup_branches;
-    return simulateWithOptions(predictor, trace, options);
-}
-
-SimResult
-simulateWithFlush(Predictor &predictor, const Trace &trace,
-                  u64 flush_interval)
-{
-    if (flush_interval == 0) {
-        fatal("simulateWithFlush: zero flush interval");
-    }
-    SimOptions options;
-    options.flushInterval = flush_interval;
-    return simulateWithOptions(predictor, trace, options);
 }
 
 } // namespace bpred

@@ -182,34 +182,5 @@ SimResult simulateWithOptions(Predictor &predictor, const Trace &trace,
 /** simulateWithOptions() with default options. */
 SimResult simulate(Predictor &predictor, const Trace &trace);
 
-/**
- * As simulate(), but the first @p warmup_branches conditional
- * branches train the predictor without being scored.
- *
- * @deprecated Set SimOptions::warmupBranches and call
- *             simulateWithOptions() instead; single-knob entry
- *             points don't compose with the other options.
- */
-[[deprecated("set SimOptions::warmupBranches and call "
-             "simulateWithOptions()")]]
-SimResult simulateWithWarmup(Predictor &predictor, const Trace &trace,
-                             u64 warmup_branches);
-
-/**
- * As simulate(), but the predictor is reset() after every
- * @p flush_interval conditional branches — a crude model of
- * predictor-state loss on heavyweight context switches (the
- * motivation of Evers et al., cited in §1). All branches are
- * scored, including the cold restarts.
- *
- * @deprecated Set SimOptions::flushInterval and call
- *             simulateWithOptions() instead (where 0 simply
- *             disables flushing rather than being an error).
- */
-[[deprecated("set SimOptions::flushInterval and call "
-             "simulateWithOptions()")]]
-SimResult simulateWithFlush(Predictor &predictor, const Trace &trace,
-                            u64 flush_interval);
-
 } // namespace bpred
 

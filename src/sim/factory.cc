@@ -97,6 +97,28 @@ parsePolicy(const std::string &text, const std::string &spec)
           "'total'");
 }
 
+/** Validate one field value against its descriptor and return the
+ * canonical form ("014" -> "14"); @p spec is for error messages. */
+std::string
+canonicalizeField(const SpecFieldInfo &info, const std::string &value,
+                  const std::string &spec)
+{
+    switch (info.kind) {
+      case SpecFieldKind::Number:
+        return std::to_string(parseUnsigned(value, spec));
+      case SpecFieldKind::Policy:
+        parsePolicy(value, spec);
+        return value;
+      case SpecFieldKind::Direction:
+        if (value != "taken" && value != "nottaken") {
+            fatal("predictor spec '" + spec +
+                  "': expected 'taken' or 'nottaken'");
+        }
+        return value;
+    }
+    fatal("predictor spec '" + spec + "': unknown field kind");
+}
+
 } // namespace
 
 std::size_t
@@ -252,6 +274,35 @@ PredictorSpec::toString() const
 }
 
 PredictorSpec
+PredictorSpec::withSuffix(const std::string &suffix) const
+{
+    const SchemeInfo *info = findScheme(scheme);
+    if (!info) {
+        fatal("predictor spec '" + toString() +
+              "': unknown scheme '" + scheme + "'");
+    }
+    const std::vector<std::string> extra = splitSpec(suffix);
+    if (extra.empty()) {
+        fatal("predictor spec '" + toString() + "': empty suffix");
+    }
+    if (fields.size() + extra.size() > info->fields.size()) {
+        fatal("predictor spec '" + toString() + "': suffix '" +
+              suffix + "' exceeds the scheme's " +
+              std::to_string(info->fields.size()) + " fields");
+    }
+
+    PredictorSpec extended = *this;
+    const std::string context = toString() + ":" + suffix;
+    for (const std::string &value : extra) {
+        const SpecFieldInfo &field_info =
+            info->fields[extended.fields.size()];
+        extended.fields.push_back(
+            canonicalizeField(field_info, value, context));
+    }
+    return extended;
+}
+
+PredictorSpec
 parseSpec(const std::string &spec)
 {
     const std::vector<std::string> raw = splitSpec(spec);
@@ -276,27 +327,8 @@ parseSpec(const std::string &spec)
     parsed.scheme = scheme->name;
     parsed.fields.reserve(given);
     for (std::size_t i = 0; i < given; ++i) {
-        const SpecFieldInfo &info = scheme->fields[i];
-        const std::string &value = raw[i + 1];
-        switch (info.kind) {
-          case SpecFieldKind::Number:
-            // Canonicalize ("014" -> "14") so toString() output is
-            // stable under re-parsing.
-            parsed.fields.push_back(
-                std::to_string(parseUnsigned(value, spec)));
-            break;
-          case SpecFieldKind::Policy:
-            parsePolicy(value, spec);
-            parsed.fields.push_back(value);
-            break;
-          case SpecFieldKind::Direction:
-            if (value != "taken" && value != "nottaken") {
-                fatal("predictor spec '" + spec +
-                      "': expected 'taken' or 'nottaken'");
-            }
-            parsed.fields.push_back(value);
-            break;
-        }
+        parsed.fields.push_back(
+            canonicalizeField(scheme->fields[i], raw[i + 1], spec));
     }
     return parsed;
 }

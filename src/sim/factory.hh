@@ -104,6 +104,19 @@ struct PredictorSpec
 
     /** Canonical spec string ("gshare:14:12"). */
     std::string toString() const;
+
+    /**
+     * A copy of this spec with additional ':'-separated fields
+     * appended, validated and canonicalized against the scheme
+     * table exactly as parseSpec() would. Lets holders of a parsed
+     * spec derive variants (a serving tenant adding an optional
+     * policy or counter-width field) without going back through
+     * the string form.
+     *
+     * @throws FatalError when @p suffix is empty, malformed, or
+     *         would exceed the scheme's field count.
+     */
+    PredictorSpec withSuffix(const std::string &suffix) const;
 };
 
 /**

@@ -25,6 +25,28 @@ getU8(std::istream &is)
 }
 
 void
+putU16(std::ostream &os, u16 value)
+{
+    char bytes[2];
+    bytes[0] = static_cast<char>(value & 0xff);
+    bytes[1] = static_cast<char>((value >> 8) & 0xff);
+    os.write(bytes, sizeof(bytes));
+}
+
+u16
+getU16(std::istream &is)
+{
+    char bytes[2];
+    is.read(bytes, sizeof(bytes));
+    if (!is) {
+        fatal("serialize: truncated stream");
+    }
+    return static_cast<u16>(
+        static_cast<u16>(static_cast<u8>(bytes[0])) |
+        (static_cast<u16>(static_cast<u8>(bytes[1])) << 8));
+}
+
+void
 putU64(std::ostream &os, u64 value)
 {
     char bytes[8];

@@ -26,6 +26,12 @@ void putU8(std::ostream &os, u8 value);
 /** Read one byte. @throws FatalError on truncation. */
 u8 getU8(std::istream &is);
 
+/** Write a u16 as 2 little-endian bytes. */
+void putU16(std::ostream &os, u16 value);
+
+/** Read a little-endian u16. @throws FatalError on truncation. */
+u16 getU16(std::istream &is);
+
 /** Write a u64 as 8 little-endian bytes. */
 void putU64(std::ostream &os, u64 value);
 

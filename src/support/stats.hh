@@ -59,6 +59,18 @@ class RatioStat
         total_ += other.total_;
     }
 
+    /**
+     * Overwrite both tallies (snapshot restore). @p events must not
+     * exceed @p total; violations indicate a corrupt checkpoint.
+     */
+    void
+    restore(u64 events, u64 total)
+    {
+        assert(events <= total);
+        events_ = events;
+        total_ = total;
+    }
+
     /** Clear to empty. */
     void
     reset()

@@ -105,41 +105,21 @@ TEST(Driver, FlushResetsStatePeriodically)
     EXPECT_EQ(with_flush.mispredicts, 2u * (1000 / 50));
 }
 
-// The single-knob entry points are deprecated but must keep
-// working (and matching the options form) until they are removed.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-TEST(Driver, FlushRejectsZeroInterval)
-{
-    BimodalPredictor predictor(8);
-    EXPECT_THROW(simulateWithFlush(predictor, Trace("x"), 0),
-                 FatalError);
-}
-
-TEST(Driver, DeprecatedWrappersMatchOptionsForm)
+TEST(Driver, ZeroFlushIntervalDisablesFlushing)
 {
     const Trace trace = simpleTrace();
 
-    BimodalPredictor a(8);
-    BimodalPredictor b(8);
-    const SimResult wrapped = simulateWithWarmup(a, trace, 10);
-    const SimResult direct = runWithWarmup(b, trace, 10);
-    EXPECT_EQ(wrapped.conditionals, direct.conditionals);
-    EXPECT_EQ(wrapped.mispredicts, direct.mispredicts);
+    BimodalPredictor plain(8);
+    const SimResult no_options = simulate(plain, trace);
 
-    BimodalPredictor c(8);
-    BimodalPredictor d(8);
+    BimodalPredictor zeroed(8);
     SimOptions options;
-    options.flushInterval = 50;
-    const SimResult flush_wrapped = simulateWithFlush(c, trace, 50);
-    const SimResult flush_direct =
-        simulateWithOptions(d, trace, options);
-    EXPECT_EQ(flush_wrapped.conditionals, flush_direct.conditionals);
-    EXPECT_EQ(flush_wrapped.mispredicts, flush_direct.mispredicts);
+    options.flushInterval = 0;
+    const SimResult zero_interval =
+        simulateWithOptions(zeroed, trace, options);
+    EXPECT_EQ(no_options.conditionals, zero_interval.conditionals);
+    EXPECT_EQ(no_options.mispredicts, zero_interval.mispredicts);
 }
-
-#pragma GCC diagnostic pop
 
 TEST(Driver, EmptyTrace)
 {

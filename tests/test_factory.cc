@@ -156,6 +156,52 @@ TEST(Factory, StructuredSpecBuildsSamePredictor)
     EXPECT_EQ(from_spec->storageBits(), from_text->storageBits());
 }
 
+TEST(Factory, WithSuffixMatchesParsingTheFullString)
+{
+    // Deriving a variant from a parsed spec must land on exactly
+    // the spec that parsing the concatenated string would produce.
+    const PredictorSpec base = parseSpec("gshare:14:12");
+    const PredictorSpec extended = base.withSuffix("1");
+    const PredictorSpec reference = parseSpec("gshare:14:12:1");
+    EXPECT_EQ(extended.scheme, reference.scheme);
+    EXPECT_EQ(extended.fields, reference.fields);
+    EXPECT_EQ(extended.toString(), "gshare:14:12:1");
+
+    // The base spec is untouched.
+    EXPECT_EQ(base.toString(), "gshare:14:12");
+
+    // Multi-field suffixes and keyword fields work the same way.
+    const PredictorSpec agreed =
+        parseSpec("agree:14:10:12").withSuffix("3");
+    EXPECT_EQ(agreed.toString(), "agree:14:10:12:3");
+    const PredictorSpec skewed =
+        parseSpec("gskewed:3:12:8").withSuffix("total");
+    EXPECT_EQ(skewed.toString(), "gskewed:3:12:8:total");
+}
+
+TEST(Factory, WithSuffixCanonicalizesAndRoundTrips)
+{
+    const PredictorSpec extended =
+        parseSpec("bimodal:10").withSuffix("03");
+    EXPECT_EQ(extended.toString(), "bimodal:10:3");
+    const PredictorSpec reparsed = parseSpec(extended.toString());
+    EXPECT_EQ(reparsed.fields, extended.fields);
+    EXPECT_EQ(makePredictor(extended)->name(),
+              makePredictor(reparsed)->name());
+}
+
+TEST(Factory, WithSuffixRejectsBadInput)
+{
+    const PredictorSpec base = parseSpec("gshare:14:12");
+    // Empty suffix, overflowing the field count, and malformed
+    // values all fail the same way parseSpec() would.
+    EXPECT_THROW(base.withSuffix(""), FatalError);
+    EXPECT_THROW(base.withSuffix("2:9"), FatalError);
+    EXPECT_THROW(base.withSuffix("x"), FatalError);
+    EXPECT_THROW(parseSpec("gskewed:3:12:8").withSuffix("sideways"),
+                 FatalError);
+}
+
 TEST(Factory, ListSchemesExamplesAllBuild)
 {
     for (const SchemeInfo &scheme : listSchemes()) {
