@@ -48,7 +48,10 @@ PredictorPool::PredictorPool(PredictorSpec spec, Options options)
             cache_options.spillDir =
                 options.spillDir + "/shard-" + std::to_string(i);
         }
-        shard->cache =
+        // Single-threaded construction: workers have not started,
+        // so no lock is needed to seed the cache.
+        // bp_lint: allow(lock-discipline)
+        shard->tenantCache =
             std::make_unique<TenantCache>(spec_, cache_options);
         shardList.push_back(std::move(shard));
     }
@@ -92,9 +95,9 @@ PredictorPool::submit(const PredictRequest &request)
     {
         std::unique_lock<std::mutex> lock(shard.inboxMutex);
         shard.notFull.wait(lock, [&] {
-            return shard.queue.size() < maxQueued;
+            return shard.inbox.size() < maxQueued;
         });
-        shard.queue.push_back(entry);
+        shard.inbox.push_back(entry);
     }
     shard.notEmpty.notify_one();
 }
@@ -105,14 +108,14 @@ PredictorPool::drain()
     for (auto &shard : shardList) {
         std::unique_lock<std::mutex> lock(shard->inboxMutex);
         shard->idle.wait(lock, [&] {
-            return shard->queue.empty() && !shard->inflight;
+            return shard->inbox.empty() && !shard->inflight;
         });
     }
     for (auto &shard : shardList) {
         std::exception_ptr error;
         {
             std::lock_guard<std::mutex> lock(shard->stateMutex);
-            error = std::exchange(shard->error, nullptr);
+            error = std::exchange(shard->parkedError, nullptr);
         }
         if (error) {
             std::rethrow_exception(error);
@@ -175,7 +178,7 @@ PredictorPool::exportTenant(u64 tenant) const
 {
     const Shard &shard = *shardList[shardOf(tenant)];
     std::lock_guard<std::mutex> lock(shard.stateMutex);
-    return shard.cache->exportTenant(tenant);
+    return shard.tenantCache->exportTenant(tenant);
 }
 
 void
@@ -183,7 +186,7 @@ PredictorPool::importTenant(u64 tenant, const std::string &bytes)
 {
     Shard &shard = *shardList[shardOf(tenant)];
     std::lock_guard<std::mutex> lock(shard.stateMutex);
-    shard.cache->importTenant(tenant, bytes);
+    shard.tenantCache->importTenant(tenant, bytes);
 }
 
 bool
@@ -191,7 +194,7 @@ PredictorPool::evictTenant(u64 tenant)
 {
     Shard &shard = *shardList[shardOf(tenant)];
     std::lock_guard<std::mutex> lock(shard.stateMutex);
-    return shard.cache->evict(tenant);
+    return shard.tenantCache->evict(tenant);
 }
 
 PoolCounters
@@ -200,22 +203,22 @@ PredictorPool::counters() const
     PoolCounters total;
     for (const auto &shard : shardList) {
         std::lock_guard<std::mutex> lock(shard->stateMutex);
-        total.requests += shard->requests;
-        total.records += shard->records;
+        total.requests += shard->servedRequests;
+        total.records += shard->servedRecords;
         for (const auto &[tenant, tally] : shard->tallies) {
             total.conditionals += tally.counters.conditionals;
             total.mispredicts += tally.counters.mispredicts;
         }
-        const TenantCacheCounters &cache = shard->cache->counters();
+        const TenantCacheCounters &cache = shard->tenantCache->counters();
         total.cache.hits += cache.hits;
         total.cache.constructions += cache.constructions;
         total.cache.evictions += cache.evictions;
         total.cache.restores += cache.restores;
         total.cache.spills += cache.spills;
-        total.residentTenants += shard->cache->resident();
-        total.residentCapacity += shard->cache->capacity();
-        total.knownTenants += shard->cache->knownTenants();
-        total.checkpointBytes += shard->cache->checkpointBytes();
+        total.residentTenants += shard->tenantCache->resident();
+        total.residentCapacity += shard->tenantCache->capacity();
+        total.knownTenants += shard->tenantCache->knownTenants();
+        total.checkpointBytes += shard->tenantCache->checkpointBytes();
     }
     return total;
 }
@@ -237,7 +240,7 @@ PredictorPool::checkpointSaveLatencyUs() const
     Histogram merged;
     for (const auto &shard : shardList) {
         std::lock_guard<std::mutex> lock(shard->stateMutex);
-        mergeHistogram(merged, shard->cache->saveLatencyUs());
+        mergeHistogram(merged, shard->tenantCache->saveLatencyUs());
     }
     return merged;
 }
@@ -248,7 +251,7 @@ PredictorPool::checkpointRestoreLatencyUs() const
     Histogram merged;
     for (const auto &shard : shardList) {
         std::lock_guard<std::mutex> lock(shard->stateMutex);
-        mergeHistogram(merged, shard->cache->restoreLatencyUs());
+        mergeHistogram(merged, shard->tenantCache->restoreLatencyUs());
     }
     return merged;
 }
@@ -266,14 +269,14 @@ PredictorPool::runShard(Shard &shard)
         {
             std::unique_lock<std::mutex> lock(shard.inboxMutex);
             shard.notEmpty.wait(lock, [&] {
-                return shard.stopping || !shard.queue.empty();
+                return shard.stopping || !shard.inbox.empty();
             });
-            if (shard.queue.empty()) {
+            if (shard.inbox.empty()) {
                 // stopping, backlog drained
                 break;
             }
-            entry = shard.queue.front();
-            shard.queue.pop_front();
+            entry = shard.inbox.front();
+            shard.inbox.pop_front();
             shard.inflight = true;
         }
         shard.notFull.notify_one();
@@ -283,7 +286,7 @@ PredictorPool::runShard(Shard &shard)
         {
             std::lock_guard<std::mutex> lock(shard.inboxMutex);
             shard.inflight = false;
-            if (shard.queue.empty()) {
+            if (shard.inbox.empty()) {
                 shard.idle.notify_all();
             }
         }
@@ -297,7 +300,7 @@ PredictorPool::processEntry(Shard &shard, const InboxEntry &entry,
     std::lock_guard<std::mutex> lock(shard.stateMutex);
     try {
         Predictor &predictor =
-            shard.cache->acquire(entry.request.tenant);
+            shard.tenantCache->acquire(entry.request.tenant);
         TenantTally &tally = shard.tallies[entry.request.tenant];
 
         const BranchRecord *records = entry.request.records;
@@ -312,8 +315,8 @@ PredictorPool::processEntry(Shard &shard, const InboxEntry &entry,
         }
 
         ++tally.requests;
-        ++shard.requests;
-        shard.records += entry.request.count;
+        ++shard.servedRequests;
+        shard.servedRecords += entry.request.count;
         shard.requestLatency.sample(static_cast<u64>(
             std::chrono::duration_cast<std::chrono::microseconds>(
                 SteadyClock::now() - entry.enqueued)
@@ -321,8 +324,8 @@ PredictorPool::processEntry(Shard &shard, const InboxEntry &entry,
     } catch (...) {
         // Park the first failure for drain(); later requests keep
         // flowing so one bad tenant cannot wedge the shard.
-        if (!shard.error) {
-            shard.error = std::current_exception();
+        if (!shard.parkedError) {
+            shard.parkedError = std::current_exception();
         }
     }
 }

@@ -230,10 +230,14 @@ class PredictorPool
     };
 
     /**
-     * One worker shard. inboxMutex guards the queue and inflight
-     * flag (producers + worker); stateMutex guards the cache,
-     * tallies and histograms (worker during replay, readers any
-     * time). The worker never holds both at once.
+     * One worker shard. inboxMutex guards the inbox and inflight
+     * flag (producers + worker); stateMutex guards the tenant
+     * cache, tallies and histograms (worker during replay, readers
+     * any time). The worker never holds both at once. The
+     * `bp_lint: guarded_by` annotations are machine-checked by the
+     * lock-discipline rule: touching an annotated field outside a
+     * scope that constructed a lock on the named mutex is a lint
+     * error.
      */
     struct Shard
     {
@@ -241,17 +245,26 @@ class PredictorPool
         std::condition_variable notEmpty;
         std::condition_variable notFull;
         std::condition_variable idle;
-        std::deque<InboxEntry> queue;
+        // bp_lint: guarded_by(inboxMutex)
+        std::deque<InboxEntry> inbox;
+        // bp_lint: guarded_by(inboxMutex)
         bool inflight = false;
+        // bp_lint: guarded_by(inboxMutex)
         bool stopping = false;
 
         mutable std::mutex stateMutex;
-        std::unique_ptr<TenantCache> cache;
+        // bp_lint: guarded_by(stateMutex)
+        std::unique_ptr<TenantCache> tenantCache;
+        // bp_lint: guarded_by(stateMutex)
         std::unordered_map<u64, TenantTally> tallies;
+        // bp_lint: guarded_by(stateMutex)
         Histogram requestLatency;
-        u64 requests = 0;
-        u64 records = 0;
-        std::exception_ptr error;
+        // bp_lint: guarded_by(stateMutex)
+        u64 servedRequests = 0;
+        // bp_lint: guarded_by(stateMutex)
+        u64 servedRecords = 0;
+        // bp_lint: guarded_by(stateMutex)
+        std::exception_ptr parkedError;
 
         std::thread worker;
     };

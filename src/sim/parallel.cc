@@ -30,6 +30,9 @@ namespace
 std::size_t
 resolveGangWidth(std::size_t total_jobs, unsigned threads)
 {
+    // Read before workers start; test_parallel's setenv happens in
+    // single-threaded test setup, never concurrently with a sweep.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     if (const char *env = std::getenv("BPRED_GANG_WIDTH");
         env != nullptr && *env != '\0') {
         try {
@@ -91,6 +94,9 @@ resolveThreadCount(unsigned requested)
     if (requested > 0) {
         return requested;
     }
+    // Read before workers start; test_parallel's setenv happens in
+    // single-threaded test setup, never concurrently with a sweep.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     if (const char *env = std::getenv("BPRED_THREADS");
         env != nullptr && *env != '\0') {
         try {

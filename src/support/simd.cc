@@ -40,6 +40,9 @@ namespace
 SimdMode
 environmentMode()
 {
+    // The only setenv calls in the tree happen in single-threaded
+    // test/bench setup, never concurrently with dispatch.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     const char *raw = std::getenv("BPRED_SIMD");
     if (!raw) {
         return SimdMode::Auto;

@@ -96,8 +96,11 @@ class StatRegistry
  * StatRegistry itself is not thread-safe — hold engineStatsMutex()
  * for every access. The engines only write from the coordinating
  * thread (after worker pools have joined), so the lock is never
- * contended on a hot path.
+ * contended on a hot path. The annotation below makes the
+ * lock-discipline rule flag any call site outside a scope holding
+ * the mutex.
  */
+// bp_lint: guarded_by(engineStatsMutex)
 StatRegistry &engineStats();
 
 /** The lock guarding engineStats(). */

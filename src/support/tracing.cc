@@ -41,14 +41,18 @@ struct ThreadBuffer
 
 struct Registry
 {
-    std::mutex mutex;
+    std::mutex registryMutex;
 
     /**
      * Owns every lane ever registered. Lanes are never removed:
      * worker threads die between SweepRunner batches, but their
      * events must survive into the export, and live threads hold
-     * raw pointers into this vector via `tlsBuffer`.
+     * raw pointers into this vector via `tlsBuffer`. The lock-free
+     * append fast path goes through that cached pointer, never
+     * through this vector, so every `buffers` access takes the
+     * registry lock (machine-checked by lock-discipline).
      */
+    // bp_lint: guarded_by(registryMutex)
     std::vector<std::unique_ptr<ThreadBuffer>> buffers;
 };
 
@@ -67,7 +71,7 @@ buffer()
 {
     if (tlsBuffer == nullptr) {
         Registry &reg = registry();
-        std::lock_guard<std::mutex> lock(reg.mutex);
+        std::lock_guard<std::mutex> lock(reg.registryMutex);
         auto owned = std::make_unique<ThreadBuffer>();
         owned->tid = static_cast<unsigned>(reg.buffers.size());
         owned->events.reserve(1024);
@@ -227,7 +231,7 @@ std::size_t
 threadCount()
 {
     Registry &reg = registry();
-    std::lock_guard<std::mutex> lock(reg.mutex);
+    std::lock_guard<std::mutex> lock(reg.registryMutex);
     return reg.buffers.size();
 }
 
@@ -235,7 +239,7 @@ std::size_t
 eventCount()
 {
     Registry &reg = registry();
-    std::lock_guard<std::mutex> lock(reg.mutex);
+    std::lock_guard<std::mutex> lock(reg.registryMutex);
     std::size_t count = 0;
     for (const auto &lane : reg.buffers) {
         count += lane->events.size();
@@ -247,7 +251,7 @@ u64
 droppedCount()
 {
     Registry &reg = registry();
-    std::lock_guard<std::mutex> lock(reg.mutex);
+    std::lock_guard<std::mutex> lock(reg.registryMutex);
     u64 dropped = 0;
     for (const auto &lane : reg.buffers) {
         dropped += lane->dropped;
@@ -259,7 +263,7 @@ void
 reset()
 {
     Registry &reg = registry();
-    std::lock_guard<std::mutex> lock(reg.mutex);
+    std::lock_guard<std::mutex> lock(reg.registryMutex);
     for (const auto &lane : reg.buffers) {
         lane->events.clear();
         lane->dropped = 0;
@@ -270,7 +274,7 @@ std::vector<ThreadSnapshot>
 snapshot()
 {
     Registry &reg = registry();
-    std::lock_guard<std::mutex> lock(reg.mutex);
+    std::lock_guard<std::mutex> lock(reg.registryMutex);
     std::vector<ThreadSnapshot> lanes;
     lanes.reserve(reg.buffers.size());
     for (const auto &lane : reg.buffers) {
@@ -289,7 +293,7 @@ bool
 writeChromeTrace(std::ostream &os)
 {
     Registry &reg = registry();
-    std::lock_guard<std::mutex> lock(reg.mutex);
+    std::lock_guard<std::mutex> lock(reg.registryMutex);
 
     os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
     bool first = true;

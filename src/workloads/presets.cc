@@ -187,6 +187,8 @@ makeIbsTrace(const std::string &name, double scale)
 double
 effectiveTraceScale(double requested)
 {
+    // Read once at startup; nothing in this process calls setenv.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     const char *env = std::getenv("BPRED_TRACE_SCALE");
     if (env == nullptr || *env == '\0') {
         return requested;
@@ -207,6 +209,8 @@ std::vector<Trace>
 ibsSuite(double scale)
 {
     const double effective = effectiveTraceScale(scale);
+    // Read once at startup; nothing in this process calls setenv.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     const char *cache_env = std::getenv("BPRED_TRACE_CACHE");
     const std::string cache_dir =
         cache_env == nullptr ? "" : cache_env;

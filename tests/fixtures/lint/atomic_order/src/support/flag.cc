@@ -1,0 +1,36 @@
+#include <atomic>
+
+namespace bpred
+{
+
+std::atomic<bool> tracingEnabled{false};
+
+void
+enable()
+{
+    // Violation: implicit seq_cst.
+    tracingEnabled.store(true);
+}
+
+bool
+enabled()
+{
+    return tracingEnabled.load(std::memory_order_relaxed);
+}
+
+void
+toggle()
+{
+    // Violation: operator= cannot take an order argument.
+    tracingEnabled = true;
+}
+
+void
+enableWithFence()
+{
+    // Startup path; the seq_cst fence is intended here.
+    // bp_lint: allow(atomic-order)
+    tracingEnabled.store(true);
+}
+
+} // namespace bpred

@@ -1,0 +1,24 @@
+/**
+ * Raw-string regression: the bodies below contain comment openers,
+ * stray quotes and banned-looking identifiers. A stripper without
+ * raw-literal support desynchronizes here and leaks them into the
+ * code view, which would make this clean tree fail the
+ * banned-identifier rule.
+ */
+
+#include <string>
+
+const std::string kQuery = R"sql(
+    SELECT rand() FROM atoi -- strcpy( "unbalanced
+)sql";
+
+const std::string kJson = R"({"new": "Widget", "strtol": 1})";
+
+const std::string kPrefixed = u8R"x(sprintf( // ")x";
+
+int
+rawStrings()
+{
+    return static_cast<int>(kQuery.size() + kJson.size() +
+                            kPrefixed.size());
+}

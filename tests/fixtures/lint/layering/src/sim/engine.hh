@@ -1,0 +1,7 @@
+#pragma once
+
+inline int
+simEngineId()
+{
+    return 7;
+}

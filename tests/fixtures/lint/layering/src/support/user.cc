@@ -1,0 +1,10 @@
+// This file's own include is a legal same-module edge, but the
+// header it pulls in reaches into sim — the transitive closure
+// check flags the chain here too.
+#include "support/util.hh"
+
+int
+userOfUtil()
+{
+    return supportHelper();
+}

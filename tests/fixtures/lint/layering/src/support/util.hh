@@ -1,0 +1,11 @@
+#pragma once
+
+// Backward edge: support is the bottom layer and must not reach up
+// into sim. The layering rule flags this directive directly.
+#include "sim/engine.hh"
+
+inline int
+supportHelper()
+{
+    return simEngineId();
+}

@@ -1,0 +1,29 @@
+#include "serve/pool.hh"
+
+namespace bpred
+{
+
+void
+MiniPool::push(int v)
+{
+    std::lock_guard<std::mutex> lock(inboxMutex);
+    inbox.push_back(v);
+}
+
+int
+MiniPool::peekUnsafe() const
+{
+    // Violation: no lock on inboxMutex anywhere above this scope.
+    return inbox.empty() ? 0 : inbox.front();
+}
+
+int
+MiniPool::sizeLockFree() const
+{
+    // Racy size probe for monitoring only; the contract documents
+    // that the value may be stale, never torn (deque size read).
+    // bp_lint: allow(lock-discipline)
+    return static_cast<int>(inbox.size());
+}
+
+} // namespace bpred

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <deque>
+#include <mutex>
+
+namespace bpred
+{
+
+class MiniPool
+{
+  public:
+    void push(int v);
+    int peekUnsafe() const;
+    int sizeLockFree() const;
+
+  private:
+    mutable std::mutex inboxMutex;
+    // bp_lint: guarded_by(inboxMutex)
+    std::deque<int> inbox;
+};
+
+} // namespace bpred

@@ -1,0 +1,13 @@
+#pragma once
+
+namespace bpred
+{
+
+class WaivedPredictor : public Predictor
+{
+  public:
+    void saveState(std::ostream &os) const override;
+    void loadState(std::istream &is) override;
+};
+
+} // namespace bpred

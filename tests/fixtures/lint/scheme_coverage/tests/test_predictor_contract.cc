@@ -1,0 +1,11 @@
+// The sweep deliberately omits the third scheme.
+static const char *allSpecs[] = {
+    "good:14",
+    "waived:8",
+};
+
+int
+specCount()
+{
+    return static_cast<int>(sizeof(allSpecs) / sizeof(allSpecs[0]));
+}

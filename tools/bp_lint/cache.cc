@@ -1,0 +1,239 @@
+#include "bp_lint/cache.hh"
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "bp_lint/sarif.hh"
+
+namespace bplint
+{
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** FNV-1a 64-bit, the same hash the snapshot headers use. */
+struct Fnv1a
+{
+    std::uint64_t state = 1469598103934665603ULL;
+
+    void
+    mix(const std::string &text)
+    {
+        for (const char c : text) {
+            state ^= static_cast<unsigned char>(c);
+            state *= 1099511628211ULL;
+        }
+        // Separator so {"ab","c"} and {"a","bc"} differ.
+        state ^= 0xff;
+        state *= 1099511628211ULL;
+    }
+
+    std::string
+    hex() const
+    {
+        static const char digits[] = "0123456789abcdef";
+        std::string out;
+        for (int shift = 60; shift >= 0; shift -= 4) {
+            out += digits[(state >> shift) & 0xf];
+        }
+        return out;
+    }
+};
+
+/** Escape tabs/newlines so findings serialize one per line. */
+std::string
+escapeField(const std::string &text)
+{
+    std::string out;
+    for (const char c : text) {
+        switch (c) {
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+std::optional<std::string>
+unescapeField(const std::string &text)
+{
+    std::string out;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        if (text[i] != '\\') {
+            out += text[i];
+            continue;
+        }
+        if (i + 1 >= text.size()) {
+            return std::nullopt;
+        }
+        switch (text[++i]) {
+          case '\\':
+            out += '\\';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'n':
+            out += '\n';
+            break;
+          default:
+            return std::nullopt;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+cacheKey(const fs::path &root,
+         const std::vector<std::string> &rules)
+{
+    // The manifest must be order-stable; forEachLintableFile walks
+    // in directory-iteration order, so collect and sort.
+    std::map<std::string, std::string> manifest;
+    forEachLintableFile(root, [&](const fs::path &path,
+                                  const std::string &relative) {
+        std::error_code ec;
+        const auto size = fs::file_size(path, ec);
+        const auto mtime = fs::last_write_time(path, ec);
+        std::ostringstream entry;
+        entry << size << '|'
+              << std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     mtime.time_since_epoch())
+                     .count();
+        manifest[relative] = entry.str();
+    });
+
+    Fnv1a digest;
+    digest.mix(std::string("bp_lint/") + lintVersion);
+    if (rules.empty()) {
+        // The full-rule run also depends on the registry: adding a
+        // rule must invalidate old entries.
+        for (const RuleInfo &rule : allRules()) {
+            digest.mix(rule.name);
+        }
+    } else {
+        for (const std::string &rule : rules) {
+            digest.mix(rule);
+        }
+    }
+    for (const auto &[relative, entry] : manifest) {
+        digest.mix(relative);
+        digest.mix(entry);
+    }
+    return digest.hex();
+}
+
+std::optional<std::vector<Finding>>
+cacheLoad(const fs::path &dir, const std::string &key)
+{
+    std::ifstream in(dir / (key + ".lint"), std::ios::binary);
+    if (!in) {
+        return std::nullopt;
+    }
+    std::vector<Finding> findings;
+    std::string line;
+    bool sawHeader = false;
+    while (std::getline(in, line)) {
+        if (!sawHeader) {
+            if (line != std::string("bp_lint-cache ") + lintVersion) {
+                return std::nullopt;
+            }
+            sawHeader = true;
+            continue;
+        }
+        if (line.empty()) {
+            continue;
+        }
+        std::vector<std::string> fields;
+        std::size_t start = 0;
+        for (int f = 0; f < 3; ++f) {
+            const std::size_t tab = line.find('\t', start);
+            if (tab == std::string::npos) {
+                return std::nullopt;
+            }
+            fields.push_back(line.substr(start, tab - start));
+            start = tab + 1;
+        }
+        fields.push_back(line.substr(start));
+
+        Finding finding;
+        const auto rule = unescapeField(fields[0]);
+        const auto file = unescapeField(fields[1]);
+        const auto message = unescapeField(fields[3]);
+        if (!rule || !file || !message) {
+            return std::nullopt;
+        }
+        finding.rule = *rule;
+        finding.file = *file;
+        finding.message = *message;
+        try {
+            finding.line = std::stoull(fields[2]);
+        } catch (...) {
+            return std::nullopt;
+        }
+        findings.push_back(std::move(finding));
+    }
+    if (!sawHeader) {
+        return std::nullopt;
+    }
+    return findings;
+}
+
+void
+cacheStore(const fs::path &dir, const std::string &key,
+           const std::vector<Finding> &findings)
+{
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec) {
+        return;
+    }
+
+    // Prune entries for other keys: the cache holds the current
+    // tree state, not a history.
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        const fs::path &path = entry.path();
+        if (path.extension() == ".lint" &&
+            path.filename() != key + ".lint") {
+            fs::remove(path, ec);
+        }
+    }
+
+    const fs::path target = dir / (key + ".lint");
+    const fs::path staging = dir / (key + ".lint.tmp");
+    {
+        std::ofstream out(staging, std::ios::binary);
+        if (!out) {
+            return;
+        }
+        out << "bp_lint-cache " << lintVersion << "\n";
+        for (const Finding &finding : findings) {
+            out << escapeField(finding.rule) << '\t'
+                << escapeField(finding.file) << '\t'
+                << finding.line << '\t'
+                << escapeField(finding.message) << "\n";
+        }
+        if (!out) {
+            return;
+        }
+    }
+    fs::rename(staging, target, ec);
+}
+
+} // namespace bplint

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The bp_lint result cache.
+ *
+ * Linting is a function of (file contents, rule selection, tool
+ * version). The cache keys a whole-tree manifest digest — FNV-1a
+ * over every lintable file's relative path, size and mtime, plus
+ * the selected rule names and lintVersion — to the serialized
+ * findings of a previous run. A warm hit therefore costs one
+ * stat() per file instead of reading, stripping and analyzing the
+ * tree: exactly what keeps the blocking CI job and edit-lint loops
+ * fast as the tree grows.
+ *
+ * mtime+size is the usual make-style approximation: touching a
+ * file without changing it misses the cache (harmless, just
+ * re-lints), and an edit that preserves both size and mtime
+ * granularity would falsely hit — acceptable for a linter whose
+ * cold run is itself cheap, and the reason `--cache` is opt-in.
+ *
+ * Entries are one file per digest under the cache directory;
+ * stale entries are pruned opportunistically (everything but the
+ * current key), so the directory holds at most a handful of files.
+ */
+
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bp_lint/lint.hh"
+
+namespace bplint
+{
+
+/**
+ * Manifest digest of the tree under @p root for @p rules (empty =
+ * all rules). Stats every lintable file; never reads contents.
+ */
+std::string cacheKey(const std::filesystem::path &root,
+                     const std::vector<std::string> &rules);
+
+/**
+ * Load cached findings for @p key from @p dir, or nullopt on miss
+ * or unreadable/corrupt entry (a corrupt entry is treated as a
+ * miss, never an error).
+ */
+std::optional<std::vector<Finding>>
+cacheLoad(const std::filesystem::path &dir, const std::string &key);
+
+/**
+ * Store @p findings for @p key under @p dir (created when absent)
+ * and prune entries for other keys. I/O failures are swallowed —
+ * a broken cache must never break the lint run.
+ */
+void cacheStore(const std::filesystem::path &dir,
+                const std::string &key,
+                const std::vector<Finding> &findings);
+
+} // namespace bplint

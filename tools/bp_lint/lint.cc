@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "bp_lint/model.hh"
 #include "bp_lint/rules.hh"
 
 namespace bplint
@@ -41,6 +42,22 @@ allRules()
          "vector intrinsics only in *_simd files, under "
          "#if BPRED_HAVE_AVX2",
          ruleSimdIsolation},
+        {"layering",
+         "#include edges follow the declared module DAG "
+         "(support -> trace -> predictors -> core -> ... -> serve)",
+         ruleLayering},
+        {"scheme-coverage",
+         "every factory scheme has snapshot overrides, a block "
+         "kernel or scalar-only waiver, and contract-test coverage",
+         ruleSchemeCoverage},
+        {"lock-discipline",
+         "fields annotated guarded_by(<mutex>) are only touched "
+         "inside a scope holding that mutex",
+         ruleLockDiscipline},
+        {"atomic-order",
+         "std::atomic operations in src/support and src/serve name "
+         "an explicit memory_order",
+         ruleAtomicOrder},
     };
     return rules;
 }
@@ -82,6 +99,59 @@ splitLines(const std::string &text)
     return lines;
 }
 
+/**
+ * When text[i] is the opening '"' of a raw string literal
+ * (R"delim(...)delim", optionally with a u8/u/U/L encoding prefix),
+ * return the index one past the closing '"'; otherwise return 0.
+ * Unterminated raw strings swallow the rest of the file, matching
+ * compiler behaviour.
+ */
+std::size_t
+rawStringEnd(const std::string &text, std::size_t i)
+{
+    if (i == 0 || text[i] != '"' || text[i - 1] != 'R') {
+        return 0;
+    }
+    // The char before the R / u8R / uR / UR / LR prefix must not
+    // extend an identifier (FOOBAR"..." is not a raw string).
+    std::size_t start = i - 1;
+    if (start >= 2 && text[start - 2] == 'u' &&
+        text[start - 1] == '8') {
+        start -= 2;
+    } else if (start >= 1 &&
+               (text[start - 1] == 'u' || text[start - 1] == 'U' ||
+                text[start - 1] == 'L')) {
+        start -= 1;
+    }
+    if (start > 0) {
+        const char before = text[start - 1];
+        if (std::isalnum(static_cast<unsigned char>(before)) ||
+            before == '_') {
+            return 0;
+        }
+    }
+    // Delimiter: at most 16 chars between '"' and '(', none of
+    // which may be a space, paren, backslash, quote, or newline.
+    const std::size_t open = text.find('(', i + 1);
+    if (open == std::string::npos || open - i - 1 > 16) {
+        return 0;
+    }
+    for (std::size_t j = i + 1; j < open; ++j) {
+        const char c = text[j];
+        if (c == ' ' || c == ')' || c == '\\' || c == '"' ||
+            c == '\n' || c == '\t') {
+            return 0;
+        }
+    }
+    const std::string terminator =
+        ")" + text.substr(i + 1, open - i - 1) + "\"";
+    const std::size_t end = text.find(terminator, open + 1);
+    if (end == std::string::npos) {
+        return text.size();
+    }
+    return end + terminator.size();
+}
+
 } // namespace
 
 std::string
@@ -113,6 +183,20 @@ stripCommentsAndStrings(const std::string &text)
                 state = State::BlockComment;
                 out += "  ";
                 ++i;
+            } else if (c == '"' && rawStringEnd(text, i) != 0) {
+                // Raw string literal: blank the whole body
+                // (newlines preserved), keeping the outer quotes so
+                // literal-shape rules still see a string here.
+                const std::size_t end = rawStringEnd(text, i);
+                out += '"';
+                for (std::size_t j = i + 1; j < end; ++j) {
+                    out += text[j] == '\n' ? '\n' : ' ';
+                }
+                if (end > i + 1 && end <= text.size() &&
+                    text[end - 1] == '"') {
+                    out.back() = '"';
+                }
+                i = end - 1;
             } else if (c == '"') {
                 state = State::String;
                 out += '"';
@@ -222,19 +306,20 @@ lineAllows(const SourceFile &file, std::size_t line,
     return false;
 }
 
-RepoTree
-loadTree(const fs::path &root)
+void
+forEachLintableFile(
+    const fs::path &root,
+    const std::function<void(const fs::path &,
+                             const std::string &)> &visit)
 {
     if (!fs::is_directory(root)) {
         throw std::runtime_error("bp_lint: not a directory: " +
                                  root.string());
     }
-
-    RepoTree tree;
-    tree.root = fs::canonical(root);
+    const fs::path canonical = fs::canonical(root);
 
     auto options = fs::directory_options::skip_permission_denied;
-    for (auto it = fs::recursive_directory_iterator(tree.root,
+    for (auto it = fs::recursive_directory_iterator(canonical,
                                                     options);
          it != fs::recursive_directory_iterator(); ++it) {
         const fs::path &path = it->path();
@@ -256,6 +341,23 @@ loadTree(const fs::path &root)
         if (!is_cmake && !is_header && !is_source) {
             continue;
         }
+        visit(path, fs::relative(path, canonical).generic_string());
+    }
+}
+
+RepoTree
+loadTree(const fs::path &root)
+{
+    RepoTree tree;
+    tree.root = fs::canonical(root);
+
+    forEachLintableFile(tree.root, [&](const fs::path &path,
+                                       const std::string &relative) {
+        const std::string name = path.filename().string();
+        const bool is_header =
+            hasSuffix(name, ".hh") || hasSuffix(name, ".hpp");
+        const bool is_source =
+            hasSuffix(name, ".cc") || hasSuffix(name, ".cpp");
 
         std::ifstream in(path, std::ios::binary);
         std::ostringstream contents;
@@ -263,8 +365,7 @@ loadTree(const fs::path &root)
         const std::string text = contents.str();
 
         SourceFile file;
-        file.relative =
-            fs::relative(path, tree.root).generic_string();
+        file.relative = relative;
         file.name = name;
         file.lines = splitLines(text);
         file.isHeader = is_header;
@@ -275,12 +376,13 @@ loadTree(const fs::path &root)
         }
         file.inTests = file.relative.rfind("tests/", 0) == 0;
         tree.files.push_back(std::move(file));
-    }
+    });
 
     std::sort(tree.files.begin(), tree.files.end(),
               [](const SourceFile &a, const SourceFile &b) {
                   return a.relative < b.relative;
               });
+    tree.model = std::make_shared<ProjectModel>(buildModel(tree));
     return tree;
 }
 

@@ -21,11 +21,15 @@
 #pragma once
 
 #include <filesystem>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace bplint
 {
+
+struct ProjectModel;
 
 /** One rule violation at a source location. */
 struct Finding
@@ -77,6 +81,16 @@ struct RepoTree
 {
     std::filesystem::path root;
     std::vector<SourceFile> files;
+
+    /**
+     * The shared project model (model.hh), built once by loadTree()
+     * after all files are loaded. Rules consume it instead of
+     * re-deriving includes, scopes, or scheme-table facts. Held by
+     * pointer so lint.hh need not include model.hh; always non-null
+     * after loadTree(). Code building a RepoTree by hand must call
+     * buildModel() itself before running rules.
+     */
+    std::shared_ptr<const ProjectModel> model;
 };
 
 /** A lint rule: appends findings for the whole tree. */
@@ -101,6 +115,18 @@ const std::vector<RuleInfo> &allRules();
  * @throws std::runtime_error when @p root is not a directory.
  */
 RepoTree loadTree(const std::filesystem::path &root);
+
+/**
+ * Invoke @p visit for every file loadTree() would load, without
+ * reading contents — the cache's warm-path manifest scan uses this
+ * so a cache hit costs one stat() per file instead of a full parse.
+ * @p visit receives the absolute path and the root-relative path
+ * (generic "/" separators).
+ */
+void forEachLintableFile(
+    const std::filesystem::path &root,
+    const std::function<void(const std::filesystem::path &,
+                             const std::string &)> &visit);
 
 /** Run @p rules (default: all) over @p tree. */
 std::vector<Finding> runLint(const RepoTree &tree);

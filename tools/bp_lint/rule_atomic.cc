@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Rule "atomic-order": std::atomic operations in src/support and
+ * src/serve must name an explicit memory_order.
+ *
+ * The tracing fast path is lock-free by design and its performance
+ * depends on relaxed ordering (tracing.hh documents the protocol);
+ * the serving engine is the other place concurrency lives. In both,
+ * an atomic op written without an order means implicit seq_cst —
+ * either an accidental fence on a hot path (perf bug) or an
+ * undocumented reliance on the strongest ordering (intent bug).
+ * Either way the author should have to spell it.
+ *
+ * Two checks, over the stripped code of files under src/support/
+ * and src/serve/:
+ *
+ *  - member atomic ops (.load( / ->store( / fetch_* / exchange /
+ *    compare_exchange_*) must mention memory_order within the call
+ *    (the directive line plus a three-line continuation window);
+ *    free functions like std::exchange are not matched — only
+ *    receiver syntax;
+ *  - variables *declared* std::atomic in those files must not be
+ *    assigned (=, +=, -=) or incremented/decremented — those
+ *    operators cannot take an order argument, so such sites must
+ *    use .store()/.fetch_add() with an explicit order instead.
+ *
+ * Implicit reads through the conversion operator (`if (flag)`) are
+ * out of reach for a line heuristic and deliberately not flagged.
+ * Escapes: `bp_lint: allow(atomic-order)` with a reason.
+ */
+
+#include "bp_lint/lint.hh"
+#include "bp_lint/model.hh"
+
+#include <set>
+
+namespace bplint
+{
+
+namespace
+{
+
+bool
+isIdentChar(char c)
+{
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+        (c >= '0' && c <= '9') || c == '_';
+}
+
+bool
+inScope(const SourceFile &file)
+{
+    return file.relative.rfind("src/support/", 0) == 0 ||
+        file.relative.rfind("src/serve/", 0) == 0;
+}
+
+/** Declared name on an atomic declaration line. */
+std::string
+declaredName(const std::string &code)
+{
+    // Skip past the template argument list so `std::atomic<bool>`
+    // itself is not mistaken for the variable.
+    std::size_t after = code.find("std::atomic");
+    if (after == std::string::npos) {
+        return "";
+    }
+    after += std::string("std::atomic").size();
+    int depth = 0;
+    while (after < code.size()) {
+        if (code[after] == '<') {
+            ++depth;
+        } else if (code[after] == '>') {
+            --depth;
+            if (depth == 0) {
+                ++after;
+                break;
+            }
+        } else if (depth == 0 && code[after] != ' ') {
+            break; // no template args (atomic_flag style)
+        }
+        ++after;
+    }
+    std::size_t stop = code.find_first_of("={;(", after);
+    if (stop == std::string::npos) {
+        stop = code.size();
+    }
+    std::size_t end = stop;
+    while (end > after &&
+           (code[end - 1] == ' ' || code[end - 1] == '\t')) {
+        --end;
+    }
+    std::size_t begin = end;
+    while (begin > after && isIdentChar(code[begin - 1])) {
+        --begin;
+    }
+    return code.substr(begin, end - begin);
+}
+
+const std::vector<std::string> &
+atomicOps()
+{
+    static const std::vector<std::string> ops = {
+        "load",
+        "store",
+        "exchange",
+        "fetch_add",
+        "fetch_sub",
+        "fetch_and",
+        "fetch_or",
+        "fetch_xor",
+        "compare_exchange_weak",
+        "compare_exchange_strong",
+    };
+    return ops;
+}
+
+} // namespace
+
+void
+ruleAtomicOrder(const RepoTree &tree, std::vector<Finding> &findings)
+{
+    // Names declared std::atomic anywhere in the scoped dirs; used
+    // for the operator-form check across all scoped files (the
+    // extern declaration lives in the header, uses in the .cc).
+    std::set<std::string> atomicNames;
+    for (const SourceFile &file : tree.files) {
+        if (!file.isCpp || !inScope(file)) {
+            continue;
+        }
+        for (const std::string &code : file.code) {
+            if (code.find("std::atomic") == std::string::npos) {
+                continue;
+            }
+            const std::string name = declaredName(code);
+            if (!name.empty()) {
+                atomicNames.insert(name);
+            }
+        }
+    }
+
+    for (const SourceFile &file : tree.files) {
+        if (!file.isCpp || !inScope(file)) {
+            continue;
+        }
+        for (std::size_t i = 0; i < file.code.size(); ++i) {
+            const std::string &code = file.code[i];
+
+            // Member atomic ops: receiver syntax only.
+            for (const std::string &op : atomicOps()) {
+                for (const std::string prefix : {".", ">"}) {
+                    const std::string needle = prefix + op + "(";
+                    std::size_t at = code.find(needle);
+                    if (at == std::string::npos) {
+                        continue;
+                    }
+                    std::string window = code;
+                    for (std::size_t j = i + 1;
+                         j < file.code.size() && j < i + 4; ++j) {
+                        window += ' ';
+                        window += file.code[j];
+                    }
+                    if (window.find("memory_order", at) !=
+                        std::string::npos) {
+                        continue;
+                    }
+                    if (lineAllows(file, i + 1, "atomic-order")) {
+                        continue;
+                    }
+                    findings.push_back(
+                        {"atomic-order", file.relative, i + 1,
+                         "atomic ." + op +
+                             "() without an explicit memory_order "
+                             "(implicit seq_cst; spell the "
+                             "ordering)"});
+                }
+            }
+
+            // Operator form on declared atomic names: =, +=, -=,
+            // ++, -- cannot take an order argument.
+            for (const std::string &name : atomicNames) {
+                std::size_t pos = 0;
+                while ((pos = code.find(name, pos)) !=
+                       std::string::npos) {
+                    const bool left = pos == 0 ||
+                        !isIdentChar(code[pos - 1]);
+                    std::size_t after = pos + name.size();
+                    if (!left || (after < code.size() &&
+                                  isIdentChar(code[after]))) {
+                        ++pos;
+                        continue;
+                    }
+                    pos = after;
+                    while (after < code.size() &&
+                           (code[after] == ' ' ||
+                            code[after] == '\t')) {
+                        ++after;
+                    }
+                    const std::string rest = code.substr(
+                        after, std::min<std::size_t>(
+                                   2, code.size() - after));
+                    const bool preInc = pos >= name.size() + 2 &&
+                        (code.compare(pos - name.size() - 2, 2,
+                                      "++") == 0 ||
+                         code.compare(pos - name.size() - 2, 2,
+                                      "--") == 0);
+                    const bool assign =
+                        (rest.rfind("=", 0) == 0 &&
+                         rest != "==") ||
+                        rest == "+=" || rest == "-=" ||
+                        rest == "++" || rest == "--";
+                    if (!assign && !preInc) {
+                        continue;
+                    }
+                    // Skip the declaration itself
+                    // (std::atomic<...> name = ... is an init,
+                    // not an op).
+                    if (code.find("std::atomic") !=
+                        std::string::npos) {
+                        continue;
+                    }
+                    if (lineAllows(file, i + 1, "atomic-order")) {
+                        continue;
+                    }
+                    findings.push_back(
+                        {"atomic-order", file.relative, i + 1,
+                         "operator access to std::atomic '" + name +
+                             "' (implicit seq_cst); use "
+                             ".store()/.fetch_add() with an "
+                             "explicit memory_order"});
+                }
+            }
+        }
+    }
+}
+
+} // namespace bplint

@@ -16,12 +16,15 @@
  * Schemes whose fingerprint legitimately differs (e.g. "static"
  * prints "always-taken") declare it in factory.cc with a
  * `bp_lint: fingerprint(<scheme>)=<prefix>` comment.
+ *
+ * The scheme table itself (entries, overrides, per-scheme classes)
+ * comes from the shared project model; this rule only contributes
+ * the name()-literal scan and the prefix check.
  */
 
 #include "bp_lint/lint.hh"
+#include "bp_lint/model.hh"
 
-#include <cctype>
-#include <map>
 #include <set>
 
 namespace bplint
@@ -104,99 +107,15 @@ void
 ruleFactoryFingerprint(const RepoTree &tree,
                        std::vector<Finding> &findings)
 {
-    const SourceFile *factory = nullptr;
-    for (const SourceFile &file : tree.files) {
-        if (file.relative == "src/sim/factory.cc") {
-            factory = &file;
-        }
-    }
-    if (!factory) {
+    const ProjectModel &model = *tree.model;
+    if (!model.hasFactory) {
         return; // Fixture trees without a factory skip the rule.
     }
-
-    // Scheme names: the first string literal of each top-level
-    // brace-entry inside the listSchemes() table. Brace depth is
-    // tracked so nested field-spec initializers (e.g.
-    // {{"direction", ...}}) are not mistaken for schemes.
-    std::map<std::string, std::size_t> schemes; // name -> line
-    bool armed = false;    // saw listSchemes()
-    bool in_table = false; // inside the initializer braces
-    bool done = false;
-    int depth = 0;
-    char prev = '\0'; // last non-space char before the table opens
-    for (std::size_t i = 0; i < factory->code.size() && !done; ++i) {
-        const std::string &code = factory->code[i];
-        const std::string &raw = factory->lines[i];
-        if (!armed) {
-            if (code.find("listSchemes()") == std::string::npos) {
-                continue;
-            }
-            armed = true;
-        }
-        for (std::size_t p = 0; p < code.size(); ++p) {
-            const char c = code[p];
-            if (!in_table) {
-                if (c == '{' && prev == '=') {
-                    in_table = true;
-                    depth = 0;
-                } else if (!std::isspace(
-                               static_cast<unsigned char>(c))) {
-                    prev = c;
-                }
-                continue;
-            }
-            if (c == '{') {
-                if (depth == 0 && p + 1 < code.size() &&
-                    code[p + 1] == '"') {
-                    const std::size_t close =
-                        code.find('"', p + 2);
-                    if (close != std::string::npos &&
-                        close < raw.size()) {
-                        schemes.emplace(
-                            raw.substr(p + 2, close - p - 2),
-                            i + 1);
-                    }
-                }
-                ++depth;
-            } else if (c == '}') {
-                if (depth == 0) {
-                    done = true; // table initializer closed
-                    break;
-                }
-                --depth;
-            }
-        }
-    }
-    if (schemes.empty()) {
+    if (model.schemes.empty()) {
         findings.push_back(
-            {"factory-fingerprint", factory->relative, 0,
+            {"factory-fingerprint", model.factoryFile, 0,
              "could not locate the listSchemes() scheme table"});
         return;
-    }
-
-    // Declared overrides: bp_lint: fingerprint(<scheme>)=<prefix>
-    std::map<std::string, std::string> overrides;
-    for (const std::string &line : factory->lines) {
-        const std::string marker = "bp_lint: fingerprint(";
-        const std::size_t at = line.find(marker);
-        if (at == std::string::npos) {
-            continue;
-        }
-        const std::size_t open = at + marker.size();
-        const std::size_t close = line.find(')', open);
-        const std::size_t eq = line.find('=', open);
-        if (close == std::string::npos || eq == std::string::npos ||
-            eq < close) {
-            continue;
-        }
-        // The prefix is a single token; anything after the first
-        // whitespace is free-form justification.
-        std::string prefix = line.substr(eq + 1);
-        const std::size_t end = prefix.find_first_of(" \t");
-        if (end != std::string::npos) {
-            prefix.resize(end);
-        }
-        overrides[line.substr(open, close - open)] = prefix;
     }
 
     // Fingerprints: canonical string literals inside every name()
@@ -208,11 +127,13 @@ ruleFactoryFingerprint(const RepoTree &tree,
         }
     }
 
-    for (const auto &[scheme, line] : schemes) {
-        const auto override_it = overrides.find(scheme);
+    for (const SchemeFact &scheme : model.schemes) {
+        const auto override_it =
+            model.fingerprintOverrides.find(scheme.name);
         const std::string expected = canonicalFingerprint(
-            override_it != overrides.end() ? override_it->second
-                                           : scheme);
+            override_it != model.fingerprintOverrides.end()
+                ? override_it->second
+                : scheme.name);
         bool matched = false;
         for (const std::string &fingerprint : fingerprints) {
             if (fingerprint.rfind(expected, 0) == 0) {
@@ -222,13 +143,14 @@ ruleFactoryFingerprint(const RepoTree &tree,
         }
         if (!matched) {
             findings.push_back(
-                {"factory-fingerprint", factory->relative, line,
-                 "scheme '" + scheme +
+                {"factory-fingerprint", model.factoryFile,
+                 scheme.line,
+                 "scheme '" + scheme.name +
                      "' has no name() fingerprint literal "
                      "starting with '" +
                      expected +
                      "' (or declare a bp_lint: fingerprint(" +
-                     scheme + ")=<prefix> override)"});
+                     scheme.name + ")=<prefix> override)"});
         }
     }
 }

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Rule "layering": #include edges must follow the declared module
+ * DAG.
+ *
+ * The tree is layered bottom-up:
+ *
+ *     support -> trace -> predictors -> {core -> aliasing, model,
+ *     workloads} -> sim -> serve
+ *
+ * with bench/, examples/ and tests/ above everything and
+ * tools/bp_lint deliberately outside the graph (it links no bpred
+ * code so a broken tree can still be linted). A backward include —
+ * say support/ reaching into sim/ — compiles fine today and turns
+ * into a dependency cycle the next time someone adds the reverse
+ * edge, so the rule enforces the DAG from the explicit edge list
+ * below rather than from whatever the build currently tolerates.
+ *
+ * Violations are flagged at the offending #include directive. The
+ * rule also closes over includes *within the tree*: when a file's
+ * own includes are legal but one of them (transitively) drags in a
+ * forbidden module, the file is flagged at the include that starts
+ * the chain, with the chain spelled out. Escapes use
+ * `bp_lint: allow(layering)` on the directive line.
+ */
+
+#include "bp_lint/lint.hh"
+#include "bp_lint/model.hh"
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace bplint
+{
+
+namespace
+{
+
+/** The declared DAG: module -> modules it may include from. */
+const std::map<std::string, std::set<std::string>> &
+declaredEdges()
+{
+    static const std::map<std::string, std::set<std::string>> edges =
+        {
+            {"support", {}},
+            {"trace", {"support"}},
+            {"predictors", {"support", "trace"}},
+            {"core", {"support", "trace", "predictors"}},
+            {"aliasing", {"support", "trace", "predictors", "core"}},
+            {"model",
+             {"support", "trace", "predictors", "aliasing"}},
+            {"workloads", {"support", "trace", "predictors"}},
+            {"sim",
+             {"support", "trace", "predictors", "core",
+              "aliasing"}},
+            {"serve", {"support", "trace", "predictors", "sim"}},
+            {"bench",
+             {"support", "trace", "predictors", "core", "aliasing",
+              "model", "workloads", "sim", "serve"}},
+            {"examples",
+             {"support", "trace", "predictors", "core", "aliasing",
+              "model", "workloads", "sim", "serve"}},
+            {"tests",
+             {"support", "trace", "predictors", "core", "aliasing",
+              "model", "workloads", "sim", "serve", "bp_lint"}},
+            {"bp_lint", {}},
+        };
+    return edges;
+}
+
+/** Module a file belongs to, or "" when outside the graph. */
+std::string
+moduleOf(const std::string &relative)
+{
+    for (const char *prefix : {"src/", "tools/"}) {
+        const std::string p = prefix;
+        if (relative.rfind(p, 0) == 0) {
+            const std::size_t slash = relative.find('/', p.size());
+            if (slash != std::string::npos) {
+                return relative.substr(p.size(),
+                                       slash - p.size());
+            }
+            return "";
+        }
+    }
+    const std::size_t slash = relative.find('/');
+    if (slash == std::string::npos) {
+        return ""; // top-level files (CMakeLists.txt) are exempt
+    }
+    const std::string top = relative.substr(0, slash);
+    if (top == "tests" || top == "bench" || top == "examples") {
+        return top;
+    }
+    return "";
+}
+
+/** Module a quoted include path targets, or "" when unknown. */
+std::string
+includeTarget(const std::string &path)
+{
+    const std::size_t slash = path.find('/');
+    if (slash == std::string::npos) {
+        return "";
+    }
+    const std::string module = path.substr(0, slash);
+    return declaredEdges().count(module) ? module : "";
+}
+
+bool
+edgeAllowed(const std::string &from, const std::string &to)
+{
+    if (from == to) {
+        return true;
+    }
+    const auto it = declaredEdges().find(from);
+    return it != declaredEdges().end() && it->second.count(to) != 0;
+}
+
+/**
+ * Transitive closure of the declared edges: a module legitimately
+ * inherits its dependencies' dependencies (serve includes sim
+ * headers which include core headers). Direct #includes are held
+ * to the declared list; transitive reachability to the closure.
+ */
+bool
+closureAllows(const std::string &from, const std::string &to)
+{
+    if (from == to) {
+        return true;
+    }
+    static std::map<std::string, std::set<std::string>> closed;
+    auto it = closed.find(from);
+    if (it == closed.end()) {
+        std::set<std::string> reach;
+        std::vector<std::string> pending{from};
+        while (!pending.empty()) {
+            const std::string current = pending.back();
+            pending.pop_back();
+            const auto edges = declaredEdges().find(current);
+            if (edges == declaredEdges().end()) {
+                continue;
+            }
+            for (const std::string &next : edges->second) {
+                if (reach.insert(next).second) {
+                    pending.push_back(next);
+                }
+            }
+        }
+        it = closed.emplace(from, std::move(reach)).first;
+    }
+    return it->second.count(to) != 0;
+}
+
+} // namespace
+
+void
+ruleLayering(const RepoTree &tree, std::vector<Finding> &findings)
+{
+    const ProjectModel &model = *tree.model;
+
+    // Resolve quoted include paths to tree files: the include
+    // spelling is the path with the src/ or tools/ prefix stripped.
+    std::map<std::string, std::size_t> byIncludePath;
+    for (std::size_t i = 0; i < tree.files.size(); ++i) {
+        const std::string &relative = tree.files[i].relative;
+        for (const char *prefix : {"src/", "tools/"}) {
+            const std::string p = prefix;
+            if (relative.rfind(p, 0) == 0) {
+                byIncludePath.emplace(relative.substr(p.size()), i);
+            }
+        }
+        byIncludePath.emplace(relative, i);
+    }
+
+    for (std::size_t i = 0; i < tree.files.size(); ++i) {
+        const SourceFile &file = tree.files[i];
+        const std::string from = moduleOf(file.relative);
+        if (!file.isCpp || from.empty()) {
+            continue;
+        }
+        for (const IncludeRef &include : model.files[i].includes) {
+            if (include.angled) {
+                continue;
+            }
+            const std::string to = includeTarget(include.path);
+            if (to.empty()) {
+                continue;
+            }
+            if (lineAllows(file, include.line, "layering")) {
+                continue;
+            }
+            if (!edgeAllowed(from, to)) {
+                findings.push_back(
+                    {"layering", file.relative, include.line,
+                     "module '" + from + "' must not include '" +
+                         include.path + "' (module '" + to +
+                         "' is not in its declared dependency "
+                         "list)"});
+                continue;
+            }
+
+            // Legal direct edge: close over what the included
+            // header itself drags in, staying inside the tree.
+            // Depth-first with a visited set; the first forbidden
+            // module found reports the chain.
+            const auto resolved = byIncludePath.find(include.path);
+            if (resolved == byIncludePath.end()) {
+                continue;
+            }
+            std::set<std::size_t> visited{i};
+            std::vector<std::pair<std::size_t, std::string>> stack{
+                {resolved->second, include.path}};
+            while (!stack.empty()) {
+                const auto [index, chain] = stack.back();
+                stack.pop_back();
+                if (!visited.insert(index).second) {
+                    continue;
+                }
+                const std::string via =
+                    moduleOf(tree.files[index].relative);
+                if (!via.empty() && !closureAllows(from, via)) {
+                    findings.push_back(
+                        {"layering", file.relative, include.line,
+                         "module '" + from +
+                             "' transitively reaches module '" +
+                             via + "' via " + chain +
+                             " (not in its declared dependency "
+                             "list)"});
+                    stack.clear();
+                    break;
+                }
+                for (const IncludeRef &deeper :
+                     model.files[index].includes) {
+                    if (deeper.angled) {
+                        continue;
+                    }
+                    const auto next =
+                        byIncludePath.find(deeper.path);
+                    if (next != byIncludePath.end()) {
+                        stack.push_back(
+                            {next->second,
+                             chain + " -> " + deeper.path});
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace bplint

@@ -18,5 +18,9 @@ void ruleFactoryFingerprint(const RepoTree &,
 void ruleDeprecatedCall(const RepoTree &, std::vector<Finding> &);
 void ruleTraceLiteral(const RepoTree &, std::vector<Finding> &);
 void ruleSimdIsolation(const RepoTree &, std::vector<Finding> &);
+void ruleLayering(const RepoTree &, std::vector<Finding> &);
+void ruleSchemeCoverage(const RepoTree &, std::vector<Finding> &);
+void ruleLockDiscipline(const RepoTree &, std::vector<Finding> &);
+void ruleAtomicOrder(const RepoTree &, std::vector<Finding> &);
 
 } // namespace bplint
