@@ -1,0 +1,352 @@
+/**
+ * @file
+ * Trace-ingest throughput: istream vs mmap vs mmap+fast-decode.
+ *
+ * The gang/SIMD replay engine consumes records faster than the
+ * original istream-based BPT1 decoder produced them, which made
+ * ingestion the pipeline's bottleneck. This bench measures the
+ * three ingest paths over one BPT1 file (default ~8M records,
+ * honouring BPRED_TRACE_SCALE and `--records`):
+ *
+ *   istream    BinaryTraceSource — bulk slab reads, per-byte decode
+ *   mmap       MmapTraceSource, per-record reference decoder
+ *   mmap+fast  MmapTraceSource, sub-batch bulk decoder (the default)
+ *
+ * and enforces two gates with a non-zero exit status:
+ *  - byte identity: every path yields the same records (checksum)
+ *    and byte-identical sim results — tallies and snapshot bytes —
+ *    for every listSchemes() entry;
+ *  - throughput: mmap+fast >= 2x istream, enforced when the trace
+ *    is large enough to time meaningfully (>= 4M records);
+ *    informational below that.
+ *
+ * `--json` reports records/s per path, the fast/istream ratio and
+ * peak RSS (memmeter), so CI trends ingest performance run-to-run.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "bench_common.hh"
+#include "sim/factory.hh"
+#include "sim/session.hh"
+#include "support/aligned.hh"
+#include "support/logging.hh"
+#include "support/memmeter.hh"
+#include "support/parse.hh"
+#include "trace/adapters.hh"
+#include "trace/mmap_source.hh"
+#include "trace/trace_io.hh"
+#include "workloads/presets.hh"
+
+using namespace bpred;
+
+namespace
+{
+
+/** Records below which the 2x throughput gate is informational. */
+constexpr std::size_t gateMinRecords = 4'000'000;
+
+/** Interleaved repetitions; the median absorbs scheduler noise. */
+constexpr int timingRepetitions = 5;
+
+struct DrainOutcome
+{
+    u64 records = 0;
+    u64 checksum = 0;
+};
+
+/**
+ * Pull @p source dry, folding every record into an order-sensitive
+ * checksum (the index weight keeps the fold associative, so it does
+ * not serialize on a multiply chain). Used untimed, once per path,
+ * to prove the paths produce identical records.
+ */
+DrainOutcome
+drainChecksum(TraceSource &source, AlignedVector<BranchRecord> &block)
+{
+    DrainOutcome outcome;
+    while (const std::size_t n =
+               source.pull(block.data(), block.size())) {
+        u64 fold = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const BranchRecord &record = block[i];
+            fold ^= (record.pc ^ (record.taken ? 1 : 0) ^
+                     (record.conditional ? 2 : 0)) *
+                (outcome.records + i + 0x9e3779b97f4a7c15ull);
+        }
+        outcome.checksum ^= fold;
+        outcome.records += n;
+    }
+    return outcome;
+}
+
+/**
+ * Timed drain: the bare pull loop, nothing else, so the clock sees
+ * ingest alone. The decode writes every record into @p block and
+ * advances internal source state, so none of it can be elided; the
+ * untimed checksum drain above covers correctness.
+ */
+double
+drainTimed(TraceSource &source, AlignedVector<BranchRecord> &block)
+{
+    const auto started = std::chrono::steady_clock::now();
+    while (source.pull(block.data(), block.size()) != 0) {
+    }
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - started)
+        .count();
+}
+
+double
+median(std::vector<double> values)
+{
+    std::sort(values.begin(), values.end());
+    return values[values.size() / 2];
+}
+
+/** One sim identity probe: tallies plus snapshot bytes. */
+struct SimFingerprint
+{
+    u64 conditionals = 0;
+    u64 mispredicts = 0;
+    std::string snapshot;
+
+    bool
+    operator==(const SimFingerprint &other) const
+    {
+        return conditionals == other.conditionals &&
+            mispredicts == other.mispredicts &&
+            snapshot == other.snapshot;
+    }
+};
+
+SimFingerprint
+fingerprint(const std::string &spec, TraceSource &source)
+{
+    const std::unique_ptr<Predictor> predictor = makePredictor(spec);
+    const SimResult result = simulateSource(*predictor, source);
+    SimFingerprint print;
+    print.conditionals = result.conditionals;
+    print.mispredicts = result.mispredicts;
+    if (predictor->supportsSnapshot()) {
+        std::ostringstream os;
+        predictor->saveState(os);
+        print.snapshot = os.str();
+    }
+    return print;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> extra =
+        bench::initWithExtraArgs(argc, argv);
+    std::size_t requested_records = 0;
+    for (std::size_t i = 0; i < extra.size(); ++i) {
+        if (extra[i] == "--records" && i + 1 < extra.size()) {
+            requested_records = static_cast<std::size_t>(
+                parseU64(extra[++i], "--records"));
+        } else {
+            std::cerr << "bench_trace_ingest: unknown argument '"
+                      << extra[i] << "'\n";
+            return 2;
+        }
+    }
+
+    bench::banner("trace ingest",
+                  "zero-copy mmap + sub-batch decode vs the "
+                  "istream slab decoder (>= 2x, byte-identical)");
+
+    // Default ~8M records, scaled like every other bench so the CI
+    // smoke run stays light (BPRED_TRACE_SCALE).
+    const std::size_t records = requested_records != 0
+        ? requested_records
+        : static_cast<std::size_t>(
+              8'000'000.0 * effectiveTraceScale(1.0));
+    const double gen_scale =
+        static_cast<double>(records) / 2'000'000.0;
+    Trace trace = makeIbsTrace("real_gcc", gen_scale);
+    trace.setName("ingest");
+
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         ("bench_ingest_" + std::to_string(::getpid()) + ".bpt"))
+            .string();
+    saveBinaryTrace(path, trace);
+    const u64 file_bytes = std::filesystem::file_size(path);
+    std::cout << "trace: " << trace.size() << " records, "
+              << file_bytes << " bytes on disk, block "
+              << bench::blockRecords() << " records\n\n";
+
+    if (!mmapSupported()) {
+        inform("mmap unavailable on this platform; nothing to "
+               "compare");
+        std::filesystem::remove(path);
+        return bench::finish();
+    }
+
+    AlignedVector<BranchRecord> block(bench::blockRecords());
+    struct Path
+    {
+        const char *label;
+        std::function<std::unique_ptr<TraceSource>()> open;
+    };
+    const std::vector<Path> paths = {
+        {"istream",
+         [&]() { return std::make_unique<BinaryTraceSource>(path); }},
+        {"mmap",
+         [&]() {
+             auto source = std::make_unique<MmapTraceSource>(path);
+             source->setFastDecode(false);
+             return source;
+         }},
+        {"mmap+fast",
+         [&]() { return std::make_unique<MmapTraceSource>(path); }},
+    };
+
+    // One untimed checksum drain per path proves the paths decode
+    // identical records (and warms the page cache for everyone).
+    std::vector<u64> checksums(paths.size(), 0);
+    u64 drained_records = 0;
+    for (std::size_t p = 0; p < paths.size(); ++p) {
+        std::unique_ptr<TraceSource> source = paths[p].open();
+        const DrainOutcome outcome = drainChecksum(*source, block);
+        checksums[p] = outcome.checksum;
+        if (p == 0) {
+            drained_records = outcome.records;
+        } else if (outcome.records != drained_records) {
+            std::cerr << "FAIL: " << paths[p].label
+                      << " drained a different record count\n";
+            return 1;
+        }
+    }
+
+    // Interleave timed repetitions so drift (thermal, page cache)
+    // hits every path equally; keep the per-path median.
+    std::vector<std::vector<double>> seconds(paths.size());
+    for (int rep = 0; rep < timingRepetitions; ++rep) {
+        for (std::size_t p = 0; p < paths.size(); ++p) {
+            std::unique_ptr<TraceSource> source = paths[p].open();
+            seconds[p].push_back(drainTimed(*source, block));
+        }
+    }
+
+    bool identical = checksums[0] == checksums[1] &&
+        checksums[0] == checksums[2] &&
+        drained_records == trace.size();
+
+    std::vector<double> rate(paths.size(), 0.0);
+    for (std::size_t p = 0; p < paths.size(); ++p) {
+        rate[p] = static_cast<double>(drained_records) /
+            median(seconds[p]);
+    }
+    const double ratio_fast = rate[2] / rate[0];
+
+    TextTable table({"path", "Mrec/s", "MB/s", "vs istream"});
+    for (std::size_t p = 0; p < paths.size(); ++p) {
+        table.row().cell(paths[p].label);
+        table.cell(rate[p] / 1e6, 2);
+        table.cell(rate[p] / static_cast<double>(drained_records) *
+                       static_cast<double>(file_bytes) / 1e6,
+                   2);
+        table.cell(rate[p] / rate[0], 2);
+    }
+    bench::emitTable("ingest", table);
+
+    // Optional fourth column of the story: whole-file gz ingest
+    // (materializing adapter path), informational only.
+    if (gzSupported()) {
+        std::ifstream is(path, std::ios::binary);
+        std::ostringstream raw;
+        raw << is.rdbuf();
+        const std::string gz_path = path + ".gz";
+        writeGzFile(gz_path, raw.str());
+        std::vector<double> gz_seconds;
+        for (int rep = 0; rep < timingRepetitions; ++rep) {
+            const auto started = std::chrono::steady_clock::now();
+            const Trace inflated = loadRealTrace(gz_path);
+            gz_seconds.push_back(std::chrono::duration<double>(
+                                     std::chrono::steady_clock::now() -
+                                     started)
+                                     .count());
+            if (inflated.size() != trace.size()) {
+                identical = false;
+            }
+        }
+        const double gz_rate = static_cast<double>(trace.size()) /
+            median(gz_seconds);
+        TextTable gz_table({"path", "Mrec/s"});
+        gz_table.row().cell("bpt.gz (materialize)").cell(
+            gz_rate / 1e6, 2);
+        bench::emitTable("ingest-gz", gz_table);
+        bench::recordReportField("ingest_records_per_s_gz", gz_rate);
+        std::filesystem::remove(gz_path);
+    }
+
+    // Sim identity sweep: every factory scheme, all three ingest
+    // paths, comparing tallies and snapshot bytes.
+    std::size_t schemes_checked = 0;
+    for (const SchemeInfo &scheme : listSchemes()) {
+        std::vector<SimFingerprint> prints;
+        for (const Path &ingest : paths) {
+            std::unique_ptr<TraceSource> source = ingest.open();
+            prints.push_back(fingerprint(scheme.example, *source));
+        }
+        if (!(prints[0] == prints[1] && prints[0] == prints[2])) {
+            std::cerr << "FAIL: scheme '" << scheme.example
+                      << "' diverges across ingest paths\n";
+            identical = false;
+        }
+        ++schemes_checked;
+    }
+    std::cout << "\nidentity: " << schemes_checked
+              << " schemes x 3 ingest paths "
+              << (identical ? "byte-identical" : "DIVERGED") << "\n";
+
+    const MemUsage mem = processMemUsage();
+    bench::recordReportField("ingest_records", u64(drained_records));
+    bench::recordReportField("ingest_file_bytes", file_bytes);
+    bench::recordReportField("ingest_records_per_s_istream", rate[0]);
+    bench::recordReportField("ingest_records_per_s_mmap", rate[1]);
+    bench::recordReportField("ingest_records_per_s_mmap_fast",
+                             rate[2]);
+    bench::recordReportField("ingest_fast_over_istream", ratio_fast);
+    bench::recordReportField("ingest_rss_peak_bytes",
+                             mem.rssPeakBytes);
+    bench::recordReportField("ingest_identical", identical);
+
+    bench::expectation(
+        "mmap+fast decodes >= 2x the istream path; all three paths "
+        "replay byte-identically for every scheme.");
+
+    std::filesystem::remove(path);
+
+    const bool gate_throughput = drained_records >= gateMinRecords;
+    if (!identical) {
+        std::cerr << "FAIL: ingest paths are not byte-identical\n";
+        bench::finish();
+        return 1;
+    }
+    if (gate_throughput && ratio_fast < 2.0) {
+        std::cerr << "FAIL: mmap+fast is only " << ratio_fast
+                  << "x istream (gate: 2.0x)\n";
+        bench::finish();
+        return 1;
+    }
+    if (!gate_throughput) {
+        inform("trace below " + std::to_string(gateMinRecords) +
+               " records; 2x gate informational only");
+    }
+    return bench::finish();
+}

@@ -1,6 +1,8 @@
 #include "trace/bpt_format.hh"
 
 #include <algorithm>
+#include <bit>
+#include <cstring>
 #include <istream>
 #include <ostream>
 
@@ -42,6 +44,27 @@ readVarint(std::istream &is)
 }
 
 u64
+readVarint(const u8 *data, std::size_t size, std::size_t &at)
+{
+    u64 value = 0;
+    unsigned shift = 0;
+    for (;;) {
+        if (shift >= 64) {
+            fatal("trace: varint overflow");
+        }
+        if (at >= size) {
+            fatal("trace: truncated varint");
+        }
+        const u8 byte = data[at++];
+        value |= (static_cast<u64>(byte) & 0x7f) << shift;
+        if ((byte & 0x80) == 0) {
+            return value;
+        }
+        shift += 7;
+    }
+}
+
+u64
 zigZagEncode(i64 value)
 {
     return (static_cast<u64>(value) << 1) ^
@@ -63,6 +86,28 @@ writeHeader(std::ostream &os, const std::string &name, u64 count)
     writeVarint(os, count);
 }
 
+void
+checkNameLength(u64 name_len)
+{
+    if (name_len > maxNameBytes) {
+        fatal("trace: unreasonable name length");
+    }
+}
+
+void
+validateHeader(Header &header, const PayloadBounds &payload)
+{
+    if (!payload.known) {
+        return;
+    }
+    if (header.count > payload.bytes / 2) {
+        fatal("trace: header declares " +
+              std::to_string(header.count) + " records but only " +
+              std::to_string(payload.bytes) + " bytes follow");
+    }
+    header.lengthValidated = true;
+}
+
 Header
 readHeader(std::istream &is)
 {
@@ -74,9 +119,7 @@ readHeader(std::istream &is)
 
     Header header;
     const u64 name_len = readVarint(is);
-    if (name_len > 4096) {
-        fatal("trace: unreasonable name length");
-    }
+    checkNameLength(name_len);
     header.name.assign(static_cast<std::size_t>(name_len), '\0');
     is.read(header.name.data(),
             static_cast<std::streamsize>(name_len));
@@ -88,27 +131,48 @@ readHeader(std::istream &is)
 
     header.count = readVarint(is);
 
-    // Every record costs at least two bytes (flag byte + one varint
-    // byte), so on a seekable stream the declared count is bounded
-    // by half the remaining length. A corrupt header claiming more
-    // is rejected here, before any caller sizes an allocation by it.
+    // Seekable streams know the payload length, so the shared bound
+    // applies; pipes stay unvalidated and rely on per-record checks.
+    PayloadBounds payload;
     const std::istream::pos_type pos = is.tellg();
     if (pos != std::istream::pos_type(-1)) {
         is.seekg(0, std::ios::end);
         const std::istream::pos_type end = is.tellg();
         is.seekg(pos);
         if (is && end != std::istream::pos_type(-1) && end >= pos) {
-            const u64 remaining = static_cast<u64>(end - pos);
-            if (header.count > remaining / 2) {
-                fatal("trace: header declares " +
-                      std::to_string(header.count) +
-                      " records but only " +
-                      std::to_string(remaining) +
-                      " bytes follow");
-            }
-            header.lengthValidated = true;
+            payload.bytes = static_cast<u64>(end - pos);
+            payload.known = true;
         }
     }
+    validateHeader(header, payload);
+    return header;
+}
+
+Header
+readHeader(const u8 *data, std::size_t size,
+           std::size_t &header_bytes)
+{
+    std::size_t at = 0;
+    if (size < sizeof(magic) ||
+        !std::equal(magic, magic + sizeof(magic),
+                    reinterpret_cast<const char *>(data))) {
+        fatal("trace: bad magic (not a BPT1 trace)");
+    }
+    at = sizeof(magic);
+
+    Header header;
+    const u64 name_len = readVarint(data, size, at);
+    checkNameLength(name_len);
+    if (size - at < name_len) {
+        fatal("trace: truncated name");
+    }
+    header.name.assign(reinterpret_cast<const char *>(data) + at,
+                       static_cast<std::size_t>(name_len));
+    at += static_cast<std::size_t>(name_len);
+
+    header.count = readVarint(data, size, at);
+    validateHeader(header, {size - at, true});
+    header_bytes = at;
     return header;
 }
 
@@ -182,6 +246,150 @@ readRecord(const char *data, std::size_t size, BranchRecord &out,
     last_pc += static_cast<Addr>(zigZagDecode(value));
     out = {last_pc, (flags & 1) != 0, (flags & 2) != 0};
     return at + 1;
+}
+
+namespace
+{
+
+/**
+ * Decode one record starting at @p p with no bounds checks: the
+ * caller guarantees at least maxRecordBytes remain, and a record
+ * never spans more than that (the overflow fatal below fires before
+ * an 11th varint byte is touched, exactly like the checked decoder).
+ *
+ * Delta-encoded PCs make 1- and 2-byte varints the overwhelmingly
+ * common case, so those lengths are peeled into explicit
+ * straight-line code (one-byte loads, no loop-carried shift
+ * counter, well-predicted branches); longer varints fall into the
+ * generic loop with the reference overflow rule.
+ */
+inline const u8 *
+decodeOneUnchecked(const u8 *p, BranchRecord &out, Addr &last_pc)
+{
+    const u8 flags = *p++;
+    if ((flags & ~0x3u) != 0) {
+        fatal("trace: bad record flags");
+    }
+    u64 value;
+    const u8 b0 = p[0];
+    if ((b0 & 0x80) == 0) {
+        value = b0;
+        p += 1;
+    } else {
+        const u8 b1 = p[1];
+        if ((b1 & 0x80) == 0) {
+            value = (static_cast<u64>(b0) & 0x7f) |
+                (static_cast<u64>(b1) << 7);
+            p += 2;
+        } else {
+            value = (static_cast<u64>(b0) & 0x7f) |
+                ((static_cast<u64>(b1) & 0x7f) << 7);
+            unsigned shift = 14;
+            p += 2;
+            for (;;) {
+                if (shift >= 64) {
+                    fatal("trace: varint overflow");
+                }
+                const u8 byte = *p++;
+                value |= (static_cast<u64>(byte) & 0x7f) << shift;
+                if ((byte & 0x80) == 0) {
+                    break;
+                }
+                shift += 7;
+            }
+        }
+    }
+    // Same u64 wrap-around delta arithmetic as the istream decoder;
+    // see readRecord() for why i64 addition would be UB here.
+    last_pc += static_cast<Addr>(zigZagDecode(value));
+    out = {last_pc, (flags & 1) != 0, (flags & 2) != 0};
+    return p;
+}
+
+/**
+ * Quad template over one 8-byte load: lanes 0/2/4/6 are flag bytes
+ * (valid flags have bits 2-7 clear) and lanes 1/3/5/7 are
+ * single-byte varints (continuation bit clear). A zero AND against
+ * this mask proves four consecutive two-byte records at once.
+ */
+constexpr u64 quadTwoByteMask = 0x80fc80fc80fc80fcull;
+
+/** Decode one lane pair of a proven quad word. */
+inline void
+decodeQuadLane(u64 word, unsigned lane, BranchRecord &out,
+               Addr &last_pc)
+{
+    const u64 flags = (word >> (16 * lane)) & 0x3;
+    const u64 value = (word >> (16 * lane + 8)) & 0x7f;
+    last_pc += static_cast<Addr>(zigZagDecode(value));
+    out = {last_pc, (flags & 1) != 0, (flags & 2) != 0};
+}
+
+} // namespace
+
+std::size_t
+decodeRecords(const u8 *data, std::size_t size, BranchRecord *out,
+              std::size_t max, Addr &last_pc, std::size_t &consumed)
+{
+    const u8 *p = data;
+    const u8 *const end = data + size;
+    std::size_t done = 0;
+    // Fast region: one division bounds a whole sub-batch. Typical
+    // records are 2-4 bytes, so each pass clears ~span/11 records
+    // and re-enters with most of the span still ahead of it.
+    while (done < max) {
+        const std::size_t safe =
+            static_cast<std::size_t>(end - p) / maxRecordBytes;
+        std::size_t batch = std::min(max - done, safe);
+        if (batch == 0) {
+            break;
+        }
+        done += batch;
+        while (batch >= 4) {
+            // Delta encoding keeps most records at two bytes, and
+            // they cluster (loop bodies re-branch nearby), so one
+            // masked load frequently proves four records at once —
+            // and, unlike the scalar path, advances the stream
+            // pointer by a constant, off the decode critical path.
+            if constexpr (std::endian::native == std::endian::little) {
+                u64 word;
+                std::memcpy(&word, p, sizeof(word));
+                if ((word & quadTwoByteMask) == 0) [[likely]] {
+                    decodeQuadLane(word, 0, out[0], last_pc);
+                    decodeQuadLane(word, 1, out[1], last_pc);
+                    decodeQuadLane(word, 2, out[2], last_pc);
+                    decodeQuadLane(word, 3, out[3], last_pc);
+                    p += sizeof(word);
+                    out += 4;
+                    batch -= 4;
+                    continue;
+                }
+            }
+            p = decodeOneUnchecked(p, out[0], last_pc);
+            ++out;
+            --batch;
+        }
+        while (batch > 0) {
+            p = decodeOneUnchecked(p, out[0], last_pc);
+            ++out;
+            --batch;
+        }
+    }
+    // Ragged tail: fewer than maxRecordBytes remain, so fall back to
+    // the per-byte checked decoder until the buffer ends mid-record.
+    while (done < max) {
+        const std::size_t step = readRecord(
+            reinterpret_cast<const char *>(p),
+            static_cast<std::size_t>(end - p), out[0], last_pc);
+        if (step == 0) {
+            break;
+        }
+        p += step;
+        ++out;
+        ++done;
+    }
+    consumed = static_cast<std::size_t>(p - data);
+    return done;
 }
 
 } // namespace bpred::bpt

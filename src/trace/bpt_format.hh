@@ -32,6 +32,14 @@ void writeVarint(std::ostream &os, u64 value);
 /** Decode a LEB128 varint. @throws FatalError on truncation. */
 u64 readVarint(std::istream &is);
 
+/**
+ * Decode a LEB128 varint from an in-memory buffer, advancing @p at.
+ *
+ * @throws FatalError when the buffer ends mid-varint or an 11th
+ *         continuation byte would overflow 64 bits.
+ */
+u64 readVarint(const u8 *data, std::size_t size, std::size_t &at);
+
 /** ZigZag encoding maps signed deltas to small unsigned values. */
 u64 zigZagEncode(i64 value);
 i64 zigZagDecode(u64 value);
@@ -56,6 +64,39 @@ struct Header
 /** Write magic, name and record count. */
 void writeHeader(std::ostream &os, const std::string &name, u64 count);
 
+/** Longest benchmark name any BPT1 reader accepts. */
+inline constexpr u64 maxNameBytes = 4096;
+
+/**
+ * How many payload bytes follow a header, when the source knows.
+ * Streams that cannot seek leave @p known false; mmap and in-memory
+ * readers always know exactly.
+ */
+struct PayloadBounds
+{
+    u64 bytes = 0;
+    bool known = false;
+};
+
+/**
+ * Reject a declared name length before it sizes an allocation.
+ *
+ * @throws FatalError when @p name_len exceeds maxNameBytes.
+ */
+void checkNameLength(u64 name_len);
+
+/**
+ * The one bounds rule every header path shares (istream, mmap and
+ * gz/adapter readers all funnel through here, so the limits cannot
+ * drift apart): every record costs at least two bytes (flag byte
+ * plus one varint byte), so a known payload length bounds the
+ * declared count by half its bytes. Sets @p header.lengthValidated
+ * when @p payload is known.
+ *
+ * @throws FatalError when the declared count exceeds the bound.
+ */
+void validateHeader(Header &header, const PayloadBounds &payload);
+
 /**
  * Read and validate magic, name and record count. On seekable
  * streams the declared count is checked against the remaining byte
@@ -66,6 +107,20 @@ void writeHeader(std::ostream &os, const std::string &name, u64 count);
  *         record count exceeding the stream size.
  */
 Header readHeader(std::istream &is);
+
+/**
+ * Read and validate a header from an in-memory buffer (an mmap'd
+ * file or an inflated .gz). The payload length is always known
+ * here, so the returned header is always lengthValidated.
+ *
+ * @param header_bytes Out: bytes the header occupied; the payload
+ *        starts at data + header_bytes.
+ *
+ * @throws FatalError on bad magic, an unreasonable name, a
+ *         truncated header, or an overdeclared record count.
+ */
+Header readHeader(const u8 *data, std::size_t size,
+                  std::size_t &header_bytes);
 
 /**
  * Append one record, delta-encoding the PC against @p last_pc
@@ -104,6 +159,27 @@ inline constexpr std::size_t maxRecordBytes = 11;
  */
 std::size_t readRecord(const char *data, std::size_t size,
                        BranchRecord &out, Addr &last_pc);
+
+/**
+ * Bulk-decode up to @p max records from @p data — the hot path for
+ * mmap'd traces. Instead of a per-byte bounds check, the buffer is
+ * carved into sub-batches of records whose worst-case encoded size
+ * (maxRecordBytes each) provably fits in the remaining span, and
+ * the sub-batch body decodes with unchecked loads; the ragged tail
+ * falls back to the checked readRecord() above. Wire semantics are
+ * bit-identical to the incremental decoder: same flag validation,
+ * same varint overflow rule, same u64 wrap-around delta arithmetic.
+ *
+ * @param consumed Out: bytes consumed from @p data.
+ * @return Records decoded; less than @p max only when the buffer
+ *         ends (possibly mid-record — the partial record is not
+ *         consumed, mirroring readRecord()'s refill contract).
+ *
+ * @throws FatalError on bad flags or varint overflow.
+ */
+std::size_t decodeRecords(const u8 *data, std::size_t size,
+                          BranchRecord *out, std::size_t max,
+                          Addr &last_pc, std::size_t &consumed);
 
 } // namespace bpred::bpt
 

@@ -1,0 +1,20 @@
+#include <cstdint>
+#include <vector>
+
+std::vector<std::uint64_t>
+collect(std::uint64_t decoded_sites)
+{
+    std::vector<std::uint64_t> sites;
+    // resize() from a decoded count with no justification: flagged.
+    sites.resize(decoded_sites);
+    return sites;
+}
+
+std::vector<std::uint64_t>
+collectTopK(std::vector<std::uint64_t> sites, std::size_t top_k)
+{
+    // bp_lint: allow(reserve-untrusted): shrinking to the caller's
+    // top-K request, never growing to a decoded count.
+    sites.resize(std::min(sites.size(), top_k));
+    return sites;
+}

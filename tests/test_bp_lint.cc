@@ -88,7 +88,7 @@ TEST(BpLint, HeadersWithoutPragmaOnceAreFlagged)
 TEST(BpLint, BannedIdentifiersAreFlagged)
 {
     const auto findings = lintWith("banned", "banned-identifier");
-    ASSERT_EQ(findings.size(), 4u);
+    ASSERT_EQ(findings.size(), 3u);
 
     EXPECT_EQ(findings[0].file, "src/bad_calls.cc");
     EXPECT_EQ(findings[0].line, 9u);
@@ -100,11 +100,24 @@ TEST(BpLint, BannedIdentifiersAreFlagged)
 
     // Member calls, foreign qualifiers, comments, strings, and the
     // annotated rand() produced nothing for bad_calls.cc beyond
-    // the three above; the factory file's raw new is exempt; only
-    // the unannotated trace-layer reserve() remains.
-    EXPECT_EQ(findings[3].file, "src/trace/decode.cc");
-    EXPECT_EQ(findings[3].line, 9u);
-    EXPECT_TRUE(mentions(findings[3], "reserve"));
+    // the three above; the factory file's raw new is exempt.
+}
+
+TEST(BpLint, AllocUntrustedIsFlagged)
+{
+    const auto findings =
+        lintWith("alloc_untrusted", "alloc-untrusted");
+    ASSERT_EQ(findings.size(), 2u);
+
+    // The annotated reserve()/resize() in both files stay silent;
+    // only the unjustified ones in the trace layer and the corpus
+    // runner are flagged.
+    EXPECT_EQ(findings[0].file, "src/sim/corpus.cc");
+    EXPECT_EQ(findings[0].line, 9u);
+    EXPECT_TRUE(mentions(findings[0], "resize"));
+    EXPECT_EQ(findings[1].file, "src/trace/decode.cc");
+    EXPECT_EQ(findings[1].line, 9u);
+    EXPECT_TRUE(mentions(findings[1], "reserve"));
 }
 
 TEST(BpLint, DeprecatedCallOutsideTestsIsFlagged)

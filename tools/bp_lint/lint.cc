@@ -24,9 +24,14 @@ allRules()
          "headers use #pragma once, never BPRED_* guards",
          rulePragmaOnce},
         {"banned-identifier",
-         "no rand/strcpy/atoi-style calls, raw new outside "
-         "factories, or unannotated trace-layer reserve()",
+         "no rand/strcpy/atoi-style calls or raw new outside "
+         "factories",
          ruleBannedIdentifier},
+        {"alloc-untrusted",
+         "reserve()/resize() in untrusted-input layers "
+         "(src/trace, src/sim/corpus*) carry a "
+         "'bp_lint: allow(reserve-untrusted)' justification",
+         ruleAllocUntrusted},
         {"factory-fingerprint",
          "factory scheme names match predictor name() "
          "fingerprint literals",

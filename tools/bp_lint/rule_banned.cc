@@ -11,10 +11,10 @@
  *   spec must be a fatal() diagnostic, never a zero-sized table.
  * - raw `new`: ownership outside factories and tests must flow
  *   through std::make_unique so no error path leaks.
- * - Trace-layer reserve(): sizing an allocation from a decoded
- *   (untrusted) count is how a corrupt header becomes an OOM;
- *   each call must carry a `bp_lint: allow(reserve-untrusted)`
- *   annotation stating why its count is trusted or bounded.
+ *
+ * Allocation sizing from decoded counts is its own rule now
+ * (alloc-untrusted, rule_alloc.cc); it also covers resize() and
+ * the corpus runner.
  *
  * Matching runs over comment- and string-stripped code, so prose
  * and literals never trip it.
@@ -132,8 +132,6 @@ ruleBannedIdentifier(const RepoTree &tree,
         }
         const bool new_exempt = file.inTests ||
             file.relative.find("factory") != std::string::npos;
-        const bool trace_layer =
-            file.relative.rfind("src/trace/", 0) == 0;
 
         for (std::size_t i = 0; i < file.code.size(); ++i) {
             const std::string &code = file.code[i];
@@ -172,17 +170,6 @@ ruleBannedIdentifier(const RepoTree &tree,
                     }
                     pos += 3;
                 }
-            }
-
-            if (trace_layer &&
-                code.find(".reserve(") != std::string::npos &&
-                !lineAllows(file, line_no, "reserve-untrusted")) {
-                findings.push_back(
-                    {"banned-identifier", file.relative, line_no,
-                     "trace-layer reserve() without a "
-                     "'bp_lint: allow(reserve-untrusted)' "
-                     "annotation explaining why the count is "
-                     "trusted"});
             }
         }
     }

@@ -65,6 +65,9 @@ declaredEdges()
              {"support", "trace", "predictors", "core", "aliasing",
               "model", "workloads", "sim", "serve", "bp_lint"}},
             {"bp_lint", {}},
+            {"bp_corpus",
+             {"support", "trace", "predictors", "core", "aliasing",
+              "workloads", "sim"}},
         };
     return edges;
 }

@@ -13,6 +13,7 @@ namespace bplint
 void ruleCmakeRegistration(const RepoTree &, std::vector<Finding> &);
 void rulePragmaOnce(const RepoTree &, std::vector<Finding> &);
 void ruleBannedIdentifier(const RepoTree &, std::vector<Finding> &);
+void ruleAllocUntrusted(const RepoTree &, std::vector<Finding> &);
 void ruleFactoryFingerprint(const RepoTree &,
                             std::vector<Finding> &);
 void ruleDeprecatedCall(const RepoTree &, std::vector<Finding> &);
